@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures: datasets and lazily-cached method reports.
+
+Datasets and evaluations are expensive, so they are built once per session
+and shared across every table/figure benchmark.  Individual benchmarks
+time the *regeneration* of their artifact (aggregation over cached
+records) and assert the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluator import Evaluator
+from repro.core.metrics import MethodReport
+from repro.datagen.benchmark import (
+    Dataset,
+    bird_like_config,
+    build_benchmark,
+    spider_like_config,
+)
+from repro.methods.zoo import build_method
+
+SPIDER_SCALE = 0.45
+BIRD_SCALE = 0.9
+
+
+class ReportBundle:
+    """Lazily evaluates and caches method reports on one dataset."""
+
+    def __init__(self, dataset: Dataset, measure_timing: bool) -> None:
+        self.dataset = dataset
+        self.evaluator = Evaluator(
+            dataset, measure_timing=measure_timing, timing_repeats=3
+        )
+        self._reports: dict[str, MethodReport] = {}
+
+    def report(self, method_name: str) -> MethodReport:
+        if method_name not in self._reports:
+            method = build_method(method_name)
+            self._reports[method_name] = self.evaluator.evaluate_method(method)
+        return self._reports[method_name]
+
+    def reports(self, method_names: list[str]) -> dict[str, MethodReport]:
+        return {name: self.report(name) for name in method_names}
+
+
+@pytest.fixture(scope="session")
+def spider_dataset() -> Dataset:
+    dataset = build_benchmark(spider_like_config(scale=SPIDER_SCALE))
+    yield dataset
+    dataset.close()
+
+
+@pytest.fixture(scope="session")
+def bird_dataset() -> Dataset:
+    dataset = build_benchmark(bird_like_config(scale=BIRD_SCALE))
+    yield dataset
+    dataset.close()
+
+
+@pytest.fixture(scope="session")
+def spider_bundle(spider_dataset) -> ReportBundle:
+    return ReportBundle(spider_dataset, measure_timing=True)
+
+
+@pytest.fixture(scope="session")
+def bird_bundle(bird_dataset) -> ReportBundle:
+    return ReportBundle(bird_dataset, measure_timing=True)

@@ -1,0 +1,58 @@
+"""Figures 10 & 15 — the SQL-style prompt and SuperSQL's enriched prompt.
+
+Figure 10 shows the SQL-style zero-shot prompt used for SFT (CREATE TABLE
+schema + ``/* Answer the following: ... */`` + the SELECT cue); Figure 15
+shows SuperSQL's "Clear Schema with DB Content" prompt, where matched
+cell values are appended as comments after the corresponding columns.
+This benchmark regenerates both prompts on a live database and asserts
+their structure.
+"""
+
+from repro.llm.tokens import count_tokens
+from repro.methods.zoo import method_config
+from repro.modules.prompts import build_prompt
+
+
+def test_fig10_and_fig15_prompt_formats(benchmark, spider_dataset):
+    example = next(
+        e for e in spider_dataset.dev_examples if "'" in e.gold_sql
+    )  # has a string literal, so DB-content matching has work to do
+    database = spider_dataset.database(example.db_id)
+
+    def regenerate():
+        sql_style = build_prompt(
+            method_config("SFT starcoder-7b"), database, example.question
+        )
+        supersql = build_prompt(
+            method_config("SuperSQL"), database, example.question,
+            train_pairs=[(e.question, e.gold_sql) for e in spider_dataset.train_examples[:200]],
+        )
+        return sql_style, supersql
+
+    sql_style, supersql = benchmark(regenerate)
+
+    print()
+    print("---- Figure 10 analogue (SQL-style zero-shot prompt, head) ----")
+    print("\n".join(sql_style.text.splitlines()[:12]))
+    print("---- Figure 15 analogue (SuperSQL prompt, head) ----")
+    print("\n".join(supersql.text.splitlines()[:14]))
+
+    # Figure 10 structure: schema as CREATE TABLE, question comment, SELECT cue.
+    assert "/* Given the following database schema: */" in sql_style.text
+    assert "CREATE TABLE" in sql_style.text
+    assert f"/* Answer the following: {example.question} */" in sql_style.text
+    assert sql_style.text.rstrip().endswith("SELECT")
+    assert sql_style.features.sql_style
+
+    # Figure 15 structure: linked (pruned) schema, value comments on
+    # columns, similarity-selected examples, same question framing.
+    assert supersql.features.schema_tables is not None
+    assert supersql.features.db_content is not None
+    assert "-- values:" in supersql.text
+    assert supersql.features.few_shot_count > 0
+    assert f"/* Answer the following: {example.question} */" in supersql.text
+
+    # The pruned+enriched SuperSQL prompt stays lean — far smaller than a
+    # DIN-SQL-style manual prompt (paper Table 5's token economics).
+    din = build_prompt(method_config("DINSQL"), database, example.question)
+    assert count_tokens(supersql.text) < count_tokens(din.text) / 3

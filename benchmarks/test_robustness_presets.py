@@ -1,0 +1,74 @@
+"""Robustness presets — Spider-Realistic / Dr.Spider-style evaluation.
+
+The testbed lists Spider-Realistic and Dr.Spider among its maintained
+datasets (paper §3): both perturb the NL side of Spider to probe
+robustness.  This benchmark evaluates a prompt-based method and a
+fine-tuned method on the Spider-Realistic-like preset (every question
+paraphrased, many with rare phrasings) and asserts the robustness story
+behind Finding 6: the fine-tuned model, whose lexicon covers the dataset's
+phrasing distribution, degrades less on hard paraphrases than the
+canonical-vs-variant gap of a prompt-only model.
+"""
+
+import pytest
+
+from repro.core.evaluator import Evaluator
+from repro.core.report import format_table
+from repro.datagen.benchmark import build_benchmark, spider_realistic_config
+from repro.methods.zoo import build_method
+
+# Same backbone, with and without dataset fine-tuning: isolates the
+# phrasing-coverage mechanism.
+METHODS = ["ZS starcoder-7b", "SFT starcoder-7b", "DAILSQL", "RESDSQL-3B"]
+
+
+def _evaluate(dataset):
+    evaluator = Evaluator(dataset, measure_timing=False)
+    hard_ids = {
+        e.example_id for e in dataset.dev_examples if e.linguistic_difficulty > 0
+    }
+    easy_ids = {
+        e.example_id for e in dataset.dev_examples if e.linguistic_difficulty == 0
+    }
+    table = {}
+    for name in METHODS:
+        report = evaluator.evaluate_method(build_method(name))
+        easy = report.by_example_ids(easy_ids)
+        hard = report.by_example_ids(hard_ids)
+        table[name] = {
+            "easy_phrasing": easy.ex,
+            "hard_phrasing": hard.ex,
+            "drop": easy.ex - hard.ex,
+            "all": report.ex,
+        }
+    return table
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=1)
+def test_spider_realistic_robustness(benchmark):
+    dataset = build_benchmark(spider_realistic_config(scale=0.3))
+    try:
+        table = benchmark.pedantic(_evaluate, args=(dataset,), rounds=1, iterations=1)
+    finally:
+        dataset.close()
+
+    print()
+    print(format_table(
+        ["Method", "EX easy phrasing", "EX hard phrasing", "Drop", "EX all"],
+        [[name, f"{row['easy_phrasing']:.1f}", f"{row['hard_phrasing']:.1f}",
+          f"{row['drop']:+.1f}", f"{row['all']:.1f}"] for name, row in table.items()],
+        title="Spider-Realistic-like: robustness to rare phrasings",
+    ))
+
+    # The same backbone, fine-tuned on the dataset's phrasing distribution,
+    # absorbs hard paraphrases far better than its zero-shot self.
+    assert table["SFT starcoder-7b"]["drop"] < table["ZS starcoder-7b"]["drop"]
+    assert (
+        table["SFT starcoder-7b"]["hard_phrasing"]
+        > table["ZS starcoder-7b"]["hard_phrasing"] + 5.0
+    )
+
+    # Strong-linguistic GPT-4 prompting and fine-tuned PLMs both stay
+    # comparatively stable (paper Finding 6's "no clear winner").
+    assert abs(table["DAILSQL"]["drop"]) < 18.0
+    assert abs(table["RESDSQL-3B"]["drop"]) < 18.0

@@ -1,0 +1,55 @@
+"""Table 2 — Spider vs BIRD dataset statistics.
+
+Regenerates the min/max/avg of tables/DB, columns/DB, columns/table,
+PKs/DB, and FKs/DB for both benchmarks' train and dev splits, and asserts
+the paper's qualitative shape: BIRD databases are wider and more complex
+than Spider databases on every aggregate.
+"""
+
+from repro.core.report import format_table
+from repro.schema.stats import corpus_statistics
+
+
+def _stats_rows(dataset, split):
+    schemas = dataset.schemas(split=split)
+    stats = corpus_statistics(schemas)
+    label = f"{dataset.name} {split}"
+    row = [label]
+    for key in ("tables_per_db", "columns_per_db", "columns_per_table",
+                "pks_per_db", "fks_per_db"):
+        triple = stats[key].as_row()
+        row.append(f"{triple[0]:.0f}/{triple[1]:.0f}/{triple[2]:.1f}")
+    return stats, row
+
+
+def test_table2_dataset_statistics(benchmark, spider_dataset, bird_dataset):
+    def regenerate():
+        table = {}
+        rows = []
+        for dataset in (spider_dataset, bird_dataset):
+            for split in ("train", "dev"):
+                stats, row = _stats_rows(dataset, split)
+                table[(dataset.name, split)] = stats
+                rows.append(row)
+        return table, rows
+
+    table, rows = benchmark(regenerate)
+    print()
+    print(format_table(
+        ["Dataset/split", "#T/DB (min/max/avg)", "#C/DB", "#C/T", "#PK/DB", "#FK/DB"],
+        rows,
+        title="Table 2: Spider-like vs BIRD-like dataset statistics",
+    ))
+
+    spider_dev = table[("spider-like", "dev")]
+    bird_dev = table[("bird-like", "dev")]
+    # BIRD databases are wider/denser than Spider databases (paper Table 2).
+    assert bird_dev["columns_per_db"].average > spider_dev["columns_per_db"].average
+    assert bird_dev["columns_per_table"].average > spider_dev["columns_per_table"].average
+    assert bird_dev["tables_per_db"].average >= spider_dev["tables_per_db"].average - 0.5
+
+    # Sanity ranges in the ballpark of the paper's Spider numbers.
+    assert 2 <= spider_dev["tables_per_db"].minimum
+    assert spider_dev["tables_per_db"].average < 8
+    for key in ("pks_per_db", "fks_per_db"):
+        assert spider_dev[key].average >= 1

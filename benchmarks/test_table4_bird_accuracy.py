@@ -1,0 +1,65 @@
+"""Table 4 — EX vs SQL complexity on the BIRD-like dev set.
+
+Asserts the paper's shape: overall EX drops sharply relative to Spider
+(BIRD is harder), fine-tuning scales with model size within the CodeS
+family, RESDSQL (retrained) trails the LLM-based methods, and SuperSQL is
+at or near the top.
+"""
+
+from repro.core.report import format_table
+from repro.methods.zoo import CORE_BIRD_METHODS
+
+LEVELS = ("simple", "moderate", "challenging")
+
+
+def _regenerate(bundle):
+    reports = bundle.reports(CORE_BIRD_METHODS)
+    table = {}
+    for name, report in reports.items():
+        row = {"all": report.ex}
+        for level in LEVELS:
+            row[level] = report.by_bird_difficulty(level).ex
+        table[name] = row
+    return table
+
+
+def test_table4_bird_accuracy(benchmark, bird_bundle, spider_bundle):
+    bird_bundle.reports(CORE_BIRD_METHODS)
+    table = benchmark(_regenerate, bird_bundle)
+
+    rows = [
+        [name] + [f"{table[name][level]:.1f}" for level in LEVELS]
+        + [f"{table[name]['all']:.1f}"]
+        for name in CORE_BIRD_METHODS
+    ]
+    print()
+    print(format_table(
+        ["Method", "Simple", "Moderate", "Challenging", "All"],
+        rows,
+        title="Table 4: Accuracy vs SQL complexity (BIRD-like dev, EX)",
+    ))
+
+    # BIRD is much harder than Spider for the same methods (paper: ~56 vs ~84).
+    spider_super = spider_bundle.report("SuperSQL").ex
+    assert table["SuperSQL"]["all"] < spider_super
+
+    # SuperSQL within the top band (paper: ties SFT CodeS-15B at 58.5).
+    best = max(row["all"] for row in table.values())
+    assert table["SuperSQL"]["all"] >= best - 3.0
+
+    # CodeS family: scaling helps, modulo simulation noise (sigma ~3).
+    assert table["SFT CodeS-15B"]["all"] >= table["SFT CodeS-1B"]["all"] - 5.0
+    assert table["SFT CodeS-7B"]["all"] >= table["SFT CodeS-1B"]["all"] - 5.0
+
+    # RESDSQL (PLM) trails the hybrid/top LLM methods on BIRD and its
+    # Base variant sits in the bottom tier (paper: 33.1, worst in table).
+    assert table["RESDSQL-3B"]["all"] >= table["RESDSQL-Base"]["all"] - 4.0
+    assert table["RESDSQL-Base"]["all"] <= table["SuperSQL"]["all"] - 8.0
+    ranked = sorted(table, key=lambda name: table[name]["all"])
+    assert "RESDSQL-Base" in ranked[:4]
+
+    # Simple > challenging in aggregate (per-method cells are tiny and
+    # noisy at this scale; the paper's monotonicity is a population trend).
+    mean_simple = sum(row["simple"] for row in table.values()) / len(table)
+    mean_challenging = sum(row["challenging"] for row in table.values()) / len(table)
+    assert mean_simple > mean_challenging

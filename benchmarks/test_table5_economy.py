@@ -1,0 +1,72 @@
+"""Table 5 — Accuracy vs LLM economy on the Spider-like and BIRD-like dev sets.
+
+Regenerates tokens/query, $/query, EX, and EX/avg-cost for the
+prompt-based methods and asserts the paper's Finding 9: C3SQL (GPT-3.5)
+is by far the most cost-effective, DIN-SQL the least; self-consistency
+raises cost over plain DAIL-SQL; SuperSQL uses fewer tokens than DIN-SQL
+while achieving higher EX.
+"""
+
+from repro.core.economy import economy_table, most_cost_effective
+from repro.core.report import format_table
+from repro.methods.zoo import method_config
+
+SPIDER_PROMPT_METHODS = ["C3SQL", "DINSQL", "DAILSQL", "DAILSQL(SC)", "SuperSQL"]
+BIRD_PROMPT_METHODS = ["C3SQL", "DAILSQL", "DAILSQL(SC)", "SuperSQL"]
+
+
+def _regenerate(spider_bundle, bird_bundle):
+    spider_rows = economy_table(
+        spider_bundle.reports(SPIDER_PROMPT_METHODS),
+        backbones={m: method_config(m).backbone for m in SPIDER_PROMPT_METHODS},
+    )
+    bird_rows = economy_table(
+        bird_bundle.reports(BIRD_PROMPT_METHODS),
+        backbones={m: method_config(m).backbone for m in BIRD_PROMPT_METHODS},
+    )
+    return spider_rows, bird_rows
+
+
+def test_table5_llm_economy(benchmark, spider_bundle, bird_bundle):
+    spider_bundle.reports(SPIDER_PROMPT_METHODS)
+    bird_bundle.reports(BIRD_PROMPT_METHODS)
+    spider_rows, bird_rows = benchmark(_regenerate, spider_bundle, bird_bundle)
+
+    for label, rows in (("Spider-like", spider_rows), ("BIRD-like", bird_rows)):
+        print()
+        print(format_table(
+            ["Method", "LLM", "Tok/query", "$/query", "EX", "EX/$"],
+            [[r.method, r.backbone, f"{r.avg_tokens:.0f}", f"{r.avg_cost:.4f}",
+              f"{r.ex:.1f}", f"{r.ex_per_cost:.0f}"] for r in rows],
+            title=f"Table 5 ({label}): Accuracy vs LLM economy",
+        ))
+
+    spider = {row.method: row for row in spider_rows}
+    bird = {row.method: row for row in bird_rows}
+
+    # Finding 9: GPT-3.5 pricing makes C3 the most cost-effective.
+    assert most_cost_effective(spider_rows).method == "C3SQL"
+    assert most_cost_effective(bird_rows).method == "C3SQL"
+
+    # DIN-SQL is the least cost-effective GPT-4 method (huge prompts).
+    gpt4_rows = [row for row in spider_rows if row.backbone == "gpt-4"]
+    assert min(gpt4_rows, key=lambda r: r.ex_per_cost).method == "DINSQL"
+    assert spider["DINSQL"].avg_tokens == max(r.avg_tokens for r in spider_rows)
+
+    # Self-consistency costs more than the plain variant.
+    assert spider["DAILSQL(SC)"].avg_cost > spider["DAILSQL"].avg_cost
+    assert bird["DAILSQL(SC)"].avg_cost > bird["DAILSQL"].avg_cost
+
+    # SuperSQL: fewer tokens than DIN-SQL, higher EX than every baseline.
+    assert spider["SuperSQL"].avg_tokens < spider["DINSQL"].avg_tokens
+    assert spider["SuperSQL"].ex >= max(
+        spider[m].ex for m in SPIDER_PROMPT_METHODS if m != "SuperSQL"
+    )
+
+    # BIRD prompts are bigger than Spider prompts (wider schemas).
+    assert bird["DAILSQL"].avg_tokens > spider["DAILSQL"].avg_tokens
+
+    # Token magnitudes in the paper's ballpark (within ~2.5x).
+    assert 2000 < spider["C3SQL"].avg_tokens < 14000
+    assert 3500 < spider["DINSQL"].avg_tokens < 24000
+    assert 300 < spider["DAILSQL"].avg_tokens < 2300

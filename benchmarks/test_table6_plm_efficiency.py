@@ -1,0 +1,82 @@
+"""Table 6 — Efficiency of PLM-based methods (RESDSQL family).
+
+Regenerates EX, latency per sample, and GPU memory for the six RESDSQL
+variants and asserts Finding 10: latency and memory rise with parameter
+count; NatSQL variants are cheaper at similar-or-better accuracy; and the
+paper's headline pairing — RESDSQL-Base+NatSQL achieves EX comparable to
+the much bigger RESDSQL-Large at a fraction of the resources.
+"""
+
+from repro.core.report import format_table
+from repro.methods.zoo import build_method
+
+PLM_METHODS = [
+    "RESDSQL-Base", "RESDSQL-Base + NatSQL",
+    "RESDSQL-Large", "RESDSQL-Large + NatSQL",
+    "RESDSQL-3B", "RESDSQL-3B + NatSQL",
+]
+
+PARAMS = {
+    "RESDSQL-Base": 0.22, "RESDSQL-Base + NatSQL": 0.22,
+    "RESDSQL-Large": 0.77, "RESDSQL-Large + NatSQL": 0.77,
+    "RESDSQL-3B": 3.0, "RESDSQL-3B + NatSQL": 3.0,
+}
+
+
+def _regenerate(bundle):
+    table = {}
+    for name in PLM_METHODS:
+        report = bundle.report(name)
+        method = build_method(name)
+        table[name] = {
+            "params": PARAMS[name],
+            "ex": report.ex,
+            "latency": report.avg_latency,
+            "memory": method.gpu_memory_gb,
+        }
+    return table
+
+
+def test_table6_plm_efficiency(benchmark, spider_bundle):
+    spider_bundle.reports(PLM_METHODS)
+    table = benchmark(_regenerate, spider_bundle)
+
+    print()
+    print(format_table(
+        ["Method", "Params (B)", "EX", "Latency/sample (s)", "GPU mem (GiB)"],
+        [[name, f"{row['params']}", f"{row['ex']:.1f}", f"{row['latency']:.2f}",
+          f"{row['memory']:.2f}"] for name, row in table.items()],
+        title="Table 6: Efficiency of PLM-based methods (Spider-like dev)",
+    ))
+
+    # Latency and memory increase with parameter count (Finding 10).
+    assert (
+        table["RESDSQL-Base"]["latency"]
+        < table["RESDSQL-Large"]["latency"]
+        < table["RESDSQL-3B"]["latency"]
+    )
+    assert (
+        table["RESDSQL-Base"]["memory"]
+        < table["RESDSQL-Large"]["memory"]
+        < table["RESDSQL-3B"]["memory"]
+    )
+
+    # NatSQL variants are cheaper than their plain counterparts.
+    for size in ("Base", "Large", "3B"):
+        plain, natsql = f"RESDSQL-{size}", f"RESDSQL-{size} + NatSQL"
+        assert table[natsql]["latency"] < table[plain]["latency"]
+        assert table[natsql]["memory"] < table[plain]["memory"]
+        # ... at similar or better accuracy (sigma tolerance).
+        assert table[natsql]["ex"] >= table[plain]["ex"] - 4.0
+
+    # The paper's headline: Base+NatSQL (0.22B) reaches EX comparable to
+    # Large (0.77B) while being faster and smaller.
+    assert (
+        abs(table["RESDSQL-Base + NatSQL"]["ex"] - table["RESDSQL-Large"]["ex"]) < 8.0
+    )
+    assert (
+        table["RESDSQL-Base + NatSQL"]["latency"] < table["RESDSQL-Large"]["latency"]
+    )
+
+    # Accuracy grows with size within the plain family (noise tolerance).
+    assert table["RESDSQL-3B"]["ex"] >= table["RESDSQL-Base"]["ex"] - 2.0

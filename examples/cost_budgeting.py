@@ -1,0 +1,61 @@
+"""Cost budgeting: token/cost accounting for prompt-based methods (Exp-6).
+
+Which method fits a production budget?  This example reproduces the
+paper's Table 5 workflow: per-query tokens, per-query dollars, EX, and
+the EX / average-cost cost-effectiveness ratio, then projects a monthly
+bill for a target query volume.
+
+Run with::
+
+    python examples/cost_budgeting.py
+"""
+
+from repro import Evaluator, build_benchmark, build_method, spider_like_config
+from repro.core.economy import economy_table, most_cost_effective
+from repro.core.report import format_table
+from repro.methods.zoo import method_config
+
+PROMPT_METHODS = ["C3SQL", "DINSQL", "DAILSQL", "DAILSQL(SC)", "SuperSQL"]
+MONTHLY_QUERIES = 100_000
+
+
+def main() -> None:
+    dataset = build_benchmark(spider_like_config(scale=0.12))
+    evaluator = Evaluator(dataset, measure_timing=False)
+
+    reports = {}
+    for name in PROMPT_METHODS:
+        print(f"Evaluating {name} ...")
+        reports[name] = evaluator.evaluate_method(build_method(name))
+
+    backbones = {name: method_config(name).backbone for name in PROMPT_METHODS}
+    rows = economy_table(reports, backbones)
+
+    table_rows = [
+        [
+            row.method,
+            row.backbone,
+            f"{row.avg_tokens:.0f}",
+            f"${row.avg_cost:.4f}",
+            f"{row.ex:.1f}",
+            f"{row.ex_per_cost:.0f}",
+            f"${row.avg_cost * MONTHLY_QUERIES:,.0f}",
+        ]
+        for row in rows
+    ]
+    print()
+    print(format_table(
+        ["Method", "LLM", "Tok/query", "$/query", "EX", "EX/$",
+         f"Monthly ({MONTHLY_QUERIES:,} q)"],
+        table_rows,
+        title="Accuracy vs LLM economy (paper Table 5 layout)",
+    ))
+
+    winner = most_cost_effective(rows)
+    print(f"\nMost cost-effective method: {winner.method} "
+          f"(EX/$ = {winner.ex_per_cost:.0f}) — GPT-3.5 pricing wins (Finding 9)")
+    dataset.close()
+
+
+if __name__ == "__main__":
+    main()

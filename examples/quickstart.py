@@ -1,0 +1,50 @@
+"""Quickstart: build a benchmark, evaluate methods, print a leaderboard.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Evaluator, build_benchmark, build_method, spider_like_config
+from repro.core.report import format_leaderboard, format_table
+
+
+def main() -> None:
+    # 1. Build a small Spider-like benchmark (synthetic, fully offline).
+    print("Building spider-like benchmark ...")
+    dataset = build_benchmark(spider_like_config(scale=0.15))
+    print(f"  {len(dataset.databases)} databases, "
+          f"{len(dataset.train_examples)} train / {len(dataset.dev_examples)} dev examples")
+
+    # 2. Evaluate a few representative methods.
+    evaluator = Evaluator(dataset, measure_timing=False)
+    names = ["C3SQL", "DAILSQL", "RESDSQL-3B + NatSQL", "SFT CodeS-7B", "SuperSQL"]
+    reports = {}
+    for name in names:
+        print(f"Evaluating {name} ...")
+        reports[name] = evaluator.evaluate_method(build_method(name))
+
+    # 3. Print the leaderboard and a per-hardness breakdown.
+    print()
+    print(format_leaderboard(reports, metric="ex", title="Spider-like dev leaderboard (EX)"))
+    print()
+    rows = []
+    for name, report in reports.items():
+        rows.append([
+            name,
+            f"{report.by_hardness('easy').ex:.1f}",
+            f"{report.by_hardness('medium').ex:.1f}",
+            f"{report.by_hardness('hard').ex:.1f}",
+            f"{report.by_hardness('extra').ex:.1f}",
+            f"{report.ex:.1f}",
+        ])
+    print(format_table(
+        ["Method", "Easy", "Medium", "Hard", "Extra", "All"],
+        rows,
+        title="EX by SQL hardness (paper Table 3 layout)",
+    ))
+    dataset.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro: a reproduction of "The Dawn of Natural Language to SQL: Are We
+Fully Ready?" (VLDB 2024) — the NL2SQL360 multi-angle evaluation testbed,
+a 20-method model zoo over simulated LLM/PLM backbones, the NL2SQL360-AAS
+design-space search, and the SuperSQL hybrid method.
+
+Quickstart::
+
+    from repro import build_benchmark, spider_like_config, Evaluator, build_method
+
+    dataset = build_benchmark(spider_like_config(scale=0.2))
+    evaluator = Evaluator(dataset)
+    report = evaluator.evaluate_method(build_method("SuperSQL"))
+    print(report.summary())
+"""
+
+from repro.core.evaluator import Evaluator
+from repro.core.filter import DatasetFilter
+from repro.core.logs import ExperimentLogStore
+from repro.core.metrics import EvaluationRecord, MethodReport
+from repro.core.qvt import qvt_score
+from repro.core.aas import AASConfig, AASResult, run_aas
+from repro.core.design_space import SearchSpace, random_config
+from repro.core.compare import Comparison, compare_methods
+from repro.core.dashboard import render_dashboard
+from repro.core.findings import FindingResult, check_all
+from repro.datagen.export import export_spider_format, load_spider_format
+from repro.datagen.benchmark import (
+    BenchmarkConfig,
+    Dataset,
+    Example,
+    bird_like_config,
+    build_benchmark,
+    kaggle_dbqa_config,
+    spider_like_config,
+    spider_realistic_config,
+)
+from repro.methods.base import MethodGroup, NL2SQLMethod, PipelineMethod, Prediction
+from repro.methods.zoo import build_method, default_zoo, method_config
+from repro.modules.base import PipelineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Evaluator",
+    "DatasetFilter",
+    "ExperimentLogStore",
+    "EvaluationRecord",
+    "MethodReport",
+    "qvt_score",
+    "AASConfig",
+    "AASResult",
+    "run_aas",
+    "SearchSpace",
+    "random_config",
+    "BenchmarkConfig",
+    "Dataset",
+    "Example",
+    "bird_like_config",
+    "build_benchmark",
+    "spider_like_config",
+    "spider_realistic_config",
+    "kaggle_dbqa_config",
+    "render_dashboard",
+    "Comparison",
+    "compare_methods",
+    "export_spider_format",
+    "load_spider_format",
+    "FindingResult",
+    "check_all",
+    "MethodGroup",
+    "NL2SQLMethod",
+    "PipelineMethod",
+    "Prediction",
+    "build_method",
+    "default_zoo",
+    "method_config",
+    "PipelineConfig",
+    "__version__",
+]

@@ -1,0 +1,229 @@
+"""Command-line interface for the NL2SQL360 testbed.
+
+Subcommands::
+
+    python -m repro evaluate  --methods SuperSQL DAILSQL --scale 0.15
+    python -m repro methods                       # list the model zoo
+    python -m repro search    --generations 4     # run NL2SQL360-AAS
+    python -m repro stats     --benchmark bird    # Table-2 style statistics
+
+All runs are offline and deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.aas import AASConfig, run_aas
+from repro.core.design_space import SearchSpace
+from repro.core.evaluator import Evaluator
+from repro.core.logs import ExperimentLogStore
+from repro.core.qvt import qvt_score
+from repro.core.report import format_leaderboard, format_table
+from repro.datagen.benchmark import bird_like_config, build_benchmark, spider_like_config
+from repro.methods.zoo import CORE_SPIDER_METHODS, build_method, zoo_configs
+from repro.schema.stats import corpus_statistics
+
+
+def _build_dataset(benchmark: str, scale: float, seed: int):
+    if benchmark == "bird":
+        return build_benchmark(bird_like_config(scale=scale, seed=seed))
+    return build_benchmark(spider_like_config(scale=scale, seed=seed))
+
+
+def _cmd_methods(_args: argparse.Namespace) -> int:
+    rows = [
+        [name, config.backbone, "yes" if config.finetuned else "no",
+         config.schema_linking or "-", config.db_content or "-",
+         config.prompting, config.decoding, config.post_processing or "-"]
+        for name, config in sorted(zoo_configs().items())
+    ]
+    print(format_table(
+        ["Method", "Backbone", "FT", "Linking", "Content", "Prompting",
+         "Decoding", "Post"],
+        rows,
+        title="Model zoo (paper Table 1 taxonomy)",
+    ))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.benchmark, args.scale, args.seed)
+    store = ExperimentLogStore(args.log_db) if args.log_db else None
+    evaluator = Evaluator(dataset, log_store=store, measure_timing=not args.no_timing)
+    reports = {}
+    for name in args.methods:
+        print(f"evaluating {name} ...", file=sys.stderr)
+        reports[name] = evaluator.evaluate_method(build_method(name, seed=args.seed))
+    rows = [
+        [name, f"{report.ex:.1f}", f"{report.em:.1f}", f"{report.ves:.1f}",
+         f"{qvt_score(report):.1f}", f"{report.avg_tokens:.0f}",
+         f"{report.avg_cost:.4f}"]
+        for name, report in reports.items()
+    ]
+    print(format_table(
+        ["Method", "EX", "EM", "VES", "QVT", "Tok/q", "$/q"],
+        rows,
+        title=f"Evaluation on {dataset.name} dev ({len(dataset.dev_examples)} examples)",
+    ))
+    print()
+    print(format_leaderboard(reports, metric=args.metric))
+    if store is not None:
+        store.close()
+    dataset.close()
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.benchmark, args.scale, args.seed)
+    evaluator = Evaluator(dataset, measure_timing=False)
+    examples = dataset.dev_examples[: args.subset]
+    config = AASConfig(
+        population_size=args.population,
+        generations=args.generations,
+        swap_probability=args.swap,
+        mutation_probability=args.mutate,
+        seed=args.seed,
+    )
+    result = run_aas(SearchSpace(backbone=args.backbone), evaluator, examples, config)
+    print("best-of-generation EX:", [f"{v:.1f}" for v in result.best_per_generation])
+    print("best composition:")
+    for layer, module in result.best.assignment.items():
+        print(f"  {layer:16s} -> {module}")
+    print(f"fitness: {result.best.fitness:.1f} "
+          f"({result.evaluations} distinct individuals evaluated)")
+    dataset.close()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.benchmark, args.scale, args.seed)
+    rows = []
+    for split in ("train", "dev"):
+        stats = corpus_statistics(dataset.schemas(split=split))
+        row = [f"{dataset.name} {split}", str(len(dataset.split(split)))]
+        for key in ("tables_per_db", "columns_per_db", "pks_per_db", "fks_per_db"):
+            triple = stats[key].as_row()
+            row.append(f"{triple[0]:.0f}/{triple[1]:.0f}/{triple[2]:.1f}")
+        rows.append(row)
+    print(format_table(
+        ["Split", "#Examples", "#T/DB", "#C/DB", "#PK/DB", "#FK/DB"],
+        rows,
+        title="Benchmark statistics (min/max/avg, paper Table 2 layout)",
+    ))
+    dataset.close()
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.extensions.interpreter import explain_sql
+    for line in explain_sql(args.sql):
+        print("-", line)
+    return 0
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    from repro.extensions.query_rewriter import rewrite_question
+    dataset = _build_dataset(args.benchmark, args.scale, args.seed)
+    database = next(iter(dataset.databases.values()))
+    if args.db_id:
+        database = dataset.database(args.db_id)
+    result = rewrite_question(args.question, database.schema)
+    print("original: ", result.original)
+    print("rewritten:", result.rewritten)
+    for note in result.ambiguities:
+        print("ambiguity:", note)
+    dataset.close()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.compare import compare_methods
+    dataset = _build_dataset(args.benchmark, args.scale, args.seed)
+    evaluator = Evaluator(dataset, measure_timing=False)
+    report_a = evaluator.evaluate_method(build_method(args.method_a, seed=args.seed))
+    report_b = evaluator.evaluate_method(build_method(args.method_b, seed=args.seed))
+    comparison = compare_methods(report_a, report_b)
+    print(f"{comparison.method_a}: EX {comparison.ex_a:.1f} | "
+          f"{comparison.method_b}: EX {comparison.ex_b:.1f} "
+          f"(n={comparison.n})")
+    print(f"discordant pairs: {comparison.a_only} only-{comparison.method_a}, "
+          f"{comparison.b_only} only-{comparison.method_b}")
+    print(f"McNemar p = {comparison.p_value:.4f}; "
+          f"95% CI for the EX gap: [{comparison.diff_ci_low:+.1f}, "
+          f"{comparison.diff_ci_high:+.1f}]")
+    print(comparison.verdict())
+    dataset.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NL2SQL360 reproduction testbed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    methods = sub.add_parser("methods", help="list the model zoo")
+    methods.set_defaults(func=_cmd_methods)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--benchmark", choices=["spider", "bird"], default="spider")
+        p.add_argument("--scale", type=float, default=0.15)
+        p.add_argument("--seed", type=int, default=42)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate methods on a benchmark")
+    common(evaluate)
+    evaluate.add_argument("--methods", nargs="+", default=CORE_SPIDER_METHODS[:4])
+    evaluate.add_argument("--metric", default="ex")
+    evaluate.add_argument("--log-db", default=None,
+                          help="path to a SQLite experiment log store")
+    evaluate.add_argument("--no-timing", action="store_true",
+                          help="skip VES timing for faster runs")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    search = sub.add_parser("search", help="run the NL2SQL360-AAS genetic search")
+    common(search)
+    search.add_argument("--backbone", default="gpt-3.5-turbo")
+    search.add_argument("--population", type=int, default=6)
+    search.add_argument("--generations", type=int, default=4)
+    search.add_argument("--swap", type=float, default=0.5)
+    search.add_argument("--mutate", type=float, default=0.2)
+    search.add_argument("--subset", type=int, default=50,
+                        help="dev examples used as the search fitness set")
+    search.set_defaults(func=_cmd_search)
+
+    stats = sub.add_parser("stats", help="print benchmark statistics")
+    common(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    explain = sub.add_parser("explain", help="explain a SQL query in English")
+    explain.add_argument("sql")
+    explain.set_defaults(func=_cmd_explain)
+
+    rewrite = sub.add_parser("rewrite", help="clarify an NL question")
+    common(rewrite)
+    rewrite.add_argument("question")
+    rewrite.add_argument("--db-id", default=None,
+                         help="database to resolve ambiguity against")
+    rewrite.set_defaults(func=_cmd_rewrite)
+
+    compare = sub.add_parser(
+        "compare", help="statistical comparison of two methods (McNemar + bootstrap)"
+    )
+    common(compare)
+    compare.add_argument("method_a")
+    compare.add_argument("method_b")
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""NL2SQL360 core: dataset filter, metrics, evaluator, logs, reports, AAS."""
+
+from repro.core.filter import DatasetFilter
+from repro.core.metrics import EvaluationRecord, MethodReport
+from repro.core.evaluator import Evaluator
+from repro.core.logs import ExperimentLogStore
+from repro.core.qvt import qvt_score
+from repro.core.economy import EconomyRow, economy_table
+from repro.core.report import format_leaderboard, format_table
+from repro.core.design_space import SearchSpace, random_config
+from repro.core.aas import AASConfig, AASResult, run_aas
+from repro.core.compare import Comparison, compare_methods
+from repro.core.dashboard import render_dashboard
+from repro.core.findings import FindingResult, check_all
+
+__all__ = [
+    "DatasetFilter",
+    "EvaluationRecord",
+    "MethodReport",
+    "Evaluator",
+    "ExperimentLogStore",
+    "qvt_score",
+    "EconomyRow",
+    "economy_table",
+    "format_leaderboard",
+    "format_table",
+    "SearchSpace",
+    "random_config",
+    "AASConfig",
+    "AASResult",
+    "run_aas",
+    "Comparison",
+    "compare_methods",
+    "render_dashboard",
+    "FindingResult",
+    "check_all",
+]

@@ -1,0 +1,176 @@
+"""NL2SQL360-AAS: automated architecture search over the design space.
+
+A standard genetic algorithm (paper §5.2, Figure 14):
+
+1. **Initialization** — N random individuals (module assignments).
+2. **Individual Selection** — a Russian-roulette process: parents are
+   sampled with probability proportional to their target metric, and the
+   worst performer of each generation is eliminated outright.
+3. **Module Swap** — two selected parents exchange whole layers with
+   probability ``p_swap`` per layer.
+4. **Module Mutation** — each layer re-rolls to a random module with
+   probability ``p_mutate``.
+
+Fitness is any :class:`MethodReport` metric (EX by default) on a chosen
+dataset split; evaluated individuals are cached by assignment so repeated
+genotypes cost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.evaluator import Evaluator
+from repro.core.design_space import SearchSpace
+from repro.datagen.benchmark import Example
+from repro.errors import DesignSpaceError
+from repro.methods.base import MethodGroup, PipelineMethod
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class AASConfig:
+    """Hyper-parameters of the search (paper defaults: N=10, T=20, 0.5/0.2)."""
+
+    population_size: int = 10
+    generations: int = 20
+    swap_probability: float = 0.5
+    mutation_probability: float = 0.2
+    metric: str = "ex"
+    seed: int = 7
+
+
+@dataclass
+class Individual:
+    """One genotype (layer assignment) with its measured fitness."""
+
+    assignment: dict[str, object]
+    fitness: float = 0.0
+
+    def key(self) -> tuple:
+        return tuple(sorted((k, str(v)) for k, v in self.assignment.items()))
+
+
+@dataclass
+class AASResult:
+    """Outcome of a search run."""
+
+    best: Individual
+    history: list[list[Individual]] = field(default_factory=list)
+    evaluations: int = 0
+
+    @property
+    def best_per_generation(self) -> list[float]:
+        return [max(ind.fitness for ind in gen) for gen in self.history]
+
+
+class _FitnessCache:
+    def __init__(self) -> None:
+        self._cache: dict[tuple, float] = {}
+
+    def get(self, individual: Individual) -> float | None:
+        return self._cache.get(individual.key())
+
+    def put(self, individual: Individual, fitness: float) -> None:
+        self._cache[individual.key()] = fitness
+
+
+def _evaluate(
+    individual: Individual,
+    space: SearchSpace,
+    evaluator: Evaluator,
+    examples: list[Example],
+    metric: str,
+    cache: _FitnessCache,
+    counter: list[int],
+    index: int,
+) -> float:
+    cached = cache.get(individual)
+    if cached is not None:
+        return cached
+    config = space.to_config(f"aas-{index}", individual.assignment)
+    method = PipelineMethod(config, MethodGroup.HYBRID)
+    report = evaluator.evaluate_method(method, examples=examples)
+    fitness = float(getattr(report, metric))
+    cache.put(individual, fitness)
+    counter[0] += 1
+    return fitness
+
+
+def _roulette_pick(population: list[Individual], rng) -> Individual:
+    total = sum(max(ind.fitness, 1e-6) for ind in population)
+    threshold = rng.random() * total
+    cumulative = 0.0
+    for individual in population:
+        cumulative += max(individual.fitness, 1e-6)
+        if cumulative >= threshold:
+            return individual
+    return population[-1]
+
+
+def run_aas(
+    space: SearchSpace,
+    evaluator: Evaluator,
+    examples: list[Example],
+    config: AASConfig | None = None,
+) -> AASResult:
+    """Run the genetic search and return the best individual found.
+
+    Raises:
+        DesignSpaceError: on degenerate configurations.
+    """
+    config = config or AASConfig()
+    if config.population_size < 2:
+        raise DesignSpaceError("population size must be at least 2")
+    rng = derive_rng(config.seed, "aas")
+    cache = _FitnessCache()
+    counter = [0]
+
+    # Step 1: initialization.
+    population = [
+        Individual(assignment=space.random_assignment(rng))
+        for __ in range(config.population_size)
+    ]
+    for i, individual in enumerate(population):
+        individual.fitness = _evaluate(
+            individual, space, evaluator, examples, config.metric, cache, counter, i
+        )
+
+    history = [list(population)]
+    for generation in range(config.generations):
+        # Russian roulette: eliminate the worst performer outright.
+        survivors = sorted(population, key=lambda ind: ind.fitness, reverse=True)
+        survivors = survivors[:-1] if len(survivors) > 2 else survivors
+
+        next_population: list[Individual] = []
+        while len(next_population) < config.population_size:
+            parent_a = _roulette_pick(survivors, rng)
+            parent_b = _roulette_pick(survivors, rng)
+            child_a = dict(parent_a.assignment)
+            child_b = dict(parent_b.assignment)
+            # Step 3: module swap.
+            for layer in space.layer_names():
+                if rng.random() < config.swap_probability:
+                    child_a[layer], child_b[layer] = child_b[layer], child_a[layer]
+            # Step 4: module mutation.
+            for child in (child_a, child_b):
+                for layer, choices in space.layers.items():
+                    if rng.random() < config.mutation_probability:
+                        child[layer] = choices[rng.randrange(len(choices))]
+            next_population.append(Individual(assignment=child_a))
+            if len(next_population) < config.population_size:
+                next_population.append(Individual(assignment=child_b))
+
+        population = next_population
+        for i, individual in enumerate(population):
+            individual.fitness = _evaluate(
+                individual, space, evaluator, examples, config.metric, cache, counter,
+                generation * config.population_size + i,
+            )
+        history.append(list(population))
+
+    best = max(
+        (ind for generation in history for ind in generation),
+        key=lambda ind: ind.fitness,
+    )
+    return AASResult(best=best, history=history, evaluations=counter[0])

@@ -1,0 +1,126 @@
+"""Statistical comparison of two methods' EX outcomes.
+
+Leaderboard gaps of a point or two are often noise; this module gives the
+testbed proper paired tests over shared examples:
+
+* :func:`mcnemar_test` — the exact binomial McNemar test on the
+  discordant pairs (method A right / B wrong vs A wrong / B right);
+* :func:`bootstrap_diff_ci` — a paired bootstrap confidence interval for
+  the EX difference;
+* :func:`compare_methods` — both at once, with a verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.metrics import MethodReport
+from repro.errors import EvaluationError
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of a paired comparison between two methods."""
+
+    method_a: str
+    method_b: str
+    n: int
+    ex_a: float
+    ex_b: float
+    a_only: int              # examples only A solves
+    b_only: int              # examples only B solves
+    p_value: float           # exact McNemar
+    diff_ci_low: float       # bootstrap 95% CI for (EX_a - EX_b)
+    diff_ci_high: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < 0.05
+
+    def verdict(self) -> str:
+        if not self.significant:
+            return (
+                f"no significant difference between {self.method_a} and "
+                f"{self.method_b} (p={self.p_value:.3f})"
+            )
+        winner = self.method_a if self.ex_a > self.ex_b else self.method_b
+        return f"{winner} is significantly better (p={self.p_value:.3f})"
+
+
+def _paired_outcomes(
+    report_a: MethodReport, report_b: MethodReport
+) -> list[tuple[bool, bool]]:
+    outcomes_b = {record.example_id: record.ex for record in report_b.records}
+    pairs = [
+        (record.ex, outcomes_b[record.example_id])
+        for record in report_a.records
+        if record.example_id in outcomes_b
+    ]
+    if not pairs:
+        raise EvaluationError("the two reports share no examples")
+    return pairs
+
+
+def mcnemar_test(report_a: MethodReport, report_b: MethodReport) -> tuple[int, int, float]:
+    """Exact McNemar test; returns (a_only, b_only, two-sided p-value)."""
+    pairs = _paired_outcomes(report_a, report_b)
+    a_only = sum(1 for a, b in pairs if a and not b)
+    b_only = sum(1 for a, b in pairs if b and not a)
+    n = a_only + b_only
+    if n == 0:
+        return a_only, b_only, 1.0
+    k = min(a_only, b_only)
+    # Two-sided exact binomial tail under p=1/2.
+    tail = sum(math.comb(n, i) for i in range(0, k + 1)) / 2**n
+    p_value = min(1.0, 2.0 * tail)
+    return a_only, b_only, p_value
+
+
+def bootstrap_diff_ci(
+    report_a: MethodReport,
+    report_b: MethodReport,
+    iterations: int = 2000,
+    seed: int = 13,
+) -> tuple[float, float]:
+    """Paired bootstrap 95% CI for EX(a) - EX(b), in percentage points."""
+    pairs = _paired_outcomes(report_a, report_b)
+    rng = derive_rng(seed, "bootstrap", report_a.method, report_b.method)
+    n = len(pairs)
+    diffs = []
+    for __ in range(iterations):
+        total = 0
+        for __ in range(n):
+            a, b = pairs[rng.randrange(n)]
+            total += int(a) - int(b)
+        diffs.append(100.0 * total / n)
+    diffs.sort()
+    low = diffs[int(0.025 * iterations)]
+    high = diffs[min(int(0.975 * iterations), iterations - 1)]
+    return low, high
+
+
+def compare_methods(
+    report_a: MethodReport,
+    report_b: MethodReport,
+    iterations: int = 2000,
+) -> Comparison:
+    """Full paired comparison (McNemar + bootstrap CI)."""
+    pairs = _paired_outcomes(report_a, report_b)
+    a_only, b_only, p_value = mcnemar_test(report_a, report_b)
+    ci_low, ci_high = bootstrap_diff_ci(report_a, report_b, iterations=iterations)
+    ex_a = 100.0 * sum(1 for a, __ in pairs if a) / len(pairs)
+    ex_b = 100.0 * sum(1 for __, b in pairs if b) / len(pairs)
+    return Comparison(
+        method_a=report_a.method,
+        method_b=report_b.method,
+        n=len(pairs),
+        ex_a=round(ex_a, 2),
+        ex_b=round(ex_b, 2),
+        a_only=a_only,
+        b_only=b_only,
+        p_value=p_value,
+        diff_ci_low=round(ci_low, 2),
+        diff_ci_high=round(ci_high, 2),
+    )

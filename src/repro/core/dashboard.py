@@ -1,0 +1,100 @@
+"""Text dashboard: the testbed's interactive-analysis view, in plain text.
+
+``render_dashboard`` composes, for a set of evaluated methods, the views
+the paper's analysis module exposes: the leaderboard, per-hardness
+breakdown, per-characteristic breakdown, per-domain extremes, and the
+economy block — one call, one printable report.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import MethodReport
+from repro.core.qvt import qvt_score
+from repro.core.report import format_leaderboard, format_table
+
+_CHARACTERISTICS = {
+    "subquery": lambda r: r.has_subquery,
+    "join": lambda r: r.has_join,
+    "connector": lambda r: r.has_logical_connector,
+    "order by": lambda r: r.has_order_by,
+}
+
+
+def _hardness_block(reports: dict[str, MethodReport]) -> str:
+    rows = []
+    for name, report in reports.items():
+        rows.append([
+            name,
+            *(f"{report.by_hardness(level).ex:.1f}"
+              for level in ("easy", "medium", "hard", "extra")),
+            f"{report.ex:.1f}",
+        ])
+    return format_table(
+        ["Method", "Easy", "Medium", "Hard", "Extra", "All"],
+        rows,
+        title="EX by SQL hardness",
+    )
+
+
+def _characteristics_block(reports: dict[str, MethodReport]) -> str:
+    rows = []
+    for name, report in reports.items():
+        row = [name]
+        for predicate in _CHARACTERISTICS.values():
+            subset = report.subset(predicate)
+            row.append(f"{subset.ex:.1f}" if len(subset) else "n/a")
+        rows.append(row)
+    return format_table(
+        ["Method", *(_CHARACTERISTICS.keys())],
+        rows,
+        title="EX on characteristic subsets (with-feature only)",
+    )
+
+
+def _domain_block(reports: dict[str, MethodReport]) -> str:
+    rows = []
+    for name, report in reports.items():
+        domains = sorted({r.domain for r in report.records})
+        scored = [(report.by_domain(d).ex, d) for d in domains]
+        if not scored:
+            continue
+        best_ex, best_domain = max(scored)
+        worst_ex, worst_domain = min(scored)
+        rows.append([
+            name,
+            f"{best_domain} ({best_ex:.0f})",
+            f"{worst_domain} ({worst_ex:.0f})",
+        ])
+    return format_table(
+        ["Method", "Best domain", "Worst domain"],
+        rows,
+        title="Domain extremes",
+    )
+
+
+def _economy_block(reports: dict[str, MethodReport]) -> str:
+    rows = [
+        [name, f"{report.avg_tokens:.0f}", f"{report.avg_cost:.4f}",
+         f"{report.avg_latency:.2f}", f"{qvt_score(report):.1f}"]
+        for name, report in reports.items()
+    ]
+    return format_table(
+        ["Method", "Tok/q", "$/q", "Latency (s)", "QVT"],
+        rows,
+        title="Economy and robustness",
+    )
+
+
+def render_dashboard(reports: dict[str, MethodReport], title: str = "NL2SQL360") -> str:
+    """Render the full multi-view dashboard as one printable string."""
+    if not reports:
+        raise ValueError("dashboard requires at least one evaluated method")
+    sections = [
+        f"==== {title} dashboard ({len(reports)} methods) ====",
+        format_leaderboard(reports, metric="ex", title="Leaderboard (EX)"),
+        _hardness_block(reports),
+        _characteristics_block(reports),
+        _domain_block(reports),
+        _economy_block(reports),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,67 @@
+"""The NL2SQL design space and random individual sampling (paper Fig. 13/14).
+
+The :class:`SearchSpace` mirrors the paper's case-study setup (§5.3): the
+backbone is fixed (GPT-3.5 during search, to save cost), decoding is
+fixed to greedy (API models expose no decoder control), prompting uses
+DAIL-SQL's similarity few-shot module when enabled, and the searchable
+layers are pre-processing (schema linking, DB contents), the generation
+strategy (multi-step, intermediate representation), and post-processing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.modules.base import PipelineConfig
+
+# Layer name -> candidate module values, matching Figure 13.
+DEFAULT_LAYERS: dict[str, tuple] = {
+    "schema_linking": (None, "resdsql", "c3"),
+    "db_content": (None, "bridge", "codes"),
+    "prompting": ("zero_shot", "similarity_fewshot"),
+    "multi_step": (None, "decompose"),
+    "intermediate": (None, "natsql"),
+    "post_processing": (None, "self_correction", "self_consistency"),
+}
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """A configurable design space for NL2SQL360-AAS."""
+
+    backbone: str = "gpt-3.5-turbo"
+    layers: dict[str, tuple] = field(default_factory=lambda: dict(DEFAULT_LAYERS))
+    few_shot_k: int = 5
+    decoding: str = "greedy"
+
+    def layer_names(self) -> list[str]:
+        return list(self.layers)
+
+    def to_config(self, name: str, assignment: dict[str, object]) -> PipelineConfig:
+        """Materialize a layer assignment into a runnable pipeline config."""
+        prompting = str(assignment.get("prompting", "zero_shot"))
+        return PipelineConfig(
+            name=name,
+            backbone=self.backbone,
+            schema_linking=assignment.get("schema_linking"),  # type: ignore[arg-type]
+            db_content=assignment.get("db_content"),  # type: ignore[arg-type]
+            prompting=prompting,
+            few_shot_k=self.few_shot_k if prompting != "zero_shot" else 0,
+            multi_step=assignment.get("multi_step"),  # type: ignore[arg-type]
+            intermediate=assignment.get("intermediate"),  # type: ignore[arg-type]
+            decoding=self.decoding,
+            post_processing=assignment.get("post_processing"),  # type: ignore[arg-type]
+        )
+
+    def random_assignment(self, rng: random.Random) -> dict[str, object]:
+        """Uniformly sample one module per layer."""
+        return {
+            layer: choices[rng.randrange(len(choices))]
+            for layer, choices in self.layers.items()
+        }
+
+
+def random_config(space: SearchSpace, rng: random.Random, name: str) -> PipelineConfig:
+    """Sample one random individual from ``space``."""
+    return space.to_config(name, space.random_assignment(rng))

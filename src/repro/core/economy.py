@@ -1,0 +1,55 @@
+"""LLM economy accounting — the paper's Table 5 (Exp-6).
+
+For each prompt-based method: average tokens per query, average dollar
+cost per query, EX, and the EX / average-cost cost-effectiveness ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import MethodReport
+
+
+@dataclass(frozen=True)
+class EconomyRow:
+    """One Table 5 row for one method on one dataset."""
+
+    method: str
+    backbone: str
+    avg_tokens: float
+    avg_cost: float
+    ex: float
+
+    @property
+    def ex_per_cost(self) -> float:
+        if self.avg_cost <= 0:
+            return float("inf")
+        return self.ex / self.avg_cost
+
+
+def economy_table(
+    reports: dict[str, MethodReport],
+    backbones: dict[str, str] | None = None,
+) -> list[EconomyRow]:
+    """Build Table 5 rows from method reports (sorted by method name)."""
+    rows = []
+    for name in sorted(reports):
+        report = reports[name]
+        rows.append(
+            EconomyRow(
+                method=name,
+                backbone=(backbones or {}).get(name, ""),
+                avg_tokens=round(report.avg_tokens, 1),
+                avg_cost=round(report.avg_cost, 6),
+                ex=round(report.ex, 2),
+            )
+        )
+    return rows
+
+
+def most_cost_effective(rows: list[EconomyRow]) -> EconomyRow:
+    """The row with the best EX / cost ratio (paper Finding 9)."""
+    if not rows:
+        raise ValueError("no economy rows")
+    return max(rows, key=lambda row: row.ex_per_cost)

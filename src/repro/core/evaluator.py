@@ -1,0 +1,137 @@
+"""The NL2SQL360 Evaluator: run methods over benchmarks, produce reports.
+
+The evaluator executes gold and predicted SQL against the live SQLite
+databases (caching gold executions), computes EX with Spider's
+order-sensitivity rule, EM with Spider's component comparison, and times
+executions for VES.  Every record can be persisted to the SQLite-backed
+:class:`~repro.core.logs.ExperimentLogStore` for later analysis.
+"""
+
+from __future__ import annotations
+
+from repro.core.logs import ExperimentLogStore
+from repro.core.metrics import EvaluationRecord, MethodReport
+from repro.datagen.benchmark import Dataset, Example
+from repro.dbengine.executor import ExecutionResult, execute_sql, results_match
+from repro.dbengine.timing import timed_execute
+from repro.methods.base import NL2SQLMethod
+from repro.sqlkit.exact_match import exact_match
+from repro.sqlkit.features import extract_features
+
+
+class Evaluator:
+    """Evaluates methods against one benchmark dataset."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        log_store: ExperimentLogStore | None = None,
+        timing_repeats: int = 1,
+        measure_timing: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.log_store = log_store
+        self.timing_repeats = timing_repeats
+        self.measure_timing = measure_timing
+        self._gold_cache: dict[str, tuple[ExecutionResult, float]] = {}
+        self._feature_cache: dict[str, object] = {}
+
+    # -- internals ----------------------------------------------------------
+
+    def _gold_execution(self, example: Example) -> tuple[ExecutionResult, float]:
+        key = f"{example.db_id}::{example.gold_sql}"
+        if key not in self._gold_cache:
+            database = self.dataset.database(example.db_id)
+            if self.measure_timing:
+                timed = timed_execute(
+                    database, example.gold_sql, repeats=self.timing_repeats
+                )
+                self._gold_cache[key] = (timed.result, timed.seconds)
+            else:
+                result = execute_sql(database, example.gold_sql)
+                self._gold_cache[key] = (result, 1e-4)
+        return self._gold_cache[key]
+
+    def _features(self, gold_sql: str):
+        if gold_sql not in self._feature_cache:
+            self._feature_cache[gold_sql] = extract_features(gold_sql)
+        return self._feature_cache[gold_sql]
+
+    def evaluate_example(self, method: NL2SQLMethod, example: Example) -> EvaluationRecord:
+        """Run ``method`` on one example and score it."""
+        database = self.dataset.database(example.db_id)
+        prediction = method.predict(example, database)
+        gold_result, gold_seconds = self._gold_execution(example)
+        features = self._features(example.gold_sql)
+
+        if self.measure_timing:
+            predicted_timed = timed_execute(
+                database, prediction.sql, repeats=self.timing_repeats
+            )
+            predicted_result = predicted_timed.result
+            predicted_seconds = predicted_timed.seconds
+        else:
+            predicted_result = execute_sql(database, prediction.sql)
+            predicted_seconds = 1e-4
+
+        ex = results_match(
+            predicted_result, gold_result, order_matters=features.has_order_by
+        )
+        em = exact_match(prediction.sql, example.gold_sql)
+        return EvaluationRecord(
+            method=method.name,
+            example_id=example.example_id,
+            db_id=example.db_id,
+            domain=example.domain,
+            question=example.question,
+            gold_sql=example.gold_sql,
+            predicted_sql=prediction.sql,
+            hardness=example.hardness,
+            bird_difficulty=example.bird_difficulty,
+            variant_group=example.variant_group,
+            variant_style=example.variant_style,
+            ex=ex,
+            em=em,
+            gold_seconds=gold_seconds,
+            predicted_seconds=predicted_seconds,
+            input_tokens=prediction.input_tokens,
+            output_tokens=prediction.output_tokens,
+            cost_usd=prediction.cost_usd,
+            latency_s=prediction.latency_s,
+            has_join=features.has_join,
+            has_subquery=features.has_subquery,
+            has_logical_connector=features.has_logical_connector,
+            has_order_by=features.has_order_by,
+        )
+
+    # -- public API --------------------------------------------------------------
+
+    def evaluate_method(
+        self,
+        method: NL2SQLMethod,
+        examples: list[Example] | None = None,
+        split: str = "dev",
+        prepare: bool = True,
+    ) -> MethodReport:
+        """Evaluate ``method`` on ``examples`` (default: the dev split)."""
+        if prepare:
+            method.prepare(self.dataset)
+        examples = examples if examples is not None else self.dataset.split(split)
+        report = MethodReport(method=method.name)
+        for example in examples:
+            report.records.append(self.evaluate_example(method, example))
+        if self.log_store is not None:
+            self.log_store.store_records(self.dataset.name, report.records)
+        return report
+
+    def evaluate_zoo(
+        self,
+        methods: list[NL2SQLMethod],
+        examples: list[Example] | None = None,
+        split: str = "dev",
+    ) -> dict[str, MethodReport]:
+        """Evaluate several methods; returns name -> report."""
+        return {
+            method.name: self.evaluate_method(method, examples=examples, split=split)
+            for method in methods
+        }

@@ -1,0 +1,140 @@
+"""Dataset Filter: NL2SQL360's scenario-based subset selection (paper §3).
+
+The four built-in scenarios:
+
+1. **SQL Complexity** — Spider hardness levels (easy/medium/hard/extra)
+   or BIRD difficulty (simple/moderate/challenging).
+2. **SQL Characteristics** — presence/absence of subqueries, logical
+   connectors, JOINs, ORDER BY (and any custom feature predicate).
+3. **Data Domains** — the 33-domain classification.
+4. **Query Variance** — groups of NL variants sharing one gold SQL.
+
+Filters compose fluently and lazily::
+
+    subset = (DatasetFilter(examples)
+              .with_join()
+              .hardness("hard", "extra")
+              .domain("movies"))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.datagen.benchmark import Example
+from repro.sqlkit.features import SQLFeatures, extract_features
+from repro.sqlkit.hardness import BirdDifficulty, Hardness
+
+
+class DatasetFilter:
+    """A lazily-composed filter over benchmark examples."""
+
+    def __init__(self, examples: Iterable[Example]) -> None:
+        self._examples = list(examples)
+        self._feature_cache: dict[str, SQLFeatures] = {}
+
+    # -- core -------------------------------------------------------------
+
+    def examples(self) -> list[Example]:
+        """Materialize the current subset."""
+        return list(self._examples)
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def __iter__(self):
+        return iter(self._examples)
+
+    def features_of(self, example: Example) -> SQLFeatures:
+        """Gold-SQL features (cached per gold SQL)."""
+        if example.gold_sql not in self._feature_cache:
+            self._feature_cache[example.gold_sql] = extract_features(example.gold_sql)
+        return self._feature_cache[example.gold_sql]
+
+    def where(self, predicate: Callable[[Example], bool]) -> "DatasetFilter":
+        """Custom predicate filter."""
+        child = DatasetFilter(e for e in self._examples if predicate(e))
+        child._feature_cache = self._feature_cache
+        return child
+
+    def where_features(
+        self, predicate: Callable[[SQLFeatures], bool]
+    ) -> "DatasetFilter":
+        """Custom predicate over gold-SQL features."""
+        return self.where(lambda e: predicate(self.features_of(e)))
+
+    # -- Scenario 1: complexity ----------------------------------------------
+
+    def hardness(self, *levels: str | Hardness) -> "DatasetFilter":
+        wanted = {Hardness(level) for level in levels}
+        return self.where(lambda e: e.hardness in wanted)
+
+    def bird_difficulty(self, *levels: str | BirdDifficulty) -> "DatasetFilter":
+        wanted = {BirdDifficulty(level) for level in levels}
+        return self.where(lambda e: e.bird_difficulty in wanted)
+
+    # -- Scenario 2: SQL characteristics ---------------------------------------
+
+    def with_subquery(self) -> "DatasetFilter":
+        return self.where_features(lambda f: f.has_subquery)
+
+    def without_subquery(self) -> "DatasetFilter":
+        return self.where_features(lambda f: not f.has_subquery)
+
+    def with_join(self) -> "DatasetFilter":
+        return self.where_features(lambda f: f.has_join)
+
+    def without_join(self) -> "DatasetFilter":
+        return self.where_features(lambda f: not f.has_join)
+
+    def with_logical_connector(self) -> "DatasetFilter":
+        return self.where_features(lambda f: f.has_logical_connector)
+
+    def without_logical_connector(self) -> "DatasetFilter":
+        return self.where_features(lambda f: not f.has_logical_connector)
+
+    def with_order_by(self) -> "DatasetFilter":
+        return self.where_features(lambda f: f.has_order_by)
+
+    def without_order_by(self) -> "DatasetFilter":
+        return self.where_features(lambda f: not f.has_order_by)
+
+    def with_keyword(self, keyword: str) -> "DatasetFilter":
+        """Filter by any SQL keyword the feature extractor records."""
+        lowered = keyword.lower()
+        return self.where_features(lambda f: lowered in f.keywords)
+
+    def characteristic(self, name: str, present: bool = True) -> "DatasetFilter":
+        """Named characteristic filter (the paper's four axes)."""
+        table = {
+            "subquery": (self.with_subquery, self.without_subquery),
+            "join": (self.with_join, self.without_join),
+            "logical_connector": (
+                self.with_logical_connector, self.without_logical_connector
+            ),
+            "order_by": (self.with_order_by, self.without_order_by),
+        }
+        with_fn, without_fn = table[name]
+        return with_fn() if present else without_fn()
+
+    # -- Scenario 3: domains --------------------------------------------------
+
+    def domain(self, *domains: str) -> "DatasetFilter":
+        wanted = {domain.lower() for domain in domains}
+        return self.where(lambda e: e.domain.lower() in wanted)
+
+    def domains_present(self) -> list[str]:
+        return sorted({e.domain for e in self._examples})
+
+    # -- Scenario 4: query variance --------------------------------------------
+
+    def variant_groups(self, min_size: int = 2) -> dict[str, list[Example]]:
+        """Groups of NL variants sharing a gold SQL, of at least ``min_size``."""
+        groups: dict[str, list[Example]] = {}
+        for example in self._examples:
+            groups.setdefault(example.variant_group, []).append(example)
+        return {k: v for k, v in groups.items() if len(v) >= min_size}
+
+    def canonical_only(self) -> "DatasetFilter":
+        """Keep one canonical phrasing per gold SQL (drop variants)."""
+        return self.where(lambda e: e.variant_style == "canonical")

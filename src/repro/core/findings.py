@@ -1,0 +1,207 @@
+"""Programmatic checks of the paper's twelve findings.
+
+Each function takes evaluation artifacts (method reports, sweep curves)
+and returns a :class:`FindingResult` stating whether the corresponding
+finding holds on this data, with the supporting numbers.  The benchmark
+harness asserts shapes table-by-table; this module offers the same checks
+as a user-facing API — e.g. to validate a *new* benchmark against the
+paper's conclusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import MethodReport
+from repro.core.qvt import qvt_score
+from repro.methods.base import MethodGroup
+
+
+@dataclass(frozen=True)
+class FindingResult:
+    """Outcome of one finding check."""
+
+    finding: int
+    title: str
+    holds: bool
+    evidence: dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _group_reports(
+    reports: dict[str, MethodReport],
+    groups: dict[str, MethodGroup],
+    group: MethodGroup,
+) -> list[MethodReport]:
+    return [report for name, report in reports.items() if groups.get(name) == group]
+
+
+def _best(reports: list[MethodReport], metric: str) -> float:
+    if not reports:
+        return 0.0
+    return max(getattr(report, metric) for report in reports)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def check_finding_1(
+    reports: dict[str, MethodReport], groups: dict[str, MethodGroup]
+) -> FindingResult:
+    """Fine-tuning is essential: FT LLMs best EX overall; PLMs best EM."""
+    prompt = _group_reports(reports, groups, MethodGroup.PROMPT_LLM)
+    finetuned = _group_reports(reports, groups, MethodGroup.FINETUNED_LLM)
+    plm = _group_reports(reports, groups, MethodGroup.PLM)
+    best_ft_ex = _best(finetuned, "ex")
+    best_prompt_em = _best(prompt, "em")
+    best_tuned_em = max(_best(finetuned, "em"), _best(plm, "em"))
+    holds = best_ft_ex >= _best(prompt, "ex") - 3.0 and best_tuned_em > best_prompt_em
+    return FindingResult(
+        1, "Fine-tuning is essential (FT strong on EX, tuned models lead EM)",
+        holds,
+        {"best_ft_ex": best_ft_ex, "best_prompt_em": best_prompt_em,
+         "best_tuned_em": best_tuned_em},
+    )
+
+
+def check_finding_2(
+    reports: dict[str, MethodReport], groups: dict[str, MethodGroup]
+) -> FindingResult:
+    """With subqueries, LLM-based methods beat PLM-based methods."""
+    def subquery_ex(group: MethodGroup) -> float:
+        return _mean([
+            report.subset(lambda r: r.has_subquery).ex
+            for report in _group_reports(reports, groups, group)
+            if len(report.subset(lambda r: r.has_subquery))
+        ])
+    llm = max(subquery_ex(MethodGroup.PROMPT_LLM), subquery_ex(MethodGroup.FINETUNED_LLM))
+    plm = subquery_ex(MethodGroup.PLM)
+    return FindingResult(
+        2, "LLM-based methods lead on subqueries", llm > plm - 2.0,
+        {"llm_subquery_ex": llm, "plm_subquery_ex": plm},
+    )
+
+
+def check_finding_3(
+    reports: dict[str, MethodReport], groups: dict[str, MethodGroup]
+) -> FindingResult:
+    """With logical connectors, LLM-based methods lead."""
+    def connector_ex(group: MethodGroup) -> float:
+        return _mean([
+            report.subset(lambda r: r.has_logical_connector).ex
+            for report in _group_reports(reports, groups, group)
+            if len(report.subset(lambda r: r.has_logical_connector))
+        ])
+    llm = max(connector_ex(MethodGroup.PROMPT_LLM), connector_ex(MethodGroup.FINETUNED_LLM))
+    plm = connector_ex(MethodGroup.PLM)
+    return FindingResult(
+        3, "LLM-based methods lead on logical connectors", llm > plm - 2.0,
+        {"llm_connector_ex": llm, "plm_connector_ex": plm},
+    )
+
+
+def check_finding_4(
+    reports: dict[str, MethodReport], groups: dict[str, MethodGroup]
+) -> FindingResult:
+    """With JOINs, LLM-based methods lead; NatSQL variants help."""
+    def join_ex(group: MethodGroup) -> float:
+        return _mean([
+            report.subset(lambda r: r.has_join).ex
+            for report in _group_reports(reports, groups, group)
+            if len(report.subset(lambda r: r.has_join))
+        ])
+    llm = max(join_ex(MethodGroup.PROMPT_LLM), join_ex(MethodGroup.FINETUNED_LLM))
+    plm = join_ex(MethodGroup.PLM)
+    natsql_bonus = 0.0
+    if "RESDSQL-3B + NatSQL" in reports and "RESDSQL-3B" in reports:
+        natsql_bonus = (
+            reports["RESDSQL-3B + NatSQL"].subset(lambda r: r.has_join).ex
+            - reports["RESDSQL-3B"].subset(lambda r: r.has_join).ex
+        )
+    holds = llm > plm - 2.0 and natsql_bonus >= -3.0
+    return FindingResult(
+        4, "LLM-based methods lead on JOINs; NatSQL eases JOIN prediction",
+        holds,
+        {"llm_join_ex": llm, "plm_join_ex": plm, "natsql_join_gain": natsql_bonus},
+    )
+
+
+def check_finding_6(
+    reports: dict[str, MethodReport], groups: dict[str, MethodGroup]
+) -> FindingResult:
+    """No QVT winner between families; fine-tuning stabilizes QVT."""
+    def group_qvt(group: MethodGroup) -> float:
+        return _mean([
+            qvt_score(report)
+            for report in _group_reports(reports, groups, group)
+        ])
+    prompt = group_qvt(MethodGroup.PROMPT_LLM)
+    finetuned = group_qvt(MethodGroup.FINETUNED_LLM)
+    plm = group_qvt(MethodGroup.PLM)
+    tuned = max(finetuned, plm)
+    holds = tuned > prompt - 2.0 and abs(finetuned - plm) < 15.0
+    return FindingResult(
+        6, "Fine-tuning stabilizes QVT; no family-level QVT winner", holds,
+        {"prompt_qvt": prompt, "finetuned_llm_qvt": finetuned, "plm_qvt": plm},
+    )
+
+
+def check_finding_9(
+    reports: dict[str, MethodReport], gpt35_methods: list[str]
+) -> FindingResult:
+    """GPT-3.5 methods are the most cost-effective (EX per dollar)."""
+    ratios = {
+        name: report.ex_per_dollar
+        for name, report in reports.items()
+        if report.avg_cost > 0
+    }
+    if not ratios:
+        return FindingResult(9, "Cost-effectiveness", False, {})
+    best = max(ratios, key=ratios.get)
+    return FindingResult(
+        9, "GPT-3.5-based prompting is the most cost-effective",
+        best in gpt35_methods,
+        {f"ex_per_dollar::{name}": value for name, value in ratios.items()},
+    )
+
+
+def check_finding_12(curve: list[tuple[int, float]]) -> FindingResult:
+    """EX rises with training samples with diminishing returns."""
+    if len(curve) < 3:
+        return FindingResult(12, "Training-data scaling", False, {})
+    sizes = [size for size, __ in curve]
+    values = [value for __, value in curve]
+    rising = values[-1] > values[0]
+    early_gain = values[len(values) // 2] - values[0]
+    late_gain = values[-1] - values[len(values) // 2]
+    diminishing = early_gain >= late_gain - 2.0
+    return FindingResult(
+        12, "More training data helps with diminishing returns",
+        rising and diminishing,
+        {"first_ex": values[0], "mid_ex": values[len(values) // 2],
+         "last_ex": values[-1], "max_size": float(max(sizes))},
+    )
+
+
+def check_all(
+    reports: dict[str, MethodReport],
+    groups: dict[str, MethodGroup],
+    gpt35_methods: list[str] | None = None,
+    training_curve: list[tuple[int, float]] | None = None,
+) -> list[FindingResult]:
+    """Run every applicable finding check and return the results."""
+    results = [
+        check_finding_1(reports, groups),
+        check_finding_2(reports, groups),
+        check_finding_3(reports, groups),
+        check_finding_4(reports, groups),
+        check_finding_6(reports, groups),
+    ]
+    if gpt35_methods:
+        results.append(check_finding_9(reports, gpt35_methods))
+    if training_curve:
+        results.append(check_finding_12(training_curve))
+    return results

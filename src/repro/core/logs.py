@@ -1,0 +1,150 @@
+"""SQLite-backed experiment log store (the testbed's "Logs" component).
+
+Every evaluation record is persisted to a normalized schema so that the
+analysis module (and end users) can slice past runs with plain SQL —
+fitting, for a paper about SQL.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+from repro.core.metrics import EvaluationRecord, MethodReport
+from repro.sqlkit.hardness import BirdDifficulty, Hardness
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    dataset TEXT NOT NULL,
+    method TEXT NOT NULL,
+    created_at TEXT DEFAULT CURRENT_TIMESTAMP
+);
+CREATE TABLE IF NOT EXISTS records (
+    record_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id INTEGER NOT NULL REFERENCES runs(run_id),
+    example_id TEXT NOT NULL,
+    db_id TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    question TEXT NOT NULL,
+    gold_sql TEXT NOT NULL,
+    predicted_sql TEXT NOT NULL,
+    hardness TEXT NOT NULL,
+    bird_difficulty TEXT NOT NULL,
+    variant_group TEXT NOT NULL,
+    variant_style TEXT NOT NULL,
+    ex INTEGER NOT NULL,
+    em INTEGER NOT NULL,
+    gold_seconds REAL NOT NULL,
+    predicted_seconds REAL NOT NULL,
+    input_tokens INTEGER NOT NULL,
+    output_tokens INTEGER NOT NULL,
+    cost_usd REAL NOT NULL,
+    latency_s REAL NOT NULL,
+    has_join INTEGER NOT NULL,
+    has_subquery INTEGER NOT NULL,
+    has_logical_connector INTEGER NOT NULL,
+    has_order_by INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_records_run ON records(run_id);
+"""
+
+
+class ExperimentLogStore:
+    """Persists and reloads evaluation records."""
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.connection = sqlite3.connect(str(path))
+        self.connection.executescript(_SCHEMA)
+        self.connection.commit()
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "ExperimentLogStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writing ------------------------------------------------------------
+
+    def store_records(self, dataset: str, records: list[EvaluationRecord]) -> int:
+        """Store one run's records; returns the run id."""
+        if not records:
+            raise ValueError("cannot store an empty record list")
+        method = records[0].method
+        cursor = self.connection.execute(
+            "INSERT INTO runs (dataset, method) VALUES (?, ?)", (dataset, method)
+        )
+        run_id = cursor.lastrowid
+        rows = [
+            (
+                run_id, r.example_id, r.db_id, r.domain, r.question, r.gold_sql,
+                r.predicted_sql, r.hardness.value, r.bird_difficulty.value,
+                r.variant_group, r.variant_style, int(r.ex), int(r.em),
+                r.gold_seconds, r.predicted_seconds, r.input_tokens,
+                r.output_tokens, r.cost_usd, r.latency_s, int(r.has_join),
+                int(r.has_subquery), int(r.has_logical_connector),
+                int(r.has_order_by),
+            )
+            for r in records
+        ]
+        self.connection.executemany(
+            "INSERT INTO records (run_id, example_id, db_id, domain, question,"
+            " gold_sql, predicted_sql, hardness, bird_difficulty, variant_group,"
+            " variant_style, ex, em, gold_seconds, predicted_seconds,"
+            " input_tokens, output_tokens, cost_usd, latency_s, has_join,"
+            " has_subquery, has_logical_connector, has_order_by)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self.connection.commit()
+        return int(run_id)
+
+    # -- reading ---------------------------------------------------------------
+
+    def runs(self) -> list[tuple[int, str, str]]:
+        """All runs as (run_id, dataset, method)."""
+        cursor = self.connection.execute(
+            "SELECT run_id, dataset, method FROM runs ORDER BY run_id"
+        )
+        return [(int(r[0]), r[1], r[2]) for r in cursor.fetchall()]
+
+    def load_report(self, run_id: int) -> MethodReport:
+        """Reload a run's records into a :class:`MethodReport`."""
+        method_row = self.connection.execute(
+            "SELECT method FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if method_row is None:
+            raise KeyError(f"no run with id {run_id}")
+        cursor = self.connection.execute(
+            "SELECT example_id, db_id, domain, question, gold_sql, predicted_sql,"
+            " hardness, bird_difficulty, variant_group, variant_style, ex, em,"
+            " gold_seconds, predicted_seconds, input_tokens, output_tokens,"
+            " cost_usd, latency_s, has_join, has_subquery,"
+            " has_logical_connector, has_order_by"
+            " FROM records WHERE run_id = ? ORDER BY record_id",
+            (run_id,),
+        )
+        records = [
+            EvaluationRecord(
+                method=method_row[0],
+                example_id=row[0], db_id=row[1], domain=row[2], question=row[3],
+                gold_sql=row[4], predicted_sql=row[5],
+                hardness=Hardness(row[6]), bird_difficulty=BirdDifficulty(row[7]),
+                variant_group=row[8], variant_style=row[9],
+                ex=bool(row[10]), em=bool(row[11]),
+                gold_seconds=row[12], predicted_seconds=row[13],
+                input_tokens=row[14], output_tokens=row[15],
+                cost_usd=row[16], latency_s=row[17],
+                has_join=bool(row[18]), has_subquery=bool(row[19]),
+                has_logical_connector=bool(row[20]), has_order_by=bool(row[21]),
+            )
+            for row in cursor.fetchall()
+        ]
+        return MethodReport(method=method_row[0], records=records)
+
+    def query(self, sql: str, params: tuple = ()) -> list[tuple]:
+        """Run arbitrary read-only SQL over the log schema."""
+        return self.connection.execute(sql, params).fetchall()

@@ -1,0 +1,145 @@
+"""Evaluation records and metric aggregation.
+
+An :class:`EvaluationRecord` captures one (method, example) outcome with
+all per-example measurements; :class:`MethodReport` aggregates records
+into the paper's metrics: Execution Accuracy (EX), Exact Match (EM),
+Valid Efficiency Score (VES), token/cost economics, and latency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.sqlkit.hardness import BirdDifficulty, Hardness
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One method's outcome on one example."""
+
+    method: str
+    example_id: str
+    db_id: str
+    domain: str
+    question: str
+    gold_sql: str
+    predicted_sql: str
+    hardness: Hardness
+    bird_difficulty: BirdDifficulty
+    variant_group: str
+    variant_style: str
+    ex: bool
+    em: bool
+    gold_seconds: float = 0.0
+    predicted_seconds: float = 0.0
+    input_tokens: int = 0
+    output_tokens: int = 0
+    cost_usd: float = 0.0
+    latency_s: float = 0.0
+    has_join: bool = False
+    has_subquery: bool = False
+    has_logical_connector: bool = False
+    has_order_by: bool = False
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+    @property
+    def ves_weight(self) -> float:
+        """BIRD's per-example efficiency weight: sqrt(T_gold/T_pred) if correct."""
+        if not self.ex:
+            return 0.0
+        gold = max(self.gold_seconds, 1e-9)
+        predicted = max(self.predicted_seconds, 1e-9)
+        return math.sqrt(gold / predicted)
+
+
+@dataclass
+class MethodReport:
+    """Aggregated metrics for one method over a set of records."""
+
+    method: str
+    records: list[EvaluationRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- subset plumbing --------------------------------------------------
+
+    def subset(self, predicate: Callable[[EvaluationRecord], bool]) -> "MethodReport":
+        return MethodReport(
+            method=self.method,
+            records=[r for r in self.records if predicate(r)],
+        )
+
+    def by_hardness(self, level: str | Hardness) -> "MethodReport":
+        wanted = Hardness(level)
+        return self.subset(lambda r: r.hardness == wanted)
+
+    def by_bird_difficulty(self, level: str | BirdDifficulty) -> "MethodReport":
+        wanted = BirdDifficulty(level)
+        return self.subset(lambda r: r.bird_difficulty == wanted)
+
+    def by_domain(self, domain: str) -> "MethodReport":
+        return self.subset(lambda r: r.domain.lower() == domain.lower())
+
+    def by_example_ids(self, ids: Iterable[str]) -> "MethodReport":
+        wanted = set(ids)
+        return self.subset(lambda r: r.example_id in wanted)
+
+    # -- metrics ------------------------------------------------------------
+
+    def _mean(self, values: list[float]) -> float:
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    @property
+    def ex(self) -> float:
+        """Execution Accuracy in percent."""
+        return 100.0 * self._mean([1.0 if r.ex else 0.0 for r in self.records])
+
+    @property
+    def em(self) -> float:
+        """Exact Match Accuracy in percent."""
+        return 100.0 * self._mean([1.0 if r.em else 0.0 for r in self.records])
+
+    @property
+    def ves(self) -> float:
+        """Valid Efficiency Score (x100, as reported by BIRD)."""
+        return 100.0 * self._mean([r.ves_weight for r in self.records])
+
+    @property
+    def avg_tokens(self) -> float:
+        return self._mean([float(r.total_tokens) for r in self.records])
+
+    @property
+    def avg_cost(self) -> float:
+        return self._mean([r.cost_usd for r in self.records])
+
+    @property
+    def avg_latency(self) -> float:
+        return self._mean([r.latency_s for r in self.records])
+
+    @property
+    def ex_per_dollar(self) -> float:
+        """The paper's EX / Avg-Cost cost-effectiveness ratio."""
+        cost = self.avg_cost
+        if cost <= 0:
+            return float("inf")
+        return self.ex / cost
+
+    def summary(self) -> dict[str, float]:
+        """All headline metrics in one dict (used by logs and reports)."""
+        return {
+            "n": float(len(self.records)),
+            "ex": round(self.ex, 2),
+            "em": round(self.em, 2),
+            "ves": round(self.ves, 2),
+            "avg_tokens": round(self.avg_tokens, 1),
+            "avg_cost": round(self.avg_cost, 6),
+            "avg_latency": round(self.avg_latency, 3),
+        }

@@ -1,0 +1,42 @@
+"""Query Variance Testing (QVT) — the paper's Equation (1).
+
+Given a model's per-example EX outcomes, QVT averages, over all gold SQL
+queries with multiple NL phrasings, the fraction of phrasings the model
+answers correctly — *conditioned on the model answering at least one
+phrasing correctly* (the paper builds each model's QVT test set from the
+pairs where it solves at least one variant).
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import EvaluationRecord, MethodReport
+
+
+def qvt_score(
+    report: MethodReport,
+    min_variants: int = 2,
+    require_one_correct: bool = True,
+) -> float:
+    """QVT in percent per Equation (1) of the paper.
+
+    Args:
+        report: A method's evaluation records (dev split with variants).
+        min_variants: Only variant groups with at least this many NL
+            phrasings count (the paper uses SQLs with >= 2 variants).
+        require_one_correct: Apply the paper's inclusion rule (the group
+            enters the test set only if at least one phrasing is solved).
+    """
+    groups: dict[str, list[EvaluationRecord]] = {}
+    for record in report.records:
+        groups.setdefault(record.variant_group, []).append(record)
+    fractions: list[float] = []
+    for records in groups.values():
+        if len(records) < min_variants:
+            continue
+        correct = sum(1 for r in records if r.ex)
+        if require_one_correct and correct == 0:
+            continue
+        fractions.append(correct / len(records))
+    if not fractions:
+        return 0.0
+    return 100.0 * sum(fractions) / len(fractions)

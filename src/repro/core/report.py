@@ -1,0 +1,100 @@
+"""Report formatting: leaderboards, tables, and the Figure-2 timeline.
+
+The Evaluator's output renders into aligned text tables (the testbed's
+"easily interpretable formats like tables or leaderboards").  The module
+also carries the historical Spider-leaderboard records behind the paper's
+Figure 2 (PLM- vs LLM-based model evolution over time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import MethodReport
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_leaderboard(
+    reports: dict[str, MethodReport],
+    metric: str = "ex",
+    title: str = "Leaderboard",
+) -> str:
+    """Render a leaderboard sorted by ``metric`` (descending)."""
+    scored = sorted(
+        ((getattr(report, metric), name) for name, report in reports.items()),
+        reverse=True,
+    )
+    rows = [
+        [rank + 1, name, f"{score:.2f}"]
+        for rank, (score, name) in enumerate(scored)
+    ]
+    return format_table(["Rank", "Method", metric.upper()], rows, title=title)
+
+
+@dataclass(frozen=True)
+class LeaderboardEntry:
+    """One historical Spider-leaderboard submission (Figure 2)."""
+
+    model: str
+    date: str          # YYYY-MM
+    ex: float
+    kind: str          # "plm" | "llm"
+
+
+# Historical Spider test-set EX submissions, as plotted in Figure 2.
+SPIDER_LEADERBOARD_TIMELINE: list[LeaderboardEntry] = [
+    LeaderboardEntry("BRIDGE v2 + BERT", "2020-12", 68.3, "plm"),
+    LeaderboardEntry("SmBoP + GraPPa", "2021-05", 71.1, "plm"),
+    LeaderboardEntry("RATSQL + GAP + NatSQL", "2021-09", 73.3, "plm"),
+    LeaderboardEntry("T5-3B + PICARD", "2021-10", 75.1, "plm"),
+    LeaderboardEntry("RASAT + PICARD", "2022-05", 75.5, "plm"),
+    LeaderboardEntry("SHiP + PICARD", "2022-08", 76.6, "plm"),
+    LeaderboardEntry("N-best Rerankers + PICARD", "2022-10", 77.9, "plm"),
+    LeaderboardEntry("Graphix-3B + PICARD", "2023-01", 77.6, "plm"),
+    LeaderboardEntry("RESDSQL-3B + NatSQL", "2023-02", 79.9, "plm"),
+    LeaderboardEntry("DIN-SQL + CodeX", "2023-02", 78.2, "llm"),
+    LeaderboardEntry("C3 + ChatGPT", "2023-06", 82.3, "llm"),
+    LeaderboardEntry("DIN-SQL + GPT-4", "2023-04", 85.3, "llm"),
+    LeaderboardEntry("DAIL-SQL + GPT-4", "2023-08", 86.2, "llm"),
+    LeaderboardEntry("DAIL-SQL + GPT-4 + SC", "2023-08", 86.6, "llm"),
+    LeaderboardEntry("MiniSeek (anonymous)", "2023-11", 91.2, "llm"),
+]
+
+
+def leaderboard_timeline(kind: str | None = None) -> list[LeaderboardEntry]:
+    """Figure-2 data, optionally filtered to one model family."""
+    if kind is None:
+        return list(SPIDER_LEADERBOARD_TIMELINE)
+    return [entry for entry in SPIDER_LEADERBOARD_TIMELINE if entry.kind == kind]
+
+
+def timeline_series(kind: str) -> list[tuple[str, float]]:
+    """(date, best-so-far EX) series for one family — Figure 2's envelope."""
+    entries = sorted(leaderboard_timeline(kind), key=lambda e: e.date)
+    series: list[tuple[str, float]] = []
+    best = 0.0
+    for entry in entries:
+        best = max(best, entry.ex)
+        series.append((entry.date, best))
+    return series

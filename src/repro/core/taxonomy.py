@@ -1,0 +1,87 @@
+"""The NL2SQL evolutionary tree (paper Figure 1).
+
+Figure 1 surveys two decades of NL2SQL systems across four branches:
+rule-based, neural-network-based, PLM-based, and LLM-based.  This module
+carries that taxonomy as data — usable for timelines, grouping, and the
+Figure-2 era analysis — plus a small text renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemEntry:
+    """One system in the evolutionary tree."""
+
+    name: str
+    year: int
+    branch: str          # rule_based | neural_network | plm | llm
+    backbone: str = ""
+    note: str = ""
+
+
+BRANCHES = ("rule_based", "neural_network", "plm", "llm")
+
+EVOLUTIONARY_TREE: list[SystemEntry] = [
+    # Rule-based era.
+    SystemEntry("LUNAR", 1972, "rule_based", note="early NL database interface"),
+    SystemEntry("PRECISE", 2003, "rule_based", note="semantically tractable subset"),
+    SystemEntry("NaLIR", 2014, "rule_based", note="syntactic parse + handcrafted rules"),
+    SystemEntry("SQLizer", 2017, "rule_based", note="type-directed synthesis"),
+    # Neural-network era (seq2seq).
+    SystemEntry("Seq2SQL", 2017, "neural_network", note="RL over WikiSQL"),
+    SystemEntry("SQLNet", 2018, "neural_network", note="sketch-based slot filling"),
+    SystemEntry("TypeSQL", 2018, "neural_network", note="type-aware encoding"),
+    SystemEntry("IRNet", 2019, "neural_network", note="intermediate representation"),
+    # PLM era.
+    SystemEntry("RATSQL", 2020, "plm", "BERT", "relation-aware transformer"),
+    SystemEntry("BRIDGE v2", 2020, "plm", "BERT", "value anchoring"),
+    SystemEntry("SmBoP", 2021, "plm", "GraPPa", "bottom-up decoding"),
+    SystemEntry("T5+PICARD", 2021, "plm", "T5", "constrained decoding"),
+    SystemEntry("RASAT", 2022, "plm", "T5", "relational structures in seq2seq"),
+    SystemEntry("SHiP", 2022, "plm", "T5", "synthetic high-quality data"),
+    SystemEntry("Graphix-T5", 2023, "plm", "T5", "graph-aware layers"),
+    SystemEntry("RESDSQL", 2023, "plm", "T5", "decoupled linking and parsing"),
+    # LLM era.
+    SystemEntry("Codex zero-shot", 2022, "llm", "CodeX", "Rajkumar et al. probe"),
+    SystemEntry("DIN-SQL", 2023, "llm", "GPT-4", "decomposed in-context learning"),
+    SystemEntry("C3", 2023, "llm", "GPT-3.5", "zero-shot + calibration"),
+    SystemEntry("DAIL-SQL", 2023, "llm", "GPT-4", "similarity example selection"),
+    SystemEntry("MAC-SQL", 2023, "llm", "GPT-4", "multi-agent collaboration"),
+    SystemEntry("CodeS", 2024, "llm", "StarCoder", "incremental SQL pre-training"),
+    SystemEntry("SuperSQL", 2024, "llm", "GPT-4", "NL2SQL360-AAS searched hybrid"),
+]
+
+
+def systems_in_branch(branch: str) -> list[SystemEntry]:
+    """All systems of one branch, oldest first."""
+    return sorted(
+        (entry for entry in EVOLUTIONARY_TREE if entry.branch == branch),
+        key=lambda entry: entry.year,
+    )
+
+
+def era_span(branch: str) -> tuple[int, int]:
+    """(first year, last year) a branch is represented in the tree."""
+    years = [entry.year for entry in EVOLUTIONARY_TREE if entry.branch == branch]
+    return min(years), max(years)
+
+
+def render_tree() -> str:
+    """Render the evolutionary tree as indented text (Figure 1 analogue)."""
+    lines = ["NL2SQL evolutionary tree (paper Figure 1)"]
+    titles = {
+        "rule_based": "Rule-based methods",
+        "neural_network": "Neural-network methods",
+        "plm": "PLM-based methods",
+        "llm": "LLM-based methods",
+    }
+    for branch in BRANCHES:
+        first, last = era_span(branch)
+        lines.append(f"+- {titles[branch]} ({first}-{last})")
+        for entry in systems_in_branch(branch):
+            backbone = f" [{entry.backbone}]" if entry.backbone else ""
+            lines.append(f"|  {entry.year}  {entry.name}{backbone} - {entry.note}")
+    return "\n".join(lines)

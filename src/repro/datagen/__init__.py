@@ -1,0 +1,43 @@
+"""Synthetic benchmark generation: domains, schemas, values, SQL+NL pairs."""
+
+from repro.datagen.domains import DOMAIN_CATALOG, DomainSpec, get_domain
+from repro.datagen.schema_gen import generate_schema
+from repro.datagen.populate import populate_database
+from repro.datagen.intents import Aggregate, Filter, IntentShape, QueryIntent
+from repro.datagen.intent_gen import generate_intent
+from repro.datagen.sql_render import render_intent_sql
+from repro.datagen.nl_render import render_intent_nl
+from repro.datagen.paraphrase import paraphrase_question
+from repro.datagen.export import export_spider_format, load_spider_format
+from repro.datagen.benchmark import (
+    BenchmarkConfig,
+    bird_like_config,
+    build_benchmark,
+    kaggle_dbqa_config,
+    spider_like_config,
+    spider_realistic_config,
+)
+
+__all__ = [
+    "DOMAIN_CATALOG",
+    "DomainSpec",
+    "get_domain",
+    "generate_schema",
+    "populate_database",
+    "Aggregate",
+    "Filter",
+    "IntentShape",
+    "QueryIntent",
+    "generate_intent",
+    "render_intent_sql",
+    "render_intent_nl",
+    "paraphrase_question",
+    "export_spider_format",
+    "load_spider_format",
+    "BenchmarkConfig",
+    "bird_like_config",
+    "build_benchmark",
+    "kaggle_dbqa_config",
+    "spider_like_config",
+    "spider_realistic_config",
+]

@@ -1,0 +1,344 @@
+"""Catalog of 33 data domains for the synthetic benchmarks.
+
+The paper (Exp-4) classifies Spider's 140 training databases and 20 dev
+databases into 33 domains.  Each :class:`DomainSpec` names the entities of
+one domain — a primary entity, a secondary "owner" entity, a transactional
+"event" entity, and a categorical lookup — plus value vocabularies.  The
+schema generator composes these into databases with realistic FK
+structure, and the NL generator draws its nouns from the same vocabulary,
+so schema linking is a genuine (not table-lookup) problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DataGenerationError
+
+_FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "David", "Emma", "Frank", "Grace", "Henry",
+    "Irene", "Jack", "Karen", "Leo", "Maria", "Nathan", "Olivia", "Peter",
+    "Quinn", "Rachel", "Samuel", "Tina", "Ulysses", "Victor", "Wendy", "Xavier",
+]
+_LAST_NAMES = [
+    "Smith", "Johnson", "Lee", "Brown", "Garcia", "Miller", "Davis",
+    "Martinez", "Wilson", "Anderson", "Taylor", "Thomas", "Moore", "Clark",
+    "Lewis", "Walker", "Hall", "Young", "King", "Wright",
+]
+_CITIES = [
+    "Aberdeen", "Boston", "Chicago", "Denver", "Edinburgh", "Frankfurt",
+    "Geneva", "Houston", "Istanbul", "Jakarta", "Kyoto", "Lisbon", "Madrid",
+    "Nairobi", "Oslo", "Prague", "Quebec", "Rome", "Seattle", "Toronto",
+]
+_COUNTRIES = [
+    "USA", "UK", "France", "Germany", "Japan", "Brazil", "Canada", "Spain",
+    "Italy", "India", "China", "Australia", "Mexico", "Norway", "Egypt",
+]
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """Vocabulary of one data domain.
+
+    Attributes:
+        name: Domain label (e.g. ``movies``), used by Exp-4 filters.
+        primary: Main entity noun (singular), e.g. ``movie``.
+        secondary: Owner/creator entity, e.g. ``director``.
+        event: Transactional entity linking primary+secondary, e.g. ``screening``.
+        category: Categorical lookup entity, e.g. ``genre``.
+        category_values: Value pool for the category name column.
+        name_values: Value pool for primary-entity names.
+        extra_attributes: Domain-flavoured numeric/text attribute names.
+    """
+
+    name: str
+    primary: str
+    secondary: str
+    event: str
+    category: str
+    category_values: tuple[str, ...]
+    name_values: tuple[str, ...]
+    extra_attributes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def person_names(self) -> list[str]:
+        return [f"{first} {last}" for first in _FIRST_NAMES[:12] for last in _LAST_NAMES[:6]]
+
+    @property
+    def cities(self) -> list[str]:
+        return list(_CITIES)
+
+    @property
+    def countries(self) -> list[str]:
+        return list(_COUNTRIES)
+
+
+def _names(prefix: str, words: list[str]) -> tuple[str, ...]:
+    return tuple(f"{word} {prefix}".strip() for word in words)
+
+
+DOMAIN_CATALOG: dict[str, DomainSpec] = {}
+
+
+def _register(spec: DomainSpec) -> None:
+    if spec.name in DOMAIN_CATALOG:
+        raise DataGenerationError(f"duplicate domain {spec.name!r}")
+    DOMAIN_CATALOG[spec.name] = spec
+
+
+_register(DomainSpec(
+    "movies", "movie", "director", "screening", "genre",
+    ("Drama", "Comedy", "Action", "Horror", "Documentary", "Romance", "Thriller"),
+    ("Silent Dawn", "Iron Harbor", "Last Meridian", "Paper Skies", "Golden Hour",
+     "Night Circuit", "The Long Field", "Winter Atlas", "Crimson Tide", "Echo Park"),
+    ("budget", "box_office", "runtime", "rating"),
+))
+_register(DomainSpec(
+    "music", "album", "artist", "concert", "label",
+    ("Rock", "Jazz", "Pop", "Classical", "Hip Hop", "Electronic", "Folk"),
+    ("Blue Lines", "Night Drive", "Amber Waves", "Static Bloom", "Low Tide",
+     "Glass Animals", "Neon Youth", "Quiet Storm", "Wild Season", "Mirror City"),
+    ("sales", "duration", "chart_position", "rating"),
+))
+_register(DomainSpec(
+    "sports", "team", "coach", "match", "league",
+    ("Premier", "Championship", "Division One", "National", "Regional"),
+    ("Falcons", "Tigers", "Raptors", "Mariners", "Comets", "Wolves", "Chargers",
+     "Pioneers", "Hornets", "Titans"),
+    ("wins", "losses", "points", "attendance"),
+))
+_register(DomainSpec(
+    "competition", "contestant", "judge", "round", "category",
+    ("Vocal", "Dance", "Instrumental", "Drama", "Comedy Act"),
+    ("Star Quest", "Talent Cup", "Grand Prix", "Open Finals", "Youth Gala",
+     "Summer Clash", "Winter Trials", "City Showdown", "Royal Contest", "Apex Series"),
+    ("score", "votes", "rank", "prize_money"),
+))
+_register(DomainSpec(
+    "college", "student", "professor", "enrollment", "department",
+    ("Mathematics", "Physics", "History", "Biology", "Economics", "Literature",
+     "Computer Science"),
+    tuple(f"{first} {last}" for first, last in zip(_FIRST_NAMES, _LAST_NAMES)),
+    ("gpa", "credits", "age", "tuition"),
+))
+_register(DomainSpec(
+    "transportation", "route", "driver", "trip", "vehicle_type",
+    ("Bus", "Tram", "Metro", "Ferry", "Shuttle"),
+    ("North Loop", "Harbor Line", "Airport Express", "City Circle", "East Link",
+     "Hill Climb", "River Run", "Campus Hop", "Night Owl", "Coastal Way"),
+    ("distance", "duration", "fare", "capacity"),
+))
+_register(DomainSpec(
+    "flights", "flight", "pilot", "booking", "airline",
+    ("SkyWest", "AirBlue", "Transglobal", "Northern Air", "Pacific Wings"),
+    ("AB100", "AB205", "TG310", "NW415", "PW520", "SK625", "AB730", "TG835",
+     "NW940", "PW045"),
+    ("distance", "price", "duration", "capacity"),
+))
+_register(DomainSpec(
+    "restaurants", "restaurant", "chef", "reservation", "cuisine",
+    ("Italian", "Japanese", "Mexican", "French", "Indian", "Thai", "Greek"),
+    ("Olive Grove", "Sakura House", "Casa Verde", "Le Jardin", "Spice Route",
+     "Bamboo Garden", "The Anchor", "Salt and Stone", "Blue Door", "Ember"),
+    ("rating", "price_range", "seats", "revenue"),
+))
+_register(DomainSpec(
+    "hotels", "hotel", "manager", "stay", "brand",
+    ("Grand", "Plaza", "Comfort", "Boutique", "Resort"),
+    ("Seaside Inn", "Mountain Lodge", "City Central", "Royal Court", "The Birches",
+     "Harbor View", "Sunset Palms", "Garden Gate", "Stonebridge", "The Meridian"),
+    ("stars", "rooms", "price", "occupancy"),
+))
+_register(DomainSpec(
+    "healthcare", "patient", "physician", "appointment", "ward",
+    ("Cardiology", "Neurology", "Pediatrics", "Oncology", "Orthopedics"),
+    tuple(f"{first} {last}" for first, last in zip(_FIRST_NAMES[5:], _LAST_NAMES[5:])),
+    ("age", "weight", "visits", "bill"),
+))
+_register(DomainSpec(
+    "banking", "account", "customer", "transaction", "branch",
+    ("Downtown", "Westside", "Airport", "Harbor", "Central"),
+    ("ACC1001", "ACC1002", "ACC1003", "ACC1004", "ACC1005", "ACC1006",
+     "ACC1007", "ACC1008", "ACC1009", "ACC1010"),
+    ("balance", "interest_rate", "credit_limit", "age"),
+))
+_register(DomainSpec(
+    "retail", "product", "supplier", "order_item", "category",
+    ("Electronics", "Clothing", "Grocery", "Toys", "Furniture", "Sports Gear"),
+    ("Aurora Lamp", "Trail Backpack", "Nimbus Kettle", "Echo Speaker", "Atlas Desk",
+     "Brio Jacket", "Pulse Watch", "Vista Monitor", "Crate Shelf", "Zephyr Fan"),
+    ("price", "stock", "weight", "rating"),
+))
+_register(DomainSpec(
+    "insurance", "policy", "agent", "claim", "plan_type",
+    ("Auto", "Home", "Life", "Travel", "Health"),
+    ("POL2001", "POL2002", "POL2003", "POL2004", "POL2005", "POL2006",
+     "POL2007", "POL2008", "POL2009", "POL2010"),
+    ("premium", "coverage", "deductible", "age"),
+))
+_register(DomainSpec(
+    "library", "book", "author", "loan", "genre",
+    ("Fiction", "Biography", "Science", "Poetry", "History", "Mystery"),
+    ("The Glass Orchard", "River of Names", "A Minor Key", "Salt Meridian",
+     "The Cartographer", "Hollow Crown", "Ashes of June", "Tide Tables",
+     "The Ninth Door", "Letters Home"),
+    ("pages", "copies", "year", "rating"),
+))
+_register(DomainSpec(
+    "museums", "exhibit", "curator", "visit", "collection",
+    ("Modern Art", "Antiquities", "Natural History", "Photography", "Sculpture"),
+    ("Bronze Age Relics", "Impressionist Light", "Deep Sea Wonders",
+     "Desert Civilizations", "The Silk Road", "Arctic Life", "Masks of Oceania",
+     "Clockwork Century", "Painted Dynasties", "Stone and Sky"),
+    ("artifacts", "year", "insurance_value", "popularity"),
+))
+_register(DomainSpec(
+    "parks", "park", "ranger", "inspection", "park_type",
+    ("National", "State", "Urban", "Marine", "Forest"),
+    ("Cedar Hollow", "Eagle Ridge", "Lakeshore", "Granite Peak", "Fern Valley",
+     "Dune Point", "Willow Bend", "Red Mesa", "Glacier Gate", "Pine Flats"),
+    ("area", "trails", "visitors", "elevation"),
+))
+_register(DomainSpec(
+    "real_estate", "property", "broker", "showing", "property_type",
+    ("Apartment", "House", "Condo", "Townhouse", "Loft"),
+    ("12 Oak Lane", "48 Birch Street", "7 Harbor Road", "101 Main Street",
+     "33 Elm Court", "59 Maple Avenue", "204 Hill Drive", "86 River Walk",
+     "15 Garden Place", "72 Summit Way"),
+    ("price", "bedrooms", "area", "year_built"),
+))
+_register(DomainSpec(
+    "automotive", "car_model", "manufacturer", "sale", "body_style",
+    ("Sedan", "SUV", "Hatchback", "Coupe", "Pickup"),
+    ("Falcon GT", "Metro EV", "Ridge Runner", "City Spark", "Vista Cruiser",
+     "Bolt S", "Terra Trek", "Luxe 500", "Pace Setter", "Nomad X"),
+    ("horsepower", "mpg", "price", "weight"),
+))
+_register(DomainSpec(
+    "energy", "plant", "operator", "reading", "source_type",
+    ("Solar", "Wind", "Hydro", "Nuclear", "Geothermal"),
+    ("Sunfield Alpha", "Westwind Farm", "Bluewater Dam", "Ridgeline Station",
+     "Deep Rock Geo", "Clearsky Array", "Northgate Plant", "Tidal Basin",
+     "Ember Valley", "Highmast Farm"),
+    ("capacity", "output", "efficiency", "cost"),
+))
+_register(DomainSpec(
+    "agriculture", "farm", "farmer", "harvest", "crop_type",
+    ("Wheat", "Corn", "Soybean", "Rice", "Barley", "Cotton"),
+    ("Green Acres", "Sunrise Fields", "Meadowbrook", "Hilltop Farm", "Clearwater",
+     "Oak Hollow", "Prairie Rose", "Stony Creek", "Golden Plains", "Fox Run"),
+    ("acres", "yield", "rainfall", "revenue"),
+))
+_register(DomainSpec(
+    "weather", "station", "meteorologist", "observation", "climate_zone",
+    ("Temperate", "Tropical", "Arid", "Polar", "Mediterranean"),
+    ("ST-North", "ST-East", "ST-West", "ST-South", "ST-Central", "ST-Harbor",
+     "ST-Valley", "ST-Peak", "ST-Coast", "ST-Plains"),
+    ("temperature", "rainfall", "humidity", "wind_speed"),
+))
+_register(DomainSpec(
+    "gaming", "game", "developer", "session", "platform",
+    ("PC", "Console", "Mobile", "VR", "Arcade"),
+    ("Starfall Tactics", "Dungeon Loop", "Pixel Racer", "Mecha Arena",
+     "Garden Story", "Rift Walkers", "Turbo League", "Shadow Keep",
+     "Sky Harvest", "Circuit Break"),
+    ("price", "playtime", "rating", "downloads"),
+))
+_register(DomainSpec(
+    "social_media", "post", "user_account", "comment", "channel",
+    ("News", "Gaming", "Lifestyle", "Tech", "Music", "Sports Talk"),
+    ("Morning update", "Release notes", "Travel diary", "Recipe thread",
+     "Match recap", "Patch review", "Studio tour", "Q and A", "Launch day",
+     "Weekend plans"),
+    ("likes", "shares", "views", "length"),
+))
+_register(DomainSpec(
+    "ecommerce", "listing", "seller", "purchase", "department",
+    ("Home", "Garden", "Office", "Outdoors", "Kitchen"),
+    ("Bamboo Cutting Board", "LED Desk Lamp", "Canvas Tote", "Steel Thermos",
+     "Wool Throw", "Cork Planter", "Walnut Tray", "Linen Apron",
+     "Copper Kettle", "Slate Coasters"),
+    ("price", "quantity", "rating", "shipping_cost"),
+))
+_register(DomainSpec(
+    "logistics", "shipment", "carrier", "scan_event", "service_level",
+    ("Standard", "Express", "Overnight", "Freight", "Economy"),
+    ("SH-90001", "SH-90002", "SH-90003", "SH-90004", "SH-90005", "SH-90006",
+     "SH-90007", "SH-90008", "SH-90009", "SH-90010"),
+    ("weight", "distance", "cost", "days_in_transit"),
+))
+_register(DomainSpec(
+    "telecom", "subscriber", "technician", "service_call", "plan",
+    ("Basic", "Plus", "Premium", "Family", "Business"),
+    tuple(f"{first} {last}" for first, last in zip(_FIRST_NAMES[3:], _LAST_NAMES[3:])),
+    ("data_usage", "minutes", "bill", "tenure"),
+))
+_register(DomainSpec(
+    "government", "agency", "official", "program", "sector",
+    ("Education", "Transport", "Health", "Defense", "Environment"),
+    ("Bureau of Roads", "Office of Parks", "Civic Records", "Harbor Authority",
+     "Water Board", "Census Office", "Energy Commission", "Land Registry",
+     "Public Works", "Transit Authority"),
+    ("budget", "employees", "founded_year", "rating"),
+))
+_register(DomainSpec(
+    "nonprofit", "charity", "donor", "donation", "cause",
+    ("Education", "Hunger", "Environment", "Health", "Arts"),
+    ("Bright Futures", "Clean Rivers", "Open Books", "Safe Harbor",
+     "Green Canopy", "Food Forward", "Art Reach", "Care Bridge",
+     "Hope Works", "Shelter First"),
+    ("funds_raised", "members", "founded_year", "rating"),
+))
+_register(DomainSpec(
+    "science_lab", "experiment", "researcher", "measurement", "field",
+    ("Chemistry", "Genetics", "Materials", "Astronomy", "Ecology"),
+    ("EXP-A1", "EXP-A2", "EXP-B1", "EXP-B2", "EXP-C1", "EXP-C2", "EXP-D1",
+     "EXP-D2", "EXP-E1", "EXP-E2"),
+    ("duration", "samples", "cost", "accuracy"),
+))
+_register(DomainSpec(
+    "publishing", "journal", "editor", "submission", "discipline",
+    ("Medicine", "Physics", "Economics", "Linguistics", "Robotics"),
+    ("Annals of Data", "Systems Letters", "Field Notes", "Applied Minds",
+     "The Review", "Methods Today", "Open Results", "Core Studies",
+     "Frontier Papers", "Survey Quarterly"),
+    ("impact_factor", "issues", "subscribers", "founded_year"),
+))
+_register(DomainSpec(
+    "pets", "pet", "owner", "checkup", "breed",
+    ("Labrador", "Siamese", "Beagle", "Persian", "Terrier", "Maine Coon"),
+    ("Buddy", "Luna", "Max", "Bella", "Charlie", "Daisy", "Rocky", "Molly",
+     "Duke", "Sadie"),
+    ("age", "weight", "visits", "adoption_fee"),
+))
+_register(DomainSpec(
+    "hr", "employee", "department_head", "review", "job_title",
+    ("Engineer", "Analyst", "Designer", "Manager", "Accountant"),
+    tuple(f"{first} {last}" for first, last in zip(_FIRST_NAMES[7:], _LAST_NAMES[7:])),
+    ("salary", "age", "tenure", "performance_score"),
+))
+_register(DomainSpec(
+    "events", "conference", "organizer", "registration", "track",
+    ("Databases", "AI", "Security", "Networks", "HCI"),
+    ("DataCon", "SysSummit", "CloudForum", "DevFest", "InfoDays", "TechWeek",
+     "CodeCamp", "NetSymposium", "AI Assembly", "QueryCon"),
+    ("attendees", "fee", "duration", "year"),
+))
+
+if len(DOMAIN_CATALOG) != 33:
+    raise DataGenerationError(
+        f"domain catalog must contain exactly 33 domains, found {len(DOMAIN_CATALOG)}"
+    )
+
+
+def get_domain(name: str) -> DomainSpec:
+    """Look up a domain by name."""
+    try:
+        return DOMAIN_CATALOG[name]
+    except KeyError as exc:
+        raise DataGenerationError(f"unknown domain {name!r}") from exc
+
+
+def domain_names() -> list[str]:
+    """All domain names in registration order."""
+    return list(DOMAIN_CATALOG)

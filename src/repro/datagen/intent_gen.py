@@ -1,0 +1,422 @@
+"""Sample :class:`QueryIntent` objects against a populated database.
+
+The sampler draws filter values from the *actual database contents*, so
+equality/LIKE predicates are selective and execution-accuracy comparisons
+are meaningful.  Shape mix is controlled by the caller (the benchmark
+builder matches Spider's hardness distribution).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.intents import (
+    Aggregate,
+    ColumnSel,
+    Filter,
+    HavingSpec,
+    IntentShape,
+    OrderSpec,
+    QueryIntent,
+    SubquerySpec,
+)
+from repro.dbengine.database import Database
+from repro.errors import DataGenerationError
+from repro.schema.model import Column, ColumnType, DatabaseSchema, Table
+
+_NUMERIC_AGGS = (Aggregate.SUM, Aggregate.AVG, Aggregate.MIN, Aggregate.MAX)
+
+
+def _fk_columns(schema: DatabaseSchema, table: Table) -> set[str]:
+    names = set()
+    for fk in schema.foreign_keys:
+        if fk.source_table.lower() == table.name.lower():
+            names.add(fk.source_column.lower())
+        if fk.target_table.lower() == table.name.lower():
+            names.add(fk.target_column.lower())
+    return names
+
+
+def _plain_columns(schema: DatabaseSchema, table: Table) -> list[Column]:
+    """Columns suitable for projection/filtering: not PK, not FK."""
+    fk_names = _fk_columns(schema, table)
+    return [
+        column
+        for column in table.columns
+        if not column.is_primary_key and column.name.lower() not in fk_names
+    ]
+
+
+def _numeric_columns(schema: DatabaseSchema, table: Table) -> list[Column]:
+    return [c for c in _plain_columns(schema, table) if c.col_type.is_numeric]
+
+
+def _text_columns(schema: DatabaseSchema, table: Table) -> list[Column]:
+    return [
+        c
+        for c in _plain_columns(schema, table)
+        if c.col_type in (ColumnType.TEXT, ColumnType.DATE)
+    ]
+
+
+def _join_pairs(schema: DatabaseSchema) -> list[tuple[str, str]]:
+    pairs = []
+    for fk in schema.foreign_keys:
+        if fk.source_table.lower() != fk.target_table.lower():
+            pairs.append((fk.source_table, fk.target_table))
+    return pairs
+
+
+class IntentSampler:
+    """Samples intents of requested shapes against one database."""
+
+    def __init__(self, database: Database, rng: random.Random) -> None:
+        self.database = database
+        self.schema = database.schema
+        self.rng = rng
+
+    # -- primitives -----------------------------------------------------
+
+    def _pick_table(self) -> Table:
+        candidates = [
+            table for table in self.schema.tables if _plain_columns(self.schema, table)
+        ]
+        if not candidates:
+            raise DataGenerationError(f"no usable tables in {self.schema.db_id}")
+        return candidates[self.rng.randrange(len(candidates))]
+
+    def _pick_value(self, table: str, column: Column) -> object:
+        values = self.database.column_values(table, column.name)
+        values = [v for v in values if v is not None]
+        if not values:
+            return 1 if column.col_type.is_numeric else "unknown"
+        return values[self.rng.randrange(len(values))]
+
+    def _make_filter(self, table: Table, connector: str = "and",
+                     numeric_ok: bool = True) -> Filter | None:
+        columns = _text_columns(self.schema, table)
+        if numeric_ok:
+            columns = columns + _numeric_columns(self.schema, table)
+        if not columns:
+            return None
+        column = columns[self.rng.randrange(len(columns))]
+        sel = ColumnSel(table=table.name, column=column.name)
+        value = self._pick_value(table.name, column)
+        if column.col_type.is_numeric:
+            op = self.rng.choice(["=", ">", "<", ">=", "<=", "!="])
+            if op == "between" or self.rng.random() < 0.08:
+                value2 = self._pick_value(table.name, column)
+                low, high = sorted([value, value2])  # type: ignore[type-var]
+                return Filter(column=sel, op="between", value=low, value2=high,
+                              connector=connector)
+            return Filter(column=sel, op=op, value=value, connector=connector)
+        if self.rng.random() < 0.15 and isinstance(value, str) and len(value) > 3:
+            pattern = f"%{value[: max(3, len(value) // 2)]}%"
+            return Filter(column=sel, op="like", value=pattern, connector=connector)
+        op = "!=" if self.rng.random() < 0.1 else "="
+        return Filter(column=sel, op=op, value=value, connector=connector)
+
+    def _make_filters(self, table: Table, count: int) -> tuple[Filter, ...]:
+        filters: list[Filter] = []
+        for i in range(count):
+            connector = "and" if i == 0 else self.rng.choice(["and", "and", "or"])
+            flt = self._make_filter(table, connector=connector)
+            if flt is not None:
+                filters.append(flt)
+        return tuple(filters)
+
+    def _projection(self, table: Table, count: int) -> tuple[ColumnSel, ...]:
+        columns = _plain_columns(self.schema, table)
+        if not columns:
+            return (ColumnSel(table=table.name, column="*"),)
+        chosen = self.rng.sample(columns, min(count, len(columns)))
+        return tuple(ColumnSel(table=table.name, column=c.name) for c in chosen)
+
+    # -- shape constructors ----------------------------------------------
+
+    def sample(self, shape: IntentShape) -> QueryIntent:
+        """Sample an intent of the requested shape.
+
+        Raises:
+            DataGenerationError: if the schema cannot support the shape
+                (e.g. no FK pair for a join shape).
+        """
+        builder = {
+            IntentShape.PROJECT: self._sample_project,
+            IntentShape.AGG: self._sample_agg,
+            IntentShape.GROUP_AGG: self._sample_group_agg,
+            IntentShape.ORDER_TOP: self._sample_order_top,
+            IntentShape.JOIN_PROJECT: self._sample_join_project,
+            IntentShape.JOIN_GROUP: self._sample_join_group,
+            IntentShape.SUBQUERY_CMP_AGG: self._sample_subquery_cmp,
+            IntentShape.SUBQUERY_IN: self._sample_subquery_in,
+            IntentShape.SUBQUERY_NOT_IN: self._sample_subquery_not_in,
+            IntentShape.EXTREME: self._sample_extreme,
+            IntentShape.SET_OP: self._sample_set_op,
+        }[shape]
+        return builder()
+
+    def _sample_project(self) -> QueryIntent:
+        table = self._pick_table()
+        num_filters = self.rng.choice([0, 1, 1, 2])
+        return QueryIntent(
+            shape=IntentShape.PROJECT,
+            db_id=self.schema.db_id,
+            tables=(table.name,),
+            projection=self._projection(table, self.rng.choice([1, 1, 2])),
+            distinct=self.rng.random() < 0.1,
+            filters=self._make_filters(table, num_filters),
+        )
+
+    def _sample_agg(self) -> QueryIntent:
+        table = self._pick_table()
+        numerics = _numeric_columns(self.schema, table)
+        if numerics and self.rng.random() < 0.6:
+            aggregate = self.rng.choice(_NUMERIC_AGGS)
+            column = numerics[self.rng.randrange(len(numerics))]
+            agg_column = ColumnSel(table=table.name, column=column.name)
+        else:
+            aggregate = Aggregate.COUNT
+            agg_column = ColumnSel(table=table.name, column="*")
+        return QueryIntent(
+            shape=IntentShape.AGG,
+            db_id=self.schema.db_id,
+            tables=(table.name,),
+            projection=(),
+            aggregate=aggregate,
+            agg_column=agg_column,
+            filters=self._make_filters(table, self.rng.choice([0, 1, 1, 2])),
+        )
+
+    def _group_key(self, table: Table) -> ColumnSel | None:
+        texts = _text_columns(self.schema, table)
+        preferred = [c for c in texts if c.name.lower() not in ("name",)]
+        pool = preferred or texts
+        if not pool:
+            return None
+        column = pool[self.rng.randrange(len(pool))]
+        return ColumnSel(table=table.name, column=column.name)
+
+    def _sample_group_agg(self) -> QueryIntent:
+        table = self._pick_table()
+        key = self._group_key(table)
+        if key is None:
+            return self._sample_agg()
+        numerics = _numeric_columns(self.schema, table)
+        if numerics and self.rng.random() < 0.5:
+            aggregate = self.rng.choice((Aggregate.AVG, Aggregate.SUM, Aggregate.MAX))
+            column = numerics[self.rng.randrange(len(numerics))]
+            agg_column = ColumnSel(table=table.name, column=column.name)
+        else:
+            aggregate = Aggregate.COUNT
+            agg_column = ColumnSel(table=table.name, column="*")
+        having: HavingSpec | None = None
+        if self.rng.random() < 0.35:
+            having = HavingSpec(
+                aggregate=Aggregate.COUNT,
+                column=ColumnSel(table=table.name, column="*"),
+                op=self.rng.choice([">", ">="]),
+                value=float(self.rng.randrange(1, 6)),
+            )
+        order: OrderSpec | None = None
+        if self.rng.random() < 0.3:
+            order = OrderSpec(
+                column=agg_column,
+                aggregate=aggregate,
+                direction=self.rng.choice(["asc", "desc"]),
+                limit=self.rng.choice([None, 1, 3, 5]),
+            )
+        return QueryIntent(
+            shape=IntentShape.GROUP_AGG,
+            db_id=self.schema.db_id,
+            tables=(table.name,),
+            projection=(),
+            aggregate=aggregate,
+            agg_column=agg_column,
+            group_by=key,
+            having=having,
+            order=order,
+        )
+
+    def _sample_order_top(self) -> QueryIntent:
+        table = self._pick_table()
+        numerics = _numeric_columns(self.schema, table)
+        if not numerics:
+            return self._sample_project()
+        column = numerics[self.rng.randrange(len(numerics))]
+        order = OrderSpec(
+            column=ColumnSel(table=table.name, column=column.name),
+            direction=self.rng.choice(["asc", "desc", "desc"]),
+            limit=self.rng.choice([1, 1, 3, 5, None]),
+        )
+        return QueryIntent(
+            shape=IntentShape.ORDER_TOP,
+            db_id=self.schema.db_id,
+            tables=(table.name,),
+            projection=self._projection(table, 1),
+            filters=self._make_filters(table, self.rng.choice([0, 0, 1])),
+            order=order,
+        )
+
+    def _join_pair(self) -> tuple[Table, Table]:
+        pairs = _join_pairs(self.schema)
+        if not pairs:
+            raise DataGenerationError(f"{self.schema.db_id} has no FK pairs for joins")
+        source, target = pairs[self.rng.randrange(len(pairs))]
+        return self.schema.table(source), self.schema.table(target)
+
+    def _sample_join_project(self) -> QueryIntent:
+        child, parent = self._join_pair()
+        proj_child = self._projection(child, 1)
+        proj_parent = self._projection(parent, 1)
+        filter_table = child if self.rng.random() < 0.5 else parent
+        return QueryIntent(
+            shape=IntentShape.JOIN_PROJECT,
+            db_id=self.schema.db_id,
+            tables=(child.name, parent.name),
+            projection=proj_child + proj_parent,
+            filters=self._make_filters(filter_table, self.rng.choice([0, 1, 1, 2])),
+        )
+
+    def _sample_join_group(self) -> QueryIntent:
+        child, parent = self._join_pair()
+        key = self._group_key(parent) or self._group_key(child)
+        if key is None:
+            return self._sample_join_project()
+        numerics = _numeric_columns(self.schema, child)
+        if numerics and self.rng.random() < 0.5:
+            aggregate = self.rng.choice((Aggregate.AVG, Aggregate.SUM))
+            column = numerics[self.rng.randrange(len(numerics))]
+            agg_column = ColumnSel(table=child.name, column=column.name)
+        else:
+            aggregate = Aggregate.COUNT
+            agg_column = ColumnSel(table=child.name, column="*")
+        having: HavingSpec | None = None
+        if self.rng.random() < 0.3:
+            having = HavingSpec(
+                aggregate=Aggregate.COUNT,
+                column=ColumnSel(table=child.name, column="*"),
+                op=">",
+                value=float(self.rng.randrange(1, 5)),
+            )
+        order: OrderSpec | None = None
+        if self.rng.random() < 0.35:
+            order = OrderSpec(
+                column=agg_column,
+                aggregate=aggregate,
+                direction="desc",
+                limit=self.rng.choice([None, 1, 5]),
+            )
+        return QueryIntent(
+            shape=IntentShape.JOIN_GROUP,
+            db_id=self.schema.db_id,
+            tables=(child.name, parent.name),
+            projection=(),
+            aggregate=aggregate,
+            agg_column=agg_column,
+            group_by=key,
+            having=having,
+            order=order,
+        )
+
+    def _sample_subquery_cmp(self) -> QueryIntent:
+        table = self._pick_table()
+        numerics = _numeric_columns(self.schema, table)
+        if not numerics:
+            return self._sample_project()
+        column = numerics[self.rng.randrange(len(numerics))]
+        sel = ColumnSel(table=table.name, column=column.name)
+        subquery = SubquerySpec(
+            outer_column=sel,
+            op=self.rng.choice([">", "<"]),
+            aggregate=Aggregate.AVG,
+            inner_table=table.name,
+            inner_column=sel,
+        )
+        return QueryIntent(
+            shape=IntentShape.SUBQUERY_CMP_AGG,
+            db_id=self.schema.db_id,
+            tables=(table.name,),
+            projection=self._projection(table, 1),
+            subquery=subquery,
+        )
+
+    def _subquery_in_intent(self, negated: bool) -> QueryIntent:
+        pairs = _join_pairs(self.schema)
+        if not pairs:
+            return self._sample_project()
+        child_name, parent_name = pairs[self.rng.randrange(len(pairs))]
+        child = self.schema.table(child_name)
+        parent = self.schema.table(parent_name)
+        fk = self.schema.foreign_keys_between(child_name, parent_name)[0]
+        inner_filter = self._make_filter(child, numeric_ok=True)
+        subquery = SubquerySpec(
+            outer_column=ColumnSel(table=parent.name, column=fk.target_column),
+            op="in",
+            aggregate=Aggregate.NONE,
+            inner_table=child.name,
+            inner_column=ColumnSel(table=child.name, column=fk.source_column),
+            inner_filter=inner_filter,
+            negated=negated,
+        )
+        shape = IntentShape.SUBQUERY_NOT_IN if negated else IntentShape.SUBQUERY_IN
+        return QueryIntent(
+            shape=shape,
+            db_id=self.schema.db_id,
+            tables=(parent.name,),
+            projection=self._projection(parent, 1),
+            subquery=subquery,
+        )
+
+    def _sample_subquery_in(self) -> QueryIntent:
+        return self._subquery_in_intent(negated=False)
+
+    def _sample_subquery_not_in(self) -> QueryIntent:
+        return self._subquery_in_intent(negated=True)
+
+    def _sample_extreme(self) -> QueryIntent:
+        table = self._pick_table()
+        numerics = _numeric_columns(self.schema, table)
+        if not numerics:
+            return self._sample_project()
+        column = numerics[self.rng.randrange(len(numerics))]
+        sel = ColumnSel(table=table.name, column=column.name)
+        subquery = SubquerySpec(
+            outer_column=sel,
+            op="=",
+            aggregate=self.rng.choice((Aggregate.MAX, Aggregate.MIN)),
+            inner_table=table.name,
+            inner_column=sel,
+        )
+        return QueryIntent(
+            shape=IntentShape.EXTREME,
+            db_id=self.schema.db_id,
+            tables=(table.name,),
+            projection=self._projection(table, 1),
+            subquery=subquery,
+        )
+
+    def _sample_set_op(self) -> QueryIntent:
+        table = self._pick_table()
+        first = self._make_filter(table)
+        second = self._make_filter(table)
+        if first is None or second is None:
+            return self._sample_project()
+        return QueryIntent(
+            shape=IntentShape.SET_OP,
+            db_id=self.schema.db_id,
+            tables=(table.name,),
+            projection=self._projection(table, 1),
+            filters=(first,),
+            set_op=self.rng.choice(["intersect", "union", "except"]),
+            set_branch_filter=second,
+        )
+
+
+def generate_intent(
+    database: Database,
+    shape: IntentShape,
+    rng: random.Random,
+) -> QueryIntent:
+    """Sample one intent of ``shape`` against ``database``."""
+    return IntentSampler(database, rng).sample(shape)

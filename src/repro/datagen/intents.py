@@ -1,0 +1,172 @@
+"""Abstract query intents.
+
+A :class:`QueryIntent` is the semantic content of one (NL, SQL) pair:
+which tables, which projection, which filters, grouping, ordering, and —
+for the harder shapes — which subquery or set operation.  The benchmark
+generator renders an intent to both gold SQL (:mod:`sql_render`) and a
+natural-language question (:mod:`nl_render`); the simulated models parse
+the question back into an intent (:mod:`repro.nlu`) and render their own
+SQL from it.  The intent is therefore the *interface*, never a hidden
+channel: models only ever see the NL text and the schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+
+class Aggregate(str, Enum):
+    """Aggregate functions in the intent grammar."""
+
+    NONE = "none"
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+    @property
+    def sql_name(self) -> str:
+        return self.value.upper()
+
+
+class IntentShape(str, Enum):
+    """The closed set of query shapes the benchmark grammar generates.
+
+    Together these cover all four SQL characteristics the paper filters on
+    (JOINs, subqueries, logical connectors, ORDER BY) and all four Spider
+    hardness levels.
+    """
+
+    PROJECT = "project"                  # SELECT cols FROM t [WHERE ...]
+    AGG = "agg"                          # SELECT agg(col) FROM t [WHERE ...]
+    GROUP_AGG = "group_agg"              # ... GROUP BY key [HAVING ...]
+    ORDER_TOP = "order_top"              # ... ORDER BY col LIMIT n
+    JOIN_PROJECT = "join_project"        # two tables joined
+    JOIN_GROUP = "join_group"            # join + group + agg [+ order/having]
+    SUBQUERY_CMP_AGG = "subquery_cmp_agg"  # WHERE col > (SELECT AVG(col) ...)
+    SUBQUERY_IN = "subquery_in"          # WHERE pk IN (SELECT fk ... WHERE ...)
+    SUBQUERY_NOT_IN = "subquery_not_in"  # NOT IN variant
+    EXTREME = "extreme"                  # WHERE col = (SELECT MAX(col) ...)
+    SET_OP = "set_op"                    # INTERSECT / UNION / EXCEPT
+
+
+# Comparison phrases usable in filters (op -> NL phrase).
+FILTER_OPS = ("=", "!=", ">", "<", ">=", "<=", "like", "between")
+
+
+@dataclass(frozen=True)
+class ColumnSel:
+    """A (table, column) selection; ``column == '*'`` means star."""
+
+    table: str
+    column: str
+
+    @property
+    def is_star(self) -> bool:
+        return self.column == "*"
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One predicate: ``table.column <op> value`` (+ connector to previous)."""
+
+    column: ColumnSel
+    op: str
+    value: object
+    value2: object | None = None      # BETWEEN upper bound
+    connector: str = "and"            # connector joining this to the prior filter
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """ORDER BY key: a column or an aggregate over a column."""
+
+    column: ColumnSel
+    aggregate: Aggregate = Aggregate.NONE
+    direction: str = "asc"
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class HavingSpec:
+    """HAVING predicate over an aggregate."""
+
+    aggregate: Aggregate
+    column: ColumnSel              # column='*' for COUNT(*)
+    op: str
+    value: float
+
+
+@dataclass(frozen=True)
+class SubquerySpec:
+    """Subquery payload for the subquery-bearing shapes.
+
+    * CMP_AGG / EXTREME: compare ``outer_column <op> (SELECT agg(inner_column)
+      FROM inner_table)``.
+    * IN / NOT_IN: ``outer_column [NOT] IN (SELECT inner_column FROM
+      inner_table [WHERE inner_filter])``.
+    """
+
+    outer_column: ColumnSel
+    op: str
+    aggregate: Aggregate
+    inner_table: str
+    inner_column: ColumnSel
+    inner_filter: Filter | None = None
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class QueryIntent:
+    """The full semantic specification of one benchmark question."""
+
+    shape: IntentShape
+    db_id: str
+    tables: tuple[str, ...]
+    projection: tuple[ColumnSel, ...]
+    distinct: bool = False
+    aggregate: Aggregate = Aggregate.NONE
+    agg_column: ColumnSel | None = None
+    filters: tuple[Filter, ...] = field(default_factory=tuple)
+    group_by: ColumnSel | None = None
+    having: HavingSpec | None = None
+    order: OrderSpec | None = None
+    subquery: SubquerySpec | None = None
+    set_op: str | None = None             # intersect | union | except
+    set_branch_filter: Filter | None = None
+
+    def with_(self, **changes: object) -> "QueryIntent":
+        """Return a modified copy (dataclasses.replace wrapper)."""
+        return replace(self, **changes)
+
+    @property
+    def has_join(self) -> bool:
+        return len(self.tables) > 1
+
+    @property
+    def has_subquery(self) -> bool:
+        return self.subquery is not None or self.set_op is not None
+
+    @property
+    def num_connectors(self) -> int:
+        return max(len(self.filters) - 1, 0)
+
+    @property
+    def has_order_by(self) -> bool:
+        return self.order is not None
+
+    def signature(self) -> str:
+        """A stable structural signature used for similarity-based few-shot
+        example selection (DAIL-SQL's skeleton similarity)."""
+        parts = [self.shape.value, str(len(self.tables)), str(len(self.filters))]
+        parts.append(self.aggregate.value)
+        parts.append("grp" if self.group_by else "-")
+        parts.append("hav" if self.having else "-")
+        if self.order:
+            parts.append(f"ord:{self.order.direction}:{int(self.order.limit is not None)}")
+        else:
+            parts.append("-")
+        parts.append(self.set_op or "-")
+        return "|".join(parts)

@@ -1,0 +1,260 @@
+"""Render a :class:`QueryIntent` as an English question.
+
+The templates define the *canonical* phrasing of each intent shape; the
+paraphraser (:mod:`repro.datagen.paraphrase`) derives surface variants
+for query-variance testing.  Phrasing is designed to be information
+complete — every schema element, value, and operator the gold SQL needs
+is recoverable from the text — so that the NLU substrate faces a genuine
+(but solvable) parsing problem.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.intents import (
+    Aggregate,
+    ColumnSel,
+    Filter,
+    HavingSpec,
+    IntentShape,
+    OrderSpec,
+    QueryIntent,
+)
+from repro.errors import DataGenerationError
+from repro.schema.model import DatabaseSchema
+
+AGG_PHRASES = {
+    Aggregate.COUNT: "number",
+    Aggregate.SUM: "total",
+    Aggregate.AVG: "average",
+    Aggregate.MIN: "minimum",
+    Aggregate.MAX: "maximum",
+}
+
+OP_PHRASES = {
+    "=": "is",
+    "!=": "is not",
+    ">": "is greater than",
+    "<": "is less than",
+    ">=": "is at least",
+    "<=": "is at most",
+    "like": "contains",
+}
+
+
+def _column_phrase(schema: DatabaseSchema, sel: ColumnSel) -> str:
+    if sel.is_star:
+        return "records"
+    column = schema.table(sel.table).column(sel.column)
+    return column.display_name
+
+
+def _table_phrase(schema: DatabaseSchema, table_name: str) -> str:
+    return schema.table(table_name).display_name
+
+
+def _value_phrase(value: object, op: str) -> str:
+    if op == "like":
+        # Strip SQL wildcards for the NL surface form.
+        text = str(value).strip("%")
+        return f"'{text}'"
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _filter_phrase(schema: DatabaseSchema, flt: Filter) -> str:
+    column = _column_phrase(schema, flt.column)
+    if flt.op == "between":
+        low = _value_phrase(flt.value, "=")
+        high = _value_phrase(flt.value2, "=")
+        return f"{column} is between {low} and {high}"
+    op_phrase = OP_PHRASES[flt.op]
+    return f"{column} {op_phrase} {_value_phrase(flt.value, flt.op)}"
+
+
+def _filters_phrase(schema: DatabaseSchema, filters: tuple[Filter, ...]) -> str:
+    parts = []
+    for i, flt in enumerate(filters):
+        phrase = _filter_phrase(schema, flt)
+        if i > 0:
+            phrase = f"{flt.connector} whose {phrase}"
+        parts.append(phrase)
+    return " ".join(parts)
+
+
+def _projection_phrase(schema: DatabaseSchema, projection: tuple[ColumnSel, ...]) -> str:
+    phrases = [_column_phrase(schema, sel) for sel in projection]
+    if not phrases:
+        return "records"
+    if len(phrases) == 1:
+        return phrases[0]
+    return ", ".join(phrases[:-1]) + " and " + phrases[-1]
+
+
+def _agg_phrase(schema: DatabaseSchema, aggregate: Aggregate, sel: ColumnSel | None) -> str:
+    word = AGG_PHRASES[aggregate]
+    if aggregate == Aggregate.COUNT or sel is None or sel.is_star:
+        return "number of records"
+    return f"{word} {_column_phrase(schema, sel)}"
+
+
+def _having_phrase(having: HavingSpec) -> str:
+    value = int(having.value) if float(having.value).is_integer() else having.value
+    op_text = {">": "more than", ">=": "at least", "<": "fewer than", "<=": "at most"}[
+        having.op
+    ]
+    return f"keeping only groups with {op_text} {value} records"
+
+
+def _order_phrase(schema: DatabaseSchema, order: OrderSpec) -> str:
+    direction = "descending" if order.direction == "desc" else "ascending"
+    if order.aggregate != Aggregate.NONE:
+        key = _agg_phrase(schema, order.aggregate, order.column)
+    else:
+        key = _column_phrase(schema, order.column)
+    phrase = f"sorted by {key} in {direction} order"
+    if order.limit is not None:
+        phrase += f", showing only the top {order.limit}"
+    return phrase
+
+
+def render_intent_nl(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    """Render the canonical English question for ``intent``."""
+    renderer = {
+        IntentShape.PROJECT: _render_project,
+        IntentShape.AGG: _render_agg,
+        IntentShape.GROUP_AGG: _render_group_agg,
+        IntentShape.ORDER_TOP: _render_order_top,
+        IntentShape.JOIN_PROJECT: _render_join_project,
+        IntentShape.JOIN_GROUP: _render_group_agg,
+        IntentShape.SUBQUERY_CMP_AGG: _render_subquery_cmp,
+        IntentShape.SUBQUERY_IN: _render_subquery_in,
+        IntentShape.SUBQUERY_NOT_IN: _render_subquery_in,
+        IntentShape.EXTREME: _render_extreme,
+        IntentShape.SET_OP: _render_set_op,
+    }[intent.shape]
+    return renderer(intent, schema)
+
+
+def _where_tail(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    if not intent.filters:
+        return ""
+    return f" whose {_filters_phrase(schema, intent.filters)}"
+
+
+def _render_project(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    table = _table_phrase(schema, intent.tables[0])
+    cols = _projection_phrase(schema, intent.projection)
+    distinct = "distinct " if intent.distinct else ""
+    return f"Show the {distinct}{cols} of all {table}{_where_tail(intent, schema)}."
+
+
+def _render_agg(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    table = _table_phrase(schema, intent.tables[0])
+    tail = _where_tail(intent, schema)
+    if intent.aggregate == Aggregate.COUNT:
+        return f"How many {table} are there{tail}?"
+    word = AGG_PHRASES[intent.aggregate]
+    column = _column_phrase(schema, intent.agg_column) if intent.agg_column else "value"
+    return f"What is the {word} {column} of all {table}{tail}?"
+
+
+def _render_group_agg(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    if intent.group_by is None:
+        raise DataGenerationError("group_agg intent missing group key")
+    key = _column_phrase(schema, intent.group_by)
+    agg = _agg_phrase(schema, intent.aggregate, intent.agg_column)
+    if intent.has_join:
+        child = _table_phrase(schema, intent.tables[0])
+        subject = f"{agg} of the related {child}"
+    else:
+        table = _table_phrase(schema, intent.tables[0])
+        subject = f"{agg} of the {table}"
+    sentence = f"For each {key}, show the {subject}"
+    if intent.having is not None:
+        sentence += f", {_having_phrase(intent.having)}"
+    if intent.order is not None:
+        sentence += f", {_order_phrase(schema, intent.order)}"
+    return sentence + "."
+
+
+def _render_order_top(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    if intent.order is None:
+        raise DataGenerationError("order_top intent missing order spec")
+    table = _table_phrase(schema, intent.tables[0])
+    cols = _projection_phrase(schema, intent.projection)
+    sentence = f"List the {cols} of all {table}{_where_tail(intent, schema)}"
+    sentence += f", {_order_phrase(schema, intent.order)}"
+    return sentence + "."
+
+
+def _render_join_project(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    first_table = _table_phrase(schema, intent.tables[0])
+    second_table = _table_phrase(schema, intent.tables[1])
+    first_cols = [sel for sel in intent.projection if sel.table == intent.tables[0]]
+    second_cols = [sel for sel in intent.projection if sel.table == intent.tables[1]]
+    first = _projection_phrase(schema, tuple(first_cols))
+    second = _projection_phrase(schema, tuple(second_cols))
+    sentence = (
+        f"Show the {first} of each {first_table} together with the {second} "
+        f"of its {second_table}{_where_tail(intent, schema)}"
+    )
+    return sentence + "."
+
+
+def _render_subquery_cmp(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    spec = intent.subquery
+    if spec is None:
+        raise DataGenerationError("subquery intent missing spec")
+    table = _table_phrase(schema, intent.tables[0])
+    cols = _projection_phrase(schema, intent.projection)
+    column = _column_phrase(schema, spec.outer_column)
+    direction = "above" if spec.op == ">" else "below"
+    return (
+        f"List the {cols} of all {table} whose {column} is {direction} "
+        f"the average {column}."
+    )
+
+
+def _render_subquery_in(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    spec = intent.subquery
+    if spec is None or spec.inner_filter is None:
+        raise DataGenerationError("subquery-in intent missing inner filter")
+    parent = _table_phrase(schema, intent.tables[0])
+    child = _table_phrase(schema, spec.inner_table)
+    cols = _projection_phrase(schema, intent.projection)
+    condition = _filter_phrase(schema, spec.inner_filter)
+    if spec.negated:
+        return f"Show the {cols} of all {parent} that have no {child} whose {condition}."
+    return (
+        f"Show the {cols} of all {parent} that have at least one {child} "
+        f"whose {condition}."
+    )
+
+
+def _render_extreme(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    spec = intent.subquery
+    if spec is None:
+        raise DataGenerationError("extreme intent missing spec")
+    table = _table_phrase(schema, intent.tables[0])
+    cols = _projection_phrase(schema, intent.projection)
+    column = _column_phrase(schema, spec.outer_column)
+    superlative = "highest" if spec.aggregate == Aggregate.MAX else "lowest"
+    return f"Show the {cols} of the {table} with the {superlative} {column}."
+
+
+def _render_set_op(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    if intent.set_op is None or intent.set_branch_filter is None or not intent.filters:
+        raise DataGenerationError("set_op intent missing branches")
+    table = _table_phrase(schema, intent.tables[0])
+    cols = _projection_phrase(schema, intent.projection)
+    first = _filter_phrase(schema, intent.filters[0])
+    second = _filter_phrase(schema, intent.set_branch_filter)
+    connector = {
+        "intersect": "and also whose",
+        "union": "or alternatively whose",
+        "except": "but not whose",
+    }[intent.set_op]
+    return f"Show the {cols} of all {table} whose {first} {connector} {second}."

@@ -1,0 +1,115 @@
+"""Paraphrase generation for Query Variance Testing (QVT).
+
+Every canonical question can be rewritten through layered substitutions:
+
+* **easy** rewrites are common synonyms any competent model resolves
+  ("Show" -> "List", "greater than" -> "more than");
+* **hard** rewrites use rarer phrasings ("whose" -> "with", "average" ->
+  "mean", "have no" -> "do not have any") that the NLU lexicon only
+  resolves when the model has either strong linguistic capability or has
+  been fine-tuned on the dataset's phrasing distribution — reproducing
+  the paper's Finding 6 (fine-tuning stabilizes QVT).
+
+Each variant carries a ``difficulty`` score: the number of hard rewrites
+applied.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.utils.rng import derive_rng
+
+# (canonical phrase, replacement, is_hard)
+EASY_REWRITES: list[tuple[str, str]] = [
+    ("Show the", "List the"),
+    ("Show the", "Display the"),
+    ("Show the", "Give me the"),
+    ("List the", "Show the"),
+    ("What is the", "Tell me the"),
+    ("How many", "Count how many"),
+    ("is greater than", "is more than"),
+    ("is less than", "is under"),
+    ("is at least", "is no less than"),
+    ("is at most", "is no more than"),
+    ("sorted by", "ordered by"),
+    ("of all", "of the"),
+]
+
+HARD_REWRITES: list[tuple[str, str]] = [
+    ("whose", "with"),
+    ("average", "mean"),
+    ("maximum", "biggest"),
+    ("minimum", "smallest"),
+    ("total", "sum of the"),
+    ("have no", "do not have any"),
+    ("have at least one", "are linked to some"),
+    ("showing only the top", "limited to the first"),
+    ("in descending order", "from highest to lowest"),
+    ("in ascending order", "from lowest to highest"),
+    ("together with", "along with"),
+    ("are there", "exist"),
+]
+
+
+@dataclass(frozen=True)
+class NLVariant:
+    """One phrasing of a question with its linguistic difficulty."""
+
+    text: str
+    style: str          # "canonical" | "easy" | "hard" | "mixed"
+    difficulty: int     # number of hard rewrites applied
+
+
+def _apply_rewrites(
+    text: str,
+    rewrites: list[tuple[str, str]],
+    rng: random.Random,
+    max_applications: int,
+) -> tuple[str, int]:
+    applicable = [(src, dst) for src, dst in rewrites if src in text]
+    rng.shuffle(applicable)
+    applied = 0
+    for src, dst in applicable:
+        if applied >= max_applications:
+            break
+        if src in text:
+            text = text.replace(src, dst, 1)
+            applied += 1
+    return text, applied
+
+
+def paraphrase_question(
+    question: str,
+    count: int = 2,
+    seed: int = 0,
+    key: object = "",
+) -> list[NLVariant]:
+    """Generate up to ``count`` distinct paraphrases of ``question``.
+
+    The canonical question is *not* included in the returned list.
+    Roughly half of the variants include hard rewrites.
+    """
+    rng = derive_rng(seed, "paraphrase", key, question)
+    variants: list[NLVariant] = []
+    seen = {question}
+    attempts = 0
+    while len(variants) < count and attempts < count * 6:
+        attempts += 1
+        use_hard = rng.random() < 0.5
+        text, easy_applied = _apply_rewrites(question, EASY_REWRITES, rng, 2)
+        hard_applied = 0
+        if use_hard:
+            text, hard_applied = _apply_rewrites(text, HARD_REWRITES, rng, 2)
+        if text in seen:
+            continue
+        seen.add(text)
+        if hard_applied and easy_applied:
+            style = "mixed"
+        elif hard_applied:
+            style = "hard"
+        else:
+            style = "easy"
+        variants.append(NLVariant(text=text, style=style, difficulty=hard_applied))
+    return variants

@@ -1,0 +1,101 @@
+"""Populate a :class:`Database` with synthetic rows.
+
+Tables are filled in dependency order (lookup tables before the entities
+that reference them) and FK columns sample existing parent keys, so the
+database satisfies referential integrity with ``PRAGMA foreign_keys = ON``.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.domains import DomainSpec
+from repro.datagen.schema_gen import _plural
+from repro.datagen.values import sample_value
+from repro.dbengine.database import Database
+from repro.schema.model import DatabaseSchema, Table
+from repro.utils.rng import derive_rng
+
+
+def _dependency_order(schema: DatabaseSchema) -> list[Table]:
+    """Topologically order tables so FK targets are populated first."""
+    ordered: list[Table] = []
+    placed: set[str] = set()
+    remaining = list(schema.tables)
+    while remaining:
+        progressed = False
+        for table in list(remaining):
+            depends_on = {
+                fk.target_table.lower()
+                for fk in schema.foreign_keys
+                if fk.source_table.lower() == table.name.lower()
+                and fk.target_table.lower() != table.name.lower()
+            }
+            if depends_on <= placed:
+                ordered.append(table)
+                placed.add(table.name.lower())
+                remaining.remove(table)
+                progressed = True
+        if not progressed:  # FK cycle: append the rest in declaration order
+            ordered.extend(remaining)
+            break
+    return ordered
+
+
+def _fk_targets(schema: DatabaseSchema, table: Table) -> dict[str, tuple[str, str]]:
+    """Map FK source column -> (target table, target column)."""
+    return {
+        fk.source_column.lower(): (fk.target_table, fk.target_column)
+        for fk in schema.foreign_keys
+        if fk.source_table.lower() == table.name.lower()
+    }
+
+
+def populate_database(
+    database: Database,
+    domain: DomainSpec,
+    rows_per_table: int = 60,
+    seed: int = 0,
+) -> dict[str, int]:
+    """Fill every table of ``database`` with synthetic rows.
+
+    Returns a map of table name to inserted row count.  Lookup/category
+    tables get one row per vocabulary value; other tables get
+    ``rows_per_table`` rows (events get 2x for realistic fan-out).
+    """
+    schema = database.schema
+    rng = derive_rng(seed, "populate", schema.db_id)
+    counts: dict[str, int] = {}
+    parent_keys: dict[str, list[object]] = {}
+
+    for table in _dependency_order(schema):
+        row_count = _rows_for_table(domain, table, rows_per_table)
+        fk_map = _fk_targets(schema, table)
+        rows = []
+        for row_index in range(row_count):
+            row = []
+            for column in table.columns:
+                key = column.name.lower()
+                if key in fk_map and not column.is_primary_key:
+                    target_table, __ = fk_map[key]
+                    keys = parent_keys.get(target_table.lower(), [1])
+                    row.append(keys[rng.randrange(len(keys))])
+                else:
+                    row.append(sample_value(rng, domain, table, column, row_index))
+            rows.append(tuple(row))
+        database.insert_rows(table.name, rows)
+        counts[table.name] = len(rows)
+        pk_columns = table.primary_key_columns
+        if len(pk_columns) == 1:
+            index = [c.name for c in table.columns].index(pk_columns[0].name)
+            parent_keys[table.name.lower()] = [row[index] for row in rows]
+    return counts
+
+
+def _rows_for_table(domain: DomainSpec, table: Table, rows_per_table: int) -> int:
+    name = table.name.lower()
+    if name == _plural(domain.category).lower():
+        return len(domain.category_values)
+    if name == _plural(domain.event).lower():
+        return rows_per_table * 2
+    if name == "locations":
+        return min(rows_per_table, 20)
+    return rows_per_table

@@ -1,0 +1,177 @@
+"""Generate database schemas from domain specifications.
+
+Each database follows the domain's entity pattern:
+
+* a **category** lookup table (``genres``: id, name),
+* a **secondary** entity (``directors``: id, name, city, ...),
+* a **primary** entity (``movies``: id, name, FK->category, FK->secondary,
+  numeric attributes),
+* an **event** table (``screenings``: id, FK->primary, date, numeric).
+
+Spider-like databases use 2–8 of these tables; BIRD-like databases add
+extra attribute columns and wider tables to match Table 2's statistics.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.domains import DomainSpec
+from repro.schema.model import Column, ColumnType, DatabaseSchema, ForeignKey, Table
+from repro.utils.rng import derive_rng
+from repro.utils.text import singularize
+
+_NUMERIC_EXTRAS = [
+    "rank", "level", "count_total", "score_avg", "value", "index_number",
+    "growth", "share", "density", "volume",
+]
+_TEXT_EXTRAS = [
+    "status", "notes_code", "region", "phase", "grade", "tier",
+]
+
+
+def _plural(noun: str) -> str:
+    if noun.endswith("y") and not noun.endswith(("ay", "ey", "oy", "uy")):
+        return noun[:-1] + "ies"
+    if noun.endswith(("s", "x", "z", "ch", "sh")):
+        return noun + "es"
+    return noun + "s"
+
+
+def _pk(noun: str) -> Column:
+    return Column(name=f"{noun}_id", col_type=ColumnType.INTEGER, is_primary_key=True)
+
+
+def _numeric_columns(rng: random.Random, pool: list[str], count: int) -> list[Column]:
+    chosen = rng.sample(pool, min(count, len(pool)))
+    columns = []
+    for name in chosen:
+        col_type = ColumnType.REAL if rng.random() < 0.4 else ColumnType.INTEGER
+        columns.append(Column(name=name, col_type=col_type))
+    return columns
+
+
+def generate_schema(
+    domain: DomainSpec,
+    db_index: int,
+    seed: int = 0,
+    wide: bool = False,
+) -> DatabaseSchema:
+    """Generate one database schema within ``domain``.
+
+    Args:
+        domain: Domain vocabulary.
+        db_index: Index of this database within the domain (varies the
+            table subset and column widths so databases differ).
+        seed: Base seed for deterministic generation.
+        wide: BIRD-style generation — more columns per table.
+    """
+    rng = derive_rng(seed, "schema", domain.name, db_index, wide)
+    suffix = "" if db_index == 0 else f"_{db_index}"
+    db_id = f"{domain.name}{suffix}"
+
+    category_table = _plural(domain.category)
+    secondary_table = _plural(domain.secondary)
+    primary_table = _plural(domain.primary)
+    event_table = _plural(domain.event)
+
+    extra_width = (2 if wide else 0) + rng.randrange(0, 3 if wide else 2)
+
+    tables: list[Table] = []
+    foreign_keys: list[ForeignKey] = []
+
+    # Category lookup table.
+    tables.append(
+        Table(
+            name=category_table,
+            columns=[
+                _pk(domain.category),
+                Column(name=f"{domain.category}_name", col_type=ColumnType.TEXT),
+            ],
+        )
+    )
+
+    # Secondary (owner) entity.
+    secondary_columns = [
+        _pk(domain.secondary),
+        Column(name="name", col_type=ColumnType.TEXT,
+               natural_name=f"{domain.secondary} name"),
+        Column(name="city", col_type=ColumnType.TEXT),
+        Column(name="age", col_type=ColumnType.INTEGER),
+    ]
+    if rng.random() < 0.6 or wide:
+        secondary_columns.append(Column(name="country", col_type=ColumnType.TEXT))
+    secondary_columns.extend(_numeric_columns(rng, _NUMERIC_EXTRAS, extra_width))
+    tables.append(Table(name=secondary_table, columns=secondary_columns))
+
+    # Primary entity.
+    attributes = list(domain.extra_attributes)
+    rng.shuffle(attributes)
+    primary_columns = [
+        _pk(domain.primary),
+        Column(name="name", col_type=ColumnType.TEXT,
+               natural_name=f"{domain.primary} name"),
+        Column(name=f"{domain.category}_id", col_type=ColumnType.INTEGER),
+        Column(name=f"{domain.secondary}_id", col_type=ColumnType.INTEGER),
+        Column(name="year", col_type=ColumnType.INTEGER),
+    ]
+    attr_count = min(len(attributes), 3 + (2 if wide else 0))
+    existing = {column.name.lower() for column in primary_columns}
+    for attr in attributes[:attr_count]:
+        if attr.lower() in existing:
+            continue
+        existing.add(attr.lower())
+        col_type = ColumnType.REAL if rng.random() < 0.5 else ColumnType.INTEGER
+        primary_columns.append(Column(name=attr, col_type=col_type))
+    if wide:
+        primary_columns.extend(
+            Column(name=name, col_type=ColumnType.TEXT)
+            for name in rng.sample(_TEXT_EXTRAS, 2)
+        )
+    tables.append(Table(name=primary_table, columns=primary_columns))
+    foreign_keys.append(
+        ForeignKey(primary_table, f"{domain.category}_id", category_table,
+                   f"{domain.category}_id")
+    )
+    foreign_keys.append(
+        ForeignKey(primary_table, f"{domain.secondary}_id", secondary_table,
+                   f"{domain.secondary}_id")
+    )
+
+    # Event (transaction) table, present in most databases.
+    if db_index % 4 != 3:
+        event_columns = [
+            _pk(domain.event),
+            Column(name=f"{domain.primary}_id", col_type=ColumnType.INTEGER),
+            Column(name="event_date", col_type=ColumnType.DATE,
+                   natural_name=f"{domain.event} date"),
+            Column(name="amount", col_type=ColumnType.REAL),
+        ]
+        event_columns.extend(_numeric_columns(rng, _NUMERIC_EXTRAS[3:], extra_width // 2))
+        tables.append(Table(name=event_table, columns=event_columns))
+        foreign_keys.append(
+            ForeignKey(event_table, f"{domain.primary}_id", primary_table,
+                       f"{domain.primary}_id")
+        )
+
+    # Optional location table for wider schemas.
+    if wide or rng.random() < 0.3:
+        location_table = "locations"
+        tables.append(
+            Table(
+                name=location_table,
+                columns=[
+                    _pk(singularize(location_table)),
+                    Column(name="city", col_type=ColumnType.TEXT),
+                    Column(name="country", col_type=ColumnType.TEXT),
+                    Column(name="population", col_type=ColumnType.INTEGER),
+                ],
+            )
+        )
+
+    return DatabaseSchema(
+        db_id=db_id,
+        tables=tables,
+        foreign_keys=foreign_keys,
+        domain=domain.name,
+    )

@@ -1,0 +1,227 @@
+"""Render a :class:`QueryIntent` to SQL.
+
+This renderer is used twice, symmetrically:
+
+* the benchmark generator renders *gold* SQL from the generated intent;
+* the simulated models render SQL from whatever (possibly corrupted)
+  intent their NLU recovered.
+
+Both sides therefore share one notion of how intent maps to SQL, and any
+discrepancy between a model's SQL and the gold SQL comes from genuine
+intent-level errors, not renderer asymmetry.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.intents import (
+    Aggregate,
+    ColumnSel,
+    Filter,
+    HavingSpec,
+    OrderSpec,
+    QueryIntent,
+    SubquerySpec,
+)
+from repro.errors import DataGenerationError
+from repro.schema.model import DatabaseSchema
+from repro.sqlkit.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Expr,
+    FromClause,
+    FuncCall,
+    InExpr,
+    Join,
+    LikeExpr,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SetOperation,
+    Star,
+    Subquery,
+    TableRef,
+)
+from repro.sqlkit.printer import to_sql
+
+
+class _Scope:
+    """Table alias bindings for one statement."""
+
+    def __init__(self, tables: list[str], use_aliases: bool) -> None:
+        self.tables = tables
+        self.use_aliases = use_aliases and len(tables) > 1
+        self.aliases = {
+            table.lower(): (f"T{i + 1}" if self.use_aliases else table)
+            for i, table in enumerate(tables)
+        }
+
+    def qualifier(self, table: str) -> str | None:
+        if len(self.tables) == 1:
+            return None
+        return self.aliases.get(table.lower(), table)
+
+    def column(self, sel: ColumnSel) -> Expr:
+        if sel.is_star:
+            return Star()
+        return ColumnRef(column=sel.column, table=self.qualifier(sel.table))
+
+
+def _aggregate_expr(aggregate: Aggregate, sel: ColumnSel | None, scope: _Scope) -> Expr:
+    if aggregate == Aggregate.NONE:
+        if sel is None:
+            raise DataGenerationError("aggregate NONE requires a column")
+        return scope.column(sel)
+    if sel is None or sel.is_star:
+        return FuncCall(name="count", args=[Star()])
+    return FuncCall(name=aggregate.value, args=[scope.column(sel)])
+
+
+def _filter_expr(flt: Filter, scope: _Scope) -> Expr:
+    column = scope.column(flt.column)
+    if flt.op == "like":
+        return LikeExpr(operand=column, pattern=Literal(value=str(flt.value)))
+    if flt.op == "between":
+        return BetweenExpr(
+            operand=column,
+            low=Literal(value=flt.value),
+            high=Literal(value=flt.value2),
+        )
+    return BinaryOp(op=flt.op, left=column, right=Literal(value=flt.value))
+
+
+def _combine_filters(exprs_and_connectors: list[tuple[Expr, str]]) -> Expr | None:
+    """Fold (expr, connector) pairs left-to-right, flattening same-op chains."""
+    if not exprs_and_connectors:
+        return None
+    result, __ = exprs_and_connectors[0]
+    for expr, connector in exprs_and_connectors[1:]:
+        if isinstance(result, BooleanOp) and result.op == connector:
+            result.operands.append(expr)
+        else:
+            result = BooleanOp(op=connector, operands=[result, expr])
+    return result
+
+
+def _where_clause(intent: QueryIntent, scope: _Scope, schema: DatabaseSchema) -> Expr | None:
+    parts: list[tuple[Expr, str]] = []
+    for flt in intent.filters:
+        parts.append((_filter_expr(flt, scope), flt.connector))
+    if intent.subquery is not None:
+        parts.append((_subquery_expr(intent.subquery, scope, schema), "and"))
+    return _combine_filters(parts)
+
+
+def _subquery_expr(spec: SubquerySpec, scope: _Scope, schema: DatabaseSchema) -> Expr:
+    inner_scope = _Scope([spec.inner_table], use_aliases=False)
+    inner = SelectStatement()
+    if spec.aggregate == Aggregate.NONE:
+        inner.select_items = [SelectItem(expr=inner_scope.column(spec.inner_column))]
+    else:
+        inner.select_items = [
+            SelectItem(expr=_aggregate_expr(spec.aggregate, spec.inner_column, inner_scope))
+        ]
+    inner.from_clause = FromClause(base=TableRef(name=spec.inner_table))
+    if spec.inner_filter is not None:
+        inner.where = _filter_expr(spec.inner_filter, inner_scope)
+    outer_column = scope.column(spec.outer_column)
+    if spec.op == "in":
+        return InExpr(operand=outer_column, subquery=Subquery(select=inner), negated=spec.negated)
+    return BinaryOp(op=spec.op, left=outer_column, right=Subquery(select=inner))
+
+
+def _from_clause(intent: QueryIntent, scope: _Scope, schema: DatabaseSchema) -> FromClause:
+    tables = list(intent.tables)
+    base_alias = scope.aliases[tables[0].lower()] if scope.use_aliases else None
+    from_clause = FromClause(
+        base=TableRef(name=tables[0], alias=base_alias)
+    )
+    if len(tables) == 1:
+        return from_clause
+    fk_edges = schema.join_path(tables)
+    placed = [tables[0].lower()]
+    for fk in fk_edges:
+        next_table = (
+            fk.target_table if fk.source_table.lower() in placed else fk.source_table
+        )
+        alias = scope.aliases[next_table.lower()] if scope.use_aliases else None
+        condition = BinaryOp(
+            op="=",
+            left=ColumnRef(column=fk.source_column, table=scope.qualifier(fk.source_table)),
+            right=ColumnRef(column=fk.target_column, table=scope.qualifier(fk.target_table)),
+        )
+        from_clause.joins.append(
+            Join(table=TableRef(name=next_table, alias=alias), condition=condition)
+        )
+        placed.append(next_table.lower())
+    return from_clause
+
+
+def _having_expr(having: HavingSpec, scope: _Scope) -> Expr:
+    agg = _aggregate_expr(
+        having.aggregate,
+        having.column if not having.column.is_star else None,
+        scope,
+    )
+    return BinaryOp(op=having.op, left=agg, right=Literal(value=having.value))
+
+
+def _order_items(order: OrderSpec, scope: _Scope) -> list[OrderItem]:
+    expr = _aggregate_expr(
+        order.aggregate,
+        order.column if not order.column.is_star else None,
+        scope,
+    )
+    return [OrderItem(expr=expr, direction=order.direction)]
+
+
+def build_statement(intent: QueryIntent, schema: DatabaseSchema) -> SelectStatement:
+    """Build the AST for ``intent`` against ``schema``."""
+    scope = _Scope(list(intent.tables), use_aliases=True)
+    statement = SelectStatement()
+    statement.distinct = intent.distinct
+
+    if intent.aggregate != Aggregate.NONE and intent.group_by is None:
+        statement.select_items = [
+            SelectItem(expr=_aggregate_expr(intent.aggregate, intent.agg_column, scope))
+        ]
+    elif intent.group_by is not None:
+        statement.select_items = [SelectItem(expr=scope.column(intent.group_by))]
+        if intent.aggregate != Aggregate.NONE:
+            statement.select_items.append(
+                SelectItem(expr=_aggregate_expr(intent.aggregate, intent.agg_column, scope))
+            )
+    else:
+        statement.select_items = [
+            SelectItem(expr=scope.column(sel)) for sel in intent.projection
+        ]
+    if not statement.select_items:
+        raise DataGenerationError(f"intent has empty projection: {intent}")
+
+    statement.from_clause = _from_clause(intent, scope, schema)
+    statement.where = _where_clause(intent, scope, schema)
+    if intent.group_by is not None:
+        statement.group_by = [scope.column(intent.group_by)]
+        if intent.having is not None:
+            statement.having = _having_expr(intent.having, scope)
+    if intent.order is not None:
+        statement.order_by = _order_items(intent.order, scope)
+        if intent.order.limit is not None:
+            statement.limit = intent.order.limit
+
+    if intent.set_op is not None and intent.set_branch_filter is not None:
+        branch = SelectStatement()
+        branch.select_items = [
+            SelectItem(expr=scope.column(sel)) for sel in intent.projection
+        ]
+        branch.from_clause = _from_clause(intent, scope, schema)
+        branch.where = _filter_expr(intent.set_branch_filter, scope)
+        statement.set_operation = SetOperation(op=intent.set_op, right=branch)
+    return statement
+
+
+def render_intent_sql(intent: QueryIntent, schema: DatabaseSchema) -> str:
+    """Render ``intent`` to SQL text."""
+    return to_sql(build_statement(intent, schema))

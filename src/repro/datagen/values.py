@@ -1,0 +1,110 @@
+"""Typed value synthesis for populating tables.
+
+Value pools are chosen from the owning domain's vocabulary so that NL
+questions can mention real cell values ("whose city is 'Aberdeen'") and
+BRIDGE-style content matching has something genuine to match against.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.domains import DomainSpec
+from repro.schema.model import Column, ColumnType, Table
+
+# Numeric ranges keyed by attribute-name fragments (first match wins).
+_NUMERIC_RANGES: list[tuple[str, tuple[float, float]]] = [
+    ("rating", (1, 10)),
+    ("stars", (1, 5)),
+    ("score", (0, 100)),
+    ("gpa", (1, 4)),
+    ("age", (18, 80)),
+    ("year", (1980, 2023)),
+    ("price", (5, 2000)),
+    ("budget", (100_000, 200_000_000)),
+    ("box_office", (100_000, 900_000_000)),
+    ("salary", (30_000, 250_000)),
+    ("balance", (0, 500_000)),
+    ("premium", (200, 9_000)),
+    ("coverage", (10_000, 1_000_000)),
+    ("capacity", (10, 800)),
+    ("distance", (1, 9_000)),
+    ("duration", (10, 600)),
+    ("population", (1_000, 9_000_000)),
+    ("attendance", (100, 90_000)),
+    ("amount", (1, 5_000)),
+    ("weight", (1, 500)),
+    ("wins", (0, 60)),
+    ("losses", (0, 60)),
+    ("points", (0, 120)),
+    ("credits", (0, 160)),
+    ("tuition", (2_000, 60_000)),
+]
+_DEFAULT_RANGE = (0.0, 1_000.0)
+
+_DATES = [
+    f"202{year}-{month:02d}-{day:02d}"
+    for year in range(0, 4)
+    for month in (1, 3, 5, 7, 9, 11)
+    for day in (4, 12, 21, 28)
+]
+_STATUS_VALUES = ["active", "pending", "closed", "archived", "open"]
+
+
+def numeric_range(column_name: str) -> tuple[float, float]:
+    """Return the (low, high) value range implied by a column name."""
+    lowered = column_name.lower()
+    for fragment, bounds in _NUMERIC_RANGES:
+        if fragment in lowered:
+            return bounds
+    return _DEFAULT_RANGE
+
+
+def text_pool(domain: DomainSpec, table: Table, column: Column) -> list[str]:
+    """Return the value pool for a text column."""
+    name = column.name.lower()
+    if name == f"{domain.category}_name":
+        return list(domain.category_values)
+    if name == "name":
+        if table.name.startswith(domain.primary):
+            return list(domain.name_values)
+        return domain.person_names[:40]
+    if name == "city":
+        return domain.cities
+    if name == "country":
+        return domain.countries
+    if name in ("status", "phase", "tier", "grade"):
+        return _STATUS_VALUES
+    if name in ("region",):
+        return ["north", "south", "east", "west", "central"]
+    if name == "notes_code":
+        return [f"N-{i:03d}" for i in range(1, 30)]
+    return [f"{column.name}_{i}" for i in range(1, 25)]
+
+
+def sample_value(
+    rng: random.Random,
+    domain: DomainSpec,
+    table: Table,
+    column: Column,
+    row_index: int,
+) -> object:
+    """Sample one cell value for ``column`` in ``table``."""
+    if column.is_primary_key:
+        return row_index + 1
+    if column.col_type == ColumnType.TEXT:
+        pool = text_pool(domain, table, column)
+        value = pool[rng.randrange(len(pool))]
+        if column.name.lower() == "name" and rng.random() < 0.15:
+            # A slice of unique long-tail names so that equality filters are
+            # selective and LIKE patterns have realistic variety.
+            value = f"{value} {row_index % 97}"
+        return value
+    if column.col_type == ColumnType.DATE:
+        return _DATES[rng.randrange(len(_DATES))]
+    if column.col_type == ColumnType.BOOLEAN:
+        return rng.randrange(2)
+    low, high = numeric_range(column.name)
+    if column.col_type == ColumnType.INTEGER:
+        return rng.randrange(int(low), int(high) + 1)
+    return round(rng.uniform(low, high), 2)

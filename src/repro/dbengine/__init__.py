@@ -1,0 +1,15 @@
+"""SQLite-backed database engine: materialization, safe execution, timing."""
+
+from repro.dbengine.database import Database
+from repro.dbengine.executor import ExecutionResult, execute_sql, results_match
+from repro.dbengine.timing import TimedExecution, timed_execute, ves_ratio
+
+__all__ = [
+    "Database",
+    "ExecutionResult",
+    "execute_sql",
+    "results_match",
+    "TimedExecution",
+    "timed_execute",
+    "ves_ratio",
+]

@@ -1,0 +1,105 @@
+"""A populated SQLite database bound to a :class:`DatabaseSchema`.
+
+``Database`` owns a SQLite connection (in-memory by default, or file-backed
+for persistence), materializes the schema's DDL, bulk-loads rows, and
+offers value lookups used by BRIDGE-style DB-content matching.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.errors import ExecutionError, SchemaError
+from repro.schema.ddl import render_schema_ddl
+from repro.schema.model import ColumnType, DatabaseSchema
+
+
+class Database:
+    """A live SQLite database plus its in-memory schema model."""
+
+    def __init__(self, schema: DatabaseSchema, path: str | Path | None = None) -> None:
+        self.schema = schema
+        self._path = str(path) if path is not None else ":memory:"
+        self.connection = sqlite3.connect(self._path)
+        self.connection.execute("PRAGMA foreign_keys = ON")
+        self._create_tables()
+        self._value_cache: dict[tuple[str, str], list[object]] = {}
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _create_tables(self) -> None:
+        existing = {
+            row[0]
+            for row in self.connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        if existing:
+            return  # file-backed database already materialized
+        ddl = render_schema_ddl(self.schema)
+        self.connection.executescript(ddl.replace(")\n\nCREATE", ");\n\nCREATE") + ";")
+        self.connection.commit()
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def db_id(self) -> str:
+        return self.schema.db_id
+
+    # -- loading --------------------------------------------------------
+
+    def insert_rows(self, table_name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-insert rows into ``table_name``; returns the row count."""
+        if not self.schema.has_table(table_name):
+            raise SchemaError(f"unknown table {table_name!r}")
+        columns = self.schema.table(table_name).columns
+        placeholders = ", ".join("?" for __ in columns)
+        column_names = ", ".join(column.name for column in columns)
+        sql = f"INSERT INTO {table_name} ({column_names}) VALUES ({placeholders})"
+        rows = list(rows)
+        try:
+            self.connection.executemany(sql, rows)
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"insert into {table_name} failed: {exc}", sql) from exc
+        self.connection.commit()
+        self._value_cache.clear()
+        return len(rows)
+
+    def row_count(self, table_name: str) -> int:
+        cursor = self.connection.execute(f"SELECT COUNT(*) FROM {table_name}")
+        return int(cursor.fetchone()[0])
+
+    # -- content access (BRIDGE-style value matching) --------------------
+
+    def column_values(self, table_name: str, column_name: str, limit: int = 2000) -> list[object]:
+        """Return distinct values of a column (cached)."""
+        key = (table_name.lower(), column_name.lower())
+        if key not in self._value_cache:
+            cursor = self.connection.execute(
+                f"SELECT DISTINCT {column_name} FROM {table_name} LIMIT {int(limit)}"
+            )
+            self._value_cache[key] = [row[0] for row in cursor.fetchall()]
+        return self._value_cache[key]
+
+    def text_columns(self) -> list[tuple[str, str]]:
+        """Return (table, column) pairs for text-typed columns."""
+        return [
+            (table.name, column.name)
+            for table in self.schema.tables
+            for column in table.columns
+            if column.col_type in (ColumnType.TEXT, ColumnType.DATE)
+        ]
+
+    def sample_values(self, table_name: str, column_name: str, count: int = 3) -> list[object]:
+        """Return up to ``count`` example values for prompt comments."""
+        values = self.column_values(table_name, column_name)
+        return values[:count]

@@ -1,0 +1,132 @@
+"""Safe SQL execution and execution-accuracy result comparison.
+
+Execution Accuracy (EX) — the paper's headline metric — holds when the
+predicted query's *result set* equals the gold query's result set.
+Following the Spider evaluation, comparison is order-insensitive unless
+the gold query has an ORDER BY clause, and float values are compared with
+a small tolerance.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+
+from repro.dbengine.database import Database
+from repro.errors import ExecutionError, ExecutionTimeout
+
+_FLOAT_TOLERANCE = 1e-6
+_DEFAULT_MAX_ROWS = 100_000
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one SQL query."""
+
+    rows: list[tuple] = field(default_factory=list)
+    error: str | None = None
+    sql: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def execute_sql(
+    database: Database,
+    sql: str,
+    max_rows: int = _DEFAULT_MAX_ROWS,
+    timeout_ms: int | None = 2_000,
+) -> ExecutionResult:
+    """Execute ``sql`` read-only and return rows or a captured error.
+
+    A progress-handler based interrupt bounds runaway queries; errors are
+    captured in the result rather than raised so that evaluation loops can
+    score failing predictions as simply incorrect.
+    """
+    connection = database.connection
+    if timeout_ms is not None:
+        budget = {"ticks": max(timeout_ms, 1) * 500}
+
+        def _tick() -> int:
+            budget["ticks"] -= 1
+            return 1 if budget["ticks"] <= 0 else 0
+
+        connection.set_progress_handler(_tick, 1_000)
+    try:
+        cursor = connection.execute(sql)
+        rows = cursor.fetchmany(max_rows + 1)
+        if len(rows) > max_rows:
+            rows = rows[:max_rows]
+        return ExecutionResult(rows=[tuple(row) for row in rows], sql=sql)
+    except sqlite3.OperationalError as exc:
+        if "interrupted" in str(exc).lower():
+            return ExecutionResult(error=f"timeout: {exc}", sql=sql)
+        return ExecutionResult(error=str(exc), sql=sql)
+    except sqlite3.Error as exc:
+        return ExecutionResult(error=str(exc), sql=sql)
+    finally:
+        if timeout_ms is not None:
+            connection.set_progress_handler(None, 0)
+
+
+def execute_sql_strict(database: Database, sql: str, **kwargs: object) -> ExecutionResult:
+    """Like :func:`execute_sql` but raises on failure."""
+    result = execute_sql(database, sql, **kwargs)  # type: ignore[arg-type]
+    if not result.ok:
+        if result.error and result.error.startswith("timeout"):
+            raise ExecutionTimeout(result.error, sql)
+        raise ExecutionError(result.error or "unknown execution error", sql)
+    return result
+
+
+def _normalize_cell(value: object) -> object:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        return round(value, 6)
+    return value
+
+
+def _normalize_rows(rows: list[tuple], ordered: bool) -> list[tuple]:
+    normalized = [tuple(_normalize_cell(cell) for cell in row) for row in rows]
+    if ordered:
+        return normalized
+    return sorted(normalized, key=repr)
+
+
+def results_match(
+    predicted: ExecutionResult,
+    gold: ExecutionResult,
+    order_matters: bool = False,
+) -> bool:
+    """Return True iff both executions succeeded and produce equal results."""
+    if not predicted.ok or not gold.ok:
+        return False
+    if len(predicted.rows) != len(gold.rows):
+        return False
+    left = _normalize_rows(predicted.rows, order_matters)
+    right = _normalize_rows(gold.rows, order_matters)
+    if left == right:
+        return True
+    return _match_with_tolerance(left, right)
+
+
+def _match_with_tolerance(left: list[tuple], right: list[tuple]) -> bool:
+    if len(left) != len(right):
+        return False
+    for row_a, row_b in zip(left, right):
+        if len(row_a) != len(row_b):
+            return False
+        for cell_a, cell_b in zip(row_a, row_b):
+            if isinstance(cell_a, (int, float)) and isinstance(cell_b, (int, float)):
+                if abs(float(cell_a) - float(cell_b)) > _FLOAT_TOLERANCE:
+                    return False
+            elif cell_a != cell_b:
+                return False
+    return True

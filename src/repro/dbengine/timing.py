@@ -1,0 +1,54 @@
+"""Timed execution for the Valid Efficiency Score (VES).
+
+BIRD's VES weighs each correctly-answered example by
+``sqrt(T_gold / T_pred)`` — the relative runtime of the ground-truth query
+versus the predicted query.  We time repeated executions with
+``time.perf_counter`` and take the median to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.dbengine.database import Database
+from repro.dbengine.executor import ExecutionResult, execute_sql
+
+
+@dataclass(frozen=True)
+class TimedExecution:
+    """An execution result plus its median wall-clock runtime in seconds."""
+
+    result: ExecutionResult
+    seconds: float
+
+
+def timed_execute(
+    database: Database,
+    sql: str,
+    repeats: int = 3,
+    timeout_ms: int | None = 2_000,
+) -> TimedExecution:
+    """Execute ``sql`` ``repeats`` times; return result and median runtime."""
+    # Warm-up run: puts pages in SQLite's cache so the timed runs below
+    # compare plans, not cold-cache effects.
+    result = execute_sql(database, sql, timeout_ms=timeout_ms)
+    if not result.ok:
+        return TimedExecution(result=result, seconds=1e-9)
+    timings: list[float] = []
+    for __ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = execute_sql(database, sql, timeout_ms=timeout_ms)
+        timings.append(time.perf_counter() - start)
+        if not result.ok:
+            break
+    # Minimum is the standard noise-robust estimator for micro timings.
+    return TimedExecution(result=result, seconds=max(min(timings), 1e-9))
+
+
+def ves_ratio(gold_seconds: float, predicted_seconds: float) -> float:
+    """BIRD's per-example efficiency weight: sqrt(T_gold / T_pred)."""
+    gold_seconds = max(gold_seconds, 1e-9)
+    predicted_seconds = max(predicted_seconds, 1e-9)
+    return math.sqrt(gold_seconds / predicted_seconds)

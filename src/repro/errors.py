@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Sub-hierarchies
+mirror the subsystems: SQL parsing, database execution, data generation,
+model simulation, and evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL toolkit errors."""
+
+
+class SQLTokenizeError(SQLError):
+    """Raised when the SQL tokenizer encounters an invalid character."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class SQLParseError(SQLError):
+    """Raised when the SQL parser cannot build an AST."""
+
+
+class NatSQLError(SQLError):
+    """Raised when a query cannot be represented in (or decoded from) NatSQL."""
+
+
+class SchemaError(ReproError):
+    """Raised for inconsistent schema definitions (duplicate names, bad FKs)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when executing SQL against a database fails."""
+
+    def __init__(self, message: str, sql: str = "") -> None:
+        super().__init__(message)
+        self.sql = sql
+
+
+class ExecutionTimeout(ExecutionError):
+    """Raised when a query exceeds its execution time budget."""
+
+
+class DataGenerationError(ReproError):
+    """Raised when synthetic benchmark generation hits an invalid state."""
+
+
+class ModelError(ReproError):
+    """Raised for simulated language model misuse (e.g. fine-tuning an API model)."""
+
+
+class EvaluationError(ReproError):
+    """Raised for invalid evaluation configurations."""
+
+
+class DesignSpaceError(ReproError):
+    """Raised for invalid design-space configurations in NL2SQL360-AAS."""

@@ -1,0 +1,27 @@
+"""Extensions implementing the paper's §6 research opportunities.
+
+* :mod:`query_rewriter` — clarify ambiguous/underspecified NL queries.
+* :mod:`debugger` — diagnose mismatches between a question and a
+  predicted SQL query (the "NL2SQL Debugger").
+* :mod:`interpreter` — explain a SQL query back in natural language
+  ("SQL and Query Results Interpretation").
+* :mod:`augmentation` — adaptive training-data generation driven by
+  evaluation feedback.
+"""
+
+from repro.extensions.query_rewriter import RewriteResult, rewrite_question
+from repro.extensions.debugger import Diagnosis, diagnose
+from repro.extensions.interpreter import explain_sql, explain_results
+from repro.extensions.augmentation import AugmentationPlan, plan_augmentation, generate_examples
+
+__all__ = [
+    "RewriteResult",
+    "rewrite_question",
+    "Diagnosis",
+    "diagnose",
+    "explain_sql",
+    "explain_results",
+    "AugmentationPlan",
+    "plan_augmentation",
+    "generate_examples",
+]

@@ -1,0 +1,141 @@
+"""Adaptive training-data generation (paper §6).
+
+"The key idea is that we dynamically synthesize (NL, SQL) pairs ...
+utilizing insights gained from NL2SQL performance evaluations."
+
+:func:`plan_augmentation` inspects a method's evaluation records and
+identifies where it is weak — which SQL shapes and which domains — and
+:func:`generate_examples` synthesizes new training pairs concentrated on
+exactly those weaknesses, using the same intent grammar as the benchmark
+builder (with fresh RNG streams, so new pairs never duplicate benchmark
+examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import MethodReport
+from repro.datagen.benchmark import Dataset, Example
+from repro.datagen.intent_gen import IntentSampler
+from repro.datagen.intents import IntentShape
+from repro.datagen.nl_render import render_intent_nl
+from repro.datagen.sql_render import render_intent_sql
+from repro.dbengine.executor import execute_sql
+from repro.errors import DataGenerationError
+from repro.sqlkit.hardness import classify_bird_difficulty, classify_hardness
+from repro.utils.rng import derive_rng
+
+# Feature flags -> the intent shapes that exercise them.
+_SHAPES_FOR_WEAKNESS = {
+    "subquery": (IntentShape.SUBQUERY_CMP_AGG, IntentShape.SUBQUERY_IN,
+                 IntentShape.SUBQUERY_NOT_IN, IntentShape.EXTREME),
+    "join": (IntentShape.JOIN_PROJECT, IntentShape.JOIN_GROUP),
+    "logical_connector": (IntentShape.PROJECT, IntentShape.SET_OP),
+    "order_by": (IntentShape.ORDER_TOP,),
+    "general": tuple(IntentShape),
+}
+
+
+@dataclass(frozen=True)
+class AugmentationPlan:
+    """Where to focus new training data."""
+
+    weaknesses: tuple[str, ...]              # ordered, worst first
+    weak_domains: tuple[str, ...]            # domains below average EX
+    per_weakness_accuracy: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def target_shapes(self) -> tuple[IntentShape, ...]:
+        shapes: list[IntentShape] = []
+        for weakness in self.weaknesses or ("general",):
+            for shape in _SHAPES_FOR_WEAKNESS.get(weakness, ()):
+                if shape not in shapes:
+                    shapes.append(shape)
+        return tuple(shapes or _SHAPES_FOR_WEAKNESS["general"])
+
+
+def plan_augmentation(
+    report: MethodReport, weakness_margin: float = 5.0
+) -> AugmentationPlan:
+    """Identify the method's weak characteristics and domains."""
+    overall = report.ex
+    accuracy: dict[str, float] = {}
+    for name, flag in (
+        ("subquery", "has_subquery"),
+        ("join", "has_join"),
+        ("logical_connector", "has_logical_connector"),
+        ("order_by", "has_order_by"),
+    ):
+        subset = report.subset(lambda r, f=flag: getattr(r, f))
+        if len(subset) >= 3:
+            accuracy[name] = subset.ex
+    weaknesses = sorted(
+        (name for name, ex in accuracy.items() if ex < overall - weakness_margin),
+        key=lambda name: accuracy[name],
+    )
+    domains = sorted({r.domain for r in report.records})
+    weak_domains = tuple(
+        domain
+        for domain in domains
+        if len(report.by_domain(domain)) >= 3
+        and report.by_domain(domain).ex < overall - weakness_margin
+    )
+    return AugmentationPlan(
+        weaknesses=tuple(weaknesses),
+        weak_domains=weak_domains,
+        per_weakness_accuracy=accuracy,
+    )
+
+
+def generate_examples(
+    plan: AugmentationPlan,
+    dataset: Dataset,
+    count: int,
+    seed: int = 1_000_003,
+) -> list[Example]:
+    """Synthesize ``count`` new training pairs targeting the plan.
+
+    Uses training-split databases (preferring the plan's weak domains) so
+    the new pairs are valid fine-tuning data for the same benchmark.
+    """
+    train_dbs = sorted({e.db_id for e in dataset.train_examples})
+    if not train_dbs:
+        train_dbs = sorted(dataset.databases)
+    preferred = [
+        db_id for db_id in train_dbs
+        if dataset.databases[db_id].schema.domain in plan.weak_domains
+    ] or train_dbs
+
+    rng = derive_rng(seed, "augment")
+    shapes = plan.target_shapes
+    examples: list[Example] = []
+    attempts = 0
+    while len(examples) < count and attempts < count * 15:
+        attempts += 1
+        db_id = preferred[rng.randrange(len(preferred))]
+        database = dataset.databases[db_id]
+        sampler = IntentSampler(database, rng)
+        shape = shapes[rng.randrange(len(shapes))]
+        try:
+            intent = sampler.sample(shape)
+            gold_sql = render_intent_sql(intent, database.schema)
+            question = render_intent_nl(intent, database.schema)
+        except DataGenerationError:
+            continue
+        if not execute_sql(database, gold_sql).ok:
+            continue
+        index = len(examples)
+        examples.append(Example(
+            example_id=f"augment-{index}",
+            db_id=db_id,
+            domain=database.schema.domain,
+            question=question,
+            gold_sql=gold_sql,
+            hardness=classify_hardness(gold_sql),
+            bird_difficulty=classify_bird_difficulty(gold_sql),
+            split="train",
+            variant_group=f"augment-{index}",
+            intent=intent,
+        ))
+    return examples

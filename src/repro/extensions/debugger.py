@@ -1,0 +1,132 @@
+"""NL2SQL Debugger: diagnose question/SQL mismatches (paper §6).
+
+Given a question, a predicted SQL query, and the database, produce a
+structured diagnosis:
+
+1. **syntax** — does the SQL parse?
+2. **schema** — does it reference only real tables/columns (PICARD gate)?
+3. **execution** — does it run, and does it return anything?
+4. **intent alignment** — parse the question with the reference NLU and
+   compare structural features (aggregation, grouping, ordering, joins,
+   nesting) between what the question asks and what the SQL does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datagen.intents import Aggregate, QueryIntent
+from repro.dbengine.database import Database
+from repro.dbengine.executor import execute_sql
+from repro.errors import ReproError
+from repro.nlu.intent_parser import IntentParser, NLUParseError
+from repro.sqlkit.features import extract_features
+from repro.sqlkit.picard import PicardChecker
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Structured outcome of one debugging pass."""
+
+    question: str
+    sql: str
+    parses: bool
+    schema_issues: tuple[str, ...] = field(default_factory=tuple)
+    executes: bool = False
+    returns_rows: bool = False
+    execution_error: str | None = None
+    alignment_issues: tuple[str, ...] = field(default_factory=tuple)
+    intent_parsed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.parses
+            and not self.schema_issues
+            and self.executes
+            and not self.alignment_issues
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            return "no issues detected"
+        issues: list[str] = []
+        if not self.parses:
+            issues.append("SQL does not parse")
+        issues.extend(self.schema_issues)
+        if self.parses and not self.executes:
+            issues.append(f"execution failed: {self.execution_error}")
+        issues.extend(self.alignment_issues)
+        return "; ".join(issues)
+
+
+def _intent_expectations(intent: QueryIntent) -> dict[str, bool]:
+    return {
+        "aggregation": intent.aggregate != Aggregate.NONE,
+        "grouping": intent.group_by is not None,
+        "ordering": intent.order is not None,
+        "join": intent.has_join,
+        "nesting": intent.has_subquery,
+    }
+
+
+def _sql_observations(sql: str) -> dict[str, bool] | None:
+    try:
+        features = extract_features(sql)
+    except ReproError:
+        return None
+    return {
+        "aggregation": features.num_aggregates > 0,
+        "grouping": features.has_group_by,
+        "ordering": features.has_order_by,
+        "join": features.has_join,
+        "nesting": features.has_subquery,
+    }
+
+
+def diagnose(question: str, sql: str, database: Database) -> Diagnosis:
+    """Run the full diagnostic battery for one (question, SQL) pair."""
+    checker = PicardChecker(database.schema)
+    violations = checker.violations(sql)
+    parses = not any(v.startswith(("parse error", "tokenize error")) for v in violations)
+    schema_issues = tuple(
+        v for v in violations if not v.startswith(("parse error", "tokenize error"))
+    )
+
+    executes = False
+    returns_rows = False
+    execution_error: str | None = None
+    if parses:
+        result = execute_sql(database, sql)
+        executes = result.ok
+        returns_rows = bool(result.rows)
+        execution_error = result.error
+
+    alignment: list[str] = []
+    intent_parsed = False
+    observations = _sql_observations(sql) if parses else None
+    try:
+        intent = IntentParser(database.schema).parse(question)
+        intent_parsed = True
+    except (NLUParseError, ReproError):
+        intent = None
+    if intent is not None and observations is not None:
+        expectations = _intent_expectations(intent)
+        for aspect, expected in expectations.items():
+            observed = observations[aspect]
+            if expected and not observed:
+                alignment.append(f"question asks for {aspect} but the SQL has none")
+            elif observed and not expected and aspect in ("grouping", "nesting"):
+                alignment.append(f"SQL introduces {aspect} the question did not ask for")
+
+    return Diagnosis(
+        question=question,
+        sql=sql,
+        parses=parses,
+        schema_issues=schema_issues,
+        executes=executes,
+        returns_rows=returns_rows,
+        execution_error=execution_error,
+        alignment_issues=tuple(alignment),
+        intent_parsed=intent_parsed,
+    )

@@ -1,0 +1,171 @@
+"""SQL and query-result interpretation (paper §6).
+
+``explain_sql`` walks a parsed query and produces a clause-by-clause
+English explanation; ``explain_results`` summarizes an execution result.
+Together they implement the "interpret the query results back to the NL
+query" opportunity: a user can read what the generated SQL actually does
+before trusting it.
+"""
+
+from __future__ import annotations
+
+from repro.dbengine.executor import ExecutionResult
+from repro.sqlkit.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    NotExpr,
+    SelectStatement,
+    Star,
+    Subquery,
+)
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.printer import render_expr
+from repro.utils.text import normalize_identifier
+
+_OP_WORDS = {
+    "=": "equals",
+    "!=": "is not",
+    ">": "is greater than",
+    "<": "is less than",
+    ">=": "is at least",
+    "<=": "is at most",
+}
+
+_AGG_WORDS = {
+    "count": "the number of",
+    "sum": "the total",
+    "avg": "the average",
+    "min": "the smallest",
+    "max": "the largest",
+}
+
+
+def _phrase(expr: Expr) -> str:
+    if isinstance(expr, Star):
+        return "all columns"
+    if isinstance(expr, ColumnRef):
+        return normalize_identifier(expr.column)
+    if isinstance(expr, Literal):
+        return repr(expr.value) if isinstance(expr.value, str) else str(expr.value)
+    if isinstance(expr, FuncCall) and expr.is_aggregate:
+        inner = _phrase(expr.args[0]) if expr.args else "rows"
+        if expr.name == "count" and expr.args and isinstance(expr.args[0], Star):
+            inner = "rows"
+        distinct = "distinct " if expr.distinct else ""
+        return f"{_AGG_WORDS[expr.name]} {distinct}{inner}"
+    return render_expr(expr)
+
+
+def _condition_phrase(expr: Expr) -> str:
+    if isinstance(expr, BooleanOp):
+        joiner = f" {expr.op} "
+        return joiner.join(_condition_phrase(op) for op in expr.operands)
+    if isinstance(expr, NotExpr):
+        return f"not ({_condition_phrase(expr.operand)})"
+    if isinstance(expr, BinaryOp) and expr.op in _OP_WORDS:
+        if isinstance(expr.right, Subquery):
+            return (
+                f"{_phrase(expr.left)} {_OP_WORDS[expr.op]} the result of "
+                f"a subquery ({_subquery_phrase(expr.right.select)})"
+            )
+        return f"{_phrase(expr.left)} {_OP_WORDS[expr.op]} {_phrase(expr.right)}"
+    if isinstance(expr, LikeExpr):
+        negation = "does not match" if expr.negated else "matches"
+        return f"{_phrase(expr.operand)} {negation} the pattern {_phrase(expr.pattern)}"
+    if isinstance(expr, BetweenExpr):
+        negation = "is not" if expr.negated else "is"
+        return (
+            f"{_phrase(expr.operand)} {negation} between {_phrase(expr.low)} "
+            f"and {_phrase(expr.high)}"
+        )
+    if isinstance(expr, IsNullExpr):
+        return f"{_phrase(expr.operand)} is {'not ' if expr.negated else ''}missing"
+    if isinstance(expr, InExpr):
+        negation = "is not" if expr.negated else "is"
+        if expr.subquery is not None:
+            return (
+                f"{_phrase(expr.operand)} {negation} among the results of "
+                f"a subquery ({_subquery_phrase(expr.subquery.select)})"
+            )
+        values = ", ".join(_phrase(v) for v in expr.values)
+        return f"{_phrase(expr.operand)} {negation} one of: {values}"
+    if isinstance(expr, Exists):
+        negation = "no" if expr.negated else "at least one"
+        return f"there exists {negation} matching row in ({_subquery_phrase(expr.subquery.select)})"
+    return render_expr(expr)
+
+
+def _subquery_phrase(statement: SelectStatement) -> str:
+    target = ", ".join(_phrase(item.expr) for item in statement.select_items)
+    table = statement.from_clause.base.name if statement.from_clause else "nothing"
+    phrase = f"{target} from {normalize_identifier(table)}"
+    if statement.where is not None:
+        phrase += f" where {_condition_phrase(statement.where)}"
+    return phrase
+
+
+def explain_sql(sql: str | SelectStatement) -> list[str]:
+    """Explain a query clause by clause; returns one sentence per clause."""
+    statement = sql if isinstance(sql, SelectStatement) else parse_select(sql)
+    lines: list[str] = []
+
+    targets = ", ".join(_phrase(item.expr) for item in statement.select_items)
+    distinct = "distinct " if statement.distinct else ""
+    if statement.from_clause is not None:
+        tables = [normalize_identifier(t.name) for t in statement.from_clause.tables]
+        if len(tables) == 1:
+            lines.append(f"Report the {distinct}{targets} from {tables[0]}.")
+        else:
+            joined = ", ".join(tables)
+            lines.append(
+                f"Combine {joined} through their key relationships and report "
+                f"the {distinct}{targets}."
+            )
+    else:
+        lines.append(f"Compute {targets}.")
+
+    if statement.where is not None:
+        lines.append(f"Keep only rows where {_condition_phrase(statement.where)}.")
+    if statement.group_by:
+        keys = ", ".join(_phrase(expr) for expr in statement.group_by)
+        lines.append(f"Group the rows by {keys}.")
+    if statement.having is not None:
+        lines.append(f"Keep only groups where {_condition_phrase(statement.having)}.")
+    if statement.order_by:
+        parts = [
+            f"{_phrase(item.expr)} ({'descending' if item.direction == 'desc' else 'ascending'})"
+            for item in statement.order_by
+        ]
+        lines.append(f"Sort the answer by {', '.join(parts)}.")
+    if statement.limit is not None:
+        lines.append(f"Return only the first {statement.limit} row(s).")
+    if statement.set_operation is not None:
+        op_word = {
+            "union": "combined with", "union all": "concatenated with",
+            "intersect": "intersected with", "except": "minus",
+        }[statement.set_operation.op]
+        lines.append(
+            f"The result is {op_word} another query: "
+            f"{_subquery_phrase(statement.set_operation.right)}."
+        )
+    return lines
+
+
+def explain_results(result: ExecutionResult, max_preview: int = 3) -> str:
+    """One-line interpretation of an execution result."""
+    if not result.ok:
+        return f"The query failed to execute: {result.error}"
+    if not result.rows:
+        return "The query executed but returned no rows."
+    preview = ", ".join(str(row) for row in result.rows[:max_preview])
+    suffix = "" if len(result.rows) <= max_preview else ", ..."
+    return f"The query returned {len(result.rows)} row(s): {preview}{suffix}"

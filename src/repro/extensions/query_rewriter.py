@@ -1,0 +1,82 @@
+"""Query Rewriter: clarify NL questions before translation (paper §6).
+
+The paper proposes automatically refining user queries to remove
+ambiguity.  This implementation canonicalizes phrasing through the full
+lexicon, flags the ambiguities it can detect against the schema
+(column phrases matching multiple tables equally well, unresolved rare
+phrasings), and reports how confident a downstream parser should be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nlu.lexicon import Lexicon
+from repro.nlu.linker import SchemaLinker
+from repro.schema.model import DatabaseSchema
+from repro.utils.text import tokenize_words
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of rewriting one question."""
+
+    original: str
+    rewritten: str
+    changed: bool
+    ambiguities: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def is_ambiguous(self) -> bool:
+        return bool(self.ambiguities)
+
+
+def _ambiguous_column_phrases(
+    question: str, schema: DatabaseSchema, margin: float = 0.06
+) -> list[str]:
+    """Noun phrases that link to two different tables nearly equally well."""
+    linker = SchemaLinker(schema)
+    tokens = tokenize_words(question)
+    flagged: list[str] = []
+    # Examine 1- and 2-token windows as candidate column phrases.
+    windows = set(tokens) | {
+        f"{a} {b}" for a, b in zip(tokens, tokens[1:])
+    }
+    for phrase in sorted(windows):
+        ranked = linker.rank_columns(phrase)
+        if len(ranked) < 2:
+            continue
+        top, runner = ranked[0], ranked[1]
+        if top.score < 0.75:
+            continue
+        same_column_name = top.column.name.lower() == runner.column.name.lower()
+        different_table = top.table.name.lower() != runner.table.name.lower()
+        if same_column_name and different_table and top.score - runner.score < margin:
+            flagged.append(
+                f"phrase {phrase!r} matches both {top.table.name}.{top.column.name} "
+                f"and {runner.table.name}.{runner.column.name}"
+            )
+    return flagged
+
+
+def rewrite_question(
+    question: str,
+    schema: DatabaseSchema,
+    lexicon: Lexicon | None = None,
+) -> RewriteResult:
+    """Rewrite ``question`` into canonical phrasing and flag ambiguities."""
+    lexicon = lexicon or Lexicon.full()
+    normalized = lexicon.normalize(question)
+    # Restore sentence case for presentation.
+    rewritten = normalized[0].upper() + normalized[1:] if normalized else normalized
+    ambiguities = _ambiguous_column_phrases(question, schema)
+    unresolved = Lexicon.with_coverage(set()).unresolved_hard_phrases(normalized)
+    for phrase in unresolved:
+        if phrase in normalized:
+            ambiguities.append(f"rare phrasing {phrase!r} kept after rewriting")
+    return RewriteResult(
+        original=question,
+        rewritten=rewritten,
+        changed=rewritten.lower() != question.strip().lower(),
+        ambiguities=tuple(ambiguities),
+    )

@@ -1,0 +1,470 @@
+"""The generation error model.
+
+Given the intent a model's NLU recovered, this module decides which
+realistic mistakes the model makes while rendering SQL — dropped
+subqueries, missed joins, near-miss columns, wrong literals, flipped
+operators — with probabilities driven by the model's capability profile,
+its fine-tuning state, and what the prompt contains.
+
+Every mechanism maps to a paper finding:
+
+* subquery drops scale with (1 - reasoning) → Finding 2;
+* join errors scale with (1 - schema), are reduced by schema-linking
+  prompts, and are *eliminated* by the NatSQL IR → Finding 4;
+* value errors collapse when the prompt includes DB content samples
+  (BRIDGE-style) → SuperSQL's design;
+* everything shrinks with fine-tuning (Findings 1, 12) and with
+  high-quality few-shot examples (DAIL-SQL's selection).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datagen.intents import (
+    Aggregate,
+    ColumnSel,
+    Filter,
+    IntentShape,
+    OrderSpec,
+    QueryIntent,
+)
+from repro.dbengine.database import Database
+from repro.llm.profile import FineTuneState, ModelProfile
+from repro.llm.prompt import PromptFeatures
+from repro.nlu.linker import SchemaLinker
+from repro.schema.model import DatabaseSchema
+
+# Base rates: probability of each error class for a hypothetical
+# zero-capability model with a bare prompt.  Effective rates multiply by
+# (1 - relevant capability) and contextual modifiers.
+BASE_RATES = {
+    "drop_subquery": 0.85,
+    "join_error": 0.75,
+    "column_error": 0.52,
+    "value_error": 0.60,
+    "op_error": 0.24,
+    "agg_error": 0.32,
+    "connector_error": 0.38,
+    "order_error": 0.33,
+    "having_error": 0.45,
+    "distinct_error": 0.22,
+    "syntax_error": 0.30,
+}
+
+
+@dataclass
+class CorruptionContext:
+    """Everything the corruption sampler needs for one generation."""
+
+    schema: DatabaseSchema
+    database: Database | None
+    profile: ModelProfile
+    features: PromptFeatures
+    finetune: FineTuneState | None = None
+    domain: str | None = None
+    temperature: float = 0.0
+    uses_natsql: bool = False
+    decomposed: bool = False     # multi-step staging (decompose/skeleton)
+    overdecompose: bool = False  # DIN-style decomposition of simple questions
+    errors: list[str] = field(default_factory=list)
+
+
+def _cap(context: CorruptionContext, skill: str) -> float:
+    return context.profile.capability(skill, context.finetune, context.domain)
+
+
+def error_rates(context: CorruptionContext, intent: QueryIntent) -> dict[str, float]:
+    """Effective per-class error probabilities for this generation."""
+    reasoning = _cap(context, "reasoning")
+    schema_skill = _cap(context, "schema")
+    precision = _cap(context, "precision")
+
+    features = context.features
+    fewshot_relief = 1.0 - 0.45 * features.few_shot_quality
+    temperature_penalty = 1.0 + 0.6 * context.temperature
+
+    rates: dict[str, float] = {}
+
+    subquery_rate = BASE_RATES["drop_subquery"] * (1.0 - reasoning)
+    if context.decomposed:
+        subquery_rate *= 0.55  # DIN-SQL's sub-question decomposition
+    rates["drop_subquery"] = subquery_rate * fewshot_relief
+
+    join_rate = BASE_RATES["join_error"] * (1.0 - schema_skill)
+    if features.schema_tables is not None:
+        join_rate *= 0.55  # pruned schema removes distractor tables
+    if context.uses_natsql:
+        join_rate = 0.0  # join path reconstructed from FKs at decode time
+    rates["join_error"] = join_rate * fewshot_relief
+
+    column_rate = BASE_RATES["column_error"] * (1.0 - schema_skill)
+    if features.schema_tables is not None:
+        column_rate *= 0.60
+    rates["column_error"] = column_rate * fewshot_relief
+
+    value_rate = BASE_RATES["value_error"] * (1.0 - precision)
+    if features.db_content is not None:
+        value_rate *= 0.22  # literal copied from the prompt's value samples
+    rates["value_error"] = value_rate
+
+    rates["op_error"] = BASE_RATES["op_error"] * (1.0 - precision)
+    rates["agg_error"] = BASE_RATES["agg_error"] * (1.0 - precision) * fewshot_relief
+    rates["connector_error"] = BASE_RATES["connector_error"] * (1.0 - precision)
+    rates["order_error"] = BASE_RATES["order_error"] * (1.0 - precision) * fewshot_relief
+    rates["having_error"] = BASE_RATES["having_error"] * (1.0 - reasoning)
+    rates["distinct_error"] = BASE_RATES["distinct_error"] * (1.0 - precision)
+
+    # Every additional clause is another chance to slip: value/operator
+    # rates grow with the number of predicates, column rates with the
+    # number of referenced columns.  This is what makes Extra-hard queries
+    # genuinely harder than Easy ones (paper Tables 3-4 monotonicity).
+    filter_sites = len(intent.filters)
+    if intent.subquery is not None and intent.subquery.inner_filter is not None:
+        filter_sites += 1
+    if filter_sites > 1:
+        growth = 1.0 + 0.40 * (filter_sites - 1)
+        rates["value_error"] *= growth
+        rates["op_error"] *= growth
+    column_sites = (
+        len(intent.projection)
+        + len(intent.filters)
+        + (1 if intent.group_by is not None else 0)
+        + (1 if intent.agg_column is not None and not intent.agg_column.is_star else 0)
+    )
+    if column_sites > 1:
+        rates["column_error"] *= 1.0 + 0.22 * (column_sites - 1)
+
+    syntax_rate = BASE_RATES["syntax_error"] * (1.0 - precision)
+    if not features.sql_style:
+        syntax_rate *= 1.5
+    rates["syntax_error"] = syntax_rate
+
+    # Decomposition is a double-edged sword (paper Table 3: DIN-SQL wins
+    # on Extra-hard but trails DAIL-SQL on Medium): splitting a simple
+    # question into sub-problems introduces propagation errors.
+    if context.overdecompose and intent.subquery is None and intent.set_op is None:
+        rates["column_error"] += 0.040
+        rates["value_error"] += 0.035
+
+    # BIRD-style ambient difficulty: messier schemas and questions whose
+    # answers need external knowledge.  All error classes inflate, and an
+    # extra knowledge-gap channel opens that reasoning (GPT-4), in-context
+    # examples (DAIL-SQL), and dataset fine-tuning (CodeS) each mitigate --
+    # reproducing Table 4's ordering.
+    ambient = context.schema.ambient_difficulty
+    if ambient > 0:
+        inflation = 1.0 + 0.55 * ambient
+        rates = {name: rate * inflation for name, rate in rates.items()}
+        # World knowledge comes from pre-training, not from NL2SQL pairs:
+        # the gap scales with the backbone's *base* reasoning, while
+        # dataset fine-tuning only relieves the dataset-specific part.
+        base_reasoning = context.profile.reasoning
+        knowledge = 0.60 * ambient * (1.0 - 0.45 * base_reasoning)
+        knowledge *= 1.0 - 0.25 * features.few_shot_quality
+        if context.finetune is not None:
+            knowledge *= 1.0 - 0.55 * context.finetune.boost
+        if intent.has_subquery:
+            # BIRD's knowledge-heavy questions are typically the nested
+            # ones (derived metrics, evidence-dependent conditions).
+            knowledge *= 1.45
+            rates["drop_subquery"] *= 1.35
+        rates["knowledge_error"] = knowledge
+
+    return {name: min(rate * temperature_penalty, 0.97) for name, rate in rates.items()}
+
+
+
+class CorruptionSampler:
+    """Applies sampled error classes to an intent."""
+
+    def __init__(self, context: CorruptionContext, rng: random.Random) -> None:
+        self.context = context
+        self.rng = rng
+        self.linker = SchemaLinker(context.schema)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _distractor_column(self, sel: ColumnSel) -> ColumnSel:
+        """A plausible near-miss: another column of the same table."""
+        table = self.context.schema.table(sel.table)
+        others = [c for c in table.columns if c.name.lower() != sel.column.lower()]
+        if not others:
+            return sel
+        # Prefer a column of the same type (models confuse similar columns).
+        try:
+            original = table.column(sel.column)
+            same_type = [c for c in others if c.col_type == original.col_type]
+        except Exception:  # star column
+            same_type = []
+        pool = same_type or others
+        choice = pool[self.rng.randrange(len(pool))]
+        return ColumnSel(table=sel.table, column=choice.name)
+
+    def _wrong_value(self, flt: Filter) -> object:
+        database = self.context.database
+        if database is not None and not flt.column.is_star:
+            try:
+                values = [
+                    v
+                    for v in database.column_values(flt.column.table, flt.column.column)
+                    if v is not None and v != flt.value
+                ]
+            except Exception:
+                values = []
+            if values and isinstance(flt.value, str):
+                return values[self.rng.randrange(len(values))]
+        if isinstance(flt.value, (int, float)):
+            delta = max(abs(float(flt.value)) * 0.1, 1.0)
+            sign = 1 if self.rng.random() < 0.5 else -1
+            perturbed = float(flt.value) + sign * delta
+            return int(perturbed) if isinstance(flt.value, int) else round(perturbed, 2)
+        if isinstance(flt.value, str) and flt.value:
+            return flt.value[:-1] if len(flt.value) > 2 else flt.value + "x"
+        return flt.value
+
+    # -- corruption operators -----------------------------------------------
+
+    def apply(self, intent: QueryIntent, rates: dict[str, float]) -> QueryIntent:
+        """Sample error classes and apply the corresponding mutations."""
+        for name, operator in (
+            ("knowledge_error", self._corrupt_knowledge),
+            ("drop_subquery", self._corrupt_subquery),
+            ("join_error", self._corrupt_join),
+            ("column_error", self._corrupt_column),
+            ("value_error", self._corrupt_value),
+            ("op_error", self._corrupt_op),
+            ("agg_error", self._corrupt_agg),
+            ("connector_error", self._corrupt_connector),
+            ("order_error", self._corrupt_order),
+            ("having_error", self._corrupt_having),
+            ("distinct_error", self._corrupt_distinct),
+        ):
+            if self.rng.random() < rates.get(name, 0.0):
+                mutated = operator(intent)
+                if mutated is not None:
+                    intent = mutated
+                    self.context.errors.append(name)
+        return intent
+
+    def _corrupt_subquery(self, intent: QueryIntent) -> QueryIntent | None:
+        if intent.subquery is None and intent.set_op is None:
+            return None
+        if intent.set_op is not None:
+            # Model flattens the set operation into its first branch.
+            return intent.with_(set_op=None, set_branch_filter=None,
+                                shape=IntentShape.PROJECT)
+        spec = intent.subquery
+        assert spec is not None
+        if spec.op == "in":
+            # Model forgets the nesting (and the negation with it), keeping
+            # only a bare projection of the outer table.
+            return intent.with_(subquery=None, shape=IntentShape.PROJECT)
+        # Comparison-to-aggregate collapses to a literal guess.
+        guess: object = 0
+        if self.context.database is not None:
+            try:
+                values = [
+                    v
+                    for v in self.context.database.column_values(
+                        spec.outer_column.table, spec.outer_column.column
+                    )
+                    if isinstance(v, (int, float))
+                ]
+                if values:
+                    guess = round(sum(values) / len(values) * (0.7 + 0.6 * self.rng.random()), 2)
+            except Exception:
+                pass
+        literal_filter = Filter(column=spec.outer_column, op=spec.op if spec.op != "=" else ">",
+                                value=guess)
+        return intent.with_(
+            subquery=None,
+            filters=intent.filters + (literal_filter,),
+            shape=IntentShape.PROJECT,
+        )
+
+    def _corrupt_knowledge(self, intent: QueryIntent) -> QueryIntent | None:
+        """A BIRD-style knowledge gap: the model misreads what quantity or
+        entity the question is really asking about."""
+        mutated = self._corrupt_value(intent)
+        if mutated is not None:
+            return mutated
+        return self._corrupt_column(intent)
+
+    def _corrupt_join(self, intent: QueryIntent) -> QueryIntent | None:
+        if len(intent.tables) < 2:
+            return None
+        keep = intent.tables[0]
+        table = self.context.schema.table(keep)
+        fallback_cols = [c for c in table.columns if not c.is_primary_key] or table.columns
+        def _repoint(sel: ColumnSel) -> ColumnSel:
+            if sel.table.lower() == keep.lower():
+                return sel
+            choice = fallback_cols[self.rng.randrange(len(fallback_cols))]
+            return ColumnSel(table=keep, column=choice.name)
+        projection = tuple(_repoint(sel) for sel in intent.projection)
+        group_by = _repoint(intent.group_by) if intent.group_by else None
+        agg_column = _repoint(intent.agg_column) if intent.agg_column else None
+        filters = tuple(
+            flt if flt.column.table.lower() == keep.lower() else None
+            for flt in intent.filters
+        )
+        order = intent.order
+        if order is not None and order.column.table.lower() != keep.lower():
+            order = OrderSpec(
+                column=_repoint(order.column),
+                aggregate=order.aggregate,
+                direction=order.direction,
+                limit=order.limit,
+            )
+        return intent.with_(
+            tables=(keep,),
+            projection=projection,
+            group_by=group_by,
+            agg_column=agg_column,
+            filters=tuple(f for f in filters if f is not None),
+            order=order,
+        )
+
+    def _corrupt_column(self, intent: QueryIntent) -> QueryIntent | None:
+        sites: list[str] = []
+        if intent.projection:
+            sites.append("projection")
+        if intent.filters:
+            sites.append("filter")
+        if intent.agg_column is not None and not intent.agg_column.is_star:
+            sites.append("agg")
+        if intent.group_by is not None:
+            sites.append("group")
+        if not sites:
+            return None
+        site = sites[self.rng.randrange(len(sites))]
+        if site == "projection":
+            index = self.rng.randrange(len(intent.projection))
+            sel = intent.projection[index]
+            if sel.is_star:
+                return None
+            new_projection = list(intent.projection)
+            new_projection[index] = self._distractor_column(sel)
+            return intent.with_(projection=tuple(new_projection))
+        if site == "filter":
+            index = self.rng.randrange(len(intent.filters))
+            flt = intent.filters[index]
+            new_filters = list(intent.filters)
+            new_filters[index] = Filter(
+                column=self._distractor_column(flt.column),
+                op=flt.op, value=flt.value, value2=flt.value2,
+                connector=flt.connector,
+            )
+            return intent.with_(filters=tuple(new_filters))
+        if site == "agg":
+            assert intent.agg_column is not None
+            return intent.with_(agg_column=self._distractor_column(intent.agg_column))
+        assert intent.group_by is not None
+        return intent.with_(group_by=self._distractor_column(intent.group_by))
+
+    def _corrupt_value(self, intent: QueryIntent) -> QueryIntent | None:
+        candidates = list(intent.filters)
+        inner = intent.subquery.inner_filter if intent.subquery else None
+        if not candidates and inner is None:
+            return None
+        if candidates and (inner is None or self.rng.random() < 0.7):
+            index = self.rng.randrange(len(candidates))
+            flt = candidates[index]
+            new_filters = list(intent.filters)
+            new_filters[index] = Filter(
+                column=flt.column, op=flt.op, value=self._wrong_value(flt),
+                value2=flt.value2, connector=flt.connector,
+            )
+            return intent.with_(filters=tuple(new_filters))
+        assert inner is not None and intent.subquery is not None
+        new_inner = Filter(
+            column=inner.column, op=inner.op, value=self._wrong_value(inner),
+            value2=inner.value2, connector=inner.connector,
+        )
+        from dataclasses import replace
+        return intent.with_(subquery=replace(intent.subquery, inner_filter=new_inner))
+
+    _OP_FLIPS = {">": ">=", ">=": ">", "<": "<=", "<=": "<", "=": "!=", "!=": "="}
+
+    def _corrupt_op(self, intent: QueryIntent) -> QueryIntent | None:
+        if not intent.filters:
+            return None
+        index = self.rng.randrange(len(intent.filters))
+        flt = intent.filters[index]
+        if flt.op not in self._OP_FLIPS:
+            return None
+        new_filters = list(intent.filters)
+        new_filters[index] = Filter(
+            column=flt.column, op=self._OP_FLIPS[flt.op], value=flt.value,
+            value2=flt.value2, connector=flt.connector,
+        )
+        return intent.with_(filters=tuple(new_filters))
+
+    _AGG_FLIPS = {
+        Aggregate.AVG: Aggregate.SUM,
+        Aggregate.SUM: Aggregate.AVG,
+        Aggregate.MIN: Aggregate.MAX,
+        Aggregate.MAX: Aggregate.MIN,
+        Aggregate.COUNT: Aggregate.SUM,
+    }
+
+    def _corrupt_agg(self, intent: QueryIntent) -> QueryIntent | None:
+        if intent.aggregate == Aggregate.NONE:
+            return None
+        flipped = self._AGG_FLIPS[intent.aggregate]
+        if flipped == Aggregate.SUM and (
+            intent.agg_column is None or intent.agg_column.is_star
+        ):
+            # SUM(*) is invalid; use a numeric column if one exists.
+            table = self.context.schema.table(intent.tables[0])
+            numerics = [c for c in table.columns if c.col_type.is_numeric and not c.is_primary_key]
+            if not numerics:
+                return None
+            column = numerics[self.rng.randrange(len(numerics))]
+            return intent.with_(
+                aggregate=flipped,
+                agg_column=ColumnSel(table=intent.tables[0], column=column.name),
+            )
+        return intent.with_(aggregate=flipped)
+
+    def _corrupt_connector(self, intent: QueryIntent) -> QueryIntent | None:
+        if len(intent.filters) < 2:
+            return None
+        index = self.rng.randrange(1, len(intent.filters))
+        flt = intent.filters[index]
+        new_filters = list(intent.filters)
+        new_filters[index] = Filter(
+            column=flt.column, op=flt.op, value=flt.value, value2=flt.value2,
+            connector="or" if flt.connector == "and" else "and",
+        )
+        return intent.with_(filters=tuple(new_filters))
+
+    def _corrupt_order(self, intent: QueryIntent) -> QueryIntent | None:
+        if intent.order is None:
+            return None
+        order = intent.order
+        if self.rng.random() < 0.5:
+            flipped = OrderSpec(
+                column=order.column, aggregate=order.aggregate,
+                direction="asc" if order.direction == "desc" else "desc",
+                limit=order.limit,
+            )
+            return intent.with_(order=flipped)
+        if order.limit is not None:
+            return intent.with_(order=OrderSpec(
+                column=order.column, aggregate=order.aggregate,
+                direction=order.direction, limit=None,
+            ))
+        return intent.with_(order=None)
+
+    def _corrupt_having(self, intent: QueryIntent) -> QueryIntent | None:
+        if intent.having is None:
+            return None
+        return intent.with_(having=None)
+
+    def _corrupt_distinct(self, intent: QueryIntent) -> QueryIntent | None:
+        if not intent.distinct:
+            return None
+        return intent.with_(distinct=False)

@@ -1,0 +1,115 @@
+"""Decoding strategies over the simulated model.
+
+* :class:`GreedyDecoder` — one deterministic completion (the OpenAI-API
+  behaviour of the prompt-based methods).
+* :class:`BeamDecoder` — several candidates; downstream modules pick
+  (execution-guided selection, N-best reranking).
+* :class:`PicardDecoder` — beam constrained by the PICARD validity gate:
+  only parseable, schema-consistent candidates survive; if every entry is
+  rejected, decoding degenerates to a guaranteed-valid fallback, exactly
+  like PICARD's grammar forcing.
+* :class:`SamplingDecoder` — temperature sampling for self-consistency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.dbengine.database import Database
+from repro.llm.model import GenerationCandidate, SimulatedLanguageModel
+from repro.llm.prompt import Prompt
+from repro.sqlkit.picard import PicardChecker
+
+# A sampler closure: (draw index, temperature) -> candidate.
+SampleFn = Callable[[int, float], GenerationCandidate]
+
+
+def make_sampler(
+    model: SimulatedLanguageModel,
+    prompt: Prompt,
+    database: Database,
+    uses_natsql: bool = False,
+    decomposed: bool = False,
+    overdecompose: bool = False,
+    style_divergence: float = 0.0,
+) -> SampleFn:
+    """Bind a model+prompt into a (draw, temperature) -> candidate closure."""
+
+    def sample(draw: int, temperature: float) -> GenerationCandidate:
+        return model.generate(
+            prompt,
+            database,
+            temperature=temperature,
+            draw=draw,
+            uses_natsql=uses_natsql,
+            decomposed=decomposed,
+            overdecompose=overdecompose,
+            style_divergence=style_divergence,
+        )
+
+    return sample
+
+
+@dataclass(frozen=True)
+class GreedyDecoder:
+    """Single deterministic completion."""
+
+    def decode(self, sample: SampleFn) -> list[GenerationCandidate]:
+        return [sample(0, 0.0)]
+
+
+@dataclass(frozen=True)
+class BeamDecoder:
+    """``width`` candidates; the first is the greedy completion."""
+
+    width: int = 4
+
+    def decode(self, sample: SampleFn) -> list[GenerationCandidate]:
+        return [sample(draw, 0.0 if draw == 0 else 0.15) for draw in range(self.width)]
+
+
+@dataclass(frozen=True)
+class PicardDecoder:
+    """Beam decoding under the PICARD validity gate.
+
+    Candidates that fail to parse or reference unknown schema elements are
+    rejected and re-drawn (up to ``max_attempts``); PICARD's guarantee —
+    output always valid — is preserved by the fallback.
+    """
+
+    width: int = 4
+    max_attempts: int = 10
+
+    def decode(
+        self, sample: SampleFn, checker: PicardChecker
+    ) -> list[GenerationCandidate]:
+        accepted: list[GenerationCandidate] = []
+        draw = 0
+        while len(accepted) < self.width and draw < self.max_attempts:
+            candidate = sample(draw, 0.0 if draw == 0 else 0.15)
+            draw += 1
+            if checker.accepts(candidate.sql):
+                accepted.append(candidate)
+        if not accepted:
+            fallback_table = (
+                checker.schema.tables[0].name if checker.schema else "sqlite_master"
+            )
+            sql = f"SELECT * FROM {fallback_table}"
+            accepted.append(
+                GenerationCandidate(
+                    sql=sql, output_tokens=4, errors=("picard_fallback",)
+                )
+            )
+        return accepted
+
+
+@dataclass(frozen=True)
+class SamplingDecoder:
+    """``num_samples`` stochastic completions for self-consistency voting."""
+
+    num_samples: int = 5
+    temperature: float = 0.5
+
+    def decode(self, sample: SampleFn) -> list[GenerationCandidate]:
+        return [sample(draw, self.temperature) for draw in range(self.num_samples)]

@@ -1,0 +1,52 @@
+"""API price sheet (June 2024) and cost accounting for Exp-6.
+
+The paper notes GPT-4's API is 60x more expensive than GPT-3.5-turbo for
+input tokens and 40x for output tokens; the sheet below ($30/$60 vs
+$0.50/$1.50 per million) reproduces those ratios exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+# USD per 1k tokens: model -> (input, output).
+PRICE_SHEET: dict[str, tuple[float, float]] = {
+    "gpt-4": (0.03, 0.06),
+    "gpt-3.5-turbo": (0.0005, 0.0015),
+}
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """Token usage of one model call."""
+
+    model: str
+    input_tokens: int
+    output_tokens: int
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+    @property
+    def cost_usd(self) -> float:
+        return prompt_cost(self.model, self.input_tokens, self.output_tokens)
+
+
+def prompt_cost(model: str, input_tokens: int, output_tokens: int) -> float:
+    """Dollar cost of one call; 0 for locally-served models."""
+    if model not in PRICE_SHEET:
+        return 0.0
+    input_rate, output_rate = PRICE_SHEET[model]
+    return input_tokens / 1000 * input_rate + output_tokens / 1000 * output_rate
+
+
+def price_ratio(model_a: str, model_b: str) -> tuple[float, float]:
+    """(input ratio, output ratio) of model_a's price over model_b's."""
+    if model_a not in PRICE_SHEET or model_b not in PRICE_SHEET:
+        raise ModelError("both models must be API-priced")
+    a_in, a_out = PRICE_SHEET[model_a]
+    b_in, b_out = PRICE_SHEET[model_b]
+    return a_in / b_in, a_out / b_out

@@ -1,0 +1,56 @@
+"""Prompt objects: text plus the structured features the simulator reads.
+
+A :class:`Prompt` is what a design-space configuration hands to the
+model.  The ``text`` field is a real prompt string (schema DDL, few-shot
+examples, question) used for token/cost accounting; the
+:class:`PromptFeatures` describe the same content structurally so the
+generation simulator can condition its error rates on what the prompt
+actually contains (pruned schema, value hints, example quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PromptFeatures:
+    """Structured description of prompt content.
+
+    Attributes:
+        schema_tables: Tables included in the prompt (None = full schema).
+        db_content: ``table -> column -> sample values`` hints (BRIDGE
+            style); None when DB contents are not included.
+        few_shot_count: Number of in-context examples.
+        few_shot_quality: Mean structural similarity of the selected
+            examples to the question, in [0, 1] (DAIL-SQL's selection
+            achieves high quality; fixed manual examples are mid).
+        sql_style: True when the prompt uses SQL-style (code) formatting,
+            which the paper found beneficial for SFT prompts.
+        instruction: Short label of the instruction framing (logged).
+    """
+
+    schema_tables: tuple[str, ...] | None = None
+    db_content: dict[str, dict[str, list[str]]] | None = None
+    few_shot_count: int = 0
+    few_shot_quality: float = 0.0
+    sql_style: bool = True
+    instruction: str = "default"
+
+
+@dataclass(frozen=True)
+class Prompt:
+    """A fully rendered prompt for one question."""
+
+    text: str
+    question: str
+    db_id: str
+    features: PromptFeatures = field(default_factory=PromptFeatures)
+
+    @property
+    def uses_schema_linking(self) -> bool:
+        return self.features.schema_tables is not None
+
+    @property
+    def uses_db_content(self) -> bool:
+        return self.features.db_content is not None

@@ -1,0 +1,336 @@
+"""Execution-equivalent SQL style variants.
+
+Different models phrase the same semantics differently: ``COUNT(*)`` vs
+``COUNT(pk)``, ``BETWEEN`` vs a range conjunction, ``IN (subquery)`` vs
+a correlated ``EXISTS``, ``INTERSECT`` vs ``AND`` with ``DISTINCT``, a
+``MAX`` subquery vs ``ORDER BY ... LIMIT 1``.  These choices leave the
+result set (EX) intact while breaking Exact Match (EM) — which is why the
+paper finds prompt-based LLMs losing heavily on EM while staying
+competitive on EX (Finding 1).  Fine-tuning aligns a model's style with
+the dataset's, collapsing this divergence.
+"""
+
+from __future__ import annotations
+
+import random
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+from repro.datagen.intents import Aggregate, IntentShape, OrderSpec, QueryIntent
+from repro.datagen.sql_render import build_statement
+from repro.schema.model import DatabaseSchema
+from repro.sqlkit.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InExpr,
+    NotExpr,
+    SelectStatement,
+    Star,
+    Subquery,
+)
+from repro.sqlkit.printer import to_sql
+
+
+@dataclass(frozen=True)
+class StyleChoices:
+    """Which equivalent renderings to use (all False = canonical style)."""
+
+    count_pk: bool = False          # COUNT(pk) instead of COUNT(*)
+    count_one: bool = False         # COUNT(1) instead of COUNT(*)
+    range_for_between: bool = False  # col >= a AND col <= b
+    exists_for_in: bool = False     # EXISTS (...) instead of IN (...)
+    connector_for_setop: bool = False  # WHERE f1 AND/OR f2 + DISTINCT
+    orderlimit_for_extreme: bool = False  # ORDER BY col LIMIT 1
+    like_for_eq: bool = False       # text = 'v'  ->  text LIKE 'v'
+    shifted_int_threshold: bool = False  # x > 5 -> x >= 6 (integers only)
+    expand_star: bool = False       # SELECT * -> explicit column list
+    gratuitous_order_by: bool = False  # append ORDER BY when gold has none
+
+    @property
+    def any_divergent(self) -> bool:
+        return any(
+            (self.count_pk, self.count_one, self.range_for_between,
+             self.exists_for_in, self.connector_for_setop,
+             self.orderlimit_for_extreme, self.like_for_eq,
+             self.shifted_int_threshold, self.expand_star)
+        )
+
+
+def sample_style(rng: random.Random, divergence: float) -> StyleChoices:
+    """Sample style choices; each site diverges with prob ``divergence``."""
+    count_divergent = rng.random() < divergence
+    count_pk = count_divergent and rng.random() < 0.5
+    return StyleChoices(
+        count_pk=count_pk,
+        count_one=count_divergent and not count_pk,
+        range_for_between=rng.random() < divergence,
+        exists_for_in=rng.random() < divergence,
+        connector_for_setop=rng.random() < divergence,
+        orderlimit_for_extreme=rng.random() < divergence,
+        like_for_eq=rng.random() < divergence * 0.7,
+        shifted_int_threshold=rng.random() < divergence * 0.8,
+        expand_star=rng.random() < divergence,
+        gratuitous_order_by=rng.random() < divergence * 0.8,
+    )
+
+
+# Schema in effect during render_with_style (used by type-dependent styles).
+_STYLE_SCHEMA: ContextVar[DatabaseSchema | None] = ContextVar(
+    "style_schema", default=None
+)
+
+
+def _is_real_column(sel, intent: QueryIntent, schema: DatabaseSchema | None) -> bool:
+    """True only for REAL-typed columns, where MAX/MIN ties are unlikely.
+
+    The ORDER BY ... LIMIT 1 rendering of an extreme query diverges from
+    the MAX/MIN-subquery form whenever the extreme value is tied; integer
+    columns tie routinely, so the transform is restricted to REAL ones.
+    """
+    from repro.schema.model import ColumnType
+    if schema is None or sel.is_star:
+        return False
+    try:
+        column = schema.table(sel.table).column(sel.column)
+    except Exception:
+        return False
+    return column.col_type == ColumnType.REAL
+
+
+def _intent_with_style(intent: QueryIntent, style: StyleChoices) -> QueryIntent:
+    """Intent-level rewrites (set-op flattening, extreme as order/limit)."""
+    if (
+        style.connector_for_setop
+        and intent.set_op == "union"
+        and intent.set_branch_filter
+    ):
+        # Only UNION flattens safely: the set union of the two branches'
+        # projections equals SELECT DISTINCT ... WHERE f1 OR f2.
+        # INTERSECT/EXCEPT operate on projected values across *different*
+        # rows, which AND / AND NOT cannot express, so those keep their
+        # set-operation form.
+        branch = intent.set_branch_filter
+        new_filter = type(branch)(
+            column=branch.column, op=branch.op, value=branch.value,
+            value2=branch.value2, connector="or",
+        )
+        return intent.with_(
+            set_op=None,
+            set_branch_filter=None,
+            filters=intent.filters + (new_filter,),
+            distinct=True,
+        )
+    if (
+        style.orderlimit_for_extreme
+        and intent.shape == IntentShape.EXTREME
+        and intent.subquery is not None
+        and intent.subquery.aggregate in (Aggregate.MAX, Aggregate.MIN)
+        and _is_real_column(intent.subquery.outer_column, intent, _STYLE_SCHEMA.get())
+    ):
+        direction = "desc" if intent.subquery.aggregate == Aggregate.MAX else "asc"
+        return intent.with_(
+            subquery=None,
+            order=OrderSpec(
+                column=intent.subquery.outer_column, direction=direction, limit=1
+            ),
+            shape=IntentShape.ORDER_TOP,
+        )
+    return intent
+
+
+def _is_integer_column(expr: Expr, statement: SelectStatement,
+                       schema: DatabaseSchema) -> bool:
+    """True if ``expr`` is a column reference with INTEGER type."""
+    from repro.schema.model import ColumnType
+    if not isinstance(expr, ColumnRef):
+        return False
+    if statement.from_clause is None:
+        return False
+    bindings = {t.binding.lower(): t.name for t in statement.from_clause.tables}
+    table_name = (
+        bindings.get(expr.table.lower(), expr.table)
+        if expr.table
+        else statement.from_clause.base.name
+    )
+    try:
+        column = schema.table(table_name).column(expr.column)
+    except Exception:
+        return False
+    return column.col_type == ColumnType.INTEGER
+
+
+def _rewrite_expr(expr: Expr, statement: SelectStatement, style: StyleChoices,
+                  schema: DatabaseSchema) -> Expr:
+    if isinstance(expr, BooleanOp):
+        expr.operands = [
+            _rewrite_expr(op, statement, style, schema) for op in expr.operands
+        ]
+        return expr
+    if isinstance(expr, NotExpr):
+        expr.operand = _rewrite_expr(expr.operand, statement, style, schema)
+        return expr
+    if style.like_for_eq and isinstance(expr, BinaryOp) and expr.op == "=":
+        from repro.sqlkit.ast_nodes import LikeExpr, Literal
+        right = expr.right
+        if (
+            isinstance(right, Literal)
+            and isinstance(right.value, str)
+            and not any(ch in right.value for ch in _HAS_WILDCARD)
+        ):
+            return LikeExpr(operand=expr.left, pattern=right)
+    if style.shifted_int_threshold and isinstance(expr, BinaryOp) and expr.op in (">", "<"):
+        from repro.sqlkit.ast_nodes import Literal
+        right = expr.right
+        if (
+            isinstance(right, Literal)
+            and type(right.value) is int
+            and _is_integer_column(expr.left, statement, schema)
+        ):
+            # Safe only on integer-typed columns: x > 5 === x >= 6.
+            if expr.op == ">":
+                return BinaryOp(op=">=", left=expr.left, right=Literal(value=right.value + 1))
+            return BinaryOp(op="<=", left=expr.left, right=Literal(value=right.value - 1))
+    if style.range_for_between and isinstance(expr, BetweenExpr) and not expr.negated:
+        return BooleanOp(op="and", operands=[
+            BinaryOp(op=">=", left=expr.operand, right=expr.low),
+            BinaryOp(op="<=", left=expr.operand, right=expr.high),
+        ])
+    if style.exists_for_in and isinstance(expr, InExpr) and expr.subquery is not None:
+        inner = expr.subquery.select
+        if inner.select_items and isinstance(inner.select_items[0].expr, ColumnRef):
+            inner_col = inner.select_items[0].expr
+            outer_operand = expr.operand
+            if isinstance(outer_operand, ColumnRef) and outer_operand.table is None:
+                # Qualify the outer column explicitly so the correlated
+                # predicate cannot capture a same-named inner column.
+                outer_table = (
+                    statement.from_clause.base.binding
+                    if statement.from_clause is not None
+                    else None
+                )
+                outer_operand = ColumnRef(column=outer_operand.column, table=outer_table)
+            correlation = BinaryOp(op="=", left=ColumnRef(
+                column=inner_col.column,
+                table=inner.from_clause.base.name if inner.from_clause else None,
+            ), right=outer_operand)
+            new_inner = SelectStatement(
+                select_items=[type(inner.select_items[0])(expr=Star())],
+                from_clause=inner.from_clause,
+                where=(
+                    BooleanOp(op="and", operands=[inner.where, correlation])
+                    if inner.where is not None
+                    else correlation
+                ),
+            )
+            return Exists(subquery=Subquery(select=new_inner), negated=expr.negated)
+    return expr
+
+
+def _count_star_replacement(
+    statement: SelectStatement, style: StyleChoices, schema: DatabaseSchema
+) -> Expr | None:
+    """The expression COUNT(*)'s argument becomes under the chosen style."""
+    if style.count_one:
+        from repro.sqlkit.ast_nodes import Literal
+        return Literal(value=1)
+    if style.count_pk and statement.from_clause is not None:
+        base = statement.from_clause.base
+        try:
+            pk_columns = schema.table(base.name).primary_key_columns
+        except Exception:
+            pk_columns = []
+        if pk_columns:
+            return ColumnRef(column=pk_columns[0].name, table=base.alias or None)
+    return None
+
+
+def _rewrite_counts(statement: SelectStatement, style: StyleChoices,
+                    schema: DatabaseSchema) -> None:
+    replacement = _count_star_replacement(statement, style, schema)
+    if replacement is None:
+        return
+    exprs: list[Expr] = [item.expr for item in statement.select_items]
+    if statement.having is not None:
+        exprs.append(statement.having)
+    exprs.extend(item.expr for item in statement.order_by)
+    for root in exprs:
+        for expr in root.walk():
+            if (
+                isinstance(expr, FuncCall)
+                and expr.name == "count"
+                and expr.args
+                and isinstance(expr.args[0], Star)
+                and not expr.distinct
+            ):
+                import copy
+                expr.args[0] = copy.deepcopy(replacement)
+
+
+def _expand_star(statement: SelectStatement, schema: DatabaseSchema) -> None:
+    from_clause = statement.from_clause
+    if from_clause is None or from_clause.joins:
+        return
+    try:
+        columns = schema.table(from_clause.base.name).columns
+    except Exception:
+        return
+    from repro.sqlkit.ast_nodes import SelectItem
+    new_items: list[SelectItem] = []
+    for item in statement.select_items:
+        if isinstance(item.expr, Star) and item.expr.table is None:
+            new_items.extend(
+                SelectItem(expr=ColumnRef(column=column.name)) for column in columns
+            )
+        else:
+            new_items.append(item)
+    statement.select_items = new_items
+
+
+_HAS_WILDCARD = ("%", "_")
+
+
+def _add_gratuitous_order(statement: SelectStatement) -> None:
+    """Sort by the first plain projected column (result multiset unchanged)."""
+    from repro.sqlkit.ast_nodes import OrderItem
+    import copy
+    if statement.order_by or statement.limit is not None:
+        return
+    if statement.set_operation is not None:
+        return
+    for item in statement.select_items:
+        if isinstance(item.expr, ColumnRef):
+            statement.order_by = [OrderItem(expr=copy.deepcopy(item.expr))]
+            return
+
+
+def _rewrite_statement(statement: SelectStatement, style: StyleChoices,
+                       schema: DatabaseSchema) -> SelectStatement:
+    _rewrite_counts(statement, style, schema)
+    if style.expand_star:
+        _expand_star(statement, schema)
+    if statement.where is not None:
+        statement.where = _rewrite_expr(statement.where, statement, style, schema)
+    if statement.having is not None:
+        statement.having = _rewrite_expr(statement.having, statement, style, schema)
+    if style.gratuitous_order_by:
+        _add_gratuitous_order(statement)
+    return statement
+
+
+def render_with_style(
+    intent: QueryIntent, schema: DatabaseSchema, style: StyleChoices
+) -> str:
+    """Render ``intent`` to SQL using the given style choices."""
+    token = _STYLE_SCHEMA.set(schema)
+    try:
+        styled_intent = _intent_with_style(intent, style)
+    finally:
+        _STYLE_SCHEMA.reset(token)
+    statement = build_statement(styled_intent, schema)
+    statement = _rewrite_statement(statement, style, schema)
+    return to_sql(statement)

@@ -1,0 +1,22 @@
+"""NL2SQL method zoo: prompt-based LLMs, fine-tuned LLMs, PLMs, SuperSQL."""
+
+from repro.methods.base import MethodGroup, NL2SQLMethod, PipelineMethod, Prediction
+from repro.methods.zoo import (
+    METHOD_GROUPS,
+    build_method,
+    default_zoo,
+    method_config,
+    zoo_configs,
+)
+
+__all__ = [
+    "MethodGroup",
+    "NL2SQLMethod",
+    "PipelineMethod",
+    "Prediction",
+    "METHOD_GROUPS",
+    "build_method",
+    "default_zoo",
+    "method_config",
+    "zoo_configs",
+]

@@ -1,0 +1,229 @@
+"""Method driver: runs a :class:`PipelineConfig` end-to-end.
+
+``PipelineMethod`` is the single execution engine for every method in the
+zoo and every AAS individual: it prepares the backbone (fine-tuning when
+configured), builds the prompt through the pre-processing modules, decodes
+candidates, applies the configured post-processing, and accounts tokens,
+dollars, and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.datagen.benchmark import Dataset, Example
+from repro.dbengine.database import Database
+from repro.errors import EvaluationError
+from repro.llm.decoding import (
+    BeamDecoder,
+    GreedyDecoder,
+    PicardDecoder,
+    SamplingDecoder,
+    make_sampler,
+)
+from repro.llm.model import GenerationCandidate, SimulatedLanguageModel
+from repro.llm.pricing import prompt_cost
+from repro.llm.registry import get_profile
+from repro.llm.tokens import count_tokens
+from repro.modules.base import PipelineConfig
+from repro.modules.post_processing import (
+    execution_guided_select,
+    needs_correction,
+    rerank_candidates,
+    self_consistency_vote,
+)
+from repro.modules.prompts import build_prompt
+from repro.sqlkit.picard import PicardChecker
+
+
+class MethodGroup(str, Enum):
+    """Method families used throughout the paper's figures."""
+
+    PROMPT_LLM = "llm_prompt"
+    FINETUNED_LLM = "llm_finetuned"
+    PLM = "plm"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Output of one method on one example, with resource accounting."""
+
+    sql: str
+    input_tokens: int = 0
+    output_tokens: int = 0
+    cost_usd: float = 0.0
+    latency_s: float = 0.0
+    num_candidates: int = 1
+    errors: tuple[str, ...] = ()
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+
+class NL2SQLMethod:
+    """Interface all methods implement."""
+
+    name: str
+    group: MethodGroup
+
+    def prepare(self, dataset: Dataset) -> None:
+        """One-time setup against a benchmark (fine-tuning, example bank)."""
+        raise NotImplementedError
+
+    def predict(self, example: Example, database: Database) -> Prediction:
+        """Translate one example's question into SQL."""
+        raise NotImplementedError
+
+
+class PipelineMethod(NL2SQLMethod):
+    """A method fully described by a :class:`PipelineConfig`."""
+
+    def __init__(self, config: PipelineConfig, group: MethodGroup, seed: int = 0) -> None:
+        self.config = config
+        self.group = group
+        self.name = config.name
+        self.seed = seed
+        self.model: SimulatedLanguageModel | None = None
+        self._train_pairs: list[tuple[str, str]] = []
+        self._prepared_on: str | None = None
+
+    # -- setup ---------------------------------------------------------------
+
+    def prepare(self, dataset: Dataset) -> None:
+        profile = get_profile(self.config.backbone)
+        model = SimulatedLanguageModel(profile, seed=self.seed)
+        train_examples = dataset.train_examples
+        if self.config.finetuned:
+            model = model.fine_tune(dataset.name, train_examples)
+        self.model = model
+        self._train_pairs = [(e.question, e.gold_sql) for e in train_examples]
+        self._prepared_on = dataset.name
+
+    def prepare_with_examples(self, dataset_name: str, examples: list[Example]) -> None:
+        """Prepare against an explicit train subset (Exp-9 sweeps)."""
+        profile = get_profile(self.config.backbone)
+        model = SimulatedLanguageModel(profile, seed=self.seed)
+        if self.config.finetuned:
+            model = model.fine_tune(dataset_name, examples)
+        self.model = model
+        self._train_pairs = [(e.question, e.gold_sql) for e in examples]
+        self._prepared_on = dataset_name
+
+    def _require_model(self) -> SimulatedLanguageModel:
+        if self.model is None:
+            raise EvaluationError(
+                f"method {self.name!r} not prepared; call prepare(dataset) first"
+            )
+        return self.model
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, example: Example, database: Database) -> Prediction:
+        model = self._require_model()
+        config = self.config
+        prompt = build_prompt(config, database, example.question, self._train_pairs)
+        sampler = make_sampler(
+            model,
+            prompt,
+            database,
+            uses_natsql=config.intermediate == "natsql",
+            decomposed=config.multi_step is not None,
+            overdecompose=config.multi_step == "decompose",
+            style_divergence=config.style_divergence,
+        )
+        checker = PicardChecker(database.schema)
+        model_calls = 1
+
+        if config.post_processing == "self_consistency":
+            candidates = SamplingDecoder(
+                num_samples=config.self_consistency_samples, temperature=0.5
+            ).decode(sampler)
+            final = self_consistency_vote(candidates, database)
+        elif config.post_processing == "execution_guided":
+            candidates = self._decode(sampler, checker)
+            if len(candidates) == 1:
+                candidates = BeamDecoder(width=config.beam_width).decode(sampler)
+            final = execution_guided_select(candidates, database)
+        elif config.post_processing == "reranker":
+            candidates = self._decode(sampler, checker)
+            if len(candidates) == 1:
+                candidates = BeamDecoder(width=config.beam_width).decode(sampler)
+            final = rerank_candidates(candidates, database, checker)
+        elif config.post_processing == "self_correction":
+            candidates = self._decode(sampler, checker)
+            final = candidates[0]
+            if needs_correction(final, database):
+                # The model re-reads its own faulty SQL with the problem
+                # pointed out; a fresh focused draw with lower noise.
+                corrected = sampler(101, 0.0)
+                model_calls += 1
+                if not needs_correction(corrected, database):
+                    final = corrected
+                candidates = candidates + [corrected]
+        else:
+            candidates = self._decode(sampler, checker)
+            final = candidates[0]
+
+        return self._account(prompt.text, final, candidates, model_calls)
+
+    def _decode(
+        self, sampler, checker: PicardChecker
+    ) -> list[GenerationCandidate]:
+        config = self.config
+        if config.decoding == "greedy":
+            return GreedyDecoder().decode(sampler)
+        if config.decoding == "beam":
+            return BeamDecoder(width=config.beam_width).decode(sampler)
+        return PicardDecoder(width=config.beam_width).decode(sampler, checker)
+
+    def _account(
+        self,
+        prompt_text: str,
+        final: GenerationCandidate,
+        candidates: list[GenerationCandidate],
+        model_calls: int,
+    ) -> Prediction:
+        config = self.config
+        profile = get_profile(config.backbone)
+        input_tokens = count_tokens(prompt_text) * model_calls
+        if profile.api_only:
+            # Sampling via the API's n parameter bills the prompt once but
+            # every sampled completion's output tokens.
+            output_tokens = sum(c.output_tokens for c in candidates)
+        else:
+            output_tokens = final.output_tokens
+        cost = prompt_cost(config.backbone, input_tokens, output_tokens)
+        if profile.api_only:
+            # Remote API round trip, roughly independent of parameter count.
+            latency = 2.2 if profile.name == "gpt-4" else 0.9
+        else:
+            latency = profile.latency_per_sample_s
+        if config.intermediate == "natsql":
+            # NatSQL outputs are shorter (no JOIN clauses): faster decoding
+            # and a smaller decoder state (paper Table 6).
+            latency *= 0.92
+        if config.post_processing == "self_consistency":
+            latency *= 1.0 + 0.12 * config.self_consistency_samples
+        return Prediction(
+            sql=final.sql,
+            input_tokens=input_tokens,
+            output_tokens=output_tokens,
+            cost_usd=cost,
+            latency_s=round(latency, 3),
+            num_candidates=len(candidates),
+            errors=final.errors,
+        )
+
+    # -- resources (Exp-7) -------------------------------------------------------
+
+    @property
+    def gpu_memory_gb(self) -> float:
+        """Modelled GPU footprint; NatSQL variants need a smaller decoder."""
+        profile = get_profile(self.config.backbone)
+        memory = profile.gpu_memory_gb
+        if self.config.intermediate == "natsql":
+            memory *= 0.90
+        return round(memory, 2)

@@ -1,0 +1,303 @@
+"""The model zoo: every method the paper evaluates, as pipeline configs.
+
+Module assignments follow the paper's Table 1 taxonomy row by row:
+backbone, few-shot style, schema linking, DB content, generation strategy,
+decoding, and post-processing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.methods.base import MethodGroup, PipelineMethod
+from repro.modules.base import PipelineConfig
+
+# -- Prompt-based LLM methods -------------------------------------------------
+
+_PROMPT_CONFIGS = {
+    # C3: GPT-3.5, zero-shot, schema-linking filter + calibration bias
+    # instructions (large prompt), self-consistency.
+    "C3SQL": PipelineConfig(
+        name="C3SQL",
+        backbone="gpt-3.5-turbo",
+        schema_linking="c3",
+        prompting="zero_shot",
+        decoding="greedy",
+        post_processing="self_consistency",
+        self_consistency_samples=5,
+        prompt_overhead_tokens=3700,
+    ),
+    # DIN-SQL: GPT-4, manual few-shot, sub-question decomposition,
+    # NatSQL IR, self-correction; famously enormous prompts.
+    "DINSQL": PipelineConfig(
+        name="DINSQL",
+        backbone="gpt-4",
+        schema_linking="resdsql",
+        prompting="manual_fewshot",
+        few_shot_k=6,
+        multi_step="decompose",
+        intermediate="natsql",
+        decoding="greedy",
+        post_processing="self_correction",
+        prompt_overhead_tokens=5600,
+    ),
+    # DAIL-SQL: GPT-4, similarity-selected few-shot, lean prompt.
+    "DAILSQL": PipelineConfig(
+        name="DAILSQL",
+        backbone="gpt-4",
+        prompting="similarity_fewshot",
+        few_shot_k=5,
+        decoding="greedy",
+        prompt_overhead_tokens=300,
+    ),
+    "DAILSQL(SC)": PipelineConfig(
+        name="DAILSQL(SC)",
+        backbone="gpt-4",
+        prompting="similarity_fewshot",
+        few_shot_k=5,
+        decoding="greedy",
+        post_processing="self_consistency",
+        self_consistency_samples=5,
+        prompt_overhead_tokens=300,
+    ),
+}
+
+# -- Fine-tuned LLM methods ----------------------------------------------------
+
+_SFT_CODES_SIZES = {"1B": "starcoder-1b", "3B": "starcoder-3b",
+                    "7B": "starcoder-7b", "15B": "starcoder-15b"}
+
+_FT_CONFIGS = {
+    f"SFT CodeS-{size}": PipelineConfig(
+        name=f"SFT CodeS-{size}",
+        backbone=backbone,
+        finetuned=True,
+        schema_linking="resdsql",
+        db_content="codes",
+        prompting="zero_shot",
+        decoding="beam",
+        post_processing="execution_guided",
+        beam_width=4,
+    )
+    for size, backbone in _SFT_CODES_SIZES.items()
+}
+
+# Zero-shot SQL-style prompting of open LLMs (Exp-5 baselines) and their
+# SFT counterparts.
+_OPEN_LLMS = ("llama2-7b", "llama3-8b", "starcoder-7b", "codellama-7b",
+              "deepseek-coder-7b")
+
+for _backbone in _OPEN_LLMS:
+    _FT_CONFIGS[f"ZS {_backbone}"] = PipelineConfig(
+        name=f"ZS {_backbone}",
+        backbone=_backbone,
+        prompting="zero_shot",
+        decoding="greedy",
+    )
+    _FT_CONFIGS[f"SFT {_backbone}"] = PipelineConfig(
+        name=f"SFT {_backbone}",
+        backbone=_backbone,
+        finetuned=True,
+        prompting="zero_shot",
+        decoding="greedy",
+    )
+
+# -- PLM methods -----------------------------------------------------------------
+
+_RESDSQL_SIZES = {"Base": "t5-base", "Large": "t5-large", "3B": "t5-3b"}
+
+_PLM_CONFIGS: dict[str, PipelineConfig] = {}
+for _size, _backbone in _RESDSQL_SIZES.items():
+    _PLM_CONFIGS[f"RESDSQL-{_size}"] = PipelineConfig(
+        name=f"RESDSQL-{_size}",
+        backbone=_backbone,
+        finetuned=True,
+        schema_linking="resdsql",
+        db_content="codes",
+        prompting="zero_shot",
+        multi_step="skeleton",
+        decoding="beam",
+        post_processing="execution_guided",
+        beam_width=8,
+    )
+    _PLM_CONFIGS[f"RESDSQL-{_size} + NatSQL"] = _PLM_CONFIGS[f"RESDSQL-{_size}"].with_(
+        name=f"RESDSQL-{_size} + NatSQL",
+        intermediate="natsql",
+    )
+
+_PLM_CONFIGS["Graphix-3B + PICARD"] = PipelineConfig(
+    name="Graphix-3B + PICARD",
+    backbone="t5-3b",
+    finetuned=True,
+    schema_linking="resdsql",
+    db_content="codes",
+    prompting="zero_shot",
+    decoding="picard",
+    beam_width=8,
+)
+
+# Remaining Table-1 PLM rows.
+_PLM_CONFIGS["N-best Rerankers + PICARD"] = PipelineConfig(
+    name="N-best Rerankers + PICARD",
+    backbone="t5-3b",
+    finetuned=True,
+    schema_linking="resdsql",
+    db_content="codes",
+    prompting="zero_shot",
+    decoding="picard",
+    post_processing="reranker",
+    beam_width=8,
+)
+_PLM_CONFIGS["T5 + NatSQL + Token Preprocessing"] = PipelineConfig(
+    name="T5 + NatSQL + Token Preprocessing",
+    backbone="t5-3b",
+    finetuned=True,
+    schema_linking="resdsql",
+    db_content="codes",
+    prompting="zero_shot",
+    intermediate="natsql",
+    decoding="greedy",
+)
+_PLM_CONFIGS["RASAT + PICARD"] = PipelineConfig(
+    name="RASAT + PICARD",
+    backbone="t5-3b",
+    finetuned=True,
+    schema_linking="resdsql",
+    db_content="codes",
+    prompting="zero_shot",
+    decoding="picard",
+    beam_width=8,
+)
+_PLM_CONFIGS["SHiP + PICARD"] = PipelineConfig(
+    name="SHiP + PICARD",
+    backbone="t5-3b",
+    finetuned=True,
+    db_content="codes",
+    prompting="zero_shot",
+    decoding="picard",
+    beam_width=8,
+)
+_PLM_CONFIGS["T5-3B + PICARD"] = PipelineConfig(
+    name="T5-3B + PICARD",
+    backbone="t5-3b",
+    finetuned=True,
+    db_content="codes",
+    prompting="zero_shot",
+    decoding="picard",
+    beam_width=8,
+)
+_PLM_CONFIGS["RATSQL + GAP + NatSQL"] = PipelineConfig(
+    name="RATSQL + GAP + NatSQL",
+    backbone="bart-large",
+    finetuned=True,
+    schema_linking="resdsql",
+    db_content="codes",
+    prompting="zero_shot",
+    intermediate="natsql",
+    decoding="greedy",
+)
+_PLM_CONFIGS["BRIDGE v2"] = PipelineConfig(
+    name="BRIDGE v2",
+    backbone="bert-large",
+    finetuned=True,
+    db_content="bridge",
+    prompting="zero_shot",
+    decoding="beam",
+    beam_width=4,
+)
+
+# The remaining Table-1 LLM row: CodeS prompted (not fine-tuned).
+_FT_CONFIGS["CodeS (few-shot)"] = PipelineConfig(
+    name="CodeS (few-shot)",
+    backbone="starcoder-15b",
+    schema_linking="resdsql",
+    db_content="codes",
+    prompting="similarity_fewshot",
+    few_shot_k=3,
+    decoding="beam",
+    post_processing="execution_guided",
+    beam_width=4,
+)
+_FT_CONFIGS["MAC-SQL"] = PipelineConfig(
+    name="MAC-SQL",
+    backbone="gpt-4",
+    schema_linking="c3",
+    prompting="zero_shot",
+    multi_step="decompose",
+    decoding="greedy",
+    post_processing="self_correction",  # the Refiner agent
+    prompt_overhead_tokens=2500,
+)
+
+# -- SuperSQL (the AAS-discovered hybrid, paper §5.3) ------------------------------
+
+_HYBRID_CONFIGS = {
+    "SuperSQL": PipelineConfig(
+        name="SuperSQL",
+        backbone="gpt-4",
+        schema_linking="resdsql",     # RESDSQL's schema linking
+        db_content="bridge",          # BRIDGE v2's content matching
+        prompting="similarity_fewshot",  # DAIL-SQL's example selection
+        few_shot_k=5,
+        decoding="greedy",            # OpenAI default decoding
+        post_processing="self_consistency",  # DAIL-SQL(SC)'s voting
+        self_consistency_samples=5,
+        prompt_overhead_tokens=250,
+    ),
+}
+
+METHOD_GROUPS: dict[str, MethodGroup] = {}
+_ALL_CONFIGS: dict[str, PipelineConfig] = {}
+for _name, _config in _PROMPT_CONFIGS.items():
+    _ALL_CONFIGS[_name] = _config
+    METHOD_GROUPS[_name] = MethodGroup.PROMPT_LLM
+for _name, _config in _FT_CONFIGS.items():
+    _ALL_CONFIGS[_name] = _config
+    METHOD_GROUPS[_name] = (
+        MethodGroup.FINETUNED_LLM if _config.finetuned else MethodGroup.PROMPT_LLM
+    )
+for _name, _config in _PLM_CONFIGS.items():
+    _ALL_CONFIGS[_name] = _config
+    METHOD_GROUPS[_name] = MethodGroup.PLM
+for _name, _config in _HYBRID_CONFIGS.items():
+    _ALL_CONFIGS[_name] = _config
+    METHOD_GROUPS[_name] = MethodGroup.HYBRID
+
+# The headline comparison set used in most tables/figures.
+CORE_SPIDER_METHODS = [
+    "C3SQL", "DINSQL", "DAILSQL", "DAILSQL(SC)",
+    "SFT CodeS-1B", "SFT CodeS-3B", "SFT CodeS-7B", "SFT CodeS-15B",
+    "RESDSQL-3B", "RESDSQL-3B + NatSQL", "Graphix-3B + PICARD",
+    "SuperSQL",
+]
+
+# On BIRD the paper drops DIN-SQL (GPT budget) and NatSQL variants (no
+# public NatSQL annotations), and retrains RESDSQL from scratch.
+CORE_BIRD_METHODS = [
+    "C3SQL", "DAILSQL", "DAILSQL(SC)",
+    "SFT CodeS-1B", "SFT CodeS-3B", "SFT CodeS-7B", "SFT CodeS-15B",
+    "RESDSQL-Base", "RESDSQL-Large", "RESDSQL-3B",
+    "SuperSQL",
+]
+
+
+def method_config(name: str) -> PipelineConfig:
+    """Config of a named zoo method."""
+    try:
+        return _ALL_CONFIGS[name]
+    except KeyError as exc:
+        raise EvaluationError(f"unknown method {name!r}") from exc
+
+
+def build_method(name: str, seed: int = 0) -> PipelineMethod:
+    """Instantiate a named zoo method (unprepared)."""
+    return PipelineMethod(method_config(name), METHOD_GROUPS[name], seed=seed)
+
+
+def zoo_configs() -> dict[str, PipelineConfig]:
+    """All registered method configs (copies are cheap: frozen dataclasses)."""
+    return dict(_ALL_CONFIGS)
+
+
+def default_zoo(names: list[str] | None = None, seed: int = 0) -> list[PipelineMethod]:
+    """Instantiate a list of methods (default: the core Spider set)."""
+    return [build_method(name, seed=seed) for name in (names or CORE_SPIDER_METHODS)]

@@ -1,0 +1,40 @@
+"""Design-space modules: pre-processing, prompting, generation, post-processing."""
+
+from repro.modules.base import (
+    DB_CONTENT_CHOICES,
+    DECODING_CHOICES,
+    INTERMEDIATE_CHOICES,
+    MULTI_STEP_CHOICES,
+    POST_PROCESSING_CHOICES,
+    PROMPTING_CHOICES,
+    SCHEMA_LINKING_CHOICES,
+    PipelineConfig,
+)
+from repro.modules.schema_linking import link_schema
+from repro.modules.db_content import match_db_content
+from repro.modules.fewshot import FewShotExample, select_examples
+from repro.modules.prompts import build_prompt
+from repro.modules.post_processing import (
+    execution_guided_select,
+    rerank_candidates,
+    self_consistency_vote,
+)
+
+__all__ = [
+    "DB_CONTENT_CHOICES",
+    "DECODING_CHOICES",
+    "INTERMEDIATE_CHOICES",
+    "MULTI_STEP_CHOICES",
+    "POST_PROCESSING_CHOICES",
+    "PROMPTING_CHOICES",
+    "SCHEMA_LINKING_CHOICES",
+    "PipelineConfig",
+    "link_schema",
+    "match_db_content",
+    "FewShotExample",
+    "select_examples",
+    "build_prompt",
+    "execution_guided_select",
+    "rerank_candidates",
+    "self_consistency_vote",
+]

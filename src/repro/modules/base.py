@@ -1,0 +1,118 @@
+"""The NL2SQL design space (paper Figure 13) as a configuration object.
+
+A :class:`PipelineConfig` is one *individual* in the NL2SQL360-AAS search
+space: a backbone model plus one choice per layer (pre-processing,
+prompting, SQL generation, post-processing).  Every method in the zoo is
+expressed as a ``PipelineConfig``, and the genetic search swaps/mutates
+these fields directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DesignSpaceError
+
+SCHEMA_LINKING_CHOICES = (None, "resdsql", "c3")
+DB_CONTENT_CHOICES = (None, "bridge", "codes")
+PROMPTING_CHOICES = ("zero_shot", "manual_fewshot", "similarity_fewshot")
+MULTI_STEP_CHOICES = (None, "decompose", "skeleton")
+INTERMEDIATE_CHOICES = (None, "natsql")
+DECODING_CHOICES = ("greedy", "beam", "picard")
+POST_PROCESSING_CHOICES = (
+    None,
+    "self_correction",
+    "self_consistency",
+    "execution_guided",
+    "reranker",
+)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """One point in the NL2SQL design space.
+
+    Attributes:
+        name: Display name (method name or AAS individual id).
+        backbone: Model registry name (e.g. ``gpt-4``, ``t5-3b``).
+        finetuned: Whether the backbone is supervised-fine-tuned on the
+            benchmark's train split before evaluation.
+        schema_linking: Pre-processing schema pruning strategy, or None.
+        db_content: Pre-processing value-hint strategy, or None.
+        prompting: Prompting strategy (zero/few-shot flavours).
+        few_shot_k: Number of in-context examples for few-shot prompting.
+        multi_step: SQL generation staging, or None.
+        intermediate: Intermediate representation, or None (NatSQL only).
+        decoding: Decoding strategy.
+        post_processing: Post-processing strategy, or None.
+        self_consistency_samples: Samples for self-consistency voting.
+        beam_width: Candidates for beam/PICARD decoding.
+        prompt_overhead_tokens: Fixed instruction overhead included in the
+            prompt (verbose methods like C3/DIN carry large instructions).
+    """
+
+    name: str
+    backbone: str
+    finetuned: bool = False
+    schema_linking: str | None = None
+    db_content: str | None = None
+    prompting: str = "zero_shot"
+    few_shot_k: int = 0
+    multi_step: str | None = None
+    intermediate: str | None = None
+    decoding: str = "greedy"
+    post_processing: str | None = None
+    self_consistency_samples: int = 5
+    beam_width: int = 4
+    prompt_overhead_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.schema_linking not in SCHEMA_LINKING_CHOICES:
+            raise DesignSpaceError(f"invalid schema_linking {self.schema_linking!r}")
+        if self.db_content not in DB_CONTENT_CHOICES:
+            raise DesignSpaceError(f"invalid db_content {self.db_content!r}")
+        if self.prompting not in PROMPTING_CHOICES:
+            raise DesignSpaceError(f"invalid prompting {self.prompting!r}")
+        if self.multi_step not in MULTI_STEP_CHOICES:
+            raise DesignSpaceError(f"invalid multi_step {self.multi_step!r}")
+        if self.intermediate not in INTERMEDIATE_CHOICES:
+            raise DesignSpaceError(f"invalid intermediate {self.intermediate!r}")
+        if self.decoding not in DECODING_CHOICES:
+            raise DesignSpaceError(f"invalid decoding {self.decoding!r}")
+        if self.post_processing not in POST_PROCESSING_CHOICES:
+            raise DesignSpaceError(f"invalid post_processing {self.post_processing!r}")
+        if self.prompting != "zero_shot" and self.few_shot_k <= 0:
+            raise DesignSpaceError("few-shot prompting requires few_shot_k > 0")
+
+    def with_(self, **changes: object) -> "PipelineConfig":
+        """Return a modified copy."""
+        return replace(self, **changes)
+
+    @property
+    def style_divergence(self) -> float:
+        """How far the pipeline's SQL style drifts from the dataset's.
+
+        Fine-tuning aligns style almost perfectly; similarity few-shot
+        shows the model in-distribution SQL and aligns partially; fixed
+        manual examples and zero-shot prompts leave the model to its own
+        idioms.
+        """
+        if self.finetuned:
+            return 0.06
+        if self.prompting == "similarity_fewshot":
+            return 0.21
+        if self.prompting == "manual_fewshot":
+            return 0.42
+        return 0.52
+
+    def layer_values(self) -> dict[str, object]:
+        """Design-space layer assignments (for AAS swap/mutation and logs)."""
+        return {
+            "schema_linking": self.schema_linking,
+            "db_content": self.db_content,
+            "prompting": self.prompting,
+            "multi_step": self.multi_step,
+            "intermediate": self.intermediate,
+            "decoding": self.decoding,
+            "post_processing": self.post_processing,
+        }

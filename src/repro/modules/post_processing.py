@@ -1,0 +1,98 @@
+"""Post-processing strategies (paper §5.1 (4)).
+
+* **Self-Consistency** (C3, DAIL-SQL(SC)): execute every sampled SQL and
+  vote on result sets; the modal result's first SQL wins.
+* **Execution-Guided Selection** (RESDSQL/CodeS): walk the beam in order
+  and return the first candidate that executes without error.
+* **N-best Reranking**: score candidates by validity/executability and
+  pick the best.
+* **Self-Correction** (DIN-SQL) lives in the method driver (it needs to
+  re-query the model); helpers here detect when correction is warranted.
+"""
+
+from __future__ import annotations
+
+from repro.dbengine.database import Database
+from repro.dbengine.executor import ExecutionResult, execute_sql
+from repro.llm.model import GenerationCandidate
+from repro.sqlkit.picard import PicardChecker
+
+
+def _result_key(result: ExecutionResult) -> str:
+    if not result.ok:
+        return f"error:{result.error}"
+    normalized = sorted(repr(tuple(row)) for row in result.rows[:200])
+    return "|".join(normalized)
+
+
+def self_consistency_vote(
+    candidates: list[GenerationCandidate],
+    database: Database,
+) -> GenerationCandidate:
+    """Majority-vote candidates by their execution results.
+
+    Failing executions each form their own bucket, so a single clean
+    majority beats scattered errors.  Ties break toward the earliest
+    (lowest-temperature) candidate.
+    """
+    if not candidates:
+        raise ValueError("self-consistency requires at least one candidate")
+    buckets: dict[str, list[int]] = {}
+    results: list[ExecutionResult] = []
+    for index, candidate in enumerate(candidates):
+        result = execute_sql(database, candidate.sql)
+        results.append(result)
+        key = _result_key(result)
+        buckets.setdefault(key, []).append(index)
+    # Prefer successful buckets; then larger buckets; then earliest member.
+    def bucket_rank(item: tuple[str, list[int]]) -> tuple[int, int, int]:
+        key, members = item
+        ok = 0 if key.startswith("error:") else 1
+        return (ok, len(members), -members[0])
+
+    best_key, members = max(buckets.items(), key=bucket_rank)
+    return candidates[members[0]]
+
+
+def execution_guided_select(
+    candidates: list[GenerationCandidate],
+    database: Database,
+) -> GenerationCandidate:
+    """First candidate that executes without error (RESDSQL's selector)."""
+    if not candidates:
+        raise ValueError("execution-guided selection requires candidates")
+    for candidate in candidates:
+        result = execute_sql(database, candidate.sql)
+        if result.ok:
+            return candidate
+    return candidates[0]
+
+
+def rerank_candidates(
+    candidates: list[GenerationCandidate],
+    database: Database,
+    checker: PicardChecker | None = None,
+) -> GenerationCandidate:
+    """N-best reranking by (valid, executable, result non-emptiness, rank)."""
+    if not candidates:
+        raise ValueError("reranking requires candidates")
+
+    def score(item: tuple[int, GenerationCandidate]) -> tuple[int, int, int, int]:
+        index, candidate = item
+        valid = 1 if checker is None or checker.accepts(candidate.sql) else 0
+        result = execute_sql(database, candidate.sql)
+        executable = 1 if result.ok else 0
+        non_empty = 1 if result.ok and result.rows else 0
+        return (valid, executable, non_empty, -index)
+
+    __, best = max(enumerate(candidates), key=score)
+    return best
+
+
+def needs_correction(candidate: GenerationCandidate, database: Database) -> bool:
+    """DIN-SQL self-correction trigger: unparseable or failing SQL."""
+    checker = PicardChecker(database.schema)
+    if not checker.accepts(candidate.sql):
+        return True
+    result = execute_sql(database, candidate.sql)
+    return not result.ok

@@ -1,0 +1,95 @@
+"""Prompting: render the actual prompt text (paper Figures 10 and 15).
+
+Prompts are real strings — schema DDL (optionally pruned by schema
+linking, optionally annotated with matched DB content), in-context
+examples, and the question — so the Exp-6 token/cost accounting measures
+genuine prompt sizes.  Verbose methods (C3's calibration instructions,
+DIN-SQL's four-stage manual exemplars) carry their documented token
+overhead as instruction text.
+"""
+
+from __future__ import annotations
+
+from repro.dbengine.database import Database
+from repro.llm.prompt import Prompt, PromptFeatures
+from repro.modules.base import PipelineConfig
+from repro.modules.db_content import match_db_content
+from repro.modules.fewshot import select_examples
+from repro.modules.schema_linking import link_schema
+from repro.schema.ddl import render_schema_ddl
+
+_OVERHEAD_SENTENCE = (
+    "Follow the SQL generation guidelines carefully, check every clause "
+    "against the database schema, prefer explicit column names, and never "
+    "invent tables or columns that are not listed above. "
+)
+# ~34 tokens per sentence under the 4-chars/token heuristic.
+_OVERHEAD_SENTENCE_TOKENS = 40
+
+
+def _overhead_text(token_budget: int) -> str:
+    if token_budget <= 0:
+        return ""
+    repeats = max(1, token_budget // _OVERHEAD_SENTENCE_TOKENS)
+    return "/* " + _OVERHEAD_SENTENCE * repeats + "*/\n"
+
+
+def build_prompt(
+    config: PipelineConfig,
+    database: Database,
+    question: str,
+    train_pairs: list[tuple[str, str]] | None = None,
+) -> Prompt:
+    """Assemble the full prompt for one question under ``config``."""
+    schema = database.schema
+    schema_tables: tuple[str, ...] | None = None
+    if config.schema_linking is not None:
+        schema_tables = link_schema(config.schema_linking, schema, question)
+
+    db_content: dict[str, dict[str, list[str]]] | None = None
+    if config.db_content is not None:
+        db_content = match_db_content(config.db_content, database, question)
+
+    few_shot_quality = 0.0
+    example_block = ""
+    few_shot_count = 0
+    if config.prompting != "zero_shot":
+        examples, few_shot_quality = select_examples(
+            config.prompting, question, train_pairs or [], config.few_shot_k
+        )
+        few_shot_count = len(examples)
+        lines = []
+        for example in examples:
+            lines.append(f"/* Answer the following: {example.question} */")
+            lines.append(example.sql + ";")
+        example_block = "\n".join(lines) + "\n\n" if lines else ""
+
+    value_comments = None
+    if db_content is not None:
+        value_comments = {
+            table: {column: [str(v) for v in values] for column, values in columns.items()}
+            for table, columns in db_content.items()
+        }
+    ddl = render_schema_ddl(
+        schema,
+        value_comments=value_comments,
+        tables=list(schema_tables) if schema_tables is not None else None,
+    )
+
+    text = (
+        _overhead_text(config.prompt_overhead_tokens)
+        + "/* Given the following database schema: */\n"
+        + ddl
+        + "\n\n"
+        + example_block
+        + f"/* Answer the following: {question} */\nSELECT"
+    )
+    features = PromptFeatures(
+        schema_tables=schema_tables,
+        db_content=db_content,
+        few_shot_count=few_shot_count,
+        few_shot_quality=few_shot_quality,
+        sql_style=True,
+        instruction=config.name,
+    )
+    return Prompt(text=text, question=question, db_id=schema.db_id, features=features)

@@ -1,0 +1,41 @@
+"""Pre-processing: schema linking (RESDSQL-style ranking, C3-style filtering).
+
+Both strategies prune the schema presented to the model down to the
+tables the question plausibly references, trading recall for a cleaner
+prompt.  RESDSQL's cross-encoder ranking is emulated by the shared
+:class:`SchemaLinker` similarity ranking with a generous top-k; C3's
+zero-shot LLM filtering keeps fewer tables (more aggressive, slightly
+riskier recall).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DesignSpaceError
+from repro.nlu.linker import SchemaLinker
+from repro.schema.model import DatabaseSchema
+
+
+def link_schema(
+    strategy: str,
+    schema: DatabaseSchema,
+    question: str,
+) -> tuple[str, ...]:
+    """Return the pruned table list for ``question`` under ``strategy``.
+
+    Raises:
+        DesignSpaceError: for unknown strategies.
+    """
+    linker = SchemaLinker(schema)
+    if strategy == "resdsql":
+        tables = linker.relevant_tables(question, top_k=4)
+    elif strategy == "c3":
+        tables = linker.relevant_tables(question, top_k=3)
+    else:
+        raise DesignSpaceError(f"unknown schema-linking strategy {strategy!r}")
+    # Keep FK parents of selected tables so join paths stay available.
+    selected = {name.lower() for name in tables}
+    for fk in schema.foreign_keys:
+        if fk.source_table.lower() in selected and len(selected) < 5:
+            selected.add(fk.target_table.lower())
+    ordered = [t.name for t in schema.tables if t.name.lower() in selected]
+    return tuple(ordered)

@@ -1,0 +1,15 @@
+"""NLU substrate: lexicon normalization, schema linking, intent parsing."""
+
+from repro.nlu.lexicon import HARD_PHRASES, Lexicon
+from repro.nlu.linker import LinkedColumn, LinkedTable, SchemaLinker
+from repro.nlu.intent_parser import IntentParser, NLUParseError
+
+__all__ = [
+    "HARD_PHRASES",
+    "Lexicon",
+    "LinkedColumn",
+    "LinkedTable",
+    "SchemaLinker",
+    "IntentParser",
+    "NLUParseError",
+]

@@ -1,0 +1,512 @@
+"""Parse a normalized English question back into a :class:`QueryIntent`.
+
+This is the genuine "understanding" step of the simulated language
+models: the parser sees only the question text and the database schema
+(never the gold intent), pattern-matches the question against the
+template grammar, and resolves every phrase through the
+:class:`SchemaLinker`.  Parsing can fail — on unresolved paraphrases, on
+ambiguous schema links — and those failures propagate into model errors
+exactly like a real model's misunderstandings would.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.datagen.intents import (
+    Aggregate,
+    ColumnSel,
+    Filter,
+    HavingSpec,
+    IntentShape,
+    OrderSpec,
+    QueryIntent,
+    SubquerySpec,
+)
+from repro.errors import ReproError
+from repro.nlu.lexicon import Lexicon
+from repro.nlu.linker import SchemaLinker
+from repro.schema.model import DatabaseSchema
+
+
+class NLUParseError(ReproError):
+    """Raised when a question cannot be parsed into an intent."""
+
+
+_AGG_WORDS = {
+    "number": Aggregate.COUNT,
+    "average": Aggregate.AVG,
+    "total": Aggregate.SUM,
+    "minimum": Aggregate.MIN,
+    "maximum": Aggregate.MAX,
+}
+
+_OP_PHRASES = [
+    ("is not", "!="),
+    ("is greater than", ">"),
+    ("is less than", "<"),
+    ("is at least", ">="),
+    ("is at most", "<="),
+    ("contains", "like"),
+    ("is", "="),
+]
+
+_HAVING_OPS = {
+    "more than": ">",
+    "at least": ">=",
+    "fewer than": "<",
+    "at most": "<=",
+}
+
+_COL = r"[\w ,']+?"
+_TBL = r"[\w ]+?"
+
+
+def _parse_value(raw: str, op: str) -> object:
+    raw = raw.strip().rstrip(".?")
+    if raw.startswith("'") and raw.endswith("'") and len(raw) >= 2:
+        text = raw[1:-1]
+        if op == "like":
+            return f"%{text}%"
+        return text
+    try:
+        if re.fullmatch(r"-?\d+", raw):
+            return int(raw)
+        return float(raw)
+    except ValueError as exc:
+        raise NLUParseError(f"cannot parse value {raw!r}") from exc
+
+
+class IntentParser:
+    """Template-grammar question parser for one database schema."""
+
+    def __init__(self, schema: DatabaseSchema, lexicon: Lexicon | None = None) -> None:
+        self.schema = schema
+        self.linker = SchemaLinker(schema)
+        self.lexicon = lexicon or Lexicon.full()
+
+    # -- public API -------------------------------------------------------
+
+    def parse(self, question: str) -> QueryIntent:
+        """Parse ``question`` into an intent.
+
+        Raises:
+            NLUParseError: when no template matches or linking fails.
+        """
+        text = self.lexicon.normalize(question)
+        for matcher in (
+            self._match_how_many,
+            self._match_what_is,
+            self._match_for_each,
+            self._match_subquery_cmp,
+            self._match_subquery_in,
+            self._match_extreme,
+            self._match_set_op,
+            self._match_join_project,
+            self._match_show,
+        ):
+            intent = matcher(text)
+            if intent is not None:
+                return intent
+        raise NLUParseError(f"no template matches question: {question!r}")
+
+    # -- linking helpers ----------------------------------------------------
+
+    def _table(self, phrase: str) -> str:
+        linked = self.linker.link_table(phrase.strip())
+        if linked is None:
+            raise NLUParseError(f"cannot link table phrase {phrase!r}")
+        return linked.table.name
+
+    def _column(self, phrase: str, tables: list[str] | None = None) -> ColumnSel:
+        phrase = phrase.strip()
+        if phrase in ("records", "record"):
+            table = tables[0] if tables else self.schema.tables[0].name
+            return ColumnSel(table=table, column="*")
+        linked = self.linker.link_column(phrase, tables)
+        if linked is None:
+            raise NLUParseError(f"cannot link column phrase {phrase!r}")
+        return ColumnSel(table=linked.table.name, column=linked.column.name)
+
+    def _projection(self, phrase: str, tables: list[str]) -> tuple[ColumnSel, ...]:
+        phrase = phrase.strip()
+        parts: list[str] = []
+        for chunk in phrase.split(","):
+            chunk = chunk.strip()
+            if " and " in chunk:
+                left, right = chunk.rsplit(" and ", 1)
+                parts.extend([left.strip(), right.strip()])
+            elif chunk:
+                parts.append(chunk)
+        return tuple(self._column(part, tables) for part in parts if part)
+
+    # -- filters ------------------------------------------------------------
+
+    def _split_filters(self, text: str) -> list[tuple[str, str]]:
+        """Split a filters tail into (connector, clause) pairs."""
+        clauses: list[tuple[str, str]] = []
+        pieces = re.split(r"\s+(and|or)\s+whose\s+", text)
+        clauses.append(("and", pieces[0]))
+        for i in range(1, len(pieces), 2):
+            clauses.append((pieces[i], pieces[i + 1]))
+        return clauses
+
+    def _parse_filter_clause(
+        self, clause: str, tables: list[str], connector: str = "and"
+    ) -> Filter:
+        clause = clause.strip().rstrip(".?")
+        between = re.match(
+            rf"(?P<col>{_COL}) is between (?P<low>[^ ]+) and (?P<high>[^ ]+)$", clause
+        )
+        if between:
+            column = self._column(between.group("col"), tables)
+            return Filter(
+                column=column,
+                op="between",
+                value=_parse_value(between.group("low"), "between"),
+                value2=_parse_value(between.group("high"), "between"),
+                connector=connector,
+            )
+        for phrase, op in _OP_PHRASES:
+            marker = f" {phrase} "
+            if marker in clause:
+                col_phrase, value_raw = clause.split(marker, 1)
+                column = self._column(col_phrase, tables)
+                return Filter(
+                    column=column,
+                    op=op,
+                    value=_parse_value(value_raw, op),
+                    connector=connector,
+                )
+        raise NLUParseError(f"cannot parse filter clause {clause!r}")
+
+    def _parse_filters(self, tail: str | None, tables: list[str]) -> tuple[Filter, ...]:
+        if not tail:
+            return ()
+        return tuple(
+            self._parse_filter_clause(clause, tables, connector)
+            for connector, clause in self._split_filters(tail)
+        )
+
+    # -- order / having tails -------------------------------------------------
+
+    def _parse_order(self, text: str, tables: list[str]) -> tuple[str, OrderSpec | None]:
+        """Strip and parse a ', sorted by ...' tail; returns (rest, order)."""
+        match = re.search(
+            r",? sorted by (?P<key>[\w *]+?) in (?P<dir>ascending|descending) order"
+            r"(?:, showing only the top (?P<limit>\d+))?[.?]?$",
+            text,
+        )
+        if not match:
+            return text, None
+        rest = text[: match.start()]
+        key_phrase = match.group("key").strip()
+        aggregate = Aggregate.NONE
+        first_word = key_phrase.split(" ", 1)[0]
+        if first_word in _AGG_WORDS:
+            aggregate = _AGG_WORDS[first_word]
+            remainder = key_phrase[len(first_word):].strip()
+            if aggregate == Aggregate.COUNT or remainder in ("of records", "of record", ""):
+                column = ColumnSel(table=tables[0], column="*")
+                if aggregate != Aggregate.COUNT:
+                    aggregate = Aggregate.COUNT
+            else:
+                column = self._column(remainder, tables)
+        else:
+            column = self._column(key_phrase, tables)
+        direction = "desc" if match.group("dir") == "descending" else "asc"
+        limit = int(match.group("limit")) if match.group("limit") else None
+        return rest, OrderSpec(
+            column=column, aggregate=aggregate, direction=direction, limit=limit
+        )
+
+    def _parse_having(self, text: str, tables: list[str]) -> tuple[str, HavingSpec | None]:
+        match = re.search(
+            r",? keeping only groups with (?P<op>more than|at least|fewer than|at most) "
+            r"(?P<value>\d+) records?",
+            text,
+        )
+        if not match:
+            return text, None
+        rest = text[: match.start()] + text[match.end():]
+        having = HavingSpec(
+            aggregate=Aggregate.COUNT,
+            column=ColumnSel(table=tables[0], column="*"),
+            op=_HAVING_OPS[match.group("op")],
+            value=float(match.group("value")),
+        )
+        return rest, having
+
+    # -- template matchers -----------------------------------------------------
+
+    def _match_how_many(self, text: str) -> QueryIntent | None:
+        match = re.match(
+            rf"how many (?P<table>{_TBL}) are there(?: whose (?P<filters>.+))?\?$", text
+        )
+        if not match:
+            return None
+        table = self._table(match.group("table"))
+        filters = self._parse_filters(match.group("filters"), [table])
+        return QueryIntent(
+            shape=IntentShape.AGG,
+            db_id=self.schema.db_id,
+            tables=(table,),
+            projection=(),
+            aggregate=Aggregate.COUNT,
+            agg_column=ColumnSel(table=table, column="*"),
+            filters=filters,
+        )
+
+    def _match_what_is(self, text: str) -> QueryIntent | None:
+        match = re.match(
+            rf"(?:what is|show) the (?P<agg>number|average|total|minimum|maximum) "
+            rf"(?P<col>{_COL}) of (?:all|the) (?P<table>{_TBL})"
+            rf"(?: whose (?P<filters>.+?))?[.?]$",
+            text,
+        )
+        if not match:
+            return None
+        aggregate = _AGG_WORDS[match.group("agg")]
+        table = self._table(match.group("table"))
+        col_phrase = match.group("col").strip()
+        if aggregate == Aggregate.COUNT or col_phrase in ("of records", "records"):
+            agg_column = ColumnSel(table=table, column="*")
+            aggregate = Aggregate.COUNT
+        else:
+            agg_column = self._column(col_phrase, [table])
+        filters = self._parse_filters(match.group("filters"), [table])
+        return QueryIntent(
+            shape=IntentShape.AGG,
+            db_id=self.schema.db_id,
+            tables=(table,),
+            projection=(),
+            aggregate=aggregate,
+            agg_column=agg_column,
+            filters=filters,
+        )
+
+    def _match_for_each(self, text: str) -> QueryIntent | None:
+        if not text.startswith("for each "):
+            return None
+        body = text
+        # Group key phrase up to the first comma.
+        match = re.match(r"for each (?P<key>[\w ]+?), show the (?P<rest>.+)$", body)
+        if not match:
+            raise NLUParseError(f"malformed group-by question: {text!r}")
+        key_column = self._column(match.group("key"))
+        parent = key_column.table
+        rest = match.group("rest")
+        related = re.search(rf" of the related (?P<child>{_TBL})(?=[,.])", rest)
+        if related:
+            child = self._table(related.group("child"))
+            tables: tuple[str, ...] = (child, parent)
+            rest = rest[: related.start()] + rest[related.end():]
+        else:
+            simple = re.search(rf" of the (?P<table>{_TBL})(?=[,.])", rest)
+            if simple:
+                child = self._table(simple.group("table"))
+                rest = rest[: simple.start()] + rest[simple.end():]
+            else:
+                child = parent
+            tables = (child,) if child == parent else (child, parent)
+        link_tables = list(dict.fromkeys([child, parent]))
+        rest, having = self._parse_having(rest, [child])
+        rest, order = self._parse_order(rest, link_tables)
+        agg_phrase = rest.strip().rstrip(".?").strip(", ")
+        first_word = agg_phrase.split(" ", 1)[0]
+        if first_word not in _AGG_WORDS:
+            raise NLUParseError(f"cannot parse aggregate phrase {agg_phrase!r}")
+        aggregate = _AGG_WORDS[first_word]
+        remainder = agg_phrase[len(first_word):].strip()
+        if aggregate == Aggregate.COUNT or remainder in ("of records", "of record", ""):
+            aggregate = Aggregate.COUNT
+            agg_column = ColumnSel(table=child, column="*")
+        else:
+            agg_column = self._column(remainder, [child])
+        shape = IntentShape.JOIN_GROUP if len(tables) > 1 else IntentShape.GROUP_AGG
+        return QueryIntent(
+            shape=shape,
+            db_id=self.schema.db_id,
+            tables=tables,
+            projection=(),
+            aggregate=aggregate,
+            agg_column=agg_column,
+            group_by=key_column,
+            having=having,
+            order=order,
+        )
+
+    def _match_subquery_cmp(self, text: str) -> QueryIntent | None:
+        match = re.match(
+            rf"show the (?P<cols>{_COL}) of (?:all|the) (?P<table>{_TBL}) whose "
+            rf"(?P<col>{_COL}) is (?P<dir>above|below) the average (?P<col2>{_COL})[.?]$",
+            text,
+        )
+        if not match:
+            return None
+        table = self._table(match.group("table"))
+        projection = self._projection(match.group("cols"), [table])
+        column = self._column(match.group("col"), [table])
+        subquery = SubquerySpec(
+            outer_column=column,
+            op=">" if match.group("dir") == "above" else "<",
+            aggregate=Aggregate.AVG,
+            inner_table=table,
+            inner_column=column,
+        )
+        return QueryIntent(
+            shape=IntentShape.SUBQUERY_CMP_AGG,
+            db_id=self.schema.db_id,
+            tables=(table,),
+            projection=projection,
+            subquery=subquery,
+        )
+
+    def _match_subquery_in(self, text: str) -> QueryIntent | None:
+        match = re.match(
+            rf"show the (?P<cols>{_COL}) of (?:all|the) (?P<parent>{_TBL}) that have "
+            rf"(?P<mode>at least one|no) (?P<child>{_TBL}) whose (?P<filter>.+)[.?]$",
+            text,
+        )
+        if not match:
+            return None
+        parent = self._table(match.group("parent"))
+        child = self._table(match.group("child"))
+        fks = self.schema.foreign_keys_between(child, parent)
+        if not fks:
+            raise NLUParseError(f"no FK between {parent!r} and {child!r}")
+        fk = fks[0]
+        if fk.source_table.lower() == child.lower():
+            outer_col, inner_col = fk.target_column, fk.source_column
+        else:
+            outer_col, inner_col = fk.source_column, fk.target_column
+        inner_filter = self._parse_filter_clause(match.group("filter"), [child])
+        negated = match.group("mode") == "no"
+        subquery = SubquerySpec(
+            outer_column=ColumnSel(table=parent, column=outer_col),
+            op="in",
+            aggregate=Aggregate.NONE,
+            inner_table=child,
+            inner_column=ColumnSel(table=child, column=inner_col),
+            inner_filter=inner_filter,
+            negated=negated,
+        )
+        return QueryIntent(
+            shape=IntentShape.SUBQUERY_NOT_IN if negated else IntentShape.SUBQUERY_IN,
+            db_id=self.schema.db_id,
+            tables=(parent,),
+            projection=self._projection(match.group("cols"), [parent]),
+            subquery=subquery,
+        )
+
+    def _match_extreme(self, text: str) -> QueryIntent | None:
+        match = re.match(
+            rf"show the (?P<cols>{_COL}) of the (?P<table>{_TBL}) with the "
+            rf"(?P<dir>highest|lowest) (?P<col>{_COL})[.?]$",
+            text,
+        )
+        if not match:
+            return None
+        table = self._table(match.group("table"))
+        column = self._column(match.group("col"), [table])
+        subquery = SubquerySpec(
+            outer_column=column,
+            op="=",
+            aggregate=Aggregate.MAX if match.group("dir") == "highest" else Aggregate.MIN,
+            inner_table=table,
+            inner_column=column,
+        )
+        return QueryIntent(
+            shape=IntentShape.EXTREME,
+            db_id=self.schema.db_id,
+            tables=(table,),
+            projection=self._projection(match.group("cols"), [table]),
+            subquery=subquery,
+        )
+
+    def _match_set_op(self, text: str) -> QueryIntent | None:
+        match = re.match(
+            rf"show the (?P<cols>{_COL}) of (?:all|the) (?P<table>{_TBL}) whose "
+            r"(?P<first>.+?) (?P<op>and also whose|or alternatively whose|but not whose) "
+            r"(?P<second>.+)[.?]$",
+            text,
+        )
+        if not match:
+            return None
+        table = self._table(match.group("table"))
+        projection = self._projection(match.group("cols"), [table])
+        first = self._parse_filter_clause(match.group("first"), [table])
+        second = self._parse_filter_clause(match.group("second"), [table])
+        set_op = {
+            "and also whose": "intersect",
+            "or alternatively whose": "union",
+            "but not whose": "except",
+        }[match.group("op")]
+        return QueryIntent(
+            shape=IntentShape.SET_OP,
+            db_id=self.schema.db_id,
+            tables=(table,),
+            projection=projection,
+            filters=(first,),
+            set_op=set_op,
+            set_branch_filter=second,
+        )
+
+    def _match_join_project(self, text: str) -> QueryIntent | None:
+        match = re.match(
+            rf"show the (?P<cols1>{_COL}) of each (?P<table1>{_TBL}) together with the "
+            rf"(?P<cols2>{_COL}) of its (?P<table2>{_TBL})"
+            rf"(?: whose (?P<filters>.+?))?[.?]$",
+            text,
+        )
+        if not match:
+            return None
+        table1 = self._table(match.group("table1"))
+        table2 = self._table(match.group("table2"))
+        projection = self._projection(match.group("cols1"), [table1]) + self._projection(
+            match.group("cols2"), [table2]
+        )
+        filters = self._parse_filters(match.group("filters"), [table1, table2])
+        return QueryIntent(
+            shape=IntentShape.JOIN_PROJECT,
+            db_id=self.schema.db_id,
+            tables=(table1, table2),
+            projection=projection,
+            filters=filters,
+        )
+
+    def _match_show(self, text: str) -> QueryIntent | None:
+        # An ORDER BY tail contains commas the table pattern cannot span,
+        # so strip and parse it before matching the core template.  The
+        # order key may reference any table, which is resolved after the
+        # core match below.
+        head = re.match(rf"show the .+? of (?:all|the) (?P<table>{_TBL})[,.?\s]", text)
+        if not head:
+            return None
+        try:
+            order_table = self._table(head.group("table"))
+        except NLUParseError:
+            return None
+        rest_text, order = self._parse_order(text, [order_table])
+        pattern = (
+            rf"show the (?P<distinct>distinct )?(?P<cols>{_COL}) of (?:all|the) "
+            rf"(?P<table>{_TBL})(?: whose (?P<filters>.+?))?[,.?]?$"
+        )
+        match = re.match(pattern, rest_text if order is not None else text)
+        if not match:
+            if order is not None:
+                raise NLUParseError(f"cannot parse ordered question: {text!r}")
+            return None
+        table = self._table(match.group("table"))
+        projection = self._projection(match.group("cols"), [table])
+        filters = self._parse_filters(match.group("filters"), [table])
+        shape = IntentShape.ORDER_TOP if order is not None else IntentShape.PROJECT
+        return QueryIntent(
+            shape=shape,
+            db_id=self.schema.db_id,
+            tables=(table,),
+            projection=projection,
+            distinct=bool(match.group("distinct")),
+            filters=filters,
+            order=order,
+        )

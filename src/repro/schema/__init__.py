@@ -1,0 +1,20 @@
+"""Relational schema model: tables, columns, keys, DDL, and statistics."""
+
+from repro.schema.model import Column, ColumnType, DatabaseSchema, ForeignKey, Table
+from repro.schema.ddl import render_create_table, render_schema_ddl
+from repro.schema.introspect import schema_from_sqlite
+from repro.schema.stats import SchemaStatistics, corpus_statistics, schema_statistics
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "DatabaseSchema",
+    "ForeignKey",
+    "Table",
+    "render_create_table",
+    "render_schema_ddl",
+    "schema_from_sqlite",
+    "SchemaStatistics",
+    "corpus_statistics",
+    "schema_statistics",
+]

@@ -1,0 +1,87 @@
+"""DDL rendering for :class:`~repro.schema.model.DatabaseSchema`.
+
+Two consumers:
+
+* the DB engine materializes schemas into SQLite with :func:`render_schema_ddl`;
+* prompt construction renders per-table ``CREATE TABLE`` text in the
+  SQL-style prompt format the paper's Figure 10 shows (optionally with
+  BRIDGE-style value comments appended per column, Figure 15).
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import DatabaseSchema, Table
+
+
+def render_create_table(
+    schema: DatabaseSchema,
+    table: Table,
+    value_comments: dict[str, list[str]] | None = None,
+    include_foreign_keys: bool = True,
+) -> str:
+    """Render one ``CREATE TABLE`` statement.
+
+    Args:
+        schema: Owning schema (used to locate foreign keys).
+        table: Table to render.
+        value_comments: Optional map ``column_name -> sample values`` that is
+            rendered as trailing comments, mirroring the "Clear Schema with
+            DB Content" prompt of SuperSQL (paper Figure 15).
+        include_foreign_keys: Whether to emit FOREIGN KEY clauses.
+    """
+    lines = [f"CREATE TABLE {table.name} ("]
+    body: list[str] = []
+    for column in table.columns:
+        parts = [f"  {column.name} {column.col_type.sqlite_affinity.lower()}"]
+        if column.is_primary_key and len(table.primary_key_columns) == 1:
+            parts.append("primary key")
+        declaration = " ".join(parts)
+        if value_comments and column.name in value_comments:
+            values = ", ".join(str(v) for v in value_comments[column.name])
+            declaration += f" -- values: {values}"
+        body.append(declaration)
+    pk_columns = table.primary_key_columns
+    if len(pk_columns) > 1:
+        names = ", ".join(column.name for column in pk_columns)
+        body.append(f"  primary key ({names})")
+    if include_foreign_keys:
+        for fk in schema.foreign_keys:
+            if fk.source_table.lower() == table.name.lower():
+                body.append(
+                    f"  foreign key ({fk.source_column}) references "
+                    f"{fk.target_table}({fk.target_column})"
+                )
+    lines.append(",\n".join(body))
+    lines.append(")")
+    return "\n".join(lines)
+
+
+def render_schema_ddl(
+    schema: DatabaseSchema,
+    value_comments: dict[str, dict[str, list[str]]] | None = None,
+    include_foreign_keys: bool = True,
+    tables: list[str] | None = None,
+) -> str:
+    """Render the full schema as concatenated ``CREATE TABLE`` statements.
+
+    Args:
+        schema: Schema to render.
+        value_comments: Optional ``table -> column -> values`` comment map.
+        include_foreign_keys: Whether to emit FOREIGN KEY clauses.
+        tables: Optional subset of table names to render (schema-linking
+            output); defaults to all tables in schema order.
+    """
+    selected = schema.tables
+    if tables is not None:
+        wanted = {name.lower() for name in tables}
+        selected = [table for table in schema.tables if table.name.lower() in wanted]
+    statements = [
+        render_create_table(
+            schema,
+            table,
+            value_comments=(value_comments or {}).get(table.name),
+            include_foreign_keys=include_foreign_keys,
+        )
+        for table in selected
+    ]
+    return "\n\n".join(statements)

@@ -1,0 +1,70 @@
+"""Reverse-engineer a :class:`DatabaseSchema` from a live SQLite connection.
+
+This closes the loop between the generated DDL and the in-memory model and
+lets NL2SQL360 evaluate against user-supplied SQLite databases, the way the
+original testbed ingests the Spider/BIRD database folders.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.schema.model import Column, ColumnType, DatabaseSchema, ForeignKey, Table
+
+_TYPE_MAP = {
+    "TEXT": ColumnType.TEXT,
+    "INTEGER": ColumnType.INTEGER,
+    "INT": ColumnType.INTEGER,
+    "REAL": ColumnType.REAL,
+    "NUMERIC": ColumnType.REAL,
+    "DATE": ColumnType.DATE,
+    "BOOLEAN": ColumnType.BOOLEAN,
+}
+
+
+def _column_type(declared: str) -> ColumnType:
+    upper = declared.strip().upper()
+    for key, col_type in _TYPE_MAP.items():
+        if key in upper:
+            return col_type
+    return ColumnType.TEXT
+
+
+def schema_from_sqlite(connection: sqlite3.Connection, db_id: str, domain: str = "general") -> DatabaseSchema:
+    """Build a :class:`DatabaseSchema` by introspecting ``connection``.
+
+    Reads ``sqlite_master`` for table names and uses the ``table_info`` /
+    ``foreign_key_list`` pragmas for columns, primary keys, and FK edges.
+    """
+    cursor = connection.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' AND name NOT LIKE 'sqlite_%' ORDER BY rowid"
+    )
+    table_names = [row[0] for row in cursor.fetchall()]
+
+    tables: list[Table] = []
+    foreign_keys: list[ForeignKey] = []
+    for table_name in table_names:
+        columns: list[Column] = []
+        for _, name, declared, _notnull, _default, pk_index in connection.execute(
+            f'PRAGMA table_info("{table_name}")'
+        ):
+            columns.append(
+                Column(
+                    name=name,
+                    col_type=_column_type(declared or ""),
+                    is_primary_key=bool(pk_index),
+                )
+            )
+        tables.append(Table(name=table_name, columns=columns))
+        for row in connection.execute(f'PRAGMA foreign_key_list("{table_name}")'):
+            # row: (id, seq, target_table, from_col, to_col, ...)
+            _, _, target_table, from_col, to_col = row[0], row[1], row[2], row[3], row[4]
+            foreign_keys.append(
+                ForeignKey(
+                    source_table=table_name,
+                    source_column=from_col,
+                    target_table=target_table,
+                    target_column=to_col or from_col,
+                )
+            )
+    return DatabaseSchema(db_id=db_id, tables=tables, foreign_keys=foreign_keys, domain=domain)

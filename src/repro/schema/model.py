@@ -1,0 +1,210 @@
+"""In-memory model of a relational database schema.
+
+This is the substrate every other subsystem builds on: the data generator
+creates :class:`DatabaseSchema` objects, the SQL toolkit resolves column
+references against them, schema linking ranks their elements, and the
+DB engine materializes them into SQLite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import SchemaError
+from repro.utils.text import normalize_identifier
+
+
+class ColumnType(str, Enum):
+    """SQL column types supported by the toolkit (SQLite affinity names)."""
+
+    TEXT = "text"
+    INTEGER = "int"
+    REAL = "real"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    @property
+    def sqlite_affinity(self) -> str:
+        """Return the SQLite type name used in DDL."""
+        return {
+            ColumnType.TEXT: "TEXT",
+            ColumnType.INTEGER: "INTEGER",
+            ColumnType.REAL: "REAL",
+            ColumnType.DATE: "TEXT",
+            ColumnType.BOOLEAN: "INTEGER",
+        }[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INTEGER, ColumnType.REAL)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column.
+
+    Attributes:
+        name: The physical column name (e.g. ``airport_code``).
+        col_type: Logical type used for value generation and NL rendering.
+        natural_name: Human phrase the NL generator uses ("airport code").
+        is_primary_key: True if this column is (part of) the primary key.
+    """
+
+    name: str
+    col_type: ColumnType = ColumnType.TEXT
+    natural_name: str = ""
+    is_primary_key: bool = False
+
+    @property
+    def display_name(self) -> str:
+        """Return the natural-language phrase for this column."""
+        return self.natural_name or normalize_identifier(self.name)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge: ``source_table.source_column -> target_table.target_column``."""
+
+    source_table: str
+    source_column: str
+    target_table: str
+    target_column: str
+
+    def as_tuple(self) -> tuple[str, str, str, str]:
+        return (self.source_table, self.source_column, self.target_table, self.target_column)
+
+
+@dataclass
+class Table:
+    """A table: name, columns, and a natural-language display name."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+    natural_name: str = ""
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for column in self.columns:
+            key = column.name.lower()
+            if key in seen:
+                raise SchemaError(f"duplicate column {column.name!r} in table {self.name!r}")
+            seen.add(key)
+
+    @property
+    def display_name(self) -> str:
+        return self.natural_name or normalize_identifier(self.name)
+
+    @property
+    def primary_key_columns(self) -> list[Column]:
+        return [column for column in self.columns if column.is_primary_key]
+
+    def column(self, name: str) -> Column:
+        """Return the column with ``name`` (case-insensitive)."""
+        lowered = name.lower()
+        for column in self.columns:
+            if column.name.lower() == lowered:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(column.name.lower() == lowered for column in self.columns)
+
+
+@dataclass
+class DatabaseSchema:
+    """A full database schema with tables, foreign keys, and a domain label.
+
+    The ``domain`` label drives the paper's Exp-4 (domain adaptation): both
+    Spider-like and BIRD-like synthetic benchmarks tag each database with
+    one of 33 domains.
+    """
+
+    db_id: str
+    tables: list[Table] = field(default_factory=list)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+    domain: str = "general"
+    # Dataset-level intrinsic difficulty (0 = Spider-like; ~1 = BIRD-like:
+    # messier schemas and questions needing external knowledge).
+    ambient_difficulty: float = 0.0
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for table in self.tables:
+            key = table.name.lower()
+            if key in seen:
+                raise SchemaError(f"duplicate table {table.name!r} in database {self.db_id!r}")
+            seen.add(key)
+        for fk in self.foreign_keys:
+            self._validate_fk(fk)
+
+    def _validate_fk(self, fk: ForeignKey) -> None:
+        source = self.table(fk.source_table)
+        target = self.table(fk.target_table)
+        if not source.has_column(fk.source_column):
+            raise SchemaError(f"FK source column {fk.source_table}.{fk.source_column} missing")
+        if not target.has_column(fk.target_column):
+            raise SchemaError(f"FK target column {fk.target_table}.{fk.target_column} missing")
+
+    @property
+    def table_names(self) -> list[str]:
+        return [table.name for table in self.tables]
+
+    def table(self, name: str) -> Table:
+        """Return the table with ``name`` (case-insensitive)."""
+        lowered = name.lower()
+        for table in self.tables:
+            if table.name.lower() == lowered:
+                return table
+        raise SchemaError(f"database {self.db_id!r} has no table {name!r}")
+
+    def has_table(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(table.name.lower() == lowered for table in self.tables)
+
+    def columns_of(self, table_name: str) -> list[Column]:
+        return list(self.table(table_name).columns)
+
+    def all_columns(self) -> list[tuple[str, Column]]:
+        """Return all (table_name, column) pairs in schema order."""
+        return [(table.name, column) for table in self.tables for column in table.columns]
+
+    def foreign_keys_between(self, table_a: str, table_b: str) -> list[ForeignKey]:
+        """Return FK edges connecting two tables, in either direction."""
+        a, b = table_a.lower(), table_b.lower()
+        return [
+            fk
+            for fk in self.foreign_keys
+            if {fk.source_table.lower(), fk.target_table.lower()} == {a, b}
+        ]
+
+    def join_path(self, tables: list[str]) -> list[ForeignKey]:
+        """Return FK edges forming a join tree over ``tables``.
+
+        Uses a greedy spanning-tree construction over the FK graph.  Raises
+        :class:`SchemaError` if the tables are not FK-connected.
+        """
+        if len(tables) <= 1:
+            return []
+        remaining = [name.lower() for name in tables[1:]]
+        connected = {tables[0].lower()}
+        edges: list[ForeignKey] = []
+        while remaining:
+            progressed = False
+            for candidate in list(remaining):
+                for anchor in list(connected):
+                    fks = self.foreign_keys_between(anchor, candidate)
+                    if fks:
+                        edges.append(fks[0])
+                        connected.add(candidate)
+                        remaining.remove(candidate)
+                        progressed = True
+                        break
+                if progressed:
+                    break
+            if not progressed:
+                raise SchemaError(
+                    f"tables {tables} are not connected by foreign keys in {self.db_id!r}"
+                )
+        return edges

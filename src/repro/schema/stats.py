@@ -1,0 +1,74 @@
+"""Schema statistics in the format of the paper's Table 2.
+
+Table 2 reports, per dataset split, the min/max/avg of: tables per DB,
+columns per DB, columns per table, primary keys per DB, and foreign keys
+per DB.  :func:`corpus_statistics` computes exactly those aggregates over
+a collection of schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.model import DatabaseSchema
+
+
+@dataclass(frozen=True)
+class MinMaxAvg:
+    """A (min, max, avg) triple as reported in Table 2."""
+
+    minimum: float
+    maximum: float
+    average: float
+
+    def as_row(self) -> tuple[float, float, float]:
+        return (self.minimum, self.maximum, round(self.average, 1))
+
+
+def _summarize(values: list[float]) -> MinMaxAvg:
+    if not values:
+        return MinMaxAvg(0.0, 0.0, 0.0)
+    return MinMaxAvg(min(values), max(values), sum(values) / len(values))
+
+
+@dataclass(frozen=True)
+class SchemaStatistics:
+    """Per-database raw counts feeding the Table 2 aggregates."""
+
+    db_id: str
+    num_tables: int
+    num_columns: int
+    columns_per_table: float
+    num_primary_keys: int
+    num_foreign_keys: int
+
+
+def schema_statistics(schema: DatabaseSchema) -> SchemaStatistics:
+    """Compute the raw Table 2 counts for a single database."""
+    num_tables = len(schema.tables)
+    num_columns = sum(len(table.columns) for table in schema.tables)
+    num_pks = sum(len(table.primary_key_columns) for table in schema.tables)
+    return SchemaStatistics(
+        db_id=schema.db_id,
+        num_tables=num_tables,
+        num_columns=num_columns,
+        columns_per_table=num_columns / num_tables if num_tables else 0.0,
+        num_primary_keys=num_pks,
+        num_foreign_keys=len(schema.foreign_keys),
+    )
+
+
+def corpus_statistics(schemas: list[DatabaseSchema]) -> dict[str, MinMaxAvg]:
+    """Compute Table 2 aggregates over a corpus of database schemas.
+
+    Returns a dict with keys ``tables_per_db``, ``columns_per_db``,
+    ``columns_per_table``, ``pks_per_db``, ``fks_per_db``.
+    """
+    rows = [schema_statistics(schema) for schema in schemas]
+    return {
+        "tables_per_db": _summarize([float(row.num_tables) for row in rows]),
+        "columns_per_db": _summarize([float(row.num_columns) for row in rows]),
+        "columns_per_table": _summarize([row.columns_per_table for row in rows]),
+        "pks_per_db": _summarize([float(row.num_primary_keys) for row in rows]),
+        "fks_per_db": _summarize([float(row.num_foreign_keys) for row in rows]),
+    }

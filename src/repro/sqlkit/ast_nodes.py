@@ -1,0 +1,313 @@
+"""Typed AST for the supported SQL dialect.
+
+Nodes are plain dataclasses.  Expression nodes share the :class:`Expr`
+base; :class:`SelectStatement` is the root of a query (optionally chained
+through :class:`SetOperation` for UNION/INTERSECT/EXCEPT).
+
+The AST deliberately models the Spider/BIRD SQL subset rather than full
+SQL: that is the universe the paper's benchmarks, hardness classifier, and
+exact-match metric are defined over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendant expressions (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> list["Expr"]:
+        """Return direct child expressions; overridden per node."""
+        return []
+
+
+@dataclass
+class Star(Expr):
+    """The ``*`` projection, optionally table-qualified (``T1.*``)."""
+
+    table: str | None = None
+
+
+@dataclass
+class ColumnRef(Expr):
+    """A (possibly table-qualified) column reference."""
+
+    column: str
+    table: str | None = None
+
+    def key(self) -> str:
+        """Case-insensitive ``table.column`` key for comparisons."""
+        prefix = (self.table or "").lower()
+        return f"{prefix}.{self.column.lower()}"
+
+
+@dataclass
+class Literal(Expr):
+    """A string, numeric, boolean, or NULL literal."""
+
+    value: Union[str, int, float, bool, None]
+
+    @property
+    def is_string(self) -> bool:
+        return isinstance(self.value, str)
+
+
+@dataclass
+class FuncCall(Expr):
+    """A function call; aggregates (COUNT/SUM/AVG/MIN/MAX) included."""
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+    distinct: bool = False
+
+    AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name.lower() in self.AGGREGATES
+
+    def children(self) -> list[Expr]:
+        return list(self.args)
+
+
+@dataclass
+class BinaryOp(Expr):
+    """A binary comparison or arithmetic operation."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    COMPARISONS = ("=", "!=", "<>", ">", "<", ">=", "<=")
+
+    @property
+    def is_comparison(self) -> bool:
+        return self.op in self.COMPARISONS
+
+    def children(self) -> list[Expr]:
+        return [self.left, self.right]
+
+
+@dataclass
+class BooleanOp(Expr):
+    """An AND/OR chain over two or more conditions."""
+
+    op: str  # "and" | "or"
+    operands: list[Expr] = field(default_factory=list)
+
+    def children(self) -> list[Expr]:
+        return list(self.operands)
+
+
+@dataclass
+class NotExpr(Expr):
+    """Logical negation."""
+
+    operand: Expr
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+
+@dataclass
+class LikeExpr(Expr):
+    """``expr [NOT] LIKE pattern``."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand, self.pattern]
+
+
+@dataclass
+class BetweenExpr(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand, self.low, self.high]
+
+
+@dataclass
+class IsNullExpr(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+
+@dataclass
+class InExpr(Expr):
+    """``expr [NOT] IN (values | subquery)``."""
+
+    operand: Expr
+    values: list[Expr] = field(default_factory=list)
+    subquery: "Subquery | None" = None
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        kids: list[Expr] = [self.operand, *self.values]
+        if self.subquery is not None:
+            kids.append(self.subquery)
+        return kids
+
+
+@dataclass
+class Exists(Expr):
+    """``[NOT] EXISTS (subquery)``."""
+
+    subquery: "Subquery"
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.subquery]
+
+
+@dataclass
+class CaseExpr(Expr):
+    """``CASE WHEN cond THEN value [...] [ELSE value] END`` (BIRD dialect)."""
+
+    whens: list[tuple[Expr, Expr]] = field(default_factory=list)
+    else_value: Expr | None = None
+
+    def children(self) -> list[Expr]:
+        kids: list[Expr] = []
+        for condition, value in self.whens:
+            kids.extend([condition, value])
+        if self.else_value is not None:
+            kids.append(self.else_value)
+        return kids
+
+
+@dataclass
+class Subquery(Expr):
+    """A parenthesized SELECT used as an expression or IN source."""
+
+    select: "SelectStatement"
+
+    def children(self) -> list[Expr]:
+        return []
+
+
+@dataclass
+class TableRef:
+    """A table in the FROM clause, with optional alias (``airports AS T1``)."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referenced by in column qualifiers."""
+        return self.alias or self.name
+
+
+@dataclass
+class Join:
+    """A JOIN edge: joined table plus optional ON condition."""
+
+    table: TableRef
+    condition: Expr | None = None
+    join_type: str = "join"  # "join" | "left join" | "inner join" ...
+
+
+@dataclass
+class FromClause:
+    """FROM clause: a base table plus zero or more JOINs."""
+
+    base: TableRef
+    joins: list[Join] = field(default_factory=list)
+
+    @property
+    def tables(self) -> list[TableRef]:
+        return [self.base, *(join.table for join in self.joins)]
+
+
+@dataclass
+class SelectItem:
+    """One projection item with optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY key with direction."""
+
+    expr: Expr
+    direction: str = "asc"  # "asc" | "desc"
+
+
+@dataclass
+class SetOperation:
+    """Links a SELECT to the next one via UNION/INTERSECT/EXCEPT."""
+
+    op: str  # "union" | "union all" | "intersect" | "except"
+    right: "SelectStatement"
+
+
+@dataclass
+class SelectStatement:
+    """Root node of a SELECT query."""
+
+    select_items: list[SelectItem] = field(default_factory=list)
+    distinct: bool = False
+    from_clause: FromClause | None = None
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    set_operation: SetOperation | None = None
+
+    def iter_expressions(self) -> Iterator[Expr]:
+        """Yield every expression in the statement (not descending into subqueries)."""
+        for item in self.select_items:
+            yield from item.expr.walk()
+        if self.from_clause is not None:
+            for join in self.from_clause.joins:
+                if join.condition is not None:
+                    yield from join.condition.walk()
+        if self.where is not None:
+            yield from self.where.walk()
+        for expr in self.group_by:
+            yield from expr.walk()
+        if self.having is not None:
+            yield from self.having.walk()
+        for order_item in self.order_by:
+            yield from order_item.expr.walk()
+
+    def subqueries(self) -> list["SelectStatement"]:
+        """Return directly nested SELECTs (IN/EXISTS/scalar subqueries and set ops)."""
+        nested = [expr.select for expr in self.iter_expressions() if isinstance(expr, Subquery)]
+        if self.set_operation is not None:
+            nested.append(self.set_operation.right)
+        return nested
+
+    def all_statements(self) -> list["SelectStatement"]:
+        """Return this statement plus all transitively nested statements."""
+        result = [self]
+        stack = self.subqueries()
+        while stack:
+            statement = stack.pop()
+            result.append(statement)
+            stack.extend(statement.subqueries())
+        return result

@@ -1,0 +1,177 @@
+"""SQL characteristic extraction (paper Exp-2 and the dataset filter).
+
+Given a query, :func:`extract_features` reports the four characteristics
+the paper filters on — subqueries, logical connectors, JOINs, ORDER BY —
+plus the component counts the Spider hardness classifier needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlkit.ast_nodes import (
+    BooleanOp,
+    Exists,
+    FuncCall,
+    InExpr,
+    NotExpr,
+    SelectStatement,
+)
+from repro.sqlkit.parser import parse_select
+
+
+@dataclass(frozen=True)
+class SQLFeatures:
+    """Structural features of a SQL query.
+
+    Attributes mirror the paper's filtering axes:
+
+    * ``num_subqueries`` — nested SELECTs via IN/EXISTS/scalar subqueries
+      and set operations (UNION/INTERSECT/EXCEPT count as nesting, matching
+      Spider's evaluation convention).
+    * ``num_logical_connectors`` — AND/OR occurrences in WHERE/HAVING
+      (join ON conditions excluded: those are structural, not filters).
+    * ``num_joins`` — JOIN keywords across all statements.
+    * ``has_order_by`` — any ORDER BY clause.
+    """
+
+    num_joins: int = 0
+    num_subqueries: int = 0
+    num_logical_connectors: int = 0
+    has_order_by: bool = False
+    num_aggregates: int = 0
+    num_select_columns: int = 1
+    num_where_conditions: int = 0
+    has_group_by: bool = False
+    has_having: bool = False
+    has_limit: bool = False
+    has_distinct: bool = False
+    has_set_operation: bool = False
+    has_like: bool = False
+    num_tables: int = 1
+    keywords: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def has_subquery(self) -> bool:
+        return self.num_subqueries > 0
+
+    @property
+    def has_join(self) -> bool:
+        return self.num_joins > 0
+
+    @property
+    def has_logical_connector(self) -> bool:
+        return self.num_logical_connectors > 0
+
+
+def _count_connectors(statement: SelectStatement) -> int:
+    count = 0
+    for clause in (statement.where, statement.having):
+        if clause is None:
+            continue
+        stack = [clause]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, BooleanOp):
+                count += len(node.operands) - 1
+                stack.extend(node.operands)
+            elif isinstance(node, NotExpr):
+                stack.append(node.operand)
+    return count
+
+
+def _count_where_conditions(statement: SelectStatement) -> int:
+    if statement.where is None:
+        return 0
+    count = 0
+    stack = [statement.where]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BooleanOp):
+            stack.extend(node.operands)
+        elif isinstance(node, NotExpr):
+            stack.append(node.operand)
+        else:
+            count += 1
+    return count
+
+
+def _collect_keywords(statement: SelectStatement) -> set[str]:
+    keywords: set[str] = set()
+    if statement.where is not None:
+        keywords.add("where")
+    if statement.group_by:
+        keywords.add("group by")
+    if statement.having is not None:
+        keywords.add("having")
+    if statement.order_by:
+        keywords.add("order by")
+    if statement.limit is not None:
+        keywords.add("limit")
+    if statement.distinct:
+        keywords.add("distinct")
+    if statement.set_operation is not None:
+        keywords.add(statement.set_operation.op.split()[0])
+    for expr in statement.iter_expressions():
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            keywords.add(expr.name.lower())
+        if isinstance(expr, InExpr):
+            keywords.add("in")
+        if isinstance(expr, Exists):
+            keywords.add("exists")
+        type_name = type(expr).__name__
+        if type_name == "LikeExpr":
+            keywords.add("like")
+        if type_name == "BetweenExpr":
+            keywords.add("between")
+        if type_name == "CaseExpr":
+            keywords.add("case")
+    return keywords
+
+
+def features_of_statement(root: SelectStatement) -> SQLFeatures:
+    """Extract features from a parsed statement (including nested queries)."""
+    statements = root.all_statements()
+    num_joins = sum(
+        len(statement.from_clause.joins) if statement.from_clause else 0
+        for statement in statements
+    )
+    num_subqueries = len(statements) - 1
+    num_connectors = sum(_count_connectors(statement) for statement in statements)
+    has_order_by = any(statement.order_by for statement in statements)
+    num_aggregates = sum(
+        1
+        for statement in statements
+        for expr in statement.iter_expressions()
+        if isinstance(expr, FuncCall) and expr.is_aggregate
+    )
+    keywords: set[str] = set()
+    for statement in statements:
+        keywords |= _collect_keywords(statement)
+    num_tables = sum(
+        len(statement.from_clause.tables) if statement.from_clause else 0
+        for statement in statements
+    )
+    return SQLFeatures(
+        num_joins=num_joins,
+        num_subqueries=num_subqueries,
+        num_logical_connectors=num_connectors,
+        has_order_by=has_order_by,
+        num_aggregates=num_aggregates,
+        num_select_columns=len(root.select_items),
+        num_where_conditions=sum(_count_where_conditions(s) for s in statements),
+        has_group_by=any(statement.group_by for statement in statements),
+        has_having=any(statement.having is not None for statement in statements),
+        has_limit=any(statement.limit is not None for statement in statements),
+        has_distinct=any(statement.distinct for statement in statements),
+        has_set_operation=any(statement.set_operation is not None for statement in statements),
+        has_like="like" in keywords,
+        num_tables=max(num_tables, 1),
+        keywords=frozenset(keywords),
+    )
+
+
+def extract_features(sql: str | SelectStatement) -> SQLFeatures:
+    """Extract :class:`SQLFeatures` from SQL text or a parsed statement."""
+    statement = sql if isinstance(sql, SelectStatement) else parse_select(sql)
+    return features_of_statement(statement)

@@ -1,0 +1,154 @@
+"""SQL hardness classification.
+
+Implements the Spider benchmark's official four-level hardness rules
+(easy / medium / hard / extra) by counting clause components exactly the
+way Spider's ``eval_hardness`` does, plus a BIRD-style three-level
+difficulty (simple / moderate / challenging) heuristic used for the
+BIRD-like synthetic benchmark.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.sqlkit.ast_nodes import BooleanOp, SelectStatement
+from repro.sqlkit.features import SQLFeatures, extract_features
+from repro.sqlkit.parser import parse_select
+
+
+class Hardness(str, Enum):
+    """Spider's four difficulty levels."""
+
+    EASY = "easy"
+    MEDIUM = "medium"
+    HARD = "hard"
+    EXTRA = "extra"
+
+    @property
+    def rank(self) -> int:
+        return ("easy", "medium", "hard", "extra").index(self.value)
+
+
+class BirdDifficulty(str, Enum):
+    """BIRD's three difficulty levels."""
+
+    SIMPLE = "simple"
+    MODERATE = "moderate"
+    CHALLENGING = "challenging"
+
+    @property
+    def rank(self) -> int:
+        return ("simple", "moderate", "challenging").index(self.value)
+
+
+def _count_or(statement: SelectStatement) -> int:
+    count = 0
+    for clause in (statement.where, statement.having):
+        if clause is None:
+            continue
+        stack = [clause]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, BooleanOp):
+                if node.op == "or":
+                    count += len(node.operands) - 1
+                stack.extend(node.operands)
+    return count
+
+
+def count_component1(statement: SelectStatement, features: SQLFeatures) -> int:
+    """Spider component-1 count: WHERE, GROUP BY, ORDER BY, LIMIT, JOIN, OR, LIKE."""
+    count = 0
+    if statement.where is not None:
+        count += 1
+    if statement.group_by:
+        count += 1
+    if statement.order_by:
+        count += 1
+    if statement.limit is not None:
+        count += 1
+    if statement.from_clause is not None:
+        count += len(statement.from_clause.joins)
+    count += _count_or(statement)
+    count += sum(1 for __ in _iter_likes(statement))
+    return count
+
+
+def _iter_likes(statement: SelectStatement):
+    for expr in statement.iter_expressions():
+        if type(expr).__name__ == "LikeExpr":
+            yield expr
+
+
+def count_component2(statement: SelectStatement) -> int:
+    """Spider component-2 count: nesting via subqueries or set operations."""
+    return len(statement.subqueries())
+
+
+def count_others(statement: SelectStatement) -> int:
+    """Spider "others" count: >1 aggregate, >1 select column, >1 where condition, >1 group-by key."""
+    features = extract_features(statement)
+    count = 0
+    aggregates_in_root = sum(
+        1
+        for expr in statement.iter_expressions()
+        if type(expr).__name__ == "FuncCall" and getattr(expr, "is_aggregate", False)
+    )
+    if aggregates_in_root > 1:
+        count += 1
+    if len(statement.select_items) > 1:
+        count += 1
+    if features.num_where_conditions > 1:
+        count += 1
+    if len(statement.group_by) > 1:
+        count += 1
+    return count
+
+
+def classify_hardness(sql: str | SelectStatement) -> Hardness:
+    """Classify a query with Spider's official hardness rules."""
+    statement = sql if isinstance(sql, SelectStatement) else parse_select(sql)
+    features = extract_features(statement)
+    comp1 = count_component1(statement, features)
+    comp2 = count_component2(statement)
+    others = count_others(statement)
+
+    if comp1 <= 1 and others == 0 and comp2 == 0:
+        return Hardness.EASY
+    if (others <= 2 and comp1 <= 1 and comp2 == 0) or (
+        comp1 <= 2 and others < 2 and comp2 == 0
+    ):
+        return Hardness.MEDIUM
+    if (
+        (others > 2 and comp1 <= 2 and comp2 == 0)
+        or (2 < comp1 <= 3 and others <= 2 and comp2 == 0)
+        or (comp1 <= 1 and others == 0 and comp2 <= 1)
+    ):
+        return Hardness.HARD
+    return Hardness.EXTRA
+
+
+def classify_bird_difficulty(sql: str | SelectStatement) -> BirdDifficulty:
+    """Heuristic BIRD difficulty from structural complexity.
+
+    BIRD's labels are human annotations; we approximate them with a
+    weighted component score so that the synthetic BIRD-like benchmark
+    gets a comparable simple/moderate/challenging split.
+    """
+    statement = sql if isinstance(sql, SelectStatement) else parse_select(sql)
+    features = extract_features(statement)
+    score = (
+        2.0 * features.num_subqueries
+        + 1.2 * features.num_joins
+        + 0.8 * features.num_logical_connectors
+        + 0.8 * max(features.num_aggregates - 1, 0)
+        + 0.6 * int(features.has_group_by)
+        + 0.5 * int(features.has_order_by)
+        + 0.8 * int("case" in features.keywords)
+        + 0.5 * int(features.has_having)
+    )
+    if score < 1.4:
+        return BirdDifficulty.SIMPLE
+    if score < 2.8:
+        return BirdDifficulty.MODERATE
+    return BirdDifficulty.CHALLENGING

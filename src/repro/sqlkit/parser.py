@@ -1,0 +1,427 @@
+"""Recursive-descent parser for the Spider/BIRD SQL subset.
+
+The grammar (roughly)::
+
+    query      := select (setop select)*
+    select     := SELECT [DISTINCT] items [FROM from] [WHERE expr]
+                  [GROUP BY exprs] [HAVING expr] [ORDER BY orders] [LIMIT n]
+    from       := table_ref (join_kw table_ref [ON expr])*
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := [NOT] predicate
+    predicate  := additive [comparison | LIKE | IN | BETWEEN | IS NULL]
+    additive   := multiplicative (('+'|'-'|'||') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    primary    := literal | func(...) | column | (query) | (expr) | CASE ...
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLParseError
+from repro.sqlkit.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    BooleanOp,
+    CaseExpr,
+    ColumnRef,
+    Exists,
+    Expr,
+    FromClause,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    Join,
+    LikeExpr,
+    Literal,
+    NotExpr,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SetOperation,
+    Star,
+    Subquery,
+    TableRef,
+)
+from repro.sqlkit.tokenizer import FUNCTIONS, Token, TokenType, tokenize, unquote
+
+_JOIN_TYPES = {"join", "inner", "left", "right", "full", "cross", "outer"}
+_SET_OPS = {"union", "intersect", "except"}
+
+
+class _Parser:
+    """Token-stream cursor with the parsing methods."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- cursor helpers -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.token_type != TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise SQLParseError(f"expected {word.upper()!r}, found {self.current.value!r}")
+        return self.advance()
+
+    def expect_punct(self, symbol: str) -> Token:
+        token = self.current
+        if token.token_type != TokenType.PUNCTUATION or token.value != symbol:
+            raise SQLParseError(f"expected {symbol!r}, found {token.value!r}")
+        return self.advance()
+
+    def accept_keyword(self, *words: str) -> Token | None:
+        if self.current.is_keyword(*words):
+            return self.advance()
+        return None
+
+    def accept_punct(self, symbol: str) -> bool:
+        token = self.current
+        if token.token_type == TokenType.PUNCTUATION and token.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_query(self) -> SelectStatement:
+        statement = self.parse_select_core()
+        current = statement
+        while self.current.is_keyword(*_SET_OPS):
+            op_token = self.advance()
+            op = op_token.lowered
+            if op == "union" and self.accept_keyword("all"):
+                op = "union all"
+            right = self.parse_select_core()
+            current.set_operation = SetOperation(op=op, right=right)
+            current = right
+        return statement
+
+    def parse_select_core(self) -> SelectStatement:
+        self.expect_keyword("select")
+        statement = SelectStatement()
+        statement.distinct = self.accept_keyword("distinct") is not None
+        statement.select_items = self._parse_select_items()
+        if self.accept_keyword("from"):
+            statement.from_clause = self._parse_from()
+        if self.accept_keyword("where"):
+            statement.where = self.parse_expr()
+        if self.current.is_keyword("group"):
+            self.advance()
+            self.expect_keyword("by")
+            statement.group_by = self._parse_expr_list()
+        if self.accept_keyword("having"):
+            statement.having = self.parse_expr()
+        if self.current.is_keyword("order"):
+            self.advance()
+            self.expect_keyword("by")
+            statement.order_by = self._parse_order_items()
+        if self.accept_keyword("limit"):
+            token = self.advance()
+            if token.token_type != TokenType.NUMBER:
+                raise SQLParseError(f"expected LIMIT count, found {token.value!r}")
+            statement.limit = int(float(token.value))
+            if self.accept_keyword("offset"):
+                self.advance()  # offset value parsed but not modeled
+        return statement
+
+    def _parse_select_items(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias: str | None = None
+        if self.accept_keyword("as"):
+            alias_token = self.advance()
+            alias = alias_token.value
+        elif self.current.token_type == TokenType.IDENTIFIER and not self._starts_clause():
+            alias = self.advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _starts_clause(self) -> bool:
+        return self.current.is_keyword(
+            "from", "where", "group", "having", "order", "limit",
+            "union", "intersect", "except", "on", "and", "or",
+        )
+
+    def _parse_from(self) -> FromClause:
+        base = self._parse_table_ref()
+        from_clause = FromClause(base=base)
+        while True:
+            join_type = self._parse_join_keywords()
+            if join_type is None:
+                if self.accept_punct(","):
+                    join_type = "join"  # comma join treated as inner join
+                else:
+                    break
+            table = self._parse_table_ref()
+            condition: Expr | None = None
+            if self.accept_keyword("on"):
+                condition = self.parse_expr()
+            from_clause.joins.append(Join(table=table, condition=condition, join_type=join_type))
+        return from_clause
+
+    def _parse_join_keywords(self) -> str | None:
+        if not self.current.is_keyword(*_JOIN_TYPES):
+            return None
+        words = []
+        while self.current.is_keyword(*_JOIN_TYPES):
+            words.append(self.advance().lowered)
+        if words[-1] != "join":
+            raise SQLParseError(f"malformed join keywords: {' '.join(words)}")
+        return " ".join(words)
+
+    def _parse_table_ref(self) -> TableRef:
+        token = self.advance()
+        if token.token_type not in (TokenType.IDENTIFIER, TokenType.STRING):
+            raise SQLParseError(f"expected table name, found {token.value!r}")
+        name = unquote(token.value)
+        alias: str | None = None
+        if self.accept_keyword("as"):
+            alias = self.advance().value
+        elif self.current.token_type == TokenType.IDENTIFIER and not self._starts_from_tail():
+            alias = self.advance().value
+        return TableRef(name=name, alias=alias)
+
+    def _starts_from_tail(self) -> bool:
+        return self.current.is_keyword(
+            "join", "inner", "left", "right", "full", "cross", "outer", "on",
+            "where", "group", "having", "order", "limit",
+            "union", "intersect", "except",
+        )
+
+    def _parse_expr_list(self) -> list[Expr]:
+        exprs = [self.parse_expr()]
+        while self.accept_punct(","):
+            exprs.append(self.parse_expr())
+        return exprs
+
+    def _parse_order_items(self) -> list[OrderItem]:
+        items = []
+        while True:
+            expr = self.parse_expr()
+            direction = "asc"
+            if self.current.is_keyword("asc", "desc"):
+                direction = self.advance().lowered
+            items.append(OrderItem(expr=expr, direction=direction))
+            if not self.accept_punct(","):
+                break
+        return items
+
+    # -- expressions ----------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        operands = [self._parse_and()]
+        while self.accept_keyword("or"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp(op="or", operands=operands)
+
+    def _parse_and(self) -> Expr:
+        operands = [self._parse_not()]
+        while self.accept_keyword("and"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp(op="and", operands=operands)
+
+    def _parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return NotExpr(operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        if self.current.is_keyword("exists"):
+            self.advance()
+            self.expect_punct("(")
+            subquery = Subquery(select=self.parse_query())
+            self.expect_punct(")")
+            return Exists(subquery=subquery)
+        left = self._parse_additive()
+        token = self.current
+        if token.token_type == TokenType.OPERATOR and token.value in BinaryOp.COMPARISONS:
+            self.advance()
+            right = self._parse_additive()
+            return BinaryOp(op="!=" if token.value == "<>" else token.value, left=left, right=right)
+        negated = False
+        if token.is_keyword("not"):
+            lookahead = self.peek()
+            if lookahead.is_keyword("like", "in", "between"):
+                self.advance()
+                negated = True
+                token = self.current
+        if token.is_keyword("like"):
+            self.advance()
+            pattern = self._parse_additive()
+            return LikeExpr(operand=left, pattern=pattern, negated=negated)
+        if token.is_keyword("between"):
+            self.advance()
+            low = self._parse_additive()
+            self.expect_keyword("and")
+            high = self._parse_additive()
+            return BetweenExpr(operand=left, low=low, high=high, negated=negated)
+        if token.is_keyword("in"):
+            self.advance()
+            self.expect_punct("(")
+            if self.current.is_keyword("select"):
+                subquery = Subquery(select=self.parse_query())
+                self.expect_punct(")")
+                return InExpr(operand=left, subquery=subquery, negated=negated)
+            values = self._parse_expr_list()
+            self.expect_punct(")")
+            return InExpr(operand=left, values=values, negated=negated)
+        if token.is_keyword("is"):
+            self.advance()
+            is_negated = self.accept_keyword("not") is not None
+            self.expect_keyword("null")
+            return IsNullExpr(operand=left, negated=is_negated)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self.current.token_type == TokenType.OPERATOR and self.current.value in ("+", "-", "||"):
+            op = self.advance().value
+            right = self._parse_multiplicative()
+            left = BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self.current.token_type == TokenType.OPERATOR and self.current.value in ("*", "/", "%"):
+            # A bare '*' projection is never reached here: '*' only arrives
+            # as an operator between two operands.
+            op = self.advance().value
+            right = self._parse_unary()
+            left = BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.current.token_type == TokenType.OPERATOR and self.current.value == "-":
+            self.advance()
+            operand = self._parse_unary()
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(value=-operand.value)
+            return BinaryOp(op="-", left=Literal(value=0), right=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.token_type == TokenType.NUMBER:
+            self.advance()
+            text = token.value
+            return Literal(value=float(text) if "." in text else int(text))
+        if token.token_type == TokenType.STRING:
+            self.advance()
+            return Literal(value=unquote(token.value))
+        if token.is_keyword("null"):
+            self.advance()
+            return Literal(value=None)
+        if token.is_keyword("case"):
+            return self._parse_case()
+        if token.is_keyword("cast"):
+            return self._parse_cast()
+        if token.token_type == TokenType.PUNCTUATION and token.value == "(":
+            self.advance()
+            if self.current.is_keyword("select"):
+                subquery = Subquery(select=self.parse_query())
+                self.expect_punct(")")
+                return subquery
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.token_type == TokenType.OPERATOR and token.value == "*":
+            self.advance()
+            return Star()
+        if token.token_type == TokenType.IDENTIFIER:
+            return self._parse_identifier_expr()
+        raise SQLParseError(f"unexpected token {token.value!r} in expression")
+
+    def _parse_case(self) -> Expr:
+        self.expect_keyword("case")
+        whens: list[tuple[Expr, Expr]] = []
+        while self.accept_keyword("when"):
+            condition = self.parse_expr()
+            self.expect_keyword("then")
+            value = self.parse_expr()
+            whens.append((condition, value))
+        else_value: Expr | None = None
+        if self.accept_keyword("else"):
+            else_value = self.parse_expr()
+        self.expect_keyword("end")
+        if not whens:
+            raise SQLParseError("CASE expression requires at least one WHEN branch")
+        return CaseExpr(whens=whens, else_value=else_value)
+
+    def _parse_cast(self) -> Expr:
+        self.expect_keyword("cast")
+        self.expect_punct("(")
+        operand = self.parse_expr()
+        self.expect_keyword("as")
+        type_token = self.advance()
+        self.expect_punct(")")
+        return FuncCall(name="cast", args=[operand, Literal(value=type_token.value)])
+
+    def _parse_identifier_expr(self) -> Expr:
+        name_token = self.advance()
+        name = name_token.value
+        if self.current.token_type == TokenType.PUNCTUATION and self.current.value == "(":
+            return self._parse_func_call(name)
+        if self.accept_punct("."):
+            member = self.advance()
+            if member.token_type == TokenType.OPERATOR and member.value == "*":
+                return Star(table=name)
+            if member.token_type not in (TokenType.IDENTIFIER, TokenType.STRING, TokenType.KEYWORD):
+                raise SQLParseError(f"expected column after {name}., found {member.value!r}")
+            return ColumnRef(column=unquote(member.value), table=name)
+        return ColumnRef(column=name)
+
+    def _parse_func_call(self, name: str) -> Expr:
+        if name.lower() not in FUNCTIONS:
+            raise SQLParseError(f"unknown function {name!r}")
+        self.expect_punct("(")
+        distinct = self.accept_keyword("distinct") is not None
+        args: list[Expr] = []
+        if not (self.current.token_type == TokenType.PUNCTUATION and self.current.value == ")"):
+            args = self._parse_expr_list()
+        self.expect_punct(")")
+        return FuncCall(name=name.lower(), args=args, distinct=distinct)
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse ``sql`` into a :class:`SelectStatement`.
+
+    Raises:
+        SQLParseError: if the input is not a single valid SELECT query.
+    """
+    tokens = tokenize(sql)
+    parser = _Parser(tokens)
+    statement = parser.parse_query()
+    parser.accept_punct(";")
+    if parser.current.token_type != TokenType.EOF:
+        raise SQLParseError(f"trailing tokens after query: {parser.current.value!r}")
+    return statement
+
+
+def parse_sql(sql: str) -> SelectStatement:
+    """Alias of :func:`parse_select` (the dialect is SELECT-only)."""
+    return parse_select(sql)

@@ -1,0 +1,151 @@
+"""PICARD-style constrained decoding gate.
+
+PICARD (Scholak et al., 2021) rejects, token by token, any decoder output
+that cannot be completed into syntactically valid, schema-consistent SQL.
+In this reproduction the gate operates at candidate granularity: the
+decoding loop proposes complete candidate queries (beam entries or
+samples) and :class:`PicardChecker` accepts only those that
+
+1. tokenize and parse under the SQL grammar,
+2. reference only tables present in the schema,
+3. reference only columns that exist in the referenced tables, and
+4. use aggregate functions with sane arity.
+
+It also exposes :meth:`is_prefix_feasible` for incremental use, which
+checks whether a token prefix can still be completed into a valid query.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLError, SQLParseError, SQLTokenizeError
+from repro.schema.model import DatabaseSchema
+from repro.sqlkit.ast_nodes import ColumnRef, FuncCall, SelectStatement, Star
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.tokenizer import tokenize
+
+# Completions tried when deciding whether a prefix is still viable.  If a
+# prefix concatenated with any of these parses, the prefix is feasible.
+_PROBE_COMPLETIONS = (
+    "",
+    " *",
+    " * FROM t",
+    " FROM t",
+    " t",
+    " 1",
+    " 1 FROM t",
+    " = 1",
+    " ON a.b = c.d",
+    " BY x",
+    ")",
+    " 1)",
+    " END",
+)
+
+
+def is_valid_sql(sql: str, schema: DatabaseSchema | None = None) -> bool:
+    """Return True iff ``sql`` parses (and, if given, fits ``schema``)."""
+    try:
+        statement = parse_select(sql)
+    except SQLError:
+        return False
+    if schema is None:
+        return True
+    return not schema_violations(statement, schema)
+
+
+def schema_violations(statement: SelectStatement, schema: DatabaseSchema) -> list[str]:
+    """Return human-readable schema-consistency violations (empty = valid)."""
+    violations: list[str] = []
+    for stmt in statement.all_statements():
+        violations.extend(_statement_violations(stmt, schema))
+    return violations
+
+
+def _statement_violations(statement: SelectStatement, schema: DatabaseSchema) -> list[str]:
+    violations: list[str] = []
+    bindings: dict[str, str] = {}
+    if statement.from_clause is not None:
+        for table_ref in statement.from_clause.tables:
+            if not schema.has_table(table_ref.name):
+                violations.append(f"unknown table {table_ref.name!r}")
+            else:
+                bindings[table_ref.binding.lower()] = table_ref.name
+
+    for expr in statement.iter_expressions():
+        if isinstance(expr, ColumnRef):
+            violations.extend(_column_violations(expr, bindings, schema))
+        elif isinstance(expr, Star) and expr.table:
+            if expr.table.lower() not in bindings and not schema.has_table(expr.table):
+                violations.append(f"star over unknown table {expr.table!r}")
+        elif isinstance(expr, FuncCall):
+            if expr.is_aggregate and expr.name.lower() != "count" and len(expr.args) != 1:
+                violations.append(f"aggregate {expr.name} expects 1 argument")
+    return violations
+
+
+def _column_violations(
+    expr: ColumnRef, bindings: dict[str, str], schema: DatabaseSchema
+) -> list[str]:
+    if expr.table:
+        table_name = bindings.get(expr.table.lower(), expr.table)
+        if not schema.has_table(table_name):
+            # Unqualified subquery correlation: the binding may come from an
+            # outer scope; tolerate tables known to the schema only.
+            return [f"column {expr.column!r} references unknown table {expr.table!r}"]
+        if not schema.table(table_name).has_column(expr.column):
+            return [f"table {table_name!r} has no column {expr.column!r}"]
+        return []
+    # Unqualified column: must exist in at least one bound table (or, if no
+    # FROM bindings resolved, anywhere in the schema — subquery correlation).
+    candidates = list(bindings.values()) or schema.table_names
+    if any(
+        schema.has_table(name) and schema.table(name).has_column(expr.column)
+        for name in candidates
+    ):
+        return []
+    return [f"column {expr.column!r} not found in referenced tables"]
+
+
+class PicardChecker:
+    """Schema-aware validity gate used by constrained decoding."""
+
+    def __init__(self, schema: DatabaseSchema | None = None) -> None:
+        self.schema = schema
+
+    def accepts(self, sql: str) -> bool:
+        """Full-candidate check: parseable and schema-consistent."""
+        return is_valid_sql(sql, self.schema)
+
+    def violations(self, sql: str) -> list[str]:
+        """Return all problems with ``sql`` (parse errors or schema issues)."""
+        try:
+            statement = parse_select(sql)
+        except SQLTokenizeError as exc:
+            return [f"tokenize error: {exc}"]
+        except SQLParseError as exc:
+            return [f"parse error: {exc}"]
+        if self.schema is None:
+            return []
+        return schema_violations(statement, self.schema)
+
+    def is_prefix_feasible(self, prefix: str) -> bool:
+        """Return True if ``prefix`` may still extend to a parseable query.
+
+        Tries a battery of canned completions; any successful parse means
+        the prefix is viable.  Schema checks are not applied to prefixes
+        (identifiers may still be mid-token).
+        """
+        stripped = prefix.strip()
+        if not stripped:
+            return True
+        try:
+            tokenize(stripped)
+        except SQLTokenizeError:
+            return False
+        for completion in _PROBE_COMPLETIONS:
+            try:
+                parse_select(stripped + completion)
+                return True
+            except SQLError:
+                continue
+        return False

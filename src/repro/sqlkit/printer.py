@@ -1,0 +1,178 @@
+"""Render AST nodes back to SQL text, and normalize SQL strings.
+
+``to_sql`` produces canonical, single-spaced SQL with uppercase keywords.
+``normalize_sql`` is the parse → print round trip used throughout the
+library to compare queries modulo whitespace/case/quoting differences.
+"""
+
+from __future__ import annotations
+
+from repro.sqlkit.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    BooleanOp,
+    CaseExpr,
+    ColumnRef,
+    Exists,
+    Expr,
+    FromClause,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    NotExpr,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    Subquery,
+    TableRef,
+)
+from repro.sqlkit.parser import parse_select
+
+
+def to_sql(statement: SelectStatement) -> str:
+    """Render a :class:`SelectStatement` to canonical SQL text."""
+    parts = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_render_select_item(item) for item in statement.select_items))
+    if statement.from_clause is not None:
+        parts.append("FROM")
+        parts.append(_render_from(statement.from_clause))
+    if statement.where is not None:
+        parts.append("WHERE")
+        parts.append(render_expr(statement.where))
+    if statement.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(render_expr(expr) for expr in statement.group_by))
+    if statement.having is not None:
+        parts.append("HAVING")
+        parts.append(render_expr(statement.having))
+    if statement.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_render_order_item(item) for item in statement.order_by))
+    if statement.limit is not None:
+        parts.append(f"LIMIT {statement.limit}")
+    sql = " ".join(parts)
+    if statement.set_operation is not None:
+        sql += f" {statement.set_operation.op.upper()} {to_sql(statement.set_operation.right)}"
+    return sql
+
+
+def _render_select_item(item: SelectItem) -> str:
+    rendered = render_expr(item.expr)
+    if item.alias:
+        rendered += f" AS {item.alias}"
+    return rendered
+
+
+def _render_order_item(item: OrderItem) -> str:
+    return f"{render_expr(item.expr)} {item.direction.upper()}"
+
+
+def _render_table_ref(table: TableRef) -> str:
+    if table.alias:
+        return f"{table.name} AS {table.alias}"
+    return table.name
+
+
+def _render_from(from_clause: FromClause) -> str:
+    parts = [_render_table_ref(from_clause.base)]
+    for join in from_clause.joins:
+        parts.append(join.join_type.upper())
+        parts.append(_render_table_ref(join.table))
+        if join.condition is not None:
+            parts.append("ON")
+            parts.append(render_expr(join.condition))
+    return " ".join(parts)
+
+
+def render_literal(value: object) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def render_expr(expr: Expr) -> str:
+    """Render any expression node to SQL text."""
+    if isinstance(expr, Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.column}" if expr.table else expr.column
+    if isinstance(expr, Literal):
+        return render_literal(expr.value)
+    if isinstance(expr, FuncCall):
+        inner = ", ".join(render_expr(arg) for arg in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        if expr.name.lower() == "cast" and len(expr.args) == 2:
+            type_name = expr.args[1].value if isinstance(expr.args[1], Literal) else "REAL"
+            return f"CAST({render_expr(expr.args[0])} AS {type_name})"
+        return f"{expr.name.upper()}({inner})"
+    if isinstance(expr, BinaryOp):
+        return f"{_render_operand(expr.left)} {expr.op} {_render_operand(expr.right)}"
+    if isinstance(expr, BooleanOp):
+        joiner = f" {expr.op.upper()} "
+        return joiner.join(_render_operand(op, boolean_context=True) for op in expr.operands)
+    if isinstance(expr, NotExpr):
+        return f"NOT {_render_operand(expr.operand, boolean_context=True)}"
+    if isinstance(expr, LikeExpr):
+        keyword = "NOT LIKE" if expr.negated else "LIKE"
+        return f"{render_expr(expr.operand)} {keyword} {render_expr(expr.pattern)}"
+    if isinstance(expr, BetweenExpr):
+        keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"{render_expr(expr.operand)} {keyword} "
+            f"{render_expr(expr.low)} AND {render_expr(expr.high)}"
+        )
+    if isinstance(expr, IsNullExpr):
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{render_expr(expr.operand)} {keyword}"
+    if isinstance(expr, InExpr):
+        keyword = "NOT IN" if expr.negated else "IN"
+        if expr.subquery is not None:
+            return f"{render_expr(expr.operand)} {keyword} ({to_sql(expr.subquery.select)})"
+        values = ", ".join(render_expr(value) for value in expr.values)
+        return f"{render_expr(expr.operand)} {keyword} ({values})"
+    if isinstance(expr, Exists):
+        keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"{keyword} ({to_sql(expr.subquery.select)})"
+    if isinstance(expr, CaseExpr):
+        parts = ["CASE"]
+        for condition, value in expr.whens:
+            parts.append(f"WHEN {render_expr(condition)} THEN {render_expr(value)}")
+        if expr.else_value is not None:
+            parts.append(f"ELSE {render_expr(expr.else_value)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, Subquery):
+        return f"({to_sql(expr.select)})"
+    raise TypeError(f"cannot render expression node {type(expr).__name__}")
+
+
+def _render_operand(expr: Expr, boolean_context: bool = False) -> str:
+    """Render a child expression, parenthesizing nested boolean chains."""
+    rendered = render_expr(expr)
+    needs_parens = isinstance(expr, BooleanOp) or (
+        boolean_context and isinstance(expr, BooleanOp)
+    )
+    if isinstance(expr, BooleanOp):
+        needs_parens = True
+    if needs_parens:
+        return f"({rendered})"
+    return rendered
+
+
+def normalize_sql(sql: str) -> str:
+    """Parse then re-render ``sql``, canonicalizing case/whitespace/quoting."""
+    return to_sql(parse_select(sql))

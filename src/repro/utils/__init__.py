@@ -1,0 +1,23 @@
+"""Shared utilities: deterministic RNG derivation and text helpers."""
+
+from repro.utils.rng import derive_rng, derive_seed, stable_hash
+from repro.utils.text import (
+    jaccard,
+    levenshtein,
+    normalize_identifier,
+    normalized_similarity,
+    singularize,
+    tokenize_words,
+)
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "stable_hash",
+    "jaccard",
+    "levenshtein",
+    "normalize_identifier",
+    "normalized_similarity",
+    "singularize",
+    "tokenize_words",
+]

@@ -1,0 +1,98 @@
+"""Lightweight text utilities used by schema linking and NLU.
+
+These are dependency-free implementations of the string-similarity
+primitives the paper's systems rely on (RESDSQL's schema ranking, BRIDGE's
+value matching, DAIL-SQL's question-similarity example selection).
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+# Irregular plural forms that a naive "strip the s" rule would mangle.
+_IRREGULAR_SINGULARS = {
+    "people": "person",
+    "children": "child",
+    "men": "man",
+    "women": "woman",
+    "feet": "foot",
+    "teeth": "tooth",
+    "mice": "mouse",
+    "geese": "goose",
+    "criteria": "criterion",
+    "data": "datum",
+    "series": "series",
+    "species": "species",
+}
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Split ``text`` into lowercase alphanumeric word tokens.
+
+    Underscores and camelCase boundaries are treated as separators so that
+    schema identifiers like ``airportCode`` or ``airport_code`` tokenize
+    identically to the natural-language phrase "airport code".
+    """
+    spaced = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", text)
+    spaced = spaced.replace("_", " ")
+    return [match.group(0).lower() for match in _WORD_RE.finditer(spaced)]
+
+
+def normalize_identifier(name: str) -> str:
+    """Normalize a schema identifier to a canonical space-joined form."""
+    return " ".join(tokenize_words(name))
+
+
+def singularize(word: str) -> str:
+    """Return a best-effort singular form of an English noun."""
+    lowered = word.lower()
+    if lowered in _IRREGULAR_SINGULARS:
+        return _IRREGULAR_SINGULARS[lowered]
+    if lowered.endswith("ies") and len(lowered) > 3:
+        return lowered[:-3] + "y"
+    if lowered.endswith("ses") or lowered.endswith("xes") or lowered.endswith("zes"):
+        return lowered[:-2]
+    if lowered.endswith("s") and not lowered.endswith("ss") and len(lowered) > 2:
+        return lowered[:-1]
+    return lowered
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Compute the Levenshtein edit distance between two strings."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def normalized_similarity(a: str, b: str) -> float:
+    """Return 1 - normalized edit distance, in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    distance = levenshtein(a.lower(), b.lower())
+    return 1.0 - distance / max(len(a), len(b))
+
+
+def jaccard(a: set[str] | list[str], b: set[str] | list[str]) -> float:
+    """Jaccard similarity of two token collections."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)

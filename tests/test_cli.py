@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_methods_subcommand(self):
+        args = build_parser().parse_args(["methods"])
+        assert args.command == "methods"
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.benchmark == "spider"
+        assert args.scale == 0.15
+        assert len(args.methods) == 4
+
+    def test_evaluate_custom(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--benchmark", "bird", "--methods", "SuperSQL",
+             "--scale", "0.1", "--no-timing"]
+        )
+        assert args.benchmark == "bird"
+        assert args.methods == ["SuperSQL"]
+        assert args.no_timing
+
+    def test_invalid_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--benchmark", "wikisql"])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.population == 6 and args.generations == 4
+        assert args.swap == 0.5 and args.mutate == 0.2
+
+
+class TestExecution:
+    def test_methods_lists_zoo(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "SuperSQL" in out and "RESDSQL-3B" in out
+
+    def test_stats_runs(self, capsys):
+        assert main(["stats", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "spider-like dev" in out
+
+    def test_evaluate_runs(self, capsys):
+        code = main([
+            "evaluate", "--methods", "C3SQL", "--scale", "0.05", "--no-timing",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "C3SQL" in out and "Rank" in out
+
+    def test_evaluate_writes_log_db(self, tmp_path, capsys):
+        log_path = tmp_path / "logs.db"
+        main([
+            "evaluate", "--methods", "C3SQL", "--scale", "0.05", "--no-timing",
+            "--log-db", str(log_path),
+        ])
+        capsys.readouterr()
+        from repro.core.logs import ExperimentLogStore
+        with ExperimentLogStore(log_path) as store:
+            assert store.runs()
+
+    def test_search_runs(self, capsys):
+        code = main([
+            "search", "--scale", "0.05", "--population", "3",
+            "--generations", "1", "--subset", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best composition" in out
+
+
+class TestExtensionCommands:
+    def test_explain_command(self, capsys):
+        assert main(["explain", "SELECT name FROM t WHERE x > 1 ORDER BY name"]) == 0
+        out = capsys.readouterr().out
+        assert "Report the name from t" in out
+        assert "Sort the answer" in out
+
+    def test_rewrite_command(self, capsys):
+        code = main([
+            "rewrite", "Give me the name of the movies with year is more than 2000.",
+            "--scale", "0.05", "--db-id", "movies_100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rewritten: Show the" in out
+
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "SuperSQL", "ZS llama2-7b", "--scale", "0.05",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "McNemar" in out and "EX" in out

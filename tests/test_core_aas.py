@@ -1,0 +1,110 @@
+"""Tests for the design space and the NL2SQL360-AAS genetic search."""
+
+import pytest
+
+from repro.core.aas import AASConfig, Individual, run_aas, _roulette_pick
+from repro.core.design_space import DEFAULT_LAYERS, SearchSpace, random_config
+from repro.core.evaluator import Evaluator
+from repro.errors import DesignSpaceError
+from repro.utils.rng import derive_rng
+
+
+class TestSearchSpace:
+    def test_default_layers_match_figure13(self):
+        assert set(DEFAULT_LAYERS) == {
+            "schema_linking", "db_content", "prompting", "multi_step",
+            "intermediate", "post_processing",
+        }
+
+    def test_random_assignment_within_choices(self):
+        space = SearchSpace()
+        rng = derive_rng(1, "space")
+        for __ in range(10):
+            assignment = space.random_assignment(rng)
+            for layer, value in assignment.items():
+                assert value in space.layers[layer]
+
+    def test_to_config_runs_validation(self):
+        space = SearchSpace()
+        config = space.to_config("x", {
+            "schema_linking": "resdsql", "db_content": "bridge",
+            "prompting": "similarity_fewshot", "multi_step": None,
+            "intermediate": None, "post_processing": "self_consistency",
+        })
+        assert config.backbone == "gpt-3.5-turbo"
+        assert config.few_shot_k == 5
+
+    def test_zero_shot_clears_few_shot_k(self):
+        space = SearchSpace()
+        config = space.to_config("x", {"prompting": "zero_shot"})
+        assert config.few_shot_k == 0
+
+    def test_random_config(self):
+        config = random_config(SearchSpace(), derive_rng(2, "rc"), "ind-1")
+        assert config.name == "ind-1"
+
+
+class TestRoulette:
+    def test_prefers_fitter_individuals(self):
+        strong = Individual({"a": 1}, fitness=90.0)
+        weak = Individual({"a": 2}, fitness=1.0)
+        rng = derive_rng(0, "roulette")
+        picks = [
+            _roulette_pick([strong, weak], rng) for __ in range(200)
+        ]
+        strong_share = sum(1 for p in picks if p is strong) / len(picks)
+        assert strong_share > 0.8
+
+    def test_handles_zero_fitness(self):
+        individuals = [Individual({}, fitness=0.0), Individual({}, fitness=0.0)]
+        assert _roulette_pick(individuals, derive_rng(0, "r")) in individuals
+
+
+class TestRunAAS:
+    @pytest.fixture(scope="class")
+    def search_result(self, small_dataset):
+        evaluator = Evaluator(small_dataset, measure_timing=False)
+        examples = small_dataset.dev_examples[:14]
+        config = AASConfig(population_size=4, generations=3, seed=5)
+        return run_aas(SearchSpace(), evaluator, examples, config), examples
+
+    def test_population_size_rejected(self, small_dataset):
+        evaluator = Evaluator(small_dataset, measure_timing=False)
+        with pytest.raises(DesignSpaceError):
+            run_aas(SearchSpace(), evaluator, [], AASConfig(population_size=1))
+
+    def test_history_length(self, search_result):
+        result, __ = search_result
+        assert len(result.history) == 4  # init + 3 generations
+
+    def test_best_is_argmax_of_history(self, search_result):
+        result, __ = search_result
+        best_seen = max(
+            ind.fitness for generation in result.history for ind in generation
+        )
+        assert result.best.fitness == best_seen
+
+    def test_caching_limits_evaluations(self, search_result):
+        result, __ = search_result
+        total_slots = sum(len(generation) for generation in result.history)
+        assert result.evaluations <= total_slots
+
+    def test_best_beats_or_ties_initial_generation(self, search_result):
+        result, __ = search_result
+        initial_best = max(ind.fitness for ind in result.history[0])
+        assert result.best.fitness >= initial_best
+
+    def test_best_per_generation_series(self, search_result):
+        result, __ = search_result
+        series = result.best_per_generation
+        assert len(series) == len(result.history)
+        assert max(series) == result.best.fitness
+
+    def test_deterministic(self, small_dataset):
+        evaluator = Evaluator(small_dataset, measure_timing=False)
+        examples = small_dataset.dev_examples[:8]
+        config = AASConfig(population_size=3, generations=2, seed=11)
+        a = run_aas(SearchSpace(), evaluator, examples, config)
+        b = run_aas(SearchSpace(), evaluator, examples, config)
+        assert a.best.assignment == b.best.assignment
+        assert a.best.fitness == b.best.fitness

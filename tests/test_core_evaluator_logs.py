@@ -1,0 +1,115 @@
+"""Tests for the evaluator and the SQLite experiment log store."""
+
+import pytest
+
+from repro.core.evaluator import Evaluator
+from repro.core.logs import ExperimentLogStore
+from repro.methods.zoo import build_method
+
+
+@pytest.fixture(scope="module")
+def evaluated(small_dataset):
+    """One method evaluated once, shared by the read-only tests below."""
+    store = ExperimentLogStore()
+    evaluator = Evaluator(small_dataset, log_store=store, measure_timing=False)
+    method = build_method("DAILSQL")
+    report = evaluator.evaluate_method(method)
+    return evaluator, store, report
+
+
+class TestEvaluator:
+    def test_one_record_per_example(self, evaluated, small_dataset):
+        __, __, report = evaluated
+        assert len(report) == len(small_dataset.dev_examples)
+
+    def test_records_carry_features(self, evaluated):
+        __, __, report = evaluated
+        joins = [r for r in report.records if r.has_join]
+        assert joins and all("JOIN" in r.gold_sql for r in joins)
+
+    def test_reasonable_accuracy(self, evaluated):
+        __, __, report = evaluated
+        assert 50.0 < report.ex <= 100.0
+
+    def test_gold_cache_reused(self, evaluated, small_dataset):
+        evaluator, __, __ = evaluated
+        cache_size = len(evaluator._gold_cache)
+        method = build_method("C3SQL")
+        evaluator.evaluate_method(method, examples=small_dataset.dev_examples[:5])
+        assert len(evaluator._gold_cache) == cache_size  # same golds, no growth
+
+    def test_subset_evaluation(self, small_dataset):
+        evaluator = Evaluator(small_dataset, measure_timing=False)
+        method = build_method("C3SQL")
+        report = evaluator.evaluate_method(
+            method, examples=small_dataset.dev_examples[:4]
+        )
+        assert len(report) == 4
+
+    def test_timing_populates_seconds(self, small_dataset):
+        evaluator = Evaluator(small_dataset, measure_timing=True, timing_repeats=1)
+        method = build_method("C3SQL")
+        report = evaluator.evaluate_method(
+            method, examples=small_dataset.dev_examples[:2]
+        )
+        assert all(r.gold_seconds > 0 for r in report.records)
+
+    def test_evaluate_zoo(self, small_dataset):
+        evaluator = Evaluator(small_dataset, measure_timing=False)
+        reports = evaluator.evaluate_zoo(
+            [build_method("C3SQL"), build_method("DAILSQL")],
+            examples=small_dataset.dev_examples[:3],
+        )
+        assert set(reports) == {"C3SQL", "DAILSQL"}
+
+
+class TestLogStore:
+    def test_run_registered(self, evaluated, small_dataset):
+        __, store, __ = evaluated
+        runs = store.runs()
+        assert runs[0][1] == "spider-like"
+        assert runs[0][2] == "DAILSQL"
+
+    def test_round_trip_preserves_metrics(self, evaluated):
+        __, store, report = evaluated
+        loaded = store.load_report(store.runs()[0][0])
+        assert loaded.ex == report.ex
+        assert loaded.em == report.em
+        assert len(loaded) == len(report)
+
+    def test_round_trip_preserves_fields(self, evaluated):
+        __, store, report = evaluated
+        loaded = store.load_report(store.runs()[0][0])
+        original = report.records[0]
+        reloaded = loaded.records[0]
+        assert reloaded.hardness == original.hardness
+        assert reloaded.variant_group == original.variant_group
+        assert reloaded.has_join == original.has_join
+
+    def test_missing_run_raises(self, evaluated):
+        __, store, __ = evaluated
+        with pytest.raises(KeyError):
+            store.load_report(999)
+
+    def test_sql_query_interface(self, evaluated):
+        __, store, __ = evaluated
+        rows = store.query(
+            "SELECT COUNT(*) FROM records r JOIN runs USING (run_id) "
+            "WHERE runs.method = ?",
+            ("DAILSQL",),
+        )
+        assert rows[0][0] > 0
+
+    def test_empty_records_rejected(self):
+        store = ExperimentLogStore()
+        with pytest.raises(ValueError):
+            store.store_records("d", [])
+        store.close()
+
+    def test_file_backed_store(self, tmp_path, evaluated):
+        __, __, report = evaluated
+        path = tmp_path / "logs.db"
+        with ExperimentLogStore(path) as store:
+            run_id = store.store_records("spider-like", report.records)
+        with ExperimentLogStore(path) as store:
+            assert store.load_report(run_id).ex == report.ex

@@ -1,0 +1,107 @@
+"""Tests for the NL2SQL360 dataset filter."""
+
+import pytest
+
+from repro.core.filter import DatasetFilter
+from repro.sqlkit.hardness import Hardness
+
+
+@pytest.fixture(scope="module")
+def dev_filter(small_dataset):
+    return DatasetFilter(small_dataset.dev_examples)
+
+
+class TestScenarioComplexity:
+    def test_hardness_partition_covers_everything(self, dev_filter):
+        total = sum(
+            len(dev_filter.hardness(level))
+            for level in ("easy", "medium", "hard", "extra")
+        )
+        assert total == len(dev_filter)
+
+    def test_hardness_accepts_enum(self, dev_filter):
+        assert len(dev_filter.hardness(Hardness.EASY)) == len(dev_filter.hardness("easy"))
+
+    def test_multiple_levels(self, dev_filter):
+        combined = dev_filter.hardness("hard", "extra")
+        assert len(combined) == len(dev_filter.hardness("hard")) + len(
+            dev_filter.hardness("extra")
+        )
+
+    def test_bird_difficulty_partition(self, dev_filter):
+        total = sum(
+            len(dev_filter.bird_difficulty(level))
+            for level in ("simple", "moderate", "challenging")
+        )
+        assert total == len(dev_filter)
+
+
+class TestScenarioCharacteristics:
+    @pytest.mark.parametrize(
+        "name", ["subquery", "join", "logical_connector", "order_by"]
+    )
+    def test_characteristic_partitions(self, dev_filter, name):
+        with_it = dev_filter.characteristic(name, present=True)
+        without_it = dev_filter.characteristic(name, present=False)
+        assert len(with_it) + len(without_it) == len(dev_filter)
+        assert len(with_it) > 0, f"no examples with {name}"
+
+    def test_with_join_examples_have_joins(self, dev_filter):
+        subset = dev_filter.with_join()
+        for example in subset:
+            assert "JOIN" in example.gold_sql
+
+    def test_with_keyword(self, dev_filter):
+        subset = dev_filter.with_keyword("avg")
+        for example in subset:
+            assert "AVG" in example.gold_sql.upper()
+
+    def test_where_features_custom(self, dev_filter):
+        subset = dev_filter.where_features(lambda f: f.num_joins >= 1 and f.has_group_by)
+        for example in subset:
+            assert "GROUP BY" in example.gold_sql and "JOIN" in example.gold_sql
+
+    def test_filters_compose(self, dev_filter):
+        subset = dev_filter.without_join().hardness("easy")
+        assert len(subset) <= len(dev_filter.hardness("easy"))
+
+
+class TestScenarioDomains:
+    def test_domain_filter(self, dev_filter):
+        flights = dev_filter.domain("flights")
+        assert len(flights) > 0
+        assert all(e.domain == "flights" for e in flights)
+
+    def test_domains_present(self, dev_filter):
+        assert "movies" in dev_filter.domains_present()
+
+    def test_domain_case_insensitive(self, dev_filter):
+        assert len(dev_filter.domain("FLIGHTS")) == len(dev_filter.domain("flights"))
+
+
+class TestScenarioVariance:
+    def test_variant_groups_min_size(self, dev_filter):
+        groups = dev_filter.variant_groups(min_size=2)
+        assert groups
+        for group in groups.values():
+            assert len(group) >= 2
+            assert len({e.gold_sql for e in group}) == 1
+
+    def test_canonical_only(self, dev_filter):
+        canonical = dev_filter.canonical_only()
+        assert all(e.variant_style == "canonical" for e in canonical)
+        assert len(canonical) < len(dev_filter)
+
+
+class TestPlumbing:
+    def test_iteration(self, dev_filter):
+        assert len(list(dev_filter)) == len(dev_filter)
+
+    def test_examples_returns_copy(self, dev_filter):
+        examples = dev_filter.examples()
+        examples.clear()
+        assert len(dev_filter) > 0
+
+    def test_feature_cache_shared_across_children(self, dev_filter):
+        child = dev_filter.with_join()
+        assert child._feature_cache is dev_filter._feature_cache

@@ -1,0 +1,87 @@
+"""Tests for the programmatic finding checks."""
+
+import pytest
+
+from repro.core.evaluator import Evaluator
+from repro.core.findings import (
+    FindingResult,
+    check_all,
+    check_finding_1,
+    check_finding_9,
+    check_finding_12,
+)
+from repro.core.metrics import MethodReport
+from repro.methods.base import MethodGroup
+from repro.methods.zoo import METHOD_GROUPS, build_method
+from tests.test_core_metrics_qvt import make_record
+
+
+@pytest.fixture(scope="module")
+def finding_reports(small_dataset):
+    evaluator = Evaluator(small_dataset, measure_timing=False)
+    names = ["C3SQL", "DAILSQL", "SFT CodeS-7B", "RESDSQL-3B", "RESDSQL-3B + NatSQL"]
+    return evaluator.evaluate_zoo([build_method(n) for n in names])
+
+
+class TestFindingChecksOnRealReports:
+    def test_check_all_runs(self, finding_reports):
+        results = check_all(finding_reports, METHOD_GROUPS)
+        assert len(results) == 5
+        assert all(isinstance(result, FindingResult) for result in results)
+
+    def test_most_findings_hold_on_spider_like(self, finding_reports):
+        results = check_all(finding_reports, METHOD_GROUPS)
+        holding = sum(1 for result in results if result.holds)
+        assert holding >= 3, [(r.finding, r.holds, r.evidence) for r in results]
+
+    def test_finding_1_evidence_fields(self, finding_reports):
+        result = check_finding_1(finding_reports, METHOD_GROUPS)
+        assert {"best_ft_ex", "best_prompt_em", "best_tuned_em"} <= set(result.evidence)
+
+
+class TestFindingChecksSynthetic:
+    def _report(self, name, ex_flags, cost=0.0):
+        return MethodReport(name, [
+            make_record(example_id=str(i), ex=flag, cost_usd=cost)
+            for i, flag in enumerate(ex_flags)
+        ])
+
+    def test_finding_9_gpt35_wins(self):
+        reports = {
+            "cheap35": self._report("cheap35", [True] * 8 + [False] * 2, cost=0.001),
+            "fancy4": self._report("fancy4", [True] * 9 + [False], cost=0.05),
+        }
+        result = check_finding_9(reports, gpt35_methods=["cheap35"])
+        assert result.holds
+
+    def test_finding_9_fails_when_gpt4_cheaper(self):
+        reports = {
+            "cheap35": self._report("cheap35", [True] * 5 + [False] * 5, cost=0.01),
+            "fancy4": self._report("fancy4", [True] * 9 + [False], cost=0.0001),
+        }
+        assert not check_finding_9(reports, gpt35_methods=["cheap35"]).holds
+
+    def test_finding_12_concave_curve_holds(self):
+        curve = [(500, 50.0), (1000, 62.0), (2000, 70.0), (4000, 74.0), (7000, 75.0)]
+        assert check_finding_12(curve).holds
+
+    def test_finding_12_flat_curve_fails(self):
+        curve = [(500, 70.0), (1000, 69.0), (2000, 70.0), (4000, 70.0), (7000, 69.5)]
+        assert not check_finding_12(curve).holds
+
+    def test_finding_12_short_curve_fails(self):
+        assert not check_finding_12([(1, 1.0)]).holds
+
+    def test_bool_protocol(self):
+        assert bool(FindingResult(1, "t", True))
+        assert not bool(FindingResult(1, "t", False))
+
+    def test_check_all_optional_sections(self, finding_reports):
+        results = check_all(
+            finding_reports,
+            METHOD_GROUPS,
+            gpt35_methods=["C3SQL"],
+            training_curve=[(100, 50.0), (200, 60.0), (400, 63.0)],
+        )
+        assert len(results) == 7
+        assert {r.finding for r in results} == {1, 2, 3, 4, 6, 9, 12}

@@ -1,0 +1,134 @@
+"""Tests for metric aggregation and QVT."""
+
+import pytest
+
+from repro.core.metrics import EvaluationRecord, MethodReport
+from repro.core.qvt import qvt_score
+from repro.sqlkit.hardness import BirdDifficulty, Hardness
+
+
+def make_record(**overrides):
+    defaults = dict(
+        method="m",
+        example_id="e1",
+        db_id="db",
+        domain="movies",
+        question="q",
+        gold_sql="SELECT 1",
+        predicted_sql="SELECT 1",
+        hardness=Hardness.EASY,
+        bird_difficulty=BirdDifficulty.SIMPLE,
+        variant_group="g1",
+        variant_style="canonical",
+        ex=True,
+        em=True,
+        gold_seconds=0.01,
+        predicted_seconds=0.01,
+    )
+    defaults.update(overrides)
+    return EvaluationRecord(**defaults)
+
+
+class TestMethodReport:
+    def test_ex_em_percentages(self):
+        report = MethodReport("m", [
+            make_record(ex=True, em=True),
+            make_record(ex=True, em=False),
+            make_record(ex=False, em=False),
+            make_record(ex=False, em=False),
+        ])
+        assert report.ex == 50.0
+        assert report.em == 25.0
+
+    def test_empty_report_zero(self):
+        report = MethodReport("m")
+        assert report.ex == 0.0 and report.em == 0.0 and report.ves == 0.0
+
+    def test_ves_weight_zero_when_wrong(self):
+        record = make_record(ex=False, gold_seconds=0.02, predicted_seconds=0.01)
+        assert record.ves_weight == 0.0
+
+    def test_ves_rewards_faster_predictions(self):
+        fast = make_record(gold_seconds=0.04, predicted_seconds=0.01)
+        slow = make_record(gold_seconds=0.01, predicted_seconds=0.04)
+        assert fast.ves_weight == pytest.approx(2.0)
+        assert slow.ves_weight == pytest.approx(0.5)
+
+    def test_ves_aggregation(self):
+        report = MethodReport("m", [
+            make_record(gold_seconds=0.01, predicted_seconds=0.01),
+            make_record(ex=False),
+        ])
+        assert report.ves == pytest.approx(50.0)
+
+    def test_subset_by_hardness(self):
+        report = MethodReport("m", [
+            make_record(hardness=Hardness.EASY),
+            make_record(hardness=Hardness.EXTRA, ex=False),
+        ])
+        assert report.by_hardness("easy").ex == 100.0
+        assert report.by_hardness("extra").ex == 0.0
+
+    def test_subset_by_domain(self):
+        report = MethodReport("m", [
+            make_record(domain="movies"),
+            make_record(domain="sports", ex=False),
+        ])
+        assert report.by_domain("MOVIES").ex == 100.0
+
+    def test_cost_and_tokens(self):
+        report = MethodReport("m", [
+            make_record(input_tokens=100, output_tokens=20, cost_usd=0.01),
+            make_record(input_tokens=200, output_tokens=40, cost_usd=0.03),
+        ])
+        assert report.avg_tokens == 180.0
+        assert report.avg_cost == pytest.approx(0.02)
+        assert report.ex_per_dollar == pytest.approx(100.0 / 0.02)
+
+    def test_ex_per_dollar_free_is_infinite(self):
+        report = MethodReport("m", [make_record()])
+        assert report.ex_per_dollar == float("inf")
+
+    def test_summary_keys(self):
+        summary = MethodReport("m", [make_record()]).summary()
+        assert {"n", "ex", "em", "ves", "avg_tokens", "avg_cost", "avg_latency"} == set(summary)
+
+
+class TestQVT:
+    def test_perfect_model(self):
+        report = MethodReport("m", [
+            make_record(variant_group="g1", example_id="a"),
+            make_record(variant_group="g1", example_id="b"),
+            make_record(variant_group="g2", example_id="c"),
+            make_record(variant_group="g2", example_id="d"),
+        ])
+        assert qvt_score(report) == 100.0
+
+    def test_half_variants_solved(self):
+        report = MethodReport("m", [
+            make_record(variant_group="g1", example_id="a", ex=True),
+            make_record(variant_group="g1", example_id="b", ex=False),
+        ])
+        assert qvt_score(report) == 50.0
+
+    def test_all_failed_group_excluded(self):
+        report = MethodReport("m", [
+            make_record(variant_group="g1", example_id="a", ex=False),
+            make_record(variant_group="g1", example_id="b", ex=False),
+            make_record(variant_group="g2", example_id="c", ex=True),
+            make_record(variant_group="g2", example_id="d", ex=True),
+        ])
+        assert qvt_score(report) == 100.0
+        assert qvt_score(report, require_one_correct=False) == 50.0
+
+    def test_singleton_groups_ignored(self):
+        report = MethodReport("m", [
+            make_record(variant_group="solo", example_id="a", ex=False),
+            make_record(variant_group="g", example_id="b", ex=True),
+            make_record(variant_group="g", example_id="c", ex=True),
+        ])
+        assert qvt_score(report) == 100.0
+
+    def test_no_groups_returns_zero(self):
+        report = MethodReport("m", [make_record(variant_group="solo")])
+        assert qvt_score(report) == 0.0

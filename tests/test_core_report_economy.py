@@ -1,0 +1,120 @@
+"""Tests for report formatting, Figure-2 timeline, and the economy table."""
+
+import pytest
+
+from repro.core.economy import EconomyRow, economy_table, most_cost_effective
+from repro.core.metrics import MethodReport
+from repro.core.report import (
+    SPIDER_LEADERBOARD_TIMELINE,
+    format_leaderboard,
+    format_table,
+    leaderboard_timeline,
+    timeline_series,
+)
+from tests.test_core_metrics_qvt import make_record
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["A", "Bee"], [[1, 2], [30, 40]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A ")
+        assert "30" in lines[3]
+
+    def test_title_included(self):
+        assert format_table(["x"], [[1]], title="T3").startswith("T3")
+
+
+class TestLeaderboard:
+    def test_sorted_descending(self):
+        reports = {
+            "weak": MethodReport("weak", [make_record(ex=False)]),
+            "strong": MethodReport("strong", [make_record(ex=True)]),
+        }
+        text = format_leaderboard(reports)
+        assert text.index("strong") < text.index("weak")
+
+    def test_metric_selectable(self):
+        reports = {"m": MethodReport("m", [make_record()])}
+        assert "EM" in format_leaderboard(reports, metric="em")
+
+
+class TestTimeline:
+    def test_both_families_present(self):
+        kinds = {entry.kind for entry in SPIDER_LEADERBOARD_TIMELINE}
+        assert kinds == {"plm", "llm"}
+
+    def test_filtering(self):
+        assert all(e.kind == "plm" for e in leaderboard_timeline("plm"))
+
+    def test_llm_era_starts_2023(self):
+        first_llm = min(leaderboard_timeline("llm"), key=lambda e: e.date)
+        assert first_llm.date.startswith("2023")
+
+    def test_envelope_monotone(self):
+        for kind in ("plm", "llm"):
+            series = timeline_series(kind)
+            values = [v for __, v in series]
+            assert values == sorted(values)
+
+    def test_llm_overtakes_plm(self):
+        """Figure 2's headline: the LLM envelope ends above the PLM one."""
+        assert timeline_series("llm")[-1][1] > timeline_series("plm")[-1][1]
+
+
+class TestEconomy:
+    def _reports(self):
+        cheap = MethodReport("cheap", [
+            make_record(cost_usd=0.001, input_tokens=500, ex=True),
+            make_record(cost_usd=0.001, input_tokens=500, ex=False),
+        ])
+        pricey = MethodReport("pricey", [
+            make_record(cost_usd=0.05, input_tokens=3000, ex=True),
+            make_record(cost_usd=0.05, input_tokens=3000, ex=True),
+        ])
+        return {"cheap": cheap, "pricey": pricey}
+
+    def test_rows_built(self):
+        rows = economy_table(self._reports(), backbones={"cheap": "gpt-3.5-turbo"})
+        assert len(rows) == 2
+        assert rows[0].backbone == "gpt-3.5-turbo"
+
+    def test_ex_per_cost(self):
+        rows = economy_table(self._reports())
+        by_name = {row.method: row for row in rows}
+        assert by_name["cheap"].ex_per_cost == pytest.approx(50.0 / 0.001)
+
+    def test_most_cost_effective(self):
+        rows = economy_table(self._reports())
+        assert most_cost_effective(rows).method == "cheap"
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ValueError):
+            most_cost_effective([])
+
+    def test_free_method_infinite_ratio(self):
+        row = EconomyRow("local", "t5-3b", 100.0, 0.0, 80.0)
+        assert row.ex_per_cost == float("inf")
+
+
+class TestTaxonomy:
+    def test_branches_populated(self):
+        from repro.core.taxonomy import BRANCHES, systems_in_branch
+        for branch in BRANCHES:
+            assert systems_in_branch(branch)
+
+    def test_chronological_within_branch(self):
+        from repro.core.taxonomy import BRANCHES, systems_in_branch
+        for branch in BRANCHES:
+            years = [e.year for e in systems_in_branch(branch)]
+            assert years == sorted(years)
+
+    def test_render_tree_mentions_all_branches(self):
+        from repro.core.taxonomy import render_tree
+        text = render_tree()
+        for title in ("Rule-based", "Neural-network", "PLM-based", "LLM-based"):
+            assert title in text
+
+    def test_era_span_order(self):
+        from repro.core.taxonomy import era_span
+        assert era_span("rule_based")[0] < era_span("llm")[0]

@@ -1,0 +1,101 @@
+"""Tests for the dashboard renderer and the extra benchmark presets."""
+
+import pytest
+
+from repro.core.dashboard import render_dashboard
+from repro.core.evaluator import Evaluator
+from repro.datagen.benchmark import (
+    build_benchmark,
+    kaggle_dbqa_config,
+    spider_realistic_config,
+)
+from repro.methods.zoo import build_method
+
+
+@pytest.fixture(scope="module")
+def dashboard_reports(small_dataset):
+    evaluator = Evaluator(small_dataset, measure_timing=False)
+    return evaluator.evaluate_zoo(
+        [build_method("C3SQL"), build_method("RESDSQL-3B")]
+    )
+
+
+class TestDashboard:
+    def test_contains_all_sections(self, dashboard_reports):
+        text = render_dashboard(dashboard_reports)
+        for marker in (
+            "Leaderboard (EX)", "EX by SQL hardness",
+            "characteristic subsets", "Domain extremes",
+            "Economy and robustness",
+        ):
+            assert marker in text
+
+    def test_all_methods_listed(self, dashboard_reports):
+        text = render_dashboard(dashboard_reports)
+        assert text.count("C3SQL") >= 5
+        assert text.count("RESDSQL-3B") >= 5
+
+    def test_custom_title(self, dashboard_reports):
+        assert render_dashboard(dashboard_reports, title="MyBench").startswith(
+            "==== MyBench"
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            render_dashboard({})
+
+
+class TestPresets:
+    def test_kaggle_is_dev_only(self):
+        dataset = build_benchmark(kaggle_dbqa_config(scale=0.1))
+        try:
+            assert dataset.train_examples == []
+            assert len({e.domain for e in dataset.dev_examples}) >= 6
+        finally:
+            dataset.close()
+
+    def test_kaggle_finetuning_gracefully_degrades(self):
+        """With no train split, a 'fine-tuned' method gets zero boost."""
+        dataset = build_benchmark(kaggle_dbqa_config(scale=0.1))
+        try:
+            method = build_method("SFT CodeS-7B")
+            method.prepare(dataset)
+            assert method.model.finetune.boost == 0.0
+        finally:
+            dataset.close()
+
+    def test_realistic_mostly_paraphrased(self):
+        dataset = build_benchmark(spider_realistic_config(scale=0.06))
+        try:
+            dev = dataset.dev_examples
+            variants = sum(1 for e in dev if e.variant_style != "canonical")
+            assert variants / len(dev) > 0.5
+        finally:
+            dataset.close()
+
+    def test_hard_variants_break_limited_lexicons(self):
+        """The mechanism behind Spider-Realistic: models with weak
+        paraphrase coverage fail on hard rewrites but not canonical text."""
+        from repro.nlu.intent_parser import IntentParser, NLUParseError
+        from repro.nlu.lexicon import Lexicon
+        dataset = build_benchmark(spider_realistic_config(scale=0.06))
+        try:
+            hard = [e for e in dataset.dev_examples if e.linguistic_difficulty > 0]
+            assert hard, "expected hard variants in the realistic preset"
+            blind_failures = full_failures = 0
+            for example in hard:
+                schema = dataset.database(example.db_id).schema
+                for lexicon, counter in (
+                    (Lexicon.with_coverage(set()), "blind"),
+                    (Lexicon.full(), "full"),
+                ):
+                    try:
+                        IntentParser(schema, lexicon).parse(example.question)
+                    except NLUParseError:
+                        if counter == "blind":
+                            blind_failures += 1
+                        else:
+                            full_failures += 1
+            assert blind_failures > full_failures
+        finally:
+            dataset.close()

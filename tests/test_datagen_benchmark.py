@@ -1,0 +1,111 @@
+"""Tests for benchmark assembly."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datagen.benchmark import (
+    bird_like_config,
+    build_benchmark,
+    spider_like_config,
+)
+from repro.dbengine.executor import execute_sql
+from repro.errors import DataGenerationError
+from tests.conftest import small_benchmark_config
+
+
+class TestBuildBenchmark:
+    def test_splits_present(self, small_dataset):
+        assert small_dataset.train_examples
+        assert small_dataset.dev_examples
+
+    def test_dev_and_train_databases_disjoint(self, small_dataset):
+        train_dbs = {e.db_id for e in small_dataset.train_examples}
+        dev_dbs = {e.db_id for e in small_dataset.dev_examples}
+        assert not train_dbs & dev_dbs
+
+    def test_gold_sql_executes_with_rows(self, small_dataset):
+        for example in small_dataset.dev_examples[:40]:
+            database = small_dataset.database(example.db_id)
+            result = execute_sql(database, example.gold_sql)
+            assert result.ok and result.rows
+
+    def test_example_ids_unique(self, small_dataset):
+        ids = [e.example_id for e in small_dataset.examples]
+        assert len(ids) == len(set(ids))
+
+    def test_variants_share_gold_sql(self, small_dataset):
+        groups = small_dataset.variant_groups()
+        multi = [g for g in groups.values() if len(g) >= 2]
+        assert multi, "expected some variant groups"
+        for group in multi:
+            assert len({e.gold_sql for e in group}) == 1
+            styles = {e.variant_style for e in group}
+            assert "canonical" in styles
+
+    def test_domains_recorded(self, small_dataset):
+        domains = {e.domain for e in small_dataset.examples}
+        assert {"flights", "movies", "college"} <= domains
+
+    def test_zero_train_domain_has_dev_only(self, small_dataset):
+        train_domains = {e.domain for e in small_dataset.train_examples}
+        dev_domains = {e.domain for e in small_dataset.dev_examples}
+        assert "pets" not in train_domains
+        assert "pets" in dev_domains
+
+    def test_deterministic_build(self):
+        a = build_benchmark(small_benchmark_config(seed=77))
+        b = build_benchmark(small_benchmark_config(seed=77))
+        try:
+            assert [e.gold_sql for e in a.examples] == [e.gold_sql for e in b.examples]
+            assert [e.question for e in a.examples] == [e.question for e in b.examples]
+        finally:
+            a.close(); b.close()
+
+    def test_unknown_database_raises(self, small_dataset):
+        with pytest.raises(DataGenerationError):
+            small_dataset.database("nope")
+
+    def test_schemas_helper(self, small_dataset):
+        dev_schemas = small_dataset.schemas(split="dev")
+        assert len(dev_schemas) == 4
+
+
+class TestConfigs:
+    def test_spider_config_scale(self):
+        small = spider_like_config(scale=0.2)
+        large = spider_like_config(scale=1.0)
+        assert small.examples_per_dev_db < large.examples_per_dev_db
+        assert small.train_db_counts == large.train_db_counts
+
+    def test_spider_config_rich_domains(self):
+        config = spider_like_config()
+        assert config.train_db_counts["college"] > config.train_db_counts["telecom"]
+        assert config.train_db_counts["pets"] == 0
+
+    def test_bird_config_wide(self):
+        assert bird_like_config().wide_schemas
+        assert not spider_like_config().wide_schemas
+
+    def test_bird_has_fewer_variants(self):
+        assert bird_like_config().variant_rate < spider_like_config().variant_rate
+
+
+class TestDistributions:
+    def test_hardness_mix_spider_like(self, small_dataset):
+        counts = Counter(e.hardness.value for e in small_dataset.dev_examples)
+        # Medium should dominate, as in Spider-dev.
+        assert counts["medium"] >= counts["extra"]
+        assert len(counts) >= 3
+
+    def test_bird_like_is_harder(self):
+        spider = build_benchmark(spider_like_config(scale=0.12))
+        bird = build_benchmark(bird_like_config(scale=0.12))
+        try:
+            def hard_fraction(ds):
+                examples = ds.dev_examples
+                hard = sum(1 for e in examples if e.hardness.rank >= 2)
+                return hard / len(examples)
+            assert hard_fraction(bird) > hard_fraction(spider) - 0.05
+        finally:
+            spider.close(); bird.close()

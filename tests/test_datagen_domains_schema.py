@@ -1,0 +1,94 @@
+"""Tests for the domain catalog and schema generation."""
+
+import pytest
+
+from repro.datagen.domains import DOMAIN_CATALOG, domain_names, get_domain
+from repro.datagen.schema_gen import _plural, generate_schema
+from repro.errors import DataGenerationError
+
+
+class TestDomainCatalog:
+    def test_exactly_33_domains(self):
+        assert len(DOMAIN_CATALOG) == 33
+
+    def test_paper_headline_domains_present(self):
+        for name in ("college", "competition", "transportation", "movies", "sports"):
+            assert name in DOMAIN_CATALOG
+
+    def test_get_domain_unknown(self):
+        with pytest.raises(DataGenerationError):
+            get_domain("astrology")
+
+    def test_domain_names_order_stable(self):
+        assert domain_names()[0] == "movies"
+
+    def test_every_domain_has_vocabulary(self):
+        for spec in DOMAIN_CATALOG.values():
+            assert len(spec.category_values) >= 3
+            assert len(spec.name_values) >= 5
+            assert spec.primary and spec.secondary and spec.event and spec.category
+
+    def test_person_names_nonempty(self):
+        assert len(get_domain("movies").person_names) > 10
+
+
+class TestPlural:
+    @pytest.mark.parametrize(
+        "noun,plural",
+        [
+            ("movie", "movies"),
+            ("category", "categories"),
+            ("match", "matches"),
+            ("bus", "buses"),
+            ("policy", "policies"),
+            ("day", "days"),
+        ],
+    )
+    def test_examples(self, noun, plural):
+        assert _plural(noun) == plural
+
+
+class TestGenerateSchema:
+    def test_deterministic(self):
+        domain = get_domain("movies")
+        a = generate_schema(domain, 0, seed=1)
+        b = generate_schema(domain, 0, seed=1)
+        assert [t.name for t in a.tables] == [t.name for t in b.tables]
+        assert a.foreign_keys == b.foreign_keys
+
+    def test_db_index_varies_schema_id(self):
+        domain = get_domain("movies")
+        assert generate_schema(domain, 0).db_id == "movies"
+        assert generate_schema(domain, 2).db_id == "movies_2"
+
+    def test_core_tables_present(self):
+        schema = generate_schema(get_domain("movies"), 0)
+        names = set(schema.table_names)
+        assert {"movies", "directors", "genres"} <= names
+
+    def test_fk_structure(self):
+        schema = generate_schema(get_domain("movies"), 0)
+        assert schema.foreign_keys_between("movies", "genres")
+        assert schema.foreign_keys_between("movies", "directors")
+
+    def test_wide_schemas_have_more_columns(self):
+        domain = get_domain("banking")
+        narrow = generate_schema(domain, 0, wide=False)
+        wide = generate_schema(domain, 0, wide=True)
+        narrow_cols = sum(len(t.columns) for t in narrow.tables)
+        wide_cols = sum(len(t.columns) for t in wide.tables)
+        assert wide_cols > narrow_cols
+
+    def test_domain_label_attached(self):
+        assert generate_schema(get_domain("pets"), 0).domain == "pets"
+
+    def test_every_domain_generates_valid_schema(self):
+        for name in domain_names():
+            schema = generate_schema(get_domain(name), 0)
+            assert len(schema.tables) >= 3
+            assert schema.foreign_keys
+
+    def test_primary_keys_everywhere(self):
+        schema = generate_schema(get_domain("hr"), 1)
+        for table in schema.tables:
+            assert table.primary_key_columns, table.name

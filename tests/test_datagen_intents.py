@@ -1,0 +1,164 @@
+"""Tests for intent sampling and SQL/NL rendering."""
+
+import pytest
+
+from repro.datagen.domains import get_domain
+from repro.datagen.intent_gen import IntentSampler
+from repro.datagen.intents import Aggregate, ColumnSel, Filter, IntentShape, QueryIntent
+from repro.datagen.nl_render import render_intent_nl
+from repro.datagen.populate import populate_database
+from repro.datagen.schema_gen import generate_schema
+from repro.datagen.sql_render import render_intent_sql
+from repro.dbengine.database import Database
+from repro.dbengine.executor import execute_sql
+from repro.sqlkit.features import extract_features
+from repro.sqlkit.parser import parse_select
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def movie_db():
+    domain = get_domain("movies")
+    schema = generate_schema(domain, 0)
+    database = Database(schema)
+    populate_database(database, domain, rows_per_table=40)
+    yield database
+    database.close()
+
+
+@pytest.fixture()
+def sampler(movie_db):
+    return IntentSampler(movie_db, derive_rng(11, "sampler"))
+
+
+class TestIntentModel:
+    def test_with_returns_copy(self):
+        intent = QueryIntent(
+            shape=IntentShape.PROJECT, db_id="d", tables=("t",),
+            projection=(ColumnSel("t", "a"),),
+        )
+        changed = intent.with_(distinct=True)
+        assert changed.distinct and not intent.distinct
+
+    def test_properties(self):
+        intent = QueryIntent(
+            shape=IntentShape.JOIN_PROJECT, db_id="d", tables=("a", "b"),
+            projection=(ColumnSel("a", "x"),),
+            filters=(
+                Filter(ColumnSel("a", "x"), "=", 1),
+                Filter(ColumnSel("a", "y"), ">", 2, connector="or"),
+            ),
+        )
+        assert intent.has_join
+        assert intent.num_connectors == 1
+        assert not intent.has_subquery
+
+    def test_signature_stable_and_discriminative(self):
+        base = QueryIntent(
+            shape=IntentShape.PROJECT, db_id="d", tables=("t",),
+            projection=(ColumnSel("t", "a"),),
+        )
+        assert base.signature() == base.signature()
+        assert base.signature() != base.with_(shape=IntentShape.AGG).signature()
+
+
+class TestSampling:
+    @pytest.mark.parametrize("shape", list(IntentShape))
+    def test_every_shape_samples_and_renders(self, sampler, movie_db, shape):
+        intent = sampler.sample(shape)
+        sql = render_intent_sql(intent, movie_db.schema)
+        parse_select(sql)  # must be parseable
+        question = render_intent_nl(intent, movie_db.schema)
+        assert question.endswith((".", "?"))
+
+    @pytest.mark.parametrize("shape", list(IntentShape))
+    def test_sampled_sql_executes(self, sampler, movie_db, shape):
+        for __ in range(3):
+            intent = sampler.sample(shape)
+            sql = render_intent_sql(intent, movie_db.schema)
+            result = execute_sql(movie_db, sql)
+            assert result.ok, (sql, result.error)
+
+    def test_join_shapes_have_joins(self, sampler, movie_db):
+        intent = sampler.sample(IntentShape.JOIN_PROJECT)
+        sql = render_intent_sql(intent, movie_db.schema)
+        assert extract_features(sql).has_join
+
+    def test_subquery_shapes_have_subqueries(self, sampler, movie_db):
+        intent = sampler.sample(IntentShape.SUBQUERY_IN)
+        sql = render_intent_sql(intent, movie_db.schema)
+        assert extract_features(sql).has_subquery
+
+    def test_order_top_has_order(self, sampler, movie_db):
+        intent = sampler.sample(IntentShape.ORDER_TOP)
+        if intent.shape == IntentShape.ORDER_TOP:  # may fall back
+            sql = render_intent_sql(intent, movie_db.schema)
+            assert extract_features(sql).has_order_by
+
+    def test_set_op_renders_set_operation(self, sampler, movie_db):
+        intent = sampler.sample(IntentShape.SET_OP)
+        if intent.shape == IntentShape.SET_OP:
+            sql = render_intent_sql(intent, movie_db.schema)
+            assert extract_features(sql).has_set_operation
+
+
+class TestSqlRendering:
+    def test_aliases_used_for_joins(self, sampler, movie_db):
+        intent = sampler.sample(IntentShape.JOIN_PROJECT)
+        sql = render_intent_sql(intent, movie_db.schema)
+        assert " AS T1 " in sql and " T2 " in sql
+
+    def test_single_table_unqualified(self, movie_db):
+        intent = QueryIntent(
+            shape=IntentShape.PROJECT, db_id=movie_db.db_id, tables=("movies",),
+            projection=(ColumnSel("movies", "name"),),
+        )
+        assert render_intent_sql(intent, movie_db.schema) == "SELECT name FROM movies"
+
+    def test_count_star(self, movie_db):
+        intent = QueryIntent(
+            shape=IntentShape.AGG, db_id=movie_db.db_id, tables=("movies",),
+            projection=(), aggregate=Aggregate.COUNT,
+            agg_column=ColumnSel("movies", "*"),
+        )
+        assert render_intent_sql(intent, movie_db.schema) == "SELECT COUNT(*) FROM movies"
+
+    def test_filters_with_connectors(self, movie_db):
+        intent = QueryIntent(
+            shape=IntentShape.PROJECT, db_id=movie_db.db_id, tables=("movies",),
+            projection=(ColumnSel("movies", "name"),),
+            filters=(
+                Filter(ColumnSel("movies", "year"), ">", 2000),
+                Filter(ColumnSel("movies", "year"), "<", 2010, connector="or"),
+            ),
+        )
+        sql = render_intent_sql(intent, movie_db.schema)
+        assert "year > 2000 OR year < 2010" in sql
+
+
+class TestNlRendering:
+    def test_project_mentions_columns_and_table(self, movie_db):
+        intent = QueryIntent(
+            shape=IntentShape.PROJECT, db_id=movie_db.db_id, tables=("movies",),
+            projection=(ColumnSel("movies", "name"),),
+        )
+        question = render_intent_nl(intent, movie_db.schema)
+        assert "movie name" in question and "movies" in question
+
+    def test_count_question(self, movie_db):
+        intent = QueryIntent(
+            shape=IntentShape.AGG, db_id=movie_db.db_id, tables=("movies",),
+            projection=(), aggregate=Aggregate.COUNT,
+            agg_column=ColumnSel("movies", "*"),
+        )
+        question = render_intent_nl(intent, movie_db.schema)
+        assert question.startswith("How many movies")
+
+    def test_filter_value_quoted(self, movie_db):
+        intent = QueryIntent(
+            shape=IntentShape.PROJECT, db_id=movie_db.db_id, tables=("movies",),
+            projection=(ColumnSel("movies", "name"),),
+            filters=(Filter(ColumnSel("movies", "year"), "=", 1999),),
+        )
+        question = render_intent_nl(intent, movie_db.schema)
+        assert "year is 1999" in question

@@ -1,0 +1,60 @@
+"""Tests for paraphrase generation (QVT variants)."""
+
+from repro.datagen.paraphrase import EASY_REWRITES, HARD_REWRITES, paraphrase_question
+
+QUESTION = (
+    "Show the name of all movies whose year is greater than 2000, "
+    "sorted by rating in descending order, showing only the top 3."
+)
+
+
+class TestParaphrase:
+    def test_variants_differ_from_original(self):
+        variants = paraphrase_question(QUESTION, count=3, seed=1)
+        assert variants
+        for variant in variants:
+            assert variant.text != QUESTION
+
+    def test_variants_distinct(self):
+        variants = paraphrase_question(QUESTION, count=3, seed=1)
+        texts = [v.text for v in variants]
+        assert len(texts) == len(set(texts))
+
+    def test_deterministic(self):
+        a = paraphrase_question(QUESTION, count=3, seed=9, key="g1")
+        b = paraphrase_question(QUESTION, count=3, seed=9, key="g1")
+        assert [v.text for v in a] == [v.text for v in b]
+
+    def test_key_varies_output(self):
+        a = paraphrase_question(QUESTION, count=3, seed=9, key="g1")
+        b = paraphrase_question(QUESTION, count=3, seed=9, key="g2")
+        assert [v.text for v in a] != [v.text for v in b]
+
+    def test_difficulty_counts_hard_rewrites(self):
+        variants = paraphrase_question(QUESTION, count=8, seed=3)
+        hard = [v for v in variants if v.difficulty > 0]
+        easy = [v for v in variants if v.difficulty == 0]
+        assert hard, "expected at least one hard variant"
+        assert easy, "expected at least one easy variant"
+        for variant in hard:
+            assert variant.style in ("hard", "mixed")
+
+    def test_count_zero(self):
+        assert paraphrase_question(QUESTION, count=0) == []
+
+    def test_rewrite_tables_are_disjoint(self):
+        easy_sources = {src for src, __ in EASY_REWRITES}
+        hard_sources = {src for src, __ in HARD_REWRITES}
+        assert not easy_sources & hard_sources
+
+    def test_hard_variant_round_trips_through_full_lexicon(self):
+        from repro.nlu.lexicon import Lexicon
+        lexicon = Lexicon.full()
+        def canon(text):
+            # "of all" -> "of the" is a lossy easy rewrite the parser
+            # accepts in both forms; fold it for comparison.
+            return lexicon.normalize(text).replace(" of the ", " of all ")
+
+        canonical = canon(QUESTION)
+        for variant in paraphrase_question(QUESTION, count=6, seed=5):
+            assert canon(variant.text) == canonical, variant

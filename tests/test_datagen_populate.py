@@ -1,0 +1,106 @@
+"""Tests for value synthesis and database population."""
+
+from repro.datagen.domains import get_domain
+from repro.datagen.populate import populate_database
+from repro.datagen.schema_gen import generate_schema
+from repro.datagen.values import numeric_range, sample_value, text_pool
+from repro.dbengine.database import Database
+from repro.utils.rng import derive_rng
+
+
+def _fresh_db(domain_name="movies", db_index=0, wide=False):
+    domain = get_domain(domain_name)
+    schema = generate_schema(domain, db_index, wide=wide)
+    return domain, Database(schema)
+
+
+class TestValues:
+    def test_numeric_range_known_fragment(self):
+        assert numeric_range("avg_rating") == (1, 10)
+        assert numeric_range("birth_year") == (1980, 2023)
+
+    def test_numeric_range_default(self):
+        assert numeric_range("mystery_metric") == (0.0, 1000.0)
+
+    def test_text_pool_category(self):
+        domain, db = _fresh_db()
+        table = db.schema.table("genres")
+        pool = text_pool(domain, table, table.column("genre_name"))
+        assert set(pool) == set(domain.category_values)
+        db.close()
+
+    def test_text_pool_primary_names(self):
+        domain, db = _fresh_db()
+        table = db.schema.table("movies")
+        pool = text_pool(domain, table, table.column("name"))
+        assert set(pool) == set(domain.name_values)
+        db.close()
+
+    def test_sample_value_types(self):
+        domain, db = _fresh_db()
+        rng = derive_rng(0, "test")
+        table = db.schema.table("movies")
+        year = sample_value(rng, domain, table, table.column("year"), 0)
+        assert isinstance(year, int) and 1980 <= year <= 2023
+        db.close()
+
+    def test_primary_key_sequential(self):
+        domain, db = _fresh_db()
+        rng = derive_rng(0, "test")
+        table = db.schema.table("movies")
+        pk_col = table.primary_key_columns[0]
+        assert sample_value(rng, domain, table, pk_col, 4) == 5
+        db.close()
+
+
+class TestPopulate:
+    def test_counts_returned(self):
+        domain, db = _fresh_db()
+        counts = populate_database(db, domain, rows_per_table=30)
+        assert counts["movies"] == 30
+        assert counts["genres"] == len(domain.category_values)
+        db.close()
+
+    def test_referential_integrity(self):
+        domain, db = _fresh_db()
+        populate_database(db, domain, rows_per_table=25)
+        orphans = db.connection.execute(
+            "SELECT COUNT(*) FROM movies WHERE genre_id NOT IN "
+            "(SELECT genre_id FROM genres)"
+        ).fetchone()[0]
+        assert orphans == 0
+        db.close()
+
+    def test_deterministic(self):
+        domain, db_a = _fresh_db()
+        populate_database(db_a, domain, rows_per_table=20, seed=5)
+        rows_a = db_a.connection.execute("SELECT * FROM movies ORDER BY movie_id").fetchall()
+        domain, db_b = _fresh_db()
+        populate_database(db_b, domain, rows_per_table=20, seed=5)
+        rows_b = db_b.connection.execute("SELECT * FROM movies ORDER BY movie_id").fetchall()
+        assert rows_a == rows_b
+        db_a.close(); db_b.close()
+
+    def test_seed_changes_contents(self):
+        domain, db_a = _fresh_db()
+        populate_database(db_a, domain, rows_per_table=20, seed=5)
+        rows_a = db_a.connection.execute("SELECT * FROM movies").fetchall()
+        domain, db_b = _fresh_db()
+        populate_database(db_b, domain, rows_per_table=20, seed=6)
+        rows_b = db_b.connection.execute("SELECT * FROM movies").fetchall()
+        assert rows_a != rows_b
+        db_a.close(); db_b.close()
+
+    def test_event_table_denser(self):
+        domain, db = _fresh_db()
+        counts = populate_database(db, domain, rows_per_table=20)
+        assert counts["screenings"] == 40
+        db.close()
+
+    def test_every_domain_populates(self):
+        from repro.datagen.domains import domain_names
+        for name in domain_names()[:8]:
+            domain, db = _fresh_db(name)
+            counts = populate_database(db, domain, rows_per_table=10)
+            assert all(count > 0 for count in counts.values())
+            db.close()

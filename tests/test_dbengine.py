@@ -1,0 +1,120 @@
+"""Tests for the DB engine: database wrapper, executor, timing."""
+
+import pytest
+
+from repro.dbengine.database import Database
+from repro.dbengine.executor import (
+    ExecutionResult,
+    execute_sql,
+    execute_sql_strict,
+    results_match,
+)
+from repro.dbengine.timing import timed_execute, ves_ratio
+from repro.errors import ExecutionError, SchemaError
+
+
+class TestDatabase:
+    def test_tables_created(self, toy_db):
+        assert toy_db.row_count("airports") == 4
+        assert toy_db.row_count("flights") == 6
+
+    def test_insert_unknown_table(self, toy_db):
+        with pytest.raises(SchemaError):
+            toy_db.insert_rows("hotels", [(1,)])
+
+    def test_insert_bad_row_raises(self, toy_db):
+        with pytest.raises(ExecutionError):
+            toy_db.insert_rows("airports", [(1, "dup pk", "X", 5)])
+
+    def test_column_values_distinct(self, toy_db):
+        cities = toy_db.column_values("airports", "city")
+        assert sorted(cities) == ["Aberdeen", "Boston", "Denver"]
+
+    def test_column_values_cached_and_invalidated(self, toy_db):
+        first = toy_db.column_values("airports", "city")
+        toy_db.insert_rows("airports", [(99, "New Strip", "Quebec", 10)])
+        second = toy_db.column_values("airports", "city")
+        assert "Quebec" in second and "Quebec" not in first
+
+    def test_text_columns(self, toy_db):
+        pairs = toy_db.text_columns()
+        assert ("airports", "city") in pairs
+        assert ("flights", "price") not in pairs
+
+    def test_sample_values(self, toy_db):
+        assert len(toy_db.sample_values("airports", "city", count=2)) == 2
+
+    def test_context_manager(self, toy_schema):
+        with Database(toy_schema) as database:
+            assert database.db_id == "toy_flights"
+
+
+class TestExecutor:
+    def test_select_rows(self, toy_db):
+        result = execute_sql(toy_db, "SELECT name FROM airports WHERE city = 'Boston'")
+        assert result.ok and len(result) == 2
+
+    def test_error_captured(self, toy_db):
+        result = execute_sql(toy_db, "SELECT bogus FROM airports")
+        assert not result.ok and "bogus" in result.error
+
+    def test_strict_raises(self, toy_db):
+        with pytest.raises(ExecutionError):
+            execute_sql_strict(toy_db, "SELECT bogus FROM airports")
+
+    def test_max_rows_cap(self, toy_db):
+        result = execute_sql(toy_db, "SELECT * FROM flights", max_rows=3)
+        assert len(result) == 3
+
+    def test_results_match_order_insensitive(self):
+        a = ExecutionResult(rows=[(1,), (2,)])
+        b = ExecutionResult(rows=[(2,), (1,)])
+        assert results_match(a, b)
+        assert not results_match(a, b, order_matters=True)
+
+    def test_results_match_float_tolerance(self):
+        a = ExecutionResult(rows=[(1.0000001,)])
+        b = ExecutionResult(rows=[(1.0,)])
+        assert results_match(a, b)
+
+    def test_results_match_int_float_equivalence(self):
+        assert results_match(
+            ExecutionResult(rows=[(2.0,)]), ExecutionResult(rows=[(2,)])
+        )
+
+    def test_results_mismatch_on_error(self):
+        ok = ExecutionResult(rows=[(1,)])
+        bad = ExecutionResult(error="boom")
+        assert not results_match(ok, bad)
+        assert not results_match(bad, ok)
+
+    def test_results_mismatch_row_count(self):
+        assert not results_match(
+            ExecutionResult(rows=[(1,)]), ExecutionResult(rows=[(1,), (1,)])
+        )
+
+    def test_aggregates_execute(self, toy_db):
+        result = execute_sql(toy_db, "SELECT COUNT(*), AVG(price) FROM flights")
+        assert result.rows[0][0] == 6
+
+
+class TestTiming:
+    def test_timed_execute_returns_positive(self, toy_db):
+        timed = timed_execute(toy_db, "SELECT * FROM flights", repeats=2)
+        assert timed.result.ok and timed.seconds > 0
+
+    def test_timed_execute_error(self, toy_db):
+        timed = timed_execute(toy_db, "SELECT bogus FROM flights")
+        assert not timed.result.ok
+
+    def test_ves_ratio_equal_times(self):
+        assert ves_ratio(0.01, 0.01) == pytest.approx(1.0)
+
+    def test_ves_ratio_faster_prediction_rewards(self):
+        assert ves_ratio(0.04, 0.01) == pytest.approx(2.0)
+
+    def test_ves_ratio_slower_prediction_penalizes(self):
+        assert ves_ratio(0.01, 0.04) == pytest.approx(0.5)
+
+    def test_ves_ratio_handles_zero(self):
+        assert ves_ratio(0.0, 0.0) == pytest.approx(1.0)

@@ -1,0 +1,129 @@
+"""Edge-case tests filling coverage gaps across modules."""
+
+import pytest
+
+from repro.dbengine.executor import ExecutionResult, execute_sql, results_match
+from repro.sqlkit.natsql import to_natsql, from_natsql
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.printer import to_sql
+
+
+class TestOrderSensitivity:
+    """EX must be order-sensitive exactly when the gold query orders."""
+
+    def test_ordered_gold_rejects_shuffled_prediction(self, toy_db):
+        gold = execute_sql(toy_db, "SELECT name FROM airports ORDER BY elevation DESC")
+        predicted = execute_sql(toy_db, "SELECT name FROM airports ORDER BY elevation ASC")
+        assert not results_match(predicted, gold, order_matters=True)
+        assert results_match(predicted, gold, order_matters=False)
+
+    def test_limit_interacts_with_order(self, toy_db):
+        top = execute_sql(
+            toy_db, "SELECT name FROM airports ORDER BY elevation DESC LIMIT 1"
+        )
+        bottom = execute_sql(
+            toy_db, "SELECT name FROM airports ORDER BY elevation ASC LIMIT 1"
+        )
+        assert not results_match(top, bottom)
+
+
+class TestParserCorners:
+    def test_union_all_chain(self):
+        stmt = parse_select(
+            "SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v"
+        )
+        assert stmt.set_operation.op == "union all"
+        assert stmt.set_operation.right.set_operation.op == "union"
+
+    def test_limit_offset_parsed(self):
+        stmt = parse_select("SELECT a FROM t LIMIT 5 OFFSET 10")
+        assert stmt.limit == 5
+
+    def test_string_table_name(self):
+        stmt = parse_select('SELECT a FROM "my table"')
+        assert stmt.from_clause.base.name == "my table"
+
+    def test_keyword_after_dot(self):
+        stmt = parse_select("SELECT T1.all_items FROM t AS T1")
+        # 'all' prefix inside an identifier must not be treated as keyword.
+        assert stmt.select_items[0].expr.column == "all_items"
+
+    def test_deeply_nested_parentheses(self):
+        stmt = parse_select("SELECT a FROM t WHERE ((((x = 1))))")
+        assert to_sql(stmt) == "SELECT a FROM t WHERE x = 1"
+
+    def test_float_limit_coerced(self):
+        assert parse_select("SELECT a FROM t LIMIT 3.0").limit == 3
+
+
+class TestNatsqlBreadcrumbs:
+    def test_bridge_table_without_column_mentions_survives(self):
+        """A join through a bridging table whose columns are never
+        projected must still decode to a three-way join."""
+        from repro.schema.model import Column, ColumnType, DatabaseSchema, ForeignKey, Table
+        schema = DatabaseSchema(
+            db_id="bridge",
+            tables=[
+                Table("a", [Column("a_id", ColumnType.INTEGER, is_primary_key=True),
+                            Column("name", ColumnType.TEXT)]),
+                Table("ab", [Column("ab_id", ColumnType.INTEGER, is_primary_key=True),
+                             Column("a_id", ColumnType.INTEGER),
+                             Column("b_id", ColumnType.INTEGER)]),
+                Table("b", [Column("b_id", ColumnType.INTEGER, is_primary_key=True),
+                            Column("title", ColumnType.TEXT)]),
+            ],
+            foreign_keys=[
+                ForeignKey("ab", "a_id", "a", "a_id"),
+                ForeignKey("ab", "b_id", "b", "b_id"),
+            ],
+        )
+        sql = (
+            "SELECT T1.name, T3.title FROM a AS T1 JOIN ab AS T2 "
+            "ON T1.a_id = T2.a_id JOIN b AS T3 ON T2.b_id = T3.b_id"
+        )
+        natsql = to_natsql(sql)
+        assert "ab" in [t.lower() for t in natsql.extra_tables]
+        decoded = from_natsql(natsql, schema)
+        assert decoded.count("JOIN") == 2
+
+
+class TestResultComparison:
+    def test_none_cells_compared(self):
+        a = ExecutionResult(rows=[(None, 1)])
+        b = ExecutionResult(rows=[(None, 1)])
+        assert results_match(a, b)
+
+    def test_none_vs_value(self):
+        assert not results_match(
+            ExecutionResult(rows=[(None,)]), ExecutionResult(rows=[(0,)])
+        )
+
+    def test_mixed_width_rows(self):
+        assert not results_match(
+            ExecutionResult(rows=[(1, 2)]), ExecutionResult(rows=[(1,)])
+        )
+
+    def test_boolean_normalized_to_int(self):
+        assert results_match(
+            ExecutionResult(rows=[(True,)]), ExecutionResult(rows=[(1,)])
+        )
+
+
+class TestCorruptionValueFallbacks:
+    def test_wrong_value_without_database(self, toy_schema):
+        from repro.datagen.intents import ColumnSel, Filter
+        from repro.llm.corruption import CorruptionContext, CorruptionSampler
+        from repro.llm.prompt import PromptFeatures
+        from repro.llm.registry import get_profile
+        from repro.utils.rng import derive_rng
+        context = CorruptionContext(
+            schema=toy_schema, database=None, profile=get_profile("gpt-4"),
+            features=PromptFeatures(),
+        )
+        sampler = CorruptionSampler(context, derive_rng(0, "x"))
+        numeric = Filter(ColumnSel("airports", "elevation"), ">", 100)
+        assert sampler._wrong_value(numeric) != 100
+        text = Filter(ColumnSel("airports", "city"), "=", "Boston")
+        assert sampler._wrong_value(text) != "Boston"
+        short = Filter(ColumnSel("airports", "city"), "=", "ab")
+        assert sampler._wrong_value(short) != "ab"

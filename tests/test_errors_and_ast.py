@@ -1,0 +1,82 @@
+"""Tests for the exception hierarchy and AST helper methods."""
+
+import pytest
+
+from repro import errors
+from repro.sqlkit.ast_nodes import (
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    Star,
+)
+from repro.sqlkit.parser import parse_select
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_sql_errors_grouped(self):
+        assert issubclass(errors.SQLParseError, errors.SQLError)
+        assert issubclass(errors.SQLTokenizeError, errors.SQLError)
+        assert issubclass(errors.NatSQLError, errors.SQLError)
+
+    def test_timeout_is_execution_error(self):
+        assert issubclass(errors.ExecutionTimeout, errors.ExecutionError)
+
+    def test_tokenize_error_position(self):
+        error = errors.SQLTokenizeError("bad char", 17)
+        assert error.position == 17
+        assert "17" in str(error)
+
+    def test_execution_error_carries_sql(self):
+        error = errors.ExecutionError("boom", sql="SELECT 1")
+        assert error.sql == "SELECT 1"
+
+
+class TestAstHelpers:
+    def test_walk_visits_all_nodes(self):
+        expr = BooleanOp(op="and", operands=[
+            BinaryOp(op="=", left=ColumnRef(column="a"), right=Literal(value=1)),
+            BinaryOp(op=">", left=ColumnRef(column="b"), right=Literal(value=2)),
+        ])
+        nodes = list(expr.walk())
+        assert len(nodes) == 7  # BooleanOp + 2x(BinaryOp + 2 children)
+
+    def test_funccall_aggregate_detection(self):
+        assert FuncCall(name="COUNT", args=[Star()]).is_aggregate
+        assert not FuncCall(name="abs", args=[ColumnRef(column="x")]).is_aggregate
+
+    def test_binaryop_comparison_detection(self):
+        assert BinaryOp(op="<=", left=Star(), right=Star()).is_comparison
+        assert not BinaryOp(op="+", left=Star(), right=Star()).is_comparison
+
+    def test_columnref_key(self):
+        assert ColumnRef(column="Name", table="T1").key() == "t1.name"
+        assert ColumnRef(column="Name").key() == ".name"
+
+    def test_iter_expressions_skips_subquery_bodies(self):
+        stmt = parse_select("SELECT a FROM t WHERE x IN (SELECT y FROM u)")
+        columns = {
+            expr.column
+            for expr in stmt.iter_expressions()
+            if isinstance(expr, ColumnRef)
+        }
+        assert "a" in columns and "x" in columns
+        assert "y" not in columns  # inner statement reached via subqueries()
+
+    def test_subqueries_list(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u) UNION SELECT b FROM v"
+        )
+        assert len(stmt.subqueries()) == 2
+
+    def test_from_clause_tables(self):
+        stmt = parse_select("SELECT a FROM t JOIN u ON t.x = u.x JOIN v ON u.y = v.y")
+        names = [t.name for t in stmt.from_clause.tables]
+        assert names == ["t", "u", "v"]

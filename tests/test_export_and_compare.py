@@ -1,0 +1,151 @@
+"""Tests for Spider-format export/import and statistical comparison."""
+
+import json
+
+import pytest
+
+from repro.core.compare import bootstrap_diff_ci, compare_methods, mcnemar_test
+from repro.core.evaluator import Evaluator
+from repro.core.metrics import MethodReport
+from repro.datagen.export import export_spider_format, load_spider_format, schema_to_spider_entry
+from repro.dbengine.executor import execute_sql
+from repro.errors import DataGenerationError, EvaluationError
+from repro.methods.zoo import build_method
+from tests.test_core_metrics_qvt import make_record
+
+
+class TestSpiderEntry:
+    def test_star_column_first(self, toy_schema):
+        entry = schema_to_spider_entry(toy_schema)
+        assert entry["column_names"][0] == [-1, "*"]
+        assert entry["column_names_original"][0] == [-1, "*"]
+
+    def test_column_indices_consistent(self, toy_schema):
+        entry = schema_to_spider_entry(toy_schema)
+        assert len(entry["column_names"]) == len(entry["column_types"])
+        # airports has 4 columns, flights 5 -> 9 + star.
+        assert len(entry["column_names"]) == 10
+
+    def test_primary_and_foreign_keys_point_at_columns(self, toy_schema):
+        entry = schema_to_spider_entry(toy_schema)
+        names = entry["column_names_original"]
+        for pk in entry["primary_keys"]:
+            assert names[pk][1].endswith("_id")
+        for source, target in entry["foreign_keys"]:
+            assert names[source][1] == "airport_id"
+            assert names[target][1] == "airport_id"
+
+    def test_types_mapped(self, toy_schema):
+        entry = schema_to_spider_entry(toy_schema)
+        assert "number" in entry["column_types"]
+        assert "text" in entry["column_types"]
+
+
+class TestExportImportRoundTrip:
+    @pytest.fixture(scope="class")
+    def exported(self, small_dataset, tmp_path_factory):
+        root = tmp_path_factory.mktemp("spider_export")
+        export_spider_format(small_dataset, root)
+        return root
+
+    def test_layout_files_present(self, exported):
+        assert (exported / "tables.json").exists()
+        assert (exported / "train.json").exists()
+        assert (exported / "dev.json").exists()
+        assert any((exported / "database").iterdir())
+
+    def test_tables_json_parses(self, exported, small_dataset):
+        entries = json.loads((exported / "tables.json").read_text())
+        assert len(entries) == len(small_dataset.databases)
+
+    def test_round_trip_examples(self, exported, small_dataset):
+        loaded = load_spider_format(exported)
+        try:
+            assert len(loaded.examples) == len(small_dataset.examples)
+            assert len(loaded.dev_examples) == len(small_dataset.dev_examples)
+            original = {e.example_id: e for e in small_dataset.examples}
+            for example in loaded.examples:
+                assert example.gold_sql == original[example.example_id].gold_sql
+                assert example.question == original[example.example_id].question
+                assert example.variant_group == original[example.example_id].variant_group
+        finally:
+            loaded.close()
+
+    def test_round_trip_database_contents(self, exported, small_dataset):
+        loaded = load_spider_format(exported)
+        try:
+            for db_id, original in small_dataset.databases.items():
+                table = original.schema.tables[0].name
+                count_sql = f"SELECT COUNT(*) FROM {table}"
+                assert (
+                    execute_sql(loaded.database(db_id), count_sql).rows
+                    == execute_sql(original, count_sql).rows
+                )
+        finally:
+            loaded.close()
+
+    def test_loaded_dataset_evaluable(self, exported):
+        loaded = load_spider_format(exported)
+        try:
+            evaluator = Evaluator(loaded, measure_timing=False)
+            report = evaluator.evaluate_method(
+                build_method("C3SQL"), examples=loaded.dev_examples[:6]
+            )
+            assert len(report) == 6
+        finally:
+            loaded.close()
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(DataGenerationError):
+            load_spider_format(tmp_path / "nope")
+
+
+class TestComparison:
+    def _report(self, name, flags):
+        return MethodReport(name, [
+            make_record(method=name, example_id=str(i), ex=flag)
+            for i, flag in enumerate(flags)
+        ])
+
+    def test_identical_reports_not_significant(self):
+        flags = [True] * 30 + [False] * 10
+        comparison = compare_methods(self._report("a", flags), self._report("b", flags))
+        assert comparison.p_value == 1.0
+        assert not comparison.significant
+        assert "no significant difference" in comparison.verdict()
+
+    def test_clear_winner_significant(self):
+        a = [True] * 38 + [False] * 2
+        b = [True] * 18 + [False] * 22
+        comparison = compare_methods(self._report("a", a), self._report("b", b))
+        assert comparison.significant
+        assert "a is significantly better" in comparison.verdict()
+        assert comparison.diff_ci_low > 0
+
+    def test_mcnemar_counts(self):
+        a = [True, True, False, False]
+        b = [True, False, True, False]
+        a_only, b_only, p = mcnemar_test(self._report("a", a), self._report("b", b))
+        assert a_only == 1 and b_only == 1
+        assert p == 1.0
+
+    def test_bootstrap_ci_contains_true_diff(self):
+        a = [True] * 30 + [False] * 10
+        b = [True] * 20 + [False] * 20
+        low, high = bootstrap_diff_ci(self._report("a", a), self._report("b", b))
+        assert low <= 25.0 <= high
+
+    def test_disjoint_reports_raise(self):
+        a = MethodReport("a", [make_record(example_id="x1")])
+        b = MethodReport("b", [make_record(example_id="y1")])
+        with pytest.raises(EvaluationError):
+            compare_methods(a, b)
+
+    def test_on_real_evaluations(self, small_dataset):
+        evaluator = Evaluator(small_dataset, measure_timing=False)
+        strong = evaluator.evaluate_method(build_method("SuperSQL"))
+        weak = evaluator.evaluate_method(build_method("ZS llama2-7b"))
+        comparison = compare_methods(strong, weak)
+        assert comparison.ex_a > comparison.ex_b
+        assert comparison.n == len(small_dataset.dev_examples)
+        assert comparison.significant

@@ -1,0 +1,195 @@
+"""Tests for the §6 research-opportunity extensions."""
+
+import pytest
+
+from repro.extensions.augmentation import generate_examples, plan_augmentation
+from repro.extensions.debugger import diagnose
+from repro.extensions.interpreter import explain_results, explain_sql
+from repro.extensions.query_rewriter import rewrite_question
+from repro.dbengine.executor import ExecutionResult, execute_sql
+
+
+class TestQueryRewriter:
+    def test_canonicalizes_phrasing(self, toy_schema):
+        result = rewrite_question(
+            "Give me the city of the airports with elevation is more than 100.",
+            toy_schema,
+        )
+        assert result.changed
+        assert "show the city" in result.rewritten.lower()
+        assert "is greater than" in result.rewritten
+
+    def test_canonical_input_unchanged(self, toy_schema):
+        question = "Show the city of all airports."
+        result = rewrite_question(question, toy_schema)
+        assert not result.changed
+
+    def test_detects_cross_table_ambiguity(self):
+        from repro.schema.model import Column, ColumnType, DatabaseSchema, Table
+        schema = DatabaseSchema(
+            db_id="amb",
+            tables=[
+                Table("students", [Column("sid", ColumnType.INTEGER, is_primary_key=True),
+                                    Column("age", ColumnType.INTEGER)]),
+                Table("teachers", [Column("tid", ColumnType.INTEGER, is_primary_key=True),
+                                    Column("age", ColumnType.INTEGER)]),
+            ],
+        )
+        result = rewrite_question("What is the average age?", schema)
+        assert result.is_ambiguous
+        assert any("age" in note for note in result.ambiguities)
+
+    def test_unambiguous_question_clean(self, toy_schema):
+        result = rewrite_question("What is the average elevation of all airports?", toy_schema)
+        assert not result.is_ambiguous
+
+
+class TestDebugger:
+    def test_clean_pair_ok(self, toy_db):
+        diagnosis = diagnose(
+            "Show the city of all airports.",
+            "SELECT city FROM airports",
+            toy_db,
+        )
+        assert diagnosis.ok
+        assert diagnosis.summary() == "no issues detected"
+
+    def test_parse_failure_detected(self, toy_db):
+        diagnosis = diagnose("q", "SELECT city FORM airports", toy_db)
+        assert not diagnosis.parses
+        assert "does not parse" in diagnosis.summary()
+
+    def test_schema_violation_detected(self, toy_db):
+        diagnosis = diagnose("q", "SELECT colour FROM airports", toy_db)
+        assert diagnosis.parses
+        assert diagnosis.schema_issues
+        assert not diagnosis.executes
+
+    def test_missing_aggregation_flagged(self, toy_db):
+        diagnosis = diagnose(
+            "How many airports are there?",
+            "SELECT city FROM airports",
+            toy_db,
+        )
+        assert any("aggregation" in issue for issue in diagnosis.alignment_issues)
+
+    def test_missing_ordering_flagged(self, toy_db):
+        diagnosis = diagnose(
+            "List the airport name of all airports, sorted by elevation in "
+            "descending order.",
+            "SELECT name FROM airports",
+            toy_db,
+        )
+        assert any("ordering" in issue for issue in diagnosis.alignment_issues)
+
+    def test_spurious_nesting_flagged(self, toy_db):
+        diagnosis = diagnose(
+            "Show the city of all airports.",
+            "SELECT city FROM airports WHERE airport_id IN (SELECT airport_id FROM flights)",
+            toy_db,
+        )
+        assert any("nesting" in issue for issue in diagnosis.alignment_issues)
+
+    def test_unparseable_question_skips_alignment(self, toy_db):
+        diagnosis = diagnose("gibberish request", "SELECT city FROM airports", toy_db)
+        assert not diagnosis.intent_parsed
+        assert diagnosis.alignment_issues == ()
+
+
+class TestInterpreter:
+    def test_simple_query(self):
+        lines = explain_sql("SELECT name FROM airports WHERE city = 'Boston'")
+        assert "Report the name from airports." in lines[0]
+        assert "equals 'Boston'" in lines[1]
+
+    def test_join_query(self):
+        lines = explain_sql(
+            "SELECT T1.name FROM airports AS T1 JOIN flights AS T2 "
+            "ON T1.airport_id = T2.airport_id"
+        )
+        assert "Combine airports, flights" in lines[0]
+
+    def test_group_order_limit(self):
+        lines = explain_sql(
+            "SELECT city, COUNT(*) FROM airports GROUP BY city "
+            "HAVING COUNT(*) > 1 ORDER BY COUNT(*) DESC LIMIT 3"
+        )
+        text = " ".join(lines)
+        assert "Group the rows by city" in text
+        assert "Keep only groups" in text
+        assert "descending" in text
+        assert "first 3" in text
+
+    def test_subquery_explained(self):
+        lines = explain_sql(
+            "SELECT name FROM airports WHERE elevation > "
+            "(SELECT AVG(elevation) FROM airports)"
+        )
+        assert "subquery" in lines[1]
+        assert "the average elevation" in lines[1]
+
+    def test_set_op_explained(self):
+        lines = explain_sql("SELECT a FROM t UNION SELECT b FROM u")
+        assert any("combined with" in line for line in lines)
+
+    def test_explain_results_variants(self, toy_db):
+        ok = execute_sql(toy_db, "SELECT city FROM airports")
+        assert "4 row(s)" in explain_results(ok)
+        empty = execute_sql(toy_db, "SELECT city FROM airports WHERE city = 'X'")
+        assert "no rows" in explain_results(empty)
+        bad = ExecutionResult(error="boom")
+        assert "failed" in explain_results(bad)
+
+
+class TestAugmentation:
+    @pytest.fixture(scope="class")
+    def weak_report(self, small_dataset):
+        from repro.core.evaluator import Evaluator
+        from repro.methods.zoo import build_method
+        evaluator = Evaluator(small_dataset, measure_timing=False)
+        return evaluator.evaluate_method(build_method("ZS llama2-7b"))
+
+    def test_plan_identifies_weaknesses(self, weak_report):
+        plan = plan_augmentation(weak_report)
+        assert plan.target_shapes  # always non-empty
+        for weakness in plan.weaknesses:
+            assert plan.per_weakness_accuracy[weakness] < weak_report.ex
+
+    def test_generate_examples_targets_plan(self, small_dataset, weak_report):
+        plan = plan_augmentation(weak_report)
+        examples = generate_examples(plan, small_dataset, count=12)
+        assert len(examples) == 12
+        assert all(e.split == "train" for e in examples)
+        allowed = set(plan.target_shapes)
+        # The intent sampler may fall back to a simpler shape when a
+        # database cannot support the requested one, so require a strong
+        # majority rather than unanimity.
+        in_target = sum(1 for e in examples if e.intent.shape in allowed)
+        assert in_target >= len(examples) * 0.6
+
+    def test_generated_sql_is_valid(self, small_dataset, weak_report):
+        plan = plan_augmentation(weak_report)
+        for example in generate_examples(plan, small_dataset, count=6):
+            database = small_dataset.database(example.db_id)
+            assert execute_sql(database, example.gold_sql).ok
+
+    def test_generated_ids_unique_and_fresh(self, small_dataset, weak_report):
+        plan = plan_augmentation(weak_report)
+        examples = generate_examples(plan, small_dataset, count=8)
+        ids = {e.example_id for e in examples}
+        assert len(ids) == 8
+        existing = {e.example_id for e in small_dataset.examples}
+        assert not ids & existing
+
+    def test_augmented_finetuning_runs(self, small_dataset, weak_report):
+        """Closing the loop: fine-tune on original + augmented data."""
+        from repro.methods.zoo import build_method
+        plan = plan_augmentation(weak_report)
+        augmented = generate_examples(plan, small_dataset, count=10)
+        method = build_method("SFT CodeS-1B")
+        method.prepare_with_examples(
+            small_dataset.name, small_dataset.train_examples + augmented
+        )
+        assert method.model.finetune.num_samples == len(
+            small_dataset.train_examples
+        ) + 10

@@ -1,0 +1,142 @@
+"""Integration tests: full pipelines across modules."""
+
+import pytest
+
+from repro import (
+    Evaluator,
+    DatasetFilter,
+    ExperimentLogStore,
+    build_method,
+    qvt_score,
+)
+from repro.core.aas import AASConfig, run_aas
+from repro.core.design_space import SearchSpace
+from repro.core.economy import economy_table, most_cost_effective
+from repro.core.report import format_leaderboard
+from repro.llm.registry import get_profile
+from repro.methods.zoo import method_config
+from repro.schema.stats import corpus_statistics
+
+
+@pytest.fixture(scope="module")
+def reports(small_dataset):
+    """Three contrasting methods evaluated on the small benchmark."""
+    evaluator = Evaluator(small_dataset, measure_timing=False)
+    names = ["C3SQL", "DAILSQL", "RESDSQL-3B", "SuperSQL"]
+    return evaluator.evaluate_zoo([build_method(n) for n in names])
+
+
+class TestEndToEndEvaluation:
+    def test_all_methods_produce_reports(self, reports, small_dataset):
+        for report in reports.values():
+            assert len(report) == len(small_dataset.dev_examples)
+
+    def test_methods_are_plausibly_accurate(self, reports):
+        for name, report in reports.items():
+            assert report.ex > 45.0, (name, report.ex)
+
+    def test_supersql_competitive(self, reports):
+        baseline_best = max(
+            report.ex for name, report in reports.items() if name != "SuperSQL"
+        )
+        assert reports["SuperSQL"].ex >= baseline_best - 3.0
+
+    def test_prompt_methods_lower_em_than_plm(self, reports):
+        assert reports["C3SQL"].em < reports["RESDSQL-3B"].em
+
+    def test_leaderboard_renders(self, reports):
+        text = format_leaderboard(reports, metric="ex")
+        assert "SuperSQL" in text and "Rank" in text
+
+    def test_qvt_computable(self, reports):
+        for report in reports.values():
+            score = qvt_score(report)
+            assert 0.0 <= score <= 100.0
+
+    def test_economy_table(self, reports):
+        prompt_reports = {k: v for k, v in reports.items() if k != "RESDSQL-3B"}
+        backbones = {
+            name: method_config(name).backbone for name in prompt_reports
+        }
+        rows = economy_table(prompt_reports, backbones)
+        # GPT-3.5's price advantage makes C3 the most cost-effective (Finding 9).
+        assert most_cost_effective(rows).method == "C3SQL"
+
+
+class TestFilteredEvaluation:
+    def test_filtered_subset_metrics(self, reports, small_dataset):
+        dataset_filter = DatasetFilter(small_dataset.dev_examples)
+        join_ids = {e.example_id for e in dataset_filter.with_join()}
+        report = reports["DAILSQL"].by_example_ids(join_ids)
+        assert len(report) == len(join_ids)
+
+    def test_hardness_breakdown_monotone_overall(self, reports):
+        report = reports["SuperSQL"]
+        easy = report.by_hardness("easy").ex
+        extra = report.by_hardness("extra").ex
+        assert easy >= extra - 10.0  # easy should not be dramatically worse
+
+
+class TestLogsIntegration:
+    def test_store_and_reanalyze(self, reports, small_dataset):
+        store = ExperimentLogStore()
+        for report in reports.values():
+            store.store_records(small_dataset.name, report.records)
+        rows = store.query(
+            "SELECT method, AVG(ex) FROM records JOIN runs USING (run_id) "
+            "GROUP BY method ORDER BY AVG(ex) DESC"
+        )
+        assert len(rows) == 4
+        reloaded = store.load_report(store.runs()[0][0])
+        assert reloaded.method in reports
+        store.close()
+
+
+class TestFineTuningIntegration:
+    def test_finetuning_beats_zero_shot_for_open_model(self, small_dataset):
+        evaluator = Evaluator(small_dataset, measure_timing=False)
+        examples = small_dataset.dev_examples
+        zero_shot = evaluator.evaluate_method(build_method("ZS starcoder-7b"), examples=examples)
+        tuned = evaluator.evaluate_method(build_method("SFT starcoder-7b"), examples=examples)
+        assert tuned.ex > zero_shot.ex
+
+
+class TestAASIntegration:
+    def test_search_finds_strong_individual(self, small_dataset):
+        evaluator = Evaluator(small_dataset, measure_timing=False)
+        examples = small_dataset.dev_examples[:16]
+        result = run_aas(
+            SearchSpace(), evaluator, examples,
+            AASConfig(population_size=4, generations=3, seed=3),
+        )
+        # The best found individual should at least match a bare zero-shot
+        # GPT-3.5 pipeline on the same subset.
+        bare = SearchSpace().to_config("bare", {
+            "schema_linking": None, "db_content": None, "prompting": "zero_shot",
+            "multi_step": None, "intermediate": None, "post_processing": None,
+        })
+        from repro.methods.base import MethodGroup, PipelineMethod
+        bare_report = evaluator.evaluate_method(
+            PipelineMethod(bare, MethodGroup.PROMPT_LLM), examples=examples
+        )
+        assert result.best.fitness >= bare_report.ex
+
+
+class TestSchemaStatsIntegration:
+    def test_dataset_statistics_shape(self, small_dataset):
+        stats = corpus_statistics(small_dataset.schemas(split="dev"))
+        assert stats["tables_per_db"].minimum >= 2
+        assert stats["columns_per_table"].average > 2
+
+
+class TestModelZooSanity:
+    def test_finetuned_llm_methods_use_open_backbones(self):
+        from repro.methods.zoo import METHOD_GROUPS
+        from repro.methods.base import MethodGroup
+        for name, group in METHOD_GROUPS.items():
+            config = method_config(name)
+            profile = get_profile(config.backbone)
+            if config.finetuned:
+                assert not profile.api_only, name
+            if group == MethodGroup.PLM:
+                assert profile.family in ("t5", "bart", "bert"), name

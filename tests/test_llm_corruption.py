@@ -1,0 +1,226 @@
+"""Tests for the corruption (error) model."""
+
+import pytest
+
+from repro.datagen.intents import (
+    Aggregate,
+    ColumnSel,
+    Filter,
+    IntentShape,
+    OrderSpec,
+    QueryIntent,
+    SubquerySpec,
+)
+from repro.llm.corruption import (
+    BASE_RATES,
+    CorruptionContext,
+    CorruptionSampler,
+    error_rates,
+)
+from repro.llm.prompt import PromptFeatures
+from repro.llm.registry import get_profile
+from repro.utils.rng import derive_rng
+
+
+def make_intent(**overrides):
+    defaults = dict(
+        shape=IntentShape.PROJECT,
+        db_id="toy_flights",
+        tables=("airports",),
+        projection=(ColumnSel("airports", "name"),),
+        filters=(Filter(ColumnSel("airports", "city"), "=", "Boston"),),
+    )
+    defaults.update(overrides)
+    return QueryIntent(**defaults)
+
+
+def make_context(toy_db, profile="gpt-4", **kwargs):
+    return CorruptionContext(
+        schema=toy_db.schema,
+        database=toy_db,
+        profile=get_profile(profile),
+        features=kwargs.pop("features", PromptFeatures()),
+        **kwargs,
+    )
+
+
+class TestErrorRates:
+    def test_stronger_model_lower_rates(self, toy_db):
+        weak = error_rates(make_context(toy_db, "t5-base"), make_intent())
+        strong = error_rates(make_context(toy_db, "gpt-4"), make_intent())
+        for key in weak:
+            assert strong[key] <= weak[key]
+
+    def test_schema_linking_reduces_join_and_column_errors(self, toy_db):
+        bare = error_rates(make_context(toy_db), make_intent())
+        linked = error_rates(
+            make_context(
+                toy_db, features=PromptFeatures(schema_tables=("airports",))
+            ),
+            make_intent(),
+        )
+        assert linked["join_error"] < bare["join_error"]
+        assert linked["column_error"] < bare["column_error"]
+
+    def test_db_content_reduces_value_errors(self, toy_db):
+        bare = error_rates(make_context(toy_db), make_intent())
+        hinted = error_rates(
+            make_context(
+                toy_db,
+                features=PromptFeatures(db_content={"airports": {"city": ["Boston"]}}),
+            ),
+            make_intent(),
+        )
+        assert hinted["value_error"] < bare["value_error"]
+
+    def test_natsql_eliminates_join_errors(self, toy_db):
+        rates = error_rates(make_context(toy_db, uses_natsql=True), make_intent())
+        assert rates["join_error"] == 0.0
+
+    def test_fewshot_quality_reduces_errors(self, toy_db):
+        bare = error_rates(make_context(toy_db), make_intent())
+        fewshot = error_rates(
+            make_context(toy_db, features=PromptFeatures(few_shot_quality=0.9)),
+            make_intent(),
+        )
+        assert fewshot["drop_subquery"] < bare["drop_subquery"]
+
+    def test_decomposition_reduces_subquery_drops(self, toy_db):
+        plain = error_rates(make_context(toy_db), make_intent())
+        decomposed = error_rates(make_context(toy_db, decomposed=True), make_intent())
+        assert decomposed["drop_subquery"] < plain["drop_subquery"]
+
+    def test_overdecomposition_penalizes_simple_queries(self, toy_db):
+        plain = error_rates(make_context(toy_db), make_intent())
+        over = error_rates(make_context(toy_db, overdecompose=True), make_intent())
+        assert over["column_error"] > plain["column_error"]
+
+    def test_temperature_raises_rates(self, toy_db):
+        cold = error_rates(make_context(toy_db, temperature=0.0), make_intent())
+        hot = error_rates(make_context(toy_db, temperature=0.8), make_intent())
+        assert hot["value_error"] > cold["value_error"]
+
+    def test_rates_bounded(self, toy_db):
+        rates = error_rates(make_context(toy_db, "t5-base", temperature=1.0), make_intent())
+        assert all(0.0 <= rate <= 0.97 for rate in rates.values())
+
+    def test_all_base_rates_have_effective_rates(self, toy_db):
+        rates = error_rates(make_context(toy_db), make_intent())
+        assert set(rates) == set(BASE_RATES)
+
+
+class TestCorruptionOperators:
+    def _sampler(self, toy_db, seed=0):
+        context = make_context(toy_db)
+        return CorruptionSampler(context, derive_rng(seed, "c")), context
+
+    def test_no_rates_no_changes(self, toy_db):
+        sampler, __ = self._sampler(toy_db)
+        intent = make_intent()
+        assert sampler.apply(intent, {}) == intent
+
+    def test_forced_column_error_changes_a_column(self, toy_db):
+        sampler, context = self._sampler(toy_db)
+        corrupted = sampler.apply(make_intent(), {"column_error": 1.0})
+        assert "column_error" in context.errors
+        assert corrupted != make_intent()
+
+    def test_forced_value_error_changes_value(self, toy_db):
+        sampler, __ = self._sampler(toy_db)
+        corrupted = sampler.apply(make_intent(), {"value_error": 1.0})
+        assert corrupted.filters[0].value != "Boston"
+
+    def test_forced_join_error_drops_table(self, toy_db):
+        sampler, __ = self._sampler(toy_db)
+        intent = make_intent(
+            shape=IntentShape.JOIN_PROJECT,
+            tables=("flights", "airports"),
+            projection=(ColumnSel("flights", "price"), ColumnSel("airports", "name")),
+            filters=(),
+        )
+        corrupted = sampler.apply(intent, {"join_error": 1.0})
+        assert corrupted.tables == ("flights",)
+        assert all(sel.table == "flights" for sel in corrupted.projection)
+
+    def test_forced_subquery_drop(self, toy_db):
+        sampler, __ = self._sampler(toy_db)
+        sel = ColumnSel("flights", "price")
+        intent = make_intent(
+            shape=IntentShape.SUBQUERY_CMP_AGG,
+            tables=("flights",),
+            projection=(ColumnSel("flights", "destination"),),
+            filters=(),
+            subquery=SubquerySpec(
+                outer_column=sel, op=">", aggregate=Aggregate.AVG,
+                inner_table="flights", inner_column=sel,
+            ),
+        )
+        corrupted = sampler.apply(intent, {"drop_subquery": 1.0})
+        assert corrupted.subquery is None
+
+    def test_forced_op_error_flips_operator(self, toy_db):
+        sampler, __ = self._sampler(toy_db)
+        intent = make_intent(
+            filters=(Filter(ColumnSel("airports", "elevation"), ">", 100),)
+        )
+        corrupted = sampler.apply(intent, {"op_error": 1.0})
+        assert corrupted.filters[0].op == ">="
+
+    def test_forced_agg_error_flips_aggregate(self, toy_db):
+        sampler, __ = self._sampler(toy_db)
+        intent = make_intent(
+            shape=IntentShape.AGG, projection=(), aggregate=Aggregate.AVG,
+            agg_column=ColumnSel("airports", "elevation"), filters=(),
+        )
+        corrupted = sampler.apply(intent, {"agg_error": 1.0})
+        assert corrupted.aggregate == Aggregate.SUM
+
+    def test_forced_connector_error(self, toy_db):
+        sampler, __ = self._sampler(toy_db)
+        intent = make_intent(filters=(
+            Filter(ColumnSel("airports", "city"), "=", "Boston"),
+            Filter(ColumnSel("airports", "elevation"), ">", 10, connector="and"),
+        ))
+        corrupted = sampler.apply(intent, {"connector_error": 1.0})
+        assert corrupted.filters[1].connector == "or"
+
+    def test_forced_order_error(self, toy_db):
+        sampler, __ = self._sampler(toy_db)
+        intent = make_intent(
+            shape=IntentShape.ORDER_TOP,
+            order=OrderSpec(column=ColumnSel("airports", "elevation"),
+                            direction="desc", limit=3),
+            filters=(),
+        )
+        corrupted = sampler.apply(intent, {"order_error": 1.0})
+        assert corrupted.order != intent.order
+
+    def test_forced_having_drop(self, toy_db):
+        from repro.datagen.intents import HavingSpec
+        sampler, __ = self._sampler(toy_db)
+        intent = make_intent(
+            shape=IntentShape.GROUP_AGG, projection=(), filters=(),
+            aggregate=Aggregate.COUNT, agg_column=ColumnSel("airports", "*"),
+            group_by=ColumnSel("airports", "city"),
+            having=HavingSpec(Aggregate.COUNT, ColumnSel("airports", "*"), ">", 2),
+        )
+        corrupted = sampler.apply(intent, {"having_error": 1.0})
+        assert corrupted.having is None
+
+    def test_operators_inapplicable_are_noops(self, toy_db):
+        sampler, context = self._sampler(toy_db)
+        intent = make_intent(filters=())
+        corrupted = sampler.apply(
+            intent,
+            {"value_error": 1.0, "op_error": 1.0, "connector_error": 1.0,
+             "order_error": 1.0, "having_error": 1.0, "join_error": 1.0,
+             "drop_subquery": 1.0, "distinct_error": 1.0},
+        )
+        assert corrupted == intent
+        assert context.errors == []
+
+    def test_deterministic_given_rng(self, toy_db):
+        sampler_a, __ = self._sampler(toy_db, seed=3)
+        sampler_b, __ = self._sampler(toy_db, seed=3)
+        rates = {"column_error": 0.7, "value_error": 0.7}
+        assert sampler_a.apply(make_intent(), rates) == sampler_b.apply(make_intent(), rates)

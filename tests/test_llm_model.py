@@ -1,0 +1,149 @@
+"""Tests for the simulated language model and decoding strategies."""
+
+import pytest
+
+from repro.dbengine.executor import execute_sql, results_match
+from repro.llm.decoding import (
+    BeamDecoder,
+    GreedyDecoder,
+    PicardDecoder,
+    SamplingDecoder,
+    make_sampler,
+)
+from repro.llm.model import SimulatedLanguageModel, _pruned_schema
+from repro.llm.prompt import Prompt, PromptFeatures
+from repro.llm.registry import get_profile
+from repro.sqlkit.picard import PicardChecker
+
+QUESTION = "Show the airport name of all airports whose city is 'Boston'."
+GOLD = "SELECT name FROM airports WHERE city = 'Boston'"
+
+
+def make_prompt(question=QUESTION, **feature_kwargs):
+    return Prompt(
+        text=f"/* schema */ {question}",
+        question=question,
+        db_id="toy_flights",
+        features=PromptFeatures(**feature_kwargs),
+    )
+
+
+class TestGenerate:
+    def test_gpt4_solves_easy_question(self, toy_db):
+        model = SimulatedLanguageModel(get_profile("gpt-4"))
+        candidate = model.generate(make_prompt(), toy_db)
+        gold = execute_sql(toy_db, GOLD)
+        predicted = execute_sql(toy_db, candidate.sql)
+        assert results_match(predicted, gold)
+
+    def test_deterministic(self, toy_db):
+        model = SimulatedLanguageModel(get_profile("gpt-4"))
+        a = model.generate(make_prompt(), toy_db)
+        b = model.generate(make_prompt(), toy_db)
+        assert a.sql == b.sql
+
+    def test_draws_vary(self, toy_db):
+        model = SimulatedLanguageModel(get_profile("t5-base"))
+        sqls = {
+            model.generate(make_prompt(), toy_db, draw=i, temperature=0.5).sql
+            for i in range(8)
+        }
+        assert len(sqls) > 1
+
+    def test_parse_failure_fallback(self, toy_db):
+        model = SimulatedLanguageModel(get_profile("gpt-4"))
+        prompt = make_prompt(question="please fetch me something nice")
+        candidate = model.generate(prompt, toy_db)
+        assert candidate.parse_failed
+        assert candidate.sql.startswith("SELECT * FROM")
+
+    def test_output_tokens_positive(self, toy_db):
+        model = SimulatedLanguageModel(get_profile("gpt-4"))
+        assert model.generate(make_prompt(), toy_db).output_tokens > 0
+
+    def test_weak_model_errs_more(self, toy_db):
+        questions = [
+            "Show the airport name of all airports whose city is 'Boston'.",
+            "How many flights are there whose distance is greater than 500?",
+            "What is the average price of all flights?",
+            "List the airport name of all airports, sorted by elevation in descending order, showing only the top 2.",
+            "Show the airport name of all airports that have no flights whose destination is 'Boston'.",
+            "Show the airport name of each airports together with the price of its flights.",
+        ]
+        def accuracy(profile_name):
+            model = SimulatedLanguageModel(get_profile(profile_name))
+            hits = 0
+            for question in questions:
+                for rep in range(4):
+                    candidate = model.generate(
+                        make_prompt(question=question), toy_db, draw=rep,
+                        temperature=0.3,
+                    )
+                    hits += bool(candidate.clean)
+            return hits
+        assert accuracy("gpt-4") > accuracy("t5-base")
+
+    def test_finetuned_model_full_lexicon(self, toy_db, small_dataset):
+        base = SimulatedLanguageModel(get_profile("t5-base"))
+        tuned = base.fine_tune("spider-like", small_dataset.train_examples)
+        assert len(tuned.lexicon().enabled_hard) >= len(base.lexicon().enabled_hard)
+        assert tuned.name.endswith("+sft:spider-like")
+
+    def test_natsql_generation_produces_joins_from_schema(self, toy_db):
+        model = SimulatedLanguageModel(get_profile("gpt-4"))
+        prompt = make_prompt(
+            question="Show the airport name of each airports together with the "
+            "price of its flights."
+        )
+        candidate = model.generate(prompt, toy_db, uses_natsql=True)
+        assert "JOIN" in candidate.sql
+
+
+class TestPrunedSchema:
+    def test_keeps_only_requested_tables(self, toy_schema):
+        pruned = _pruned_schema(toy_schema, ("airports",))
+        assert pruned.table_names == ["airports"]
+        assert pruned.foreign_keys == []
+
+    def test_keeps_internal_fks(self, toy_schema):
+        pruned = _pruned_schema(toy_schema, ("airports", "flights"))
+        assert len(pruned.foreign_keys) == 1
+
+
+class TestDecoders:
+    def _sampler(self, toy_db, profile="t5-base"):
+        model = SimulatedLanguageModel(get_profile(profile))
+        return make_sampler(model, make_prompt(), toy_db)
+
+    def test_greedy_single_candidate(self, toy_db):
+        candidates = GreedyDecoder().decode(self._sampler(toy_db))
+        assert len(candidates) == 1
+
+    def test_beam_width(self, toy_db):
+        candidates = BeamDecoder(width=4).decode(self._sampler(toy_db))
+        assert len(candidates) == 4
+        assert candidates[0].draw == 0
+
+    def test_sampling_count(self, toy_db):
+        candidates = SamplingDecoder(num_samples=5).decode(self._sampler(toy_db))
+        assert len(candidates) == 5
+
+    def test_picard_only_valid_candidates(self, toy_db):
+        checker = PicardChecker(toy_db.schema)
+        candidates = PicardDecoder(width=3).decode(self._sampler(toy_db), checker)
+        assert candidates
+        for candidate in candidates:
+            assert checker.accepts(candidate.sql), candidate.sql
+
+    def test_picard_fallback_always_valid(self, toy_db):
+        checker = PicardChecker(toy_db.schema)
+
+        def broken_sampler(draw, temperature):
+            from repro.llm.model import GenerationCandidate
+            return GenerationCandidate(sql="SELECT FORM nothing", output_tokens=3)
+
+        candidates = PicardDecoder(width=2, max_attempts=3).decode(
+            broken_sampler, checker
+        )
+        assert len(candidates) == 1
+        assert checker.accepts(candidates[0].sql)

@@ -1,0 +1,124 @@
+"""Tests for model profiles, registry, fine-tuning state."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.llm.finetune import fine_tune_boost, make_finetune_state
+from repro.llm.profile import FineTuneState, ModelProfile
+from repro.llm.registry import MODEL_REGISTRY, get_profile
+
+
+class TestRegistry:
+    def test_expected_backbones_present(self):
+        for name in (
+            "gpt-4", "gpt-3.5-turbo", "starcoder-1b", "starcoder-3b",
+            "starcoder-7b", "starcoder-15b", "llama2-7b", "llama3-8b",
+            "codellama-7b", "deepseek-coder-7b", "t5-base", "t5-large", "t5-3b",
+        ):
+            assert name in MODEL_REGISTRY
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ModelError):
+            get_profile("gpt-5")
+
+    def test_gpt_models_api_only(self):
+        assert get_profile("gpt-4").api_only
+        assert not get_profile("t5-3b").api_only
+
+    def test_capabilities_bounded(self):
+        for profile in MODEL_REGISTRY.values():
+            for skill in ("reasoning", "schema", "precision", "linguistic"):
+                assert 0.0 <= getattr(profile, skill) <= 1.0
+
+    def test_gpt4_strongest_reasoning(self):
+        gpt4 = get_profile("gpt-4")
+        assert all(
+            gpt4.reasoning >= profile.reasoning for profile in MODEL_REGISTRY.values()
+        )
+
+    def test_code_models_have_humaneval(self):
+        assert get_profile("deepseek-coder-7b").humaneval > get_profile("llama2-7b").humaneval
+
+    def test_pricing_only_api_models(self):
+        assert get_profile("gpt-4").input_cost_per_1k > 0
+        assert get_profile("t5-3b").input_cost_per_1k == 0
+
+
+class TestResourceModel:
+    def test_latency_increases_with_params(self):
+        assert (
+            get_profile("t5-3b").latency_per_sample_s
+            > get_profile("t5-large").latency_per_sample_s
+            > get_profile("t5-base").latency_per_sample_s
+        )
+
+    def test_memory_increases_with_params(self):
+        assert (
+            get_profile("t5-3b").gpu_memory_gb
+            > get_profile("t5-large").gpu_memory_gb
+            > get_profile("t5-base").gpu_memory_gb
+        )
+
+
+class TestCapability:
+    def test_no_finetune_returns_base(self):
+        profile = get_profile("t5-3b")
+        assert profile.capability("schema") == profile.schema
+
+    def test_finetune_improves(self):
+        profile = get_profile("t5-3b")
+        state = FineTuneState("spider-like", 4000, boost=0.8)
+        assert profile.capability("schema", state) > profile.schema
+
+    def test_capability_capped(self):
+        profile = get_profile("t5-3b")
+        state = FineTuneState("d", 10**6, boost=0.99)
+        assert profile.capability("schema", state) <= 0.995
+
+    def test_code_factor_amplifies_gains(self):
+        coder = get_profile("deepseek-coder-7b")
+        plain = get_profile("llama2-7b")
+        state = FineTuneState("d", 4000, boost=0.8)
+        coder_gain = coder.capability("schema", state) - coder.schema
+        plain_gain = plain.capability("schema", state) - plain.schema
+        # Relative to headroom, the coder converts tuning better.
+        assert coder_gain / (1 - coder.schema) > plain_gain / (1 - plain.schema)
+
+    def test_domain_boost(self):
+        profile = get_profile("t5-3b")
+        state = FineTuneState("d", 4000, boost=0.8, domain_counts={"movies": 6})
+        in_domain = profile.capability("schema", state, domain="movies")
+        out_domain = profile.capability("schema", state, domain="astrology")
+        assert in_domain > out_domain
+
+
+class TestFineTuneBoost:
+    def test_zero_samples_zero_boost(self):
+        assert fine_tune_boost(0) == 0.0
+
+    def test_monotone(self):
+        sizes = [100, 500, 1000, 2000, 4000, 7000]
+        boosts = [fine_tune_boost(n) for n in sizes]
+        assert boosts == sorted(boosts)
+
+    def test_concave_diminishing_returns(self):
+        gain_early = fine_tune_boost(1000) - fine_tune_boost(500)
+        gain_late = fine_tune_boost(7000) - fine_tune_boost(6500)
+        assert gain_early > gain_late
+
+    def test_bounded(self):
+        assert fine_tune_boost(10**9) < 1.0
+
+
+class TestMakeFinetuneState:
+    def test_api_model_rejected(self, small_dataset):
+        with pytest.raises(ModelError):
+            make_finetune_state(get_profile("gpt-4"), "x", small_dataset.train_examples)
+
+    def test_domain_counts_computed(self, small_dataset):
+        state = make_finetune_state(
+            get_profile("t5-3b"), "spider-like", small_dataset.train_examples
+        )
+        assert state.domain_counts["flights"] == 2
+        assert state.num_samples == len(small_dataset.train_examples)
+        assert 0 < state.boost < 1

@@ -1,0 +1,218 @@
+"""Tests for EX-preserving, EM-divergent style transforms."""
+
+import pytest
+
+from repro.datagen.intents import Aggregate, ColumnSel, Filter, IntentShape, QueryIntent, SubquerySpec
+from repro.dbengine.executor import execute_sql, results_match
+from repro.llm.styles import StyleChoices, render_with_style, sample_style
+from repro.sqlkit.exact_match import exact_match
+from repro.utils.rng import derive_rng
+
+
+def project_intent(**overrides):
+    defaults = dict(
+        shape=IntentShape.PROJECT,
+        db_id="toy_flights",
+        tables=("airports",),
+        projection=(ColumnSel("airports", "name"),),
+    )
+    defaults.update(overrides)
+    return QueryIntent(**defaults)
+
+
+def assert_ex_equal_em_diverges(toy_db, intent, style, order_matters=False):
+    canonical = render_with_style(intent, toy_db.schema, StyleChoices())
+    styled = render_with_style(intent, toy_db.schema, style)
+    assert styled != canonical
+    gold = execute_sql(toy_db, canonical)
+    predicted = execute_sql(toy_db, styled)
+    assert gold.ok and predicted.ok, (canonical, styled, predicted.error)
+    assert results_match(predicted, gold, order_matters=order_matters), (canonical, styled)
+    assert not exact_match(styled, canonical)
+    return styled
+
+
+class TestIndividualTransforms:
+    def test_count_pk(self, toy_db):
+        intent = project_intent(
+            shape=IntentShape.AGG, projection=(), aggregate=Aggregate.COUNT,
+            agg_column=ColumnSel("airports", "*"),
+        )
+        styled = assert_ex_equal_em_diverges(toy_db, intent, StyleChoices(count_pk=True))
+        assert "COUNT(airport_id)" in styled
+
+    def test_count_one(self, toy_db):
+        intent = project_intent(
+            shape=IntentShape.AGG, projection=(), aggregate=Aggregate.COUNT,
+            agg_column=ColumnSel("airports", "*"),
+        )
+        styled = assert_ex_equal_em_diverges(toy_db, intent, StyleChoices(count_one=True))
+        assert "COUNT(1)" in styled
+
+    def test_range_for_between(self, toy_db):
+        intent = project_intent(
+            filters=(Filter(ColumnSel("airports", "elevation"), "between", 10, 1000),)
+        )
+        styled = assert_ex_equal_em_diverges(
+            toy_db, intent, StyleChoices(range_for_between=True)
+        )
+        assert ">=" in styled and "<=" in styled
+
+    def test_exists_for_in(self, toy_db):
+        intent = project_intent(
+            shape=IntentShape.SUBQUERY_IN,
+            subquery=SubquerySpec(
+                outer_column=ColumnSel("airports", "airport_id"),
+                op="in", aggregate=Aggregate.NONE,
+                inner_table="flights",
+                inner_column=ColumnSel("flights", "airport_id"),
+                inner_filter=Filter(ColumnSel("flights", "distance"), ">", 500),
+            ),
+        )
+        styled = assert_ex_equal_em_diverges(
+            toy_db, intent, StyleChoices(exists_for_in=True)
+        )
+        assert "EXISTS" in styled
+
+    def test_exists_for_not_in(self, toy_db):
+        intent = project_intent(
+            shape=IntentShape.SUBQUERY_NOT_IN,
+            subquery=SubquerySpec(
+                outer_column=ColumnSel("airports", "airport_id"),
+                op="in", aggregate=Aggregate.NONE, negated=True,
+                inner_table="flights",
+                inner_column=ColumnSel("flights", "airport_id"),
+                inner_filter=Filter(ColumnSel("flights", "destination"), "=", "Boston"),
+            ),
+        )
+        styled = assert_ex_equal_em_diverges(
+            toy_db, intent, StyleChoices(exists_for_in=True)
+        )
+        assert "NOT EXISTS" in styled
+
+    def test_connector_for_union_flattens(self, toy_db):
+        intent = project_intent(
+            shape=IntentShape.SET_OP,
+            projection=(ColumnSel("airports", "city"),),
+            filters=(Filter(ColumnSel("airports", "elevation"), ">", 10),),
+            set_op="union",
+            set_branch_filter=Filter(ColumnSel("airports", "city"), "=", "Boston"),
+        )
+        styled = assert_ex_equal_em_diverges(
+            toy_db, intent, StyleChoices(connector_for_setop=True)
+        )
+        assert "UNION" not in styled and " OR " in styled
+
+    @pytest.mark.parametrize("set_op", ["intersect", "except"])
+    def test_intersect_except_never_flattened(self, toy_db, set_op):
+        """INTERSECT/EXCEPT act on projected values across different rows;
+        flattening them into AND / AND NOT changes semantics, so the style
+        must leave them untouched."""
+        intent = project_intent(
+            shape=IntentShape.SET_OP,
+            projection=(ColumnSel("airports", "city"),),
+            filters=(Filter(ColumnSel("airports", "elevation"), ">", 10),),
+            set_op=set_op,
+            set_branch_filter=Filter(ColumnSel("airports", "city"), "=", "Boston"),
+        )
+        styled = render_with_style(
+            intent, toy_db.schema, StyleChoices(connector_for_setop=True)
+        )
+        assert set_op.upper() in styled
+
+    def test_orderlimit_for_extreme_real_column(self, toy_db):
+        sel = ColumnSel("flights", "price")  # REAL: ties are unlikely
+        intent = project_intent(
+            tables=("flights",),
+            projection=(ColumnSel("flights", "destination"),),
+            shape=IntentShape.EXTREME,
+            subquery=SubquerySpec(
+                outer_column=sel, op="=", aggregate=Aggregate.MAX,
+                inner_table="flights", inner_column=sel,
+            ),
+        )
+        styled = assert_ex_equal_em_diverges(
+            toy_db, intent, StyleChoices(orderlimit_for_extreme=True)
+        )
+        assert "ORDER BY" in styled and "LIMIT 1" in styled
+
+    def test_orderlimit_for_extreme_skips_integer_column(self, toy_db):
+        sel = ColumnSel("airports", "elevation")  # INTEGER: ties routine
+        intent = project_intent(
+            shape=IntentShape.EXTREME,
+            subquery=SubquerySpec(
+                outer_column=sel, op="=", aggregate=Aggregate.MAX,
+                inner_table="airports", inner_column=sel,
+            ),
+        )
+        styled = render_with_style(
+            intent, toy_db.schema, StyleChoices(orderlimit_for_extreme=True)
+        )
+        assert "SELECT MAX" in styled.upper()
+
+    def test_like_for_eq(self, toy_db):
+        intent = project_intent(
+            filters=(Filter(ColumnSel("airports", "city"), "=", "Boston"),)
+        )
+        styled = assert_ex_equal_em_diverges(toy_db, intent, StyleChoices(like_for_eq=True))
+        assert "LIKE" in styled
+
+    def test_shifted_int_threshold(self, toy_db):
+        intent = project_intent(
+            filters=(Filter(ColumnSel("airports", "elevation"), ">", 100),)
+        )
+        styled = assert_ex_equal_em_diverges(
+            toy_db, intent, StyleChoices(shifted_int_threshold=True)
+        )
+        assert ">= 101" in styled
+
+    def test_shifted_threshold_skips_real_columns(self, toy_db):
+        intent = project_intent(
+            tables=("flights",),
+            projection=(ColumnSel("flights", "destination"),),
+            filters=(Filter(ColumnSel("flights", "price"), ">", 200),),
+        )
+        styled = render_with_style(
+            intent, toy_db.schema, StyleChoices(shifted_int_threshold=True)
+        )
+        assert "> 200" in styled  # unchanged: price is REAL
+
+    def test_expand_star(self, toy_db):
+        intent = project_intent(projection=(ColumnSel("airports", "*"),))
+        styled = assert_ex_equal_em_diverges(toy_db, intent, StyleChoices(expand_star=True))
+        assert "airport_id, name, city, elevation" in styled
+
+    def test_gratuitous_order_by(self, toy_db):
+        intent = project_intent()
+        styled = assert_ex_equal_em_diverges(
+            toy_db, intent, StyleChoices(gratuitous_order_by=True)
+        )
+        assert "ORDER BY" in styled
+
+    def test_gratuitous_order_skips_existing_order(self, toy_db):
+        from repro.datagen.intents import OrderSpec
+        intent = project_intent(
+            shape=IntentShape.ORDER_TOP,
+            order=OrderSpec(column=ColumnSel("airports", "elevation"), direction="desc"),
+        )
+        styled = render_with_style(
+            intent, toy_db.schema, StyleChoices(gratuitous_order_by=True)
+        )
+        assert styled.count("ORDER BY") == 1
+
+
+class TestSampleStyle:
+    def test_zero_divergence_is_canonical(self):
+        style = sample_style(derive_rng(0, "s"), 0.0)
+        assert not style.any_divergent
+
+    def test_full_divergence_flips_everything_possible(self):
+        style = sample_style(derive_rng(0, "s"), 1.0)
+        assert style.any_divergent
+        # count_pk and count_one are mutually exclusive
+        assert not (style.count_pk and style.count_one)
+
+    def test_deterministic(self):
+        a = sample_style(derive_rng(5, "s"), 0.5)
+        b = sample_style(derive_rng(5, "s"), 0.5)
+        assert a == b

@@ -1,0 +1,188 @@
+"""Tests for the method driver and the zoo."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.methods.base import MethodGroup, PipelineMethod
+from repro.methods.zoo import (
+    CORE_BIRD_METHODS,
+    CORE_SPIDER_METHODS,
+    METHOD_GROUPS,
+    build_method,
+    default_zoo,
+    method_config,
+    zoo_configs,
+)
+from repro.sqlkit.parser import parse_select
+from repro.errors import SQLError
+
+
+class TestZooRegistry:
+    def test_core_methods_buildable(self):
+        for name in CORE_SPIDER_METHODS + CORE_BIRD_METHODS:
+            method = build_method(name)
+            assert method.name == name
+
+    def test_unknown_method(self):
+        with pytest.raises(EvaluationError):
+            method_config("MagicSQL")
+
+    def test_groups_assigned(self):
+        assert METHOD_GROUPS["DAILSQL"] == MethodGroup.PROMPT_LLM
+        assert METHOD_GROUPS["SFT CodeS-7B"] == MethodGroup.FINETUNED_LLM
+        assert METHOD_GROUPS["RESDSQL-3B"] == MethodGroup.PLM
+        assert METHOD_GROUPS["SuperSQL"] == MethodGroup.HYBRID
+
+    def test_taxonomy_matches_table1(self):
+        din = method_config("DINSQL")
+        assert din.backbone == "gpt-4"
+        assert din.multi_step == "decompose"
+        assert din.intermediate == "natsql"
+        assert din.post_processing == "self_correction"
+
+        dail = method_config("DAILSQL")
+        assert dail.prompting == "similarity_fewshot"
+        assert dail.schema_linking is None
+
+        c3 = method_config("C3SQL")
+        assert c3.backbone == "gpt-3.5-turbo"
+        assert c3.post_processing == "self_consistency"
+
+        codes = method_config("SFT CodeS-7B")
+        assert codes.finetuned and codes.db_content == "codes"
+        assert codes.post_processing == "execution_guided"
+
+        resdsql_nat = method_config("RESDSQL-3B + NatSQL")
+        assert resdsql_nat.intermediate == "natsql"
+        assert resdsql_nat.multi_step == "skeleton"
+
+        graphix = method_config("Graphix-3B + PICARD")
+        assert graphix.decoding == "picard"
+
+    def test_supersql_composition_matches_paper(self):
+        config = method_config("SuperSQL")
+        assert config.backbone == "gpt-4"
+        assert config.schema_linking == "resdsql"     # from RESDSQL
+        assert config.db_content == "bridge"          # from BRIDGE v2
+        assert config.prompting == "similarity_fewshot"  # from DAIL-SQL
+        assert config.decoding == "greedy"
+        assert config.post_processing == "self_consistency"
+        assert config.multi_step is None and config.intermediate is None
+
+    def test_default_zoo(self):
+        methods = default_zoo()
+        assert [m.name for m in methods] == CORE_SPIDER_METHODS
+
+    def test_zoo_configs_copy(self):
+        configs = zoo_configs()
+        assert "SuperSQL" in configs and len(configs) >= 20
+
+
+class TestPipelineMethod:
+    def test_predict_before_prepare_raises(self, small_dataset):
+        method = build_method("DAILSQL")
+        example = small_dataset.dev_examples[0]
+        with pytest.raises(EvaluationError):
+            method.predict(example, small_dataset.database(example.db_id))
+
+    def test_predictions_are_sql(self, small_dataset):
+        method = build_method("SuperSQL")
+        method.prepare(small_dataset)
+        for example in small_dataset.dev_examples[:6]:
+            prediction = method.predict(example, small_dataset.database(example.db_id))
+            try:
+                parse_select(prediction.sql)
+            except SQLError as exc:  # occasional broken completions are allowed
+                assert prediction.errors, exc
+
+    def test_prediction_accounting(self, small_dataset):
+        method = build_method("DAILSQL")
+        method.prepare(small_dataset)
+        example = small_dataset.dev_examples[0]
+        prediction = method.predict(example, small_dataset.database(example.db_id))
+        assert prediction.input_tokens > 0
+        assert prediction.cost_usd > 0          # GPT-4 is billed
+        assert prediction.total_tokens == prediction.input_tokens + prediction.output_tokens
+
+    def test_local_method_free(self, small_dataset):
+        method = build_method("RESDSQL-Base")
+        method.prepare(small_dataset)
+        example = small_dataset.dev_examples[0]
+        prediction = method.predict(example, small_dataset.database(example.db_id))
+        assert prediction.cost_usd == 0.0
+        assert prediction.latency_s > 0
+
+    def test_self_consistency_counts_all_outputs(self, small_dataset):
+        method = build_method("DAILSQL(SC)")
+        method.prepare(small_dataset)
+        example = small_dataset.dev_examples[0]
+        prediction = method.predict(example, small_dataset.database(example.db_id))
+        assert prediction.num_candidates == 5
+
+    def test_natsql_variant_faster_and_smaller(self, small_dataset):
+        plain = build_method("RESDSQL-3B")
+        natsql = build_method("RESDSQL-3B + NatSQL")
+        plain.prepare(small_dataset)
+        natsql.prepare(small_dataset)
+        example = small_dataset.dev_examples[0]
+        database = small_dataset.database(example.db_id)
+        assert (
+            natsql.predict(example, database).latency_s
+            < plain.predict(example, database).latency_s
+        )
+        assert natsql.gpu_memory_gb < plain.gpu_memory_gb
+
+    def test_prepare_with_examples_subset(self, small_dataset):
+        method = build_method("SFT CodeS-1B")
+        subset = small_dataset.train_examples[:10]
+        method.prepare_with_examples("spider-like", subset)
+        assert method.model.finetune.num_samples == 10
+
+    def test_deterministic_predictions(self, small_dataset):
+        example = small_dataset.dev_examples[0]
+        database = small_dataset.database(example.db_id)
+        sqls = []
+        for __ in range(2):
+            method = build_method("C3SQL")
+            method.prepare(small_dataset)
+            sqls.append(method.predict(example, database).sql)
+        assert sqls[0] == sqls[1]
+
+
+class TestFullTable1Coverage:
+    """Every row of the paper's Table 1 taxonomy has a zoo method."""
+
+    TABLE1_ROWS = [
+        "DINSQL", "DAILSQL", "DAILSQL(SC)", "MAC-SQL", "C3SQL",
+        "CodeS (few-shot)", "SFT CodeS-1B",
+        "RESDSQL-3B + NatSQL", "Graphix-3B + PICARD",
+        "N-best Rerankers + PICARD", "T5 + NatSQL + Token Preprocessing",
+        "RASAT + PICARD", "SHiP + PICARD", "T5-3B + PICARD",
+        "RATSQL + GAP + NatSQL", "BRIDGE v2",
+    ]
+
+    def test_all_rows_present(self):
+        for name in self.TABLE1_ROWS:
+            assert method_config(name) is not None
+
+    def test_table1_column_assignments(self):
+        assert method_config("MAC-SQL").multi_step == "decompose"
+        assert method_config("MAC-SQL").post_processing == "self_correction"
+        assert method_config("N-best Rerankers + PICARD").post_processing == "reranker"
+        assert method_config("N-best Rerankers + PICARD").decoding == "picard"
+        assert method_config("SHiP + PICARD").schema_linking is None  # Table 1: no linking
+        assert method_config("T5-3B + PICARD").schema_linking is None
+        assert method_config("RATSQL + GAP + NatSQL").intermediate == "natsql"
+        assert method_config("RATSQL + GAP + NatSQL").backbone == "bart-large"
+        assert method_config("BRIDGE v2").backbone == "bert-large"
+        assert method_config("BRIDGE v2").db_content == "bridge"
+        assert not method_config("CodeS (few-shot)").finetuned
+
+    def test_new_methods_run_end_to_end(self, small_dataset):
+        from repro.dbengine.executor import execute_sql
+        for name in ("N-best Rerankers + PICARD", "BRIDGE v2", "MAC-SQL"):
+            method = build_method(name)
+            method.prepare(small_dataset)
+            example = small_dataset.dev_examples[0]
+            prediction = method.predict(example, small_dataset.database(example.db_id))
+            assert prediction.sql

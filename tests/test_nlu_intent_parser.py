@@ -1,0 +1,217 @@
+"""Tests for the NLU intent parser (the models' understanding step)."""
+
+import pytest
+
+from repro.datagen.intents import Aggregate, IntentShape
+from repro.nlu.intent_parser import IntentParser, NLUParseError
+from repro.nlu.lexicon import Lexicon
+
+
+@pytest.fixture()
+def parser(toy_schema):
+    return IntentParser(toy_schema)
+
+
+class TestSimpleShapes:
+    def test_project(self, parser):
+        intent = parser.parse("Show the city of all airports.")
+        assert intent.shape == IntentShape.PROJECT
+        assert intent.tables == ("airports",)
+        assert intent.projection[0].column == "city"
+
+    def test_project_distinct(self, parser):
+        intent = parser.parse("Show the distinct city of all airports.")
+        assert intent.distinct
+
+    def test_project_with_filter(self, parser):
+        intent = parser.parse("Show the city of all airports whose elevation is greater than 100.")
+        assert intent.filters[0].op == ">"
+        assert intent.filters[0].value == 100
+
+    def test_string_filter_case_preserved(self, parser):
+        intent = parser.parse("Show the airport name of all airports whose city is 'Boston'.")
+        assert intent.filters[0].value == "Boston"
+
+    def test_or_connector(self, parser):
+        intent = parser.parse(
+            "Show the city of all airports whose elevation is greater than 100 "
+            "or whose city is 'Boston'."
+        )
+        assert len(intent.filters) == 2
+        assert intent.filters[1].connector == "or"
+
+    def test_between_filter(self, parser):
+        intent = parser.parse(
+            "Show the city of all airports whose elevation is between 10 and 500."
+        )
+        assert intent.filters[0].op == "between"
+        assert intent.filters[0].value == 10 and intent.filters[0].value2 == 500
+
+    def test_contains_filter(self, parser):
+        intent = parser.parse(
+            "Show the city of all airports whose airport name contains 'Field'."
+        )
+        assert intent.filters[0].op == "like"
+        assert intent.filters[0].value == "%Field%"
+
+
+class TestAggregates:
+    def test_how_many(self, parser):
+        intent = parser.parse("How many airports are there?")
+        assert intent.shape == IntentShape.AGG
+        assert intent.aggregate == Aggregate.COUNT
+
+    def test_how_many_with_filter(self, parser):
+        intent = parser.parse("How many flights are there whose distance is greater than 500?")
+        assert intent.filters and intent.tables == ("flights",)
+
+    def test_average(self, parser):
+        intent = parser.parse("What is the average price of all flights?")
+        assert intent.aggregate == Aggregate.AVG
+        assert intent.agg_column.column == "price"
+
+    @pytest.mark.parametrize("word,agg", [
+        ("total", Aggregate.SUM), ("minimum", Aggregate.MIN), ("maximum", Aggregate.MAX),
+    ])
+    def test_agg_words(self, parser, word, agg):
+        intent = parser.parse(f"What is the {word} distance of all flights?")
+        assert intent.aggregate == agg
+
+
+class TestGroupShapes:
+    def test_group_count(self, parser):
+        intent = parser.parse(
+            "For each city, show the number of records of the airports."
+        )
+        assert intent.shape == IntentShape.GROUP_AGG
+        assert intent.group_by.column == "city"
+        assert intent.aggregate == Aggregate.COUNT
+
+    def test_group_with_having(self, parser):
+        intent = parser.parse(
+            "For each city, show the number of records of the airports, "
+            "keeping only groups with more than 2 records."
+        )
+        assert intent.having is not None and intent.having.op == ">"
+
+    def test_join_group(self, parser):
+        intent = parser.parse(
+            "For each city, show the average price of the related flights."
+        )
+        assert intent.shape == IntentShape.JOIN_GROUP
+        assert set(intent.tables) == {"flights", "airports"}
+
+    def test_group_with_order(self, parser):
+        intent = parser.parse(
+            "For each city, show the number of records of the airports, "
+            "sorted by number of records in descending order."
+        )
+        assert intent.order is not None
+        assert intent.order.direction == "desc"
+
+
+class TestOrderShapes:
+    def test_order_with_limit(self, parser):
+        intent = parser.parse(
+            "List the airport name of all airports, sorted by elevation in "
+            "descending order, showing only the top 3."
+        )
+        assert intent.shape == IntentShape.ORDER_TOP
+        assert intent.order.limit == 3
+
+    def test_order_without_limit(self, parser):
+        intent = parser.parse(
+            "List the airport name of all airports, sorted by elevation in ascending order."
+        )
+        assert intent.order.limit is None
+        assert intent.order.direction == "asc"
+
+
+class TestJoinShapes:
+    def test_join_project(self, parser):
+        intent = parser.parse(
+            "Show the airport name of each airports together with the price of its flights."
+        )
+        assert intent.shape == IntentShape.JOIN_PROJECT
+        assert len(intent.projection) == 2
+
+    def test_join_project_with_filter(self, parser):
+        intent = parser.parse(
+            "Show the airport name of each airports together with the price of its "
+            "flights whose destination is 'Boston'."
+        )
+        assert intent.filters[0].value == "Boston"
+
+
+class TestSubqueryShapes:
+    def test_above_average(self, parser):
+        intent = parser.parse(
+            "List the airport name of all airports whose elevation is above the "
+            "average elevation."
+        )
+        assert intent.shape == IntentShape.SUBQUERY_CMP_AGG
+        assert intent.subquery.op == ">"
+
+    def test_have_at_least_one(self, parser):
+        intent = parser.parse(
+            "Show the airport name of all airports that have at least one flights "
+            "whose distance is greater than 500."
+        )
+        assert intent.shape == IntentShape.SUBQUERY_IN
+        assert not intent.subquery.negated
+
+    def test_have_no(self, parser):
+        intent = parser.parse(
+            "Show the airport name of all airports that have no flights "
+            "whose destination is 'Boston'."
+        )
+        assert intent.shape == IntentShape.SUBQUERY_NOT_IN
+        assert intent.subquery.negated
+
+    def test_extreme(self, parser):
+        intent = parser.parse(
+            "Show the airport name of the airports with the highest elevation."
+        )
+        assert intent.shape == IntentShape.EXTREME
+        assert intent.subquery.aggregate == Aggregate.MAX
+
+    def test_extreme_lowest(self, parser):
+        intent = parser.parse(
+            "Show the airport name of the airports with the lowest elevation."
+        )
+        assert intent.subquery.aggregate == Aggregate.MIN
+
+
+class TestSetOps:
+    @pytest.mark.parametrize("phrase,op", [
+        ("and also whose", "intersect"),
+        ("or alternatively whose", "union"),
+        ("but not whose", "except"),
+    ])
+    def test_set_ops(self, parser, phrase, op):
+        intent = parser.parse(
+            f"Show the airport name of all airports whose city is 'Boston' {phrase} "
+            "elevation is greater than 10."
+        )
+        assert intent.shape == IntentShape.SET_OP
+        assert intent.set_op == op
+
+
+class TestFailures:
+    def test_gibberish_raises(self, parser):
+        with pytest.raises(NLUParseError):
+            parser.parse("make me a sandwich with extra cheese")
+
+    def test_unknown_table_raises(self, parser):
+        with pytest.raises(NLUParseError):
+            parser.parse("Show the name of all customers.")
+
+    def test_limited_lexicon_fails_on_hard_phrase(self, toy_schema):
+        blind = IntentParser(toy_schema, Lexicon.with_coverage(set()))
+        with pytest.raises(NLUParseError):
+            blind.parse("Show the city of the airports with elevation is 100 exist")
+
+    def test_limited_lexicon_ok_on_canonical(self, toy_schema):
+        blind = IntentParser(toy_schema, Lexicon.with_coverage(set()))
+        intent = blind.parse("Show the city of all airports.")
+        assert intent.shape == IntentShape.PROJECT

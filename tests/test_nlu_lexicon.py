@@ -1,0 +1,79 @@
+"""Tests for the NLU lexicon."""
+
+from repro.nlu.lexicon import HARD_PHRASES, Lexicon
+
+
+class TestBaseRules:
+    def test_verb_normalization(self):
+        lexicon = Lexicon.full()
+        assert lexicon.normalize("List the names of all movies.").startswith("show the")
+        assert lexicon.normalize("Give me the names of movies.").startswith("show the")
+
+    def test_operator_normalization(self):
+        lexicon = Lexicon.full()
+        assert "is greater than" in lexicon.normalize("whose age is more than 5")
+        assert "is at least" in lexicon.normalize("whose age is no less than 5")
+
+    def test_lowercases_outside_quotes(self):
+        lexicon = Lexicon.full()
+        out = lexicon.normalize("Show the NAME of all Movies whose city is 'Boston'.")
+        assert "name" in out and "'Boston'" in out
+        assert "NAME" not in out
+
+    def test_quoted_values_protected_from_rewrites(self):
+        lexicon = Lexicon.full()
+        out = lexicon.normalize("Show the name of movies whose title is 'The Mean One'.")
+        assert "'The Mean One'" in out
+
+    def test_whitespace_collapsed(self):
+        assert "  " not in Lexicon.full().normalize("show   the  name")
+
+
+class TestHardRules:
+    def test_full_lexicon_resolves_hard_phrases(self):
+        lexicon = Lexicon.full()
+        assert "average" in lexicon.normalize("What is the mean age of all dogs?")
+        assert "have no" in lexicon.normalize("movies that do not have any screenings")
+
+    def test_with_rewrite_guarded_for_extreme(self):
+        lexicon = Lexicon.full()
+        out = lexicon.normalize("Show the name of the movie with the highest rating.")
+        assert "with the highest" in out
+
+    def test_with_rewrite_guarded_for_having(self):
+        lexicon = Lexicon.full()
+        out = lexicon.normalize(
+            "For each genre, show the number of records of the movies, "
+            "keeping only groups with more than 3 records."
+        )
+        assert "groups with more than 3" in out
+
+    def test_with_rewrite_applies_to_filters(self):
+        lexicon = Lexicon.full()
+        out = lexicon.normalize("Show the name of the movies with year is 1999.")
+        assert "whose year is 1999" in out
+
+    def test_together_with_protected(self):
+        lexicon = Lexicon.full()
+        out = lexicon.normalize(
+            "Show the name of each movie together with the name of its director "
+            "whose city is 'Rome'."
+        )
+        assert "together with the" in out
+
+    def test_limited_coverage_leaves_phrases(self):
+        lexicon = Lexicon.with_coverage(set())
+        text = "What is the mean age of all dogs?"
+        assert "mean" in lexicon.normalize(text)
+        assert "mean" in lexicon.unresolved_hard_phrases(text)
+
+    def test_unresolved_empty_for_full(self):
+        assert Lexicon.full().unresolved_hard_phrases("the mean age exists") == []
+
+    def test_partial_coverage(self):
+        lexicon = Lexicon.with_coverage({"mean"})
+        out = lexicon.normalize("the mean age of the biggest dog")
+        assert "average" in out and "biggest" in out
+
+    def test_hard_phrases_constant_nonempty(self):
+        assert len(HARD_PHRASES) >= 8

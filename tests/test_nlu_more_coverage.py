@@ -1,0 +1,126 @@
+"""Additional NLU coverage: every paraphrase rewrite, tricky values, punctuation."""
+
+import pytest
+
+from repro.datagen.paraphrase import EASY_REWRITES, HARD_REWRITES
+from repro.nlu.intent_parser import IntentParser, NLUParseError
+from repro.nlu.lexicon import Lexicon
+
+
+@pytest.fixture()
+def parser(toy_schema):
+    return IntentParser(toy_schema)
+
+
+class TestEveryRewriteResolvable:
+    """Each paraphrase rewrite, applied to a covering sentence, must
+    normalize back to a parseable canonical form under the full lexicon."""
+
+    SENTENCES = {
+        # phrase substituted -> a question it can occur in
+        "Show the": "Show the city of all airports.",
+        "List the": "List the city of all airports, sorted by elevation in ascending order.",
+        "What is the": "What is the average elevation of all airports?",
+        "How many": "How many airports are there?",
+        "is greater than": "Show the city of all airports whose elevation is greater than 10.",
+        "is less than": "Show the city of all airports whose elevation is less than 10.",
+        "is at least": "Show the city of all airports whose elevation is at least 10.",
+        "is at most": "Show the city of all airports whose elevation is at most 10.",
+        "sorted by": "List the city of all airports, sorted by elevation in descending order.",
+        "of all": "Show the city of all airports.",
+        "whose": "Show the city of all airports whose elevation is greater than 10.",
+        "average": "What is the average elevation of all airports?",
+        "maximum": "What is the maximum elevation of all airports?",
+        "minimum": "What is the minimum elevation of all airports?",
+        "total": "What is the total elevation of all airports?",
+        "have no": "Show the airport name of all airports that have no flights whose distance is greater than 500.",
+        "have at least one": "Show the airport name of all airports that have at least one flights whose distance is greater than 500.",
+        "showing only the top": "List the city of all airports, sorted by elevation in descending order, showing only the top 2.",
+        "in descending order": "List the city of all airports, sorted by elevation in descending order.",
+        "in ascending order": "List the city of all airports, sorted by elevation in ascending order.",
+        "together with": "Show the airport name of each airports together with the price of its flights.",
+        "are there": "How many airports are there?",
+    }
+
+    def _apply(self, source: str, replacement: str) -> str | None:
+        sentence = self.SENTENCES.get(source)
+        if sentence is None or source not in sentence:
+            return None
+        return sentence.replace(source, replacement, 1)
+
+    @pytest.mark.parametrize("source,replacement", EASY_REWRITES)
+    def test_easy_rewrites_parse(self, parser, source, replacement):
+        rewritten = self._apply(source, replacement)
+        if rewritten is None:
+            pytest.skip(f"no covering sentence for {source!r}")
+        intent = parser.parse(rewritten)
+        assert intent is not None
+
+    @pytest.mark.parametrize("source,replacement", HARD_REWRITES)
+    def test_hard_rewrites_parse_with_full_lexicon(self, parser, source, replacement):
+        rewritten = self._apply(source, replacement)
+        if rewritten is None:
+            pytest.skip(f"no covering sentence for {source!r}")
+        intent = parser.parse(rewritten)
+        assert intent is not None
+
+
+class TestValueParsing:
+    def test_float_value(self, parser):
+        intent = parser.parse(
+            "Show the destination of all flights whose price is greater than 199.5."
+        )
+        assert intent.filters[0].value == 199.5
+
+    def test_negative_threshold(self, parser):
+        intent = parser.parse(
+            "Show the city of all airports whose elevation is greater than -5."
+        )
+        assert intent.filters[0].value == -5
+
+    def test_value_with_spaces(self, parser):
+        intent = parser.parse(
+            "Show the city of all airports whose airport name is 'North Field'."
+        )
+        assert intent.filters[0].value == "North Field"
+
+    def test_value_with_digits_inside_quotes(self, parser):
+        intent = parser.parse(
+            "Show the city of all airports whose airport name is 'Gate 42'."
+        )
+        assert intent.filters[0].value == "Gate 42"
+
+    def test_question_mark_terminator(self, parser):
+        intent = parser.parse("How many flights are there?")
+        assert intent.tables == ("flights",)
+
+    def test_multiple_projection_columns(self, parser):
+        intent = parser.parse("Show the city and elevation of all airports.")
+        assert [sel.column for sel in intent.projection] == ["city", "elevation"]
+
+    def test_three_projection_columns(self, parser):
+        intent = parser.parse(
+            "Show the airport name, city and elevation of all airports."
+        )
+        assert len(intent.projection) == 3
+
+
+class TestLexiconInteractions:
+    def test_double_rewrite_chain(self, toy_schema):
+        """easy + hard rewrites stack and still normalize back."""
+        parser = IntentParser(toy_schema, Lexicon.full())
+        question = (
+            "Give me the city of the airports with elevation is more than 10."
+        )
+        intent = parser.parse(question)
+        assert intent.filters[0].op == ">"
+
+    def test_partial_lexicon_specific_blindness(self, toy_schema):
+        lexicon = Lexicon.with_coverage({"mean"})
+        parser = IntentParser(toy_schema, lexicon)
+        # 'mean' is covered...
+        intent = parser.parse("What is the mean elevation of all airports?")
+        assert intent.aggregate.value == "avg"
+        # ...but 'biggest' is not.
+        with pytest.raises(NLUParseError):
+            parser.parse("Show the city of the airports with the biggest elevation exist")

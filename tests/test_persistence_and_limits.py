@@ -1,0 +1,86 @@
+"""Tests for file-backed persistence, execution limits, and determinism."""
+
+import pytest
+
+from repro.datagen.domains import get_domain
+from repro.datagen.populate import populate_database
+from repro.datagen.schema_gen import generate_schema
+from repro.dbengine.database import Database
+from repro.dbengine.executor import execute_sql
+from repro.schema.introspect import schema_from_sqlite
+
+
+class TestFileBackedDatabase:
+    def test_database_persists_to_disk(self, tmp_path, toy_schema):
+        path = tmp_path / "flights.db"
+        with Database(toy_schema, path=path) as database:
+            database.insert_rows("airports", [(1, "A", "Boston", 10)])
+        # Re-open: schema already materialized, data still there.
+        with Database(toy_schema, path=path) as database:
+            assert database.row_count("airports") == 1
+
+    def test_generated_schema_introspection_round_trip(self):
+        domain = get_domain("banking")
+        schema = generate_schema(domain, 0)
+        with Database(schema) as database:
+            populate_database(database, domain, rows_per_table=10)
+            recovered = schema_from_sqlite(database.connection, schema.db_id)
+            assert set(recovered.table_names) == set(schema.table_names)
+            assert len(recovered.foreign_keys) == len(schema.foreign_keys)
+            for table in schema.tables:
+                recovered_cols = [c.name for c in recovered.table(table.name).columns]
+                assert recovered_cols == [c.name for c in table.columns]
+
+
+class TestExecutionLimits:
+    def test_row_cap_applied(self, toy_db):
+        result = execute_sql(toy_db, "SELECT * FROM flights", max_rows=2)
+        assert len(result) == 2
+
+    def test_runaway_query_interrupted(self, toy_db):
+        # A cartesian blow-up over several self-joins: must be cut off by
+        # the progress-handler budget rather than hanging.
+        sql = (
+            "SELECT COUNT(*) FROM flights a, flights b, flights c, flights d,"
+            " flights e, flights f, flights g, flights h, flights i, flights j"
+        )
+        result = execute_sql(toy_db, sql, timeout_ms=5)
+        # Either it finished extremely fast or it was interrupted; it must
+        # not raise and must flag a timeout when interrupted.
+        if not result.ok:
+            assert "timeout" in result.error or "interrupt" in result.error.lower()
+
+    def test_write_statements_fail_cleanly(self, toy_db):
+        # The executor targets SELECTs; DML on a read path is captured as
+        # an error (FK enforcement blocks the delete) without raising.
+        result = execute_sql(toy_db, "DELETE FROM airports")
+        assert not result.ok
+        assert "FOREIGN KEY" in result.error
+        # ... and the data is untouched.
+        assert toy_db.row_count("airports") == 4
+
+
+class TestDeterminismContract:
+    def test_method_predictions_identical_across_evaluators(self, small_dataset):
+        from repro.core.evaluator import Evaluator
+        from repro.methods.zoo import build_method
+        examples = small_dataset.dev_examples[:8]
+        sqls = []
+        for __ in range(2):
+            evaluator = Evaluator(small_dataset, measure_timing=False)
+            method = build_method("DAILSQL(SC)")
+            report = evaluator.evaluate_method(method, examples=examples)
+            sqls.append([r.predicted_sql for r in report.records])
+        assert sqls[0] == sqls[1]
+
+    def test_seed_changes_predictions(self, small_dataset):
+        from repro.core.evaluator import Evaluator
+        from repro.methods.zoo import build_method
+        examples = small_dataset.dev_examples[:12]
+        outputs = {}
+        for seed in (0, 1):
+            evaluator = Evaluator(small_dataset, measure_timing=False)
+            method = build_method("ZS llama2-7b", seed=seed)
+            report = evaluator.evaluate_method(method, examples=examples)
+            outputs[seed] = [r.predicted_sql for r in report.records]
+        assert outputs[0] != outputs[1]

@@ -1,0 +1,163 @@
+"""Property-based tests over the generation pipeline.
+
+These sample random intents against a real populated database (via seeded
+RNG driven by hypothesis) and check the pipeline's core invariants:
+
+* every sampled intent renders to parseable, executable SQL;
+* the NL round trip (intent -> question -> parse -> SQL) is
+  execution-equivalent to the gold SQL under a full lexicon;
+* every style variant is execution-equivalent to the canonical rendering;
+* corruption always yields *renderable* intents (errors are semantic,
+  never crashes).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.datagen.domains import get_domain
+from repro.datagen.intent_gen import IntentSampler
+from repro.datagen.intents import IntentShape
+from repro.datagen.nl_render import render_intent_nl
+from repro.datagen.populate import populate_database
+from repro.datagen.schema_gen import generate_schema
+from repro.datagen.sql_render import render_intent_sql
+from repro.dbengine.database import Database
+from repro.dbengine.executor import execute_sql, results_match
+from repro.errors import ReproError
+from repro.llm.corruption import CorruptionContext, CorruptionSampler
+from repro.llm.prompt import PromptFeatures
+from repro.llm.registry import get_profile
+from repro.llm.styles import render_with_style, sample_style, StyleChoices
+from repro.nlu.intent_parser import IntentParser, NLUParseError
+from repro.sqlkit.parser import parse_select
+from repro.utils.rng import derive_rng
+
+_DB_CACHE: dict[str, Database] = {}
+
+
+def _database(domain_name: str = "movies") -> Database:
+    if domain_name not in _DB_CACHE:
+        domain = get_domain(domain_name)
+        schema = generate_schema(domain, 0, seed=9)
+        database = Database(schema)
+        populate_database(database, domain, rows_per_table=35, seed=9)
+        _DB_CACHE[domain_name] = database
+    return _DB_CACHE[domain_name]
+
+
+def _sample_intent(seed: int, shape_index: int):
+    database = _database()
+    rng = derive_rng(seed, "prop-intent")
+    shapes = list(IntentShape)
+    sampler = IntentSampler(database, rng)
+    return database, sampler.sample(shapes[shape_index % len(shapes)])
+
+
+common_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestIntentPipelineProperties:
+    @common_settings
+    @given(seed=st.integers(0, 10_000), shape_index=st.integers(0, 10))
+    def test_sampled_intents_render_and_execute(self, seed, shape_index):
+        database, intent = _sample_intent(seed, shape_index)
+        sql = render_intent_sql(intent, database.schema)
+        parse_select(sql)
+        assert execute_sql(database, sql).ok
+
+    @common_settings
+    @given(seed=st.integers(0, 10_000), shape_index=st.integers(0, 10))
+    def test_nl_round_trip_execution_equivalent(self, seed, shape_index):
+        database, intent = _sample_intent(seed, shape_index)
+        gold_sql = render_intent_sql(intent, database.schema)
+        question = render_intent_nl(intent, database.schema)
+        try:
+            recovered = IntentParser(database.schema).parse(question)
+        except NLUParseError:
+            pytest.skip("genuinely ambiguous question (rare, tolerated)")
+        recovered_sql = render_intent_sql(recovered, database.schema)
+        gold = execute_sql(database, gold_sql)
+        predicted = execute_sql(database, recovered_sql)
+        assert predicted.ok
+        assert results_match(
+            predicted, gold, order_matters=intent.order is not None
+        ), (question, gold_sql, recovered_sql)
+
+    @common_settings
+    @given(
+        seed=st.integers(0, 10_000),
+        shape_index=st.integers(0, 10),
+        style_seed=st.integers(0, 10_000),
+    )
+    def test_styles_preserve_execution(self, seed, shape_index, style_seed):
+        database, intent = _sample_intent(seed, shape_index)
+        canonical = render_intent_sql(intent, database.schema)
+        style = sample_style(derive_rng(style_seed, "prop-style"), 0.8)
+        styled = render_with_style(intent, database.schema, style)
+        gold = execute_sql(database, canonical)
+        predicted = execute_sql(database, styled)
+        assert predicted.ok, (styled, predicted.error)
+        assert results_match(
+            predicted, gold, order_matters=intent.order is not None
+        ), (canonical, styled, style)
+
+    @common_settings
+    @given(seed=st.integers(0, 10_000))
+    def test_extreme_orderlimit_only_on_real_columns(self, seed):
+        """The tie-prone ORDER/LIMIT extreme rendering must never be
+        chosen for integer columns (where MAX ties are routine)."""
+        from repro.schema.model import ColumnType
+        database, intent = _sample_intent(seed, list(IntentShape).index(IntentShape.EXTREME))
+        if intent.shape != IntentShape.EXTREME:
+            return
+        styled = render_with_style(
+            intent, database.schema, StyleChoices(orderlimit_for_extreme=True)
+        )
+        column = database.schema.table(intent.subquery.outer_column.table).column(
+            intent.subquery.outer_column.column
+        )
+        if column.col_type != ColumnType.REAL:
+            assert "LIMIT 1" not in styled or "SELECT MAX" in styled.upper() or "SELECT MIN" in styled.upper()
+
+    @common_settings
+    @given(
+        seed=st.integers(0, 10_000),
+        shape_index=st.integers(0, 10),
+        corruption_seed=st.integers(0, 10_000),
+    )
+    def test_corruption_output_always_renders(self, seed, shape_index, corruption_seed):
+        database, intent = _sample_intent(seed, shape_index)
+        context = CorruptionContext(
+            schema=database.schema,
+            database=database,
+            profile=get_profile("t5-base"),
+            features=PromptFeatures(),
+        )
+        sampler = CorruptionSampler(context, derive_rng(corruption_seed, "prop-corrupt"))
+        rates = {name: 0.6 for name in (
+            "drop_subquery", "join_error", "column_error", "value_error",
+            "op_error", "agg_error", "connector_error", "order_error",
+            "having_error", "distinct_error",
+        )}
+        corrupted = sampler.apply(intent, rates)
+        sql = render_intent_sql(corrupted, database.schema)
+        parse_select(sql)  # corrupted intents must still be well-formed SQL
+
+    @common_settings
+    @given(seed=st.integers(0, 10_000), shape_index=st.integers(0, 10))
+    def test_hardness_and_features_never_crash(self, seed, shape_index):
+        from repro.sqlkit.features import extract_features
+        from repro.sqlkit.hardness import classify_bird_difficulty, classify_hardness
+        database, intent = _sample_intent(seed, shape_index)
+        sql = render_intent_sql(intent, database.schema)
+        features = extract_features(sql)
+        classify_hardness(sql)
+        classify_bird_difficulty(sql)
+        if intent.has_join:
+            assert features.has_join
+        if intent.order is not None:
+            assert features.has_order_by

@@ -1,0 +1,64 @@
+"""Tests for DDL rendering."""
+
+from repro.schema.ddl import render_create_table, render_schema_ddl
+
+
+class TestRenderCreateTable:
+    def test_columns_and_types(self, toy_schema):
+        ddl = render_create_table(toy_schema, toy_schema.table("airports"))
+        assert "CREATE TABLE airports" in ddl
+        assert "name text" in ddl
+        assert "elevation integer" in ddl
+
+    def test_primary_key_inline(self, toy_schema):
+        ddl = render_create_table(toy_schema, toy_schema.table("airports"))
+        assert "airport_id integer primary key" in ddl
+
+    def test_foreign_key_clause(self, toy_schema):
+        ddl = render_create_table(toy_schema, toy_schema.table("flights"))
+        assert "foreign key (airport_id) references airports(airport_id)" in ddl
+
+    def test_foreign_keys_can_be_suppressed(self, toy_schema):
+        ddl = render_create_table(
+            toy_schema, toy_schema.table("flights"), include_foreign_keys=False
+        )
+        assert "foreign key" not in ddl
+
+    def test_value_comments(self, toy_schema):
+        ddl = render_create_table(
+            toy_schema,
+            toy_schema.table("airports"),
+            value_comments={"city": ["Boston", "Denver"]},
+        )
+        assert "-- values: Boston, Denver" in ddl
+
+
+class TestRenderSchemaDdl:
+    def test_all_tables_rendered(self, toy_schema):
+        ddl = render_schema_ddl(toy_schema)
+        assert "CREATE TABLE airports" in ddl
+        assert "CREATE TABLE flights" in ddl
+
+    def test_table_subset(self, toy_schema):
+        ddl = render_schema_ddl(toy_schema, tables=["flights"])
+        assert "CREATE TABLE airports" not in ddl
+        assert "CREATE TABLE flights" in ddl
+
+    def test_executes_in_sqlite(self, toy_schema):
+        import sqlite3
+        connection = sqlite3.connect(":memory:")
+        ddl = render_schema_ddl(toy_schema)
+        connection.executescript(ddl.replace(")\n\nCREATE", ");\n\nCREATE") + ";")
+        tables = {
+            row[0]
+            for row in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert {"airports", "flights"} <= tables
+
+    def test_nested_value_comments(self, toy_schema):
+        ddl = render_schema_ddl(
+            toy_schema, value_comments={"flights": {"destination": ["Boston"]}}
+        )
+        assert "-- values: Boston" in ddl

@@ -1,0 +1,63 @@
+"""Tests for SQLite introspection and Table-2 statistics."""
+
+from repro.schema.introspect import schema_from_sqlite
+from repro.schema.model import ColumnType
+from repro.schema.stats import corpus_statistics, schema_statistics
+
+
+class TestIntrospection:
+    def test_round_trip_tables(self, toy_db):
+        schema = schema_from_sqlite(toy_db.connection, "reintrospected")
+        assert set(schema.table_names) == {"airports", "flights"}
+
+    def test_round_trip_columns(self, toy_db):
+        schema = schema_from_sqlite(toy_db.connection, "x")
+        airports = schema.table("airports")
+        assert [c.name for c in airports.columns] == [
+            "airport_id", "name", "city", "elevation",
+        ]
+
+    def test_types_mapped(self, toy_db):
+        schema = schema_from_sqlite(toy_db.connection, "x")
+        assert schema.table("flights").column("price").col_type == ColumnType.REAL
+        assert schema.table("airports").column("city").col_type == ColumnType.TEXT
+
+    def test_primary_keys_detected(self, toy_db):
+        schema = schema_from_sqlite(toy_db.connection, "x")
+        assert schema.table("airports").column("airport_id").is_primary_key
+
+    def test_foreign_keys_detected(self, toy_db):
+        schema = schema_from_sqlite(toy_db.connection, "x")
+        assert len(schema.foreign_keys) == 1
+        fk = schema.foreign_keys[0]
+        assert fk.source_table == "flights"
+        assert fk.target_table == "airports"
+
+    def test_domain_label_passed_through(self, toy_db):
+        schema = schema_from_sqlite(toy_db.connection, "x", domain="aviation")
+        assert schema.domain == "aviation"
+
+
+class TestStatistics:
+    def test_single_schema_counts(self, toy_schema):
+        stats = schema_statistics(toy_schema)
+        assert stats.num_tables == 2
+        assert stats.num_columns == 9
+        assert stats.num_primary_keys == 2
+        assert stats.num_foreign_keys == 1
+        assert stats.columns_per_table == 4.5
+
+    def test_corpus_aggregates(self, toy_schema):
+        aggregates = corpus_statistics([toy_schema, toy_schema])
+        assert aggregates["tables_per_db"].minimum == 2
+        assert aggregates["tables_per_db"].maximum == 2
+        assert aggregates["tables_per_db"].average == 2.0
+        assert aggregates["fks_per_db"].average == 1.0
+
+    def test_empty_corpus(self):
+        aggregates = corpus_statistics([])
+        assert aggregates["tables_per_db"].average == 0.0
+
+    def test_as_row_rounds(self, toy_schema):
+        row = corpus_statistics([toy_schema])["columns_per_table"].as_row()
+        assert row == (4.5, 4.5, 4.5)

@@ -1,0 +1,113 @@
+"""Tests for the schema model."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.model import Column, ColumnType, DatabaseSchema, ForeignKey, Table
+
+
+class TestColumnType:
+    def test_sqlite_affinity(self):
+        assert ColumnType.TEXT.sqlite_affinity == "TEXT"
+        assert ColumnType.DATE.sqlite_affinity == "TEXT"
+        assert ColumnType.BOOLEAN.sqlite_affinity == "INTEGER"
+
+    def test_is_numeric(self):
+        assert ColumnType.INTEGER.is_numeric
+        assert ColumnType.REAL.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+
+
+class TestColumn:
+    def test_display_name_from_identifier(self):
+        assert Column("airport_code").display_name == "airport code"
+
+    def test_display_name_override(self):
+        assert Column("ap_cd", natural_name="airport code").display_name == "airport code"
+
+
+class TestTable:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(name="t", columns=[Column("a"), Column("A")])
+
+    def test_column_lookup_case_insensitive(self, toy_schema):
+        table = toy_schema.table("airports")
+        assert table.column("NAME").name == "name"
+
+    def test_missing_column_raises(self, toy_schema):
+        with pytest.raises(SchemaError):
+            toy_schema.table("airports").column("bogus")
+
+    def test_primary_key_columns(self, toy_schema):
+        pk = toy_schema.table("airports").primary_key_columns
+        assert [c.name for c in pk] == ["airport_id"]
+
+    def test_has_column(self, toy_schema):
+        table = toy_schema.table("flights")
+        assert table.has_column("price")
+        assert not table.has_column("bogus")
+
+
+class TestDatabaseSchema:
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema(db_id="d", tables=[Table("t"), Table("T")])
+
+    def test_fk_validation_missing_column(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema(
+                db_id="d",
+                tables=[Table("a", [Column("x")]), Table("b", [Column("y")])],
+                foreign_keys=[ForeignKey("a", "nope", "b", "y")],
+            )
+
+    def test_table_lookup_case_insensitive(self, toy_schema):
+        assert toy_schema.table("AIRPORTS").name == "airports"
+
+    def test_missing_table_raises(self, toy_schema):
+        with pytest.raises(SchemaError):
+            toy_schema.table("hotels")
+
+    def test_all_columns_in_order(self, toy_schema):
+        pairs = toy_schema.all_columns()
+        assert pairs[0] == ("airports", toy_schema.table("airports").columns[0])
+        assert len(pairs) == 9
+
+    def test_foreign_keys_between_either_direction(self, toy_schema):
+        assert toy_schema.foreign_keys_between("airports", "flights")
+        assert toy_schema.foreign_keys_between("flights", "airports")
+
+    def test_join_path_trivial(self, toy_schema):
+        assert toy_schema.join_path(["airports"]) == []
+
+    def test_join_path_pair(self, toy_schema):
+        edges = toy_schema.join_path(["airports", "flights"])
+        assert len(edges) == 1
+
+    def test_join_path_disconnected_raises(self, toy_schema):
+        toy_schema.tables.append(Table("isolated", [Column("z")]))
+        with pytest.raises(SchemaError):
+            toy_schema.join_path(["airports", "isolated"])
+
+    def test_join_path_three_tables(self):
+        schema = DatabaseSchema(
+            db_id="d3",
+            tables=[
+                Table("a", [Column("a_id", ColumnType.INTEGER, is_primary_key=True)]),
+                Table("b", [
+                    Column("b_id", ColumnType.INTEGER, is_primary_key=True),
+                    Column("a_id", ColumnType.INTEGER),
+                ]),
+                Table("c", [
+                    Column("c_id", ColumnType.INTEGER, is_primary_key=True),
+                    Column("b_id", ColumnType.INTEGER),
+                ]),
+            ],
+            foreign_keys=[
+                ForeignKey("b", "a_id", "a", "a_id"),
+                ForeignKey("c", "b_id", "b", "b_id"),
+            ],
+        )
+        edges = schema.join_path(["a", "c", "b"])
+        assert len(edges) == 2

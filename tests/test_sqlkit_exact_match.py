@@ -1,0 +1,132 @@
+"""Tests for Spider-style exact match."""
+
+import pytest
+
+from repro.sqlkit.exact_match import exact_match
+
+
+class TestMatching:
+    def test_identical(self):
+        assert exact_match("SELECT a FROM t", "SELECT a FROM t")
+
+    def test_case_insensitive(self):
+        assert exact_match("select A from T", "SELECT a FROM t")
+
+    def test_alias_resolution(self):
+        assert exact_match(
+            "SELECT T1.name FROM airports AS T1",
+            "SELECT airports.name FROM airports",
+        )
+
+    def test_unqualified_vs_qualified_single_table(self):
+        assert exact_match(
+            "SELECT name FROM airports",
+            "SELECT airports.name FROM airports",
+        )
+
+    def test_select_item_order_insensitive(self):
+        assert exact_match("SELECT a, b FROM t", "SELECT b, a FROM t")
+
+    def test_where_condition_order_insensitive(self):
+        assert exact_match(
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+            "SELECT a FROM t WHERE y = 2 AND x = 1",
+        )
+
+    def test_equality_operand_order_insensitive(self):
+        assert exact_match(
+            "SELECT a FROM t JOIN u ON t.x = u.x",
+            "SELECT a FROM t JOIN u ON u.x = t.x",
+        )
+
+    def test_values_ignored_by_default(self):
+        assert exact_match(
+            "SELECT a FROM t WHERE city = 'Boston'",
+            "SELECT a FROM t WHERE city = 'Denver'",
+        )
+
+    def test_values_compared_when_requested(self):
+        assert not exact_match(
+            "SELECT a FROM t WHERE city = 'Boston'",
+            "SELECT a FROM t WHERE city = 'Denver'",
+            compare_values=True,
+        )
+
+
+class TestMismatches:
+    def test_different_column(self):
+        assert not exact_match("SELECT a FROM t", "SELECT b FROM t")
+
+    def test_different_table(self):
+        assert not exact_match("SELECT a FROM t", "SELECT a FROM u")
+
+    def test_different_operator(self):
+        assert not exact_match(
+            "SELECT a FROM t WHERE x > 1", "SELECT a FROM t WHERE x >= 1"
+        )
+
+    def test_missing_where(self):
+        assert not exact_match("SELECT a FROM t", "SELECT a FROM t WHERE x = 1")
+
+    def test_distinct_matters(self):
+        assert not exact_match("SELECT DISTINCT a FROM t", "SELECT a FROM t")
+
+    def test_order_direction_matters(self):
+        assert not exact_match(
+            "SELECT a FROM t ORDER BY a ASC", "SELECT a FROM t ORDER BY a DESC"
+        )
+
+    def test_order_key_sequence_matters(self):
+        assert not exact_match(
+            "SELECT a FROM t ORDER BY a, b", "SELECT a FROM t ORDER BY b, a"
+        )
+
+    def test_limit_matters(self):
+        assert not exact_match(
+            "SELECT a FROM t LIMIT 1", "SELECT a FROM t LIMIT 2"
+        )
+
+    def test_count_star_vs_count_column(self):
+        assert not exact_match("SELECT COUNT(*) FROM t", "SELECT COUNT(id) FROM t")
+
+    def test_in_vs_exists_differ(self):
+        assert not exact_match(
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u)",
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.y = t.x)",
+        )
+
+    def test_between_vs_range_differ(self):
+        assert not exact_match(
+            "SELECT a FROM t WHERE x BETWEEN 1 AND 5",
+            "SELECT a FROM t WHERE x >= 1 AND x <= 5",
+        )
+
+    def test_set_op_branches_compared(self):
+        assert exact_match(
+            "SELECT a FROM t WHERE x = 1 INTERSECT SELECT a FROM t WHERE y = 2",
+            "SELECT a FROM t WHERE x = 1 INTERSECT SELECT a FROM t WHERE y = 2",
+        )
+        assert not exact_match(
+            "SELECT a FROM t WHERE x = 1 INTERSECT SELECT a FROM t WHERE y = 2",
+            "SELECT a FROM t WHERE x = 1 UNION SELECT a FROM t WHERE y = 2",
+        )
+
+
+class TestRobustness:
+    def test_unparseable_prediction_fails_gracefully(self):
+        assert not exact_match("SELECT FROM WHERE", "SELECT a FROM t")
+
+    def test_unparseable_gold_fails_gracefully(self):
+        assert not exact_match("SELECT a FROM t", "not sql at all (")
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a FROM t",
+            "SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u) ORDER BY a LIMIT 3",
+        ],
+    )
+    def test_reflexive(self, sql):
+        assert exact_match(sql, sql)
+        assert exact_match(sql, sql, compare_values=True)

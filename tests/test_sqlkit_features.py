@@ -1,0 +1,126 @@
+"""Tests for SQL feature extraction."""
+
+import pytest
+
+from repro.sqlkit.features import extract_features
+
+
+class TestJoins:
+    def test_no_join(self):
+        assert extract_features("SELECT a FROM t").num_joins == 0
+
+    def test_single_join(self):
+        features = extract_features("SELECT a FROM t JOIN u ON t.x = u.x")
+        assert features.num_joins == 1 and features.has_join
+
+    def test_join_inside_subquery_counted(self):
+        features = extract_features(
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u JOIN v ON u.i = v.i)"
+        )
+        assert features.num_joins == 1
+
+
+class TestSubqueries:
+    def test_none(self):
+        assert not extract_features("SELECT a FROM t").has_subquery
+
+    def test_in_subquery(self):
+        features = extract_features("SELECT a FROM t WHERE x IN (SELECT y FROM u)")
+        assert features.num_subqueries == 1
+
+    def test_scalar_subquery(self):
+        features = extract_features("SELECT a FROM t WHERE x > (SELECT AVG(x) FROM t)")
+        assert features.num_subqueries == 1
+
+    def test_set_op_counts_as_nesting(self):
+        features = extract_features("SELECT a FROM t UNION SELECT b FROM u")
+        assert features.num_subqueries == 1
+        assert features.has_set_operation
+
+    def test_double_nesting(self):
+        features = extract_features(
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z > (SELECT AVG(z) FROM u))"
+        )
+        assert features.num_subqueries == 2
+
+
+class TestLogicalConnectors:
+    def test_no_connectors(self):
+        assert extract_features("SELECT a FROM t WHERE x = 1").num_logical_connectors == 0
+
+    def test_single_and(self):
+        features = extract_features("SELECT a FROM t WHERE x = 1 AND y = 2")
+        assert features.num_logical_connectors == 1
+
+    def test_three_way_chain(self):
+        features = extract_features("SELECT a FROM t WHERE x = 1 AND y = 2 AND z = 3")
+        assert features.num_logical_connectors == 2
+
+    def test_mixed_and_or(self):
+        features = extract_features("SELECT a FROM t WHERE x = 1 AND y = 2 OR z = 3")
+        assert features.num_logical_connectors == 2
+
+    def test_join_on_condition_not_counted(self):
+        features = extract_features(
+            "SELECT a FROM t JOIN u ON t.x = u.x AND t.y = u.y"
+        )
+        assert features.num_logical_connectors == 0
+
+    def test_having_counted(self):
+        features = extract_features(
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1 AND SUM(x) > 5"
+        )
+        assert features.num_logical_connectors == 1
+
+
+class TestOrderBy:
+    def test_absent(self):
+        assert not extract_features("SELECT a FROM t").has_order_by
+
+    def test_present(self):
+        assert extract_features("SELECT a FROM t ORDER BY a").has_order_by
+
+    def test_in_subquery(self):
+        features = extract_features(
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u ORDER BY y LIMIT 1)"
+        )
+        assert features.has_order_by
+
+
+class TestOtherFeatures:
+    def test_aggregates_counted(self):
+        features = extract_features("SELECT COUNT(*), AVG(x) FROM t")
+        assert features.num_aggregates == 2
+
+    def test_where_conditions_counted(self):
+        features = extract_features("SELECT a FROM t WHERE x = 1 AND y = 2 OR z = 3")
+        assert features.num_where_conditions == 3
+
+    def test_group_having_limit_distinct(self):
+        features = extract_features(
+            "SELECT DISTINCT a FROM t GROUP BY a HAVING COUNT(*) > 1 LIMIT 5"
+        )
+        assert features.has_group_by
+        assert features.has_having
+        assert features.has_limit
+        assert features.has_distinct
+
+    def test_keywords_collected(self):
+        features = extract_features(
+            "SELECT MAX(x) FROM t WHERE name LIKE '%a%' AND y BETWEEN 1 AND 2"
+        )
+        assert {"max", "like", "between", "where"} <= set(features.keywords)
+
+    def test_num_tables(self):
+        features = extract_features("SELECT a FROM t JOIN u ON t.x = u.x")
+        assert features.num_tables == 2
+
+    def test_select_column_count(self):
+        assert extract_features("SELECT a, b FROM t").num_select_columns == 2
+
+    @pytest.mark.parametrize("sql,expected", [
+        ("SELECT a FROM t WHERE x = 1", False),
+        ("SELECT a FROM t WHERE x = 1 OR y = 2", True),
+    ])
+    def test_has_logical_connector(self, sql, expected):
+        assert extract_features(sql).has_logical_connector is expected

@@ -1,0 +1,98 @@
+"""Tests for Spider hardness and BIRD difficulty classification."""
+
+import pytest
+
+from repro.sqlkit.hardness import (
+    BirdDifficulty,
+    Hardness,
+    classify_bird_difficulty,
+    classify_hardness,
+)
+
+
+class TestSpiderHardness:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT name FROM airports",
+            "SELECT name FROM airports WHERE city = 'Boston'",
+            "SELECT COUNT(*) FROM airports",
+        ],
+    )
+    def test_easy(self, sql):
+        assert classify_hardness(sql) == Hardness.EASY
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT name, city FROM airports WHERE elevation > 100",
+            "SELECT city, COUNT(*) FROM airports GROUP BY city",
+            "SELECT a FROM t JOIN u ON t.x = u.x WHERE u.y = 1",
+        ],
+    )
+    def test_medium(self, sql):
+        assert classify_hardness(sql) == Hardness.MEDIUM
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # one nesting, otherwise trivial
+            "SELECT name FROM t WHERE x > (SELECT AVG(x) FROM t)",
+            # three component-1 items
+            "SELECT a FROM t JOIN u ON t.x = u.x WHERE u.y = 1 ORDER BY a",
+        ],
+    )
+    def test_hard(self, sql):
+        assert classify_hardness(sql) == Hardness.HARD
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # nesting plus extra components
+            "SELECT name, city FROM t WHERE x IN (SELECT y FROM u WHERE z = 1) AND w = 2",
+            # heavy clause load
+            "SELECT a, b FROM t JOIN u ON t.x = u.x WHERE t.p = 1 AND u.q = 2 "
+            "GROUP BY a ORDER BY COUNT(*) DESC LIMIT 5",
+        ],
+    )
+    def test_extra(self, sql):
+        assert classify_hardness(sql) == Hardness.EXTRA
+
+    def test_monotone_rank(self):
+        assert Hardness.EASY.rank < Hardness.MEDIUM.rank
+        assert Hardness.MEDIUM.rank < Hardness.HARD.rank < Hardness.EXTRA.rank
+
+    def test_accepts_parsed_statement(self):
+        from repro.sqlkit.parser import parse_select
+        stmt = parse_select("SELECT name FROM airports")
+        assert classify_hardness(stmt) == Hardness.EASY
+
+
+class TestBirdDifficulty:
+    def test_simple(self):
+        assert classify_bird_difficulty("SELECT a FROM t") == BirdDifficulty.SIMPLE
+
+    def test_moderate(self):
+        sql = "SELECT a FROM t JOIN u ON t.x = u.x WHERE t.p = 1 AND t.q = 2"
+        assert classify_bird_difficulty(sql) == BirdDifficulty.MODERATE
+
+    def test_challenging(self):
+        sql = (
+            "SELECT a FROM t JOIN u ON t.x = u.x WHERE t.p IN "
+            "(SELECT y FROM v WHERE z = 1 AND w = 2) ORDER BY a"
+        )
+        assert classify_bird_difficulty(sql) == BirdDifficulty.CHALLENGING
+
+    def test_rank_order(self):
+        assert (
+            BirdDifficulty.SIMPLE.rank
+            < BirdDifficulty.MODERATE.rank
+            < BirdDifficulty.CHALLENGING.rank
+        )
+
+    def test_subquery_weighs_heavier_than_filter(self):
+        plain = classify_bird_difficulty("SELECT a FROM t WHERE x = 1")
+        nested = classify_bird_difficulty(
+            "SELECT a FROM t WHERE x > (SELECT AVG(x) FROM t)"
+        )
+        assert nested.rank >= plain.rank

@@ -1,0 +1,92 @@
+"""Tests for the NatSQL intermediate representation."""
+
+import pytest
+
+from repro.errors import NatSQLError
+from repro.sqlkit.exact_match import exact_match
+from repro.sqlkit.natsql import from_natsql, natsql_text, to_natsql
+
+
+class TestEncode:
+    def test_drops_from_clause(self, toy_schema):
+        natsql = to_natsql("SELECT name FROM airports")
+        assert natsql.statement.from_clause is None
+
+    def test_qualifies_columns(self, toy_schema):
+        natsql = to_natsql("SELECT name FROM airports WHERE city = 'Boston'")
+        text = natsql_text(natsql)
+        assert "airports.name" in text
+        assert "airports.city" in text
+
+    def test_resolves_aliases(self, toy_schema):
+        natsql = to_natsql(
+            "SELECT T1.name FROM airports AS T1 JOIN flights AS T2 "
+            "ON T1.airport_id = T2.airport_id"
+        )
+        assert "airports.name" in natsql_text(natsql)
+
+    def test_referenced_tables(self):
+        natsql = to_natsql(
+            "SELECT T1.name, T2.price FROM airports AS T1 JOIN flights AS T2 "
+            "ON T1.airport_id = T2.airport_id"
+        )
+        tables = [t.lower() for t in natsql.referenced_tables()]
+        assert "airports" in tables and "flights" in tables
+
+
+class TestDecode:
+    def test_single_table_round_trip(self, toy_schema):
+        sql = "SELECT name FROM airports WHERE city = 'Boston'"
+        decoded = from_natsql(to_natsql(sql), toy_schema)
+        assert exact_match(decoded, sql, compare_values=True)
+
+    def test_join_reconstructed_from_fk(self, toy_schema):
+        natsql = to_natsql(
+            "SELECT T1.name, T2.price FROM airports AS T1 JOIN flights AS T2 "
+            "ON T1.airport_id = T2.airport_id"
+        )
+        decoded = from_natsql(natsql, toy_schema)
+        assert "JOIN" in decoded
+        assert "airport_id" in decoded
+
+    def test_join_decode_executes_equivalently(self, toy_db):
+        from repro.dbengine.executor import execute_sql, results_match
+        sql = (
+            "SELECT T1.name, T2.price FROM airports AS T1 JOIN flights AS T2 "
+            "ON T2.airport_id = T1.airport_id WHERE T1.city = 'Boston'"
+        )
+        decoded = from_natsql(to_natsql(sql), toy_db.schema)
+        assert results_match(
+            execute_sql(toy_db, decoded), execute_sql(toy_db, sql)
+        )
+
+    def test_subquery_round_trip(self, toy_schema):
+        sql = (
+            "SELECT name FROM airports WHERE elevation > "
+            "(SELECT AVG(elevation) FROM airports)"
+        )
+        decoded = from_natsql(to_natsql(sql), toy_schema)
+        assert "SELECT AVG" in decoded.upper()
+
+    def test_unknown_table_raises(self, toy_schema):
+        natsql = to_natsql("SELECT name FROM hotels")
+        with pytest.raises(NatSQLError):
+            from_natsql(natsql, toy_schema)
+
+    def test_unconnected_tables_raise(self, toy_schema):
+        # Remove the FK so airports/flights are not connected.
+        toy_schema.foreign_keys.clear()
+        natsql = to_natsql(
+            "SELECT T1.name, T2.price FROM airports AS T1 JOIN flights AS T2 "
+            "ON T1.airport_id = T2.airport_id"
+        )
+        with pytest.raises(NatSQLError):
+            from_natsql(natsql, toy_schema)
+
+    def test_set_operation_round_trip(self, toy_schema):
+        sql = (
+            "SELECT name FROM airports WHERE city = 'Boston' "
+            "UNION SELECT name FROM airports WHERE city = 'Denver'"
+        )
+        decoded = from_natsql(to_natsql(sql), toy_schema)
+        assert "UNION" in decoded

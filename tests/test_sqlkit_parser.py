@@ -1,0 +1,276 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLParseError
+from repro.sqlkit.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    BooleanOp,
+    CaseExpr,
+    ColumnRef,
+    Exists,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    NotExpr,
+    Star,
+    Subquery,
+)
+from repro.sqlkit.parser import parse_select
+
+
+class TestProjection:
+    def test_single_column(self):
+        stmt = parse_select("SELECT name FROM t")
+        assert isinstance(stmt.select_items[0].expr, ColumnRef)
+        assert stmt.select_items[0].expr.column == "name"
+
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert isinstance(stmt.select_items[0].expr, Star)
+
+    def test_qualified_star(self):
+        stmt = parse_select("SELECT T1.* FROM t AS T1")
+        star = stmt.select_items[0].expr
+        assert isinstance(star, Star) and star.table == "T1"
+
+    def test_multiple_columns(self):
+        stmt = parse_select("SELECT a, b, c FROM t")
+        assert len(stmt.select_items) == 3
+
+    def test_alias_with_as(self):
+        stmt = parse_select("SELECT a AS x FROM t")
+        assert stmt.select_items[0].alias == "x"
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_aggregate(self):
+        stmt = parse_select("SELECT COUNT(*) FROM t")
+        func = stmt.select_items[0].expr
+        assert isinstance(func, FuncCall) and func.is_aggregate
+
+    def test_count_distinct(self):
+        func = parse_select("SELECT COUNT(DISTINCT city) FROM t").select_items[0].expr
+        assert func.distinct
+
+    def test_arithmetic(self):
+        expr = parse_select("SELECT price * quantity FROM t").select_items[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "*"
+
+    def test_cast(self):
+        expr = parse_select("SELECT CAST(x AS REAL) FROM t").select_items[0].expr
+        assert isinstance(expr, FuncCall) and expr.name == "cast"
+
+
+class TestFromClause:
+    def test_simple_table(self):
+        stmt = parse_select("SELECT a FROM airports")
+        assert stmt.from_clause.base.name == "airports"
+
+    def test_alias(self):
+        stmt = parse_select("SELECT a FROM airports AS T1")
+        assert stmt.from_clause.base.alias == "T1"
+        assert stmt.from_clause.base.binding == "T1"
+
+    def test_implicit_alias(self):
+        stmt = parse_select("SELECT a FROM airports ap")
+        assert stmt.from_clause.base.alias == "ap"
+
+    def test_join_with_on(self):
+        stmt = parse_select(
+            "SELECT a FROM t1 JOIN t2 ON t1.id = t2.id"
+        )
+        assert len(stmt.from_clause.joins) == 1
+        join = stmt.from_clause.joins[0]
+        assert join.table.name == "t2"
+        assert isinstance(join.condition, BinaryOp)
+
+    def test_left_join(self):
+        stmt = parse_select("SELECT a FROM t1 LEFT JOIN t2 ON t1.x = t2.x")
+        assert stmt.from_clause.joins[0].join_type == "left join"
+
+    def test_comma_join(self):
+        stmt = parse_select("SELECT a FROM t1, t2 WHERE t1.x = t2.x")
+        assert len(stmt.from_clause.joins) == 1
+
+    def test_multi_join(self):
+        stmt = parse_select(
+            "SELECT a FROM t1 JOIN t2 ON t1.x = t2.x JOIN t3 ON t2.y = t3.y"
+        )
+        assert len(stmt.from_clause.joins) == 2
+
+
+class TestWhere:
+    def test_comparison(self):
+        where = parse_select("SELECT a FROM t WHERE x > 5").where
+        assert isinstance(where, BinaryOp) and where.op == ">"
+
+    def test_diamond_normalized(self):
+        where = parse_select("SELECT a FROM t WHERE x <> 5").where
+        assert where.op == "!="
+
+    def test_and_chain_flattened(self):
+        where = parse_select("SELECT a FROM t WHERE x = 1 AND y = 2 AND z = 3").where
+        assert isinstance(where, BooleanOp)
+        assert where.op == "and" and len(where.operands) == 3
+
+    def test_or_precedence(self):
+        where = parse_select("SELECT a FROM t WHERE x = 1 AND y = 2 OR z = 3").where
+        assert isinstance(where, BooleanOp) and where.op == "or"
+        assert isinstance(where.operands[0], BooleanOp)
+
+    def test_parenthesized_grouping(self):
+        where = parse_select("SELECT a FROM t WHERE x = 1 AND (y = 2 OR z = 3)").where
+        assert where.op == "and"
+        assert isinstance(where.operands[1], BooleanOp)
+        assert where.operands[1].op == "or"
+
+    def test_not(self):
+        where = parse_select("SELECT a FROM t WHERE NOT x = 1").where
+        assert isinstance(where, NotExpr)
+
+    def test_like(self):
+        where = parse_select("SELECT a FROM t WHERE name LIKE '%x%'").where
+        assert isinstance(where, LikeExpr) and not where.negated
+
+    def test_not_like(self):
+        where = parse_select("SELECT a FROM t WHERE name NOT LIKE '%x%'").where
+        assert isinstance(where, LikeExpr) and where.negated
+
+    def test_between(self):
+        where = parse_select("SELECT a FROM t WHERE x BETWEEN 1 AND 5").where
+        assert isinstance(where, BetweenExpr)
+        assert where.low.value == 1 and where.high.value == 5
+
+    def test_in_values(self):
+        where = parse_select("SELECT a FROM t WHERE x IN (1, 2, 3)").where
+        assert isinstance(where, InExpr) and len(where.values) == 3
+
+    def test_in_subquery(self):
+        where = parse_select("SELECT a FROM t WHERE x IN (SELECT y FROM u)").where
+        assert isinstance(where, InExpr) and where.subquery is not None
+
+    def test_not_in_subquery(self):
+        where = parse_select("SELECT a FROM t WHERE x NOT IN (SELECT y FROM u)").where
+        assert where.negated
+
+    def test_exists(self):
+        where = parse_select("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)").where
+        assert isinstance(where, Exists)
+
+    def test_is_null(self):
+        where = parse_select("SELECT a FROM t WHERE x IS NULL").where
+        assert isinstance(where, IsNullExpr) and not where.negated
+
+    def test_is_not_null(self):
+        where = parse_select("SELECT a FROM t WHERE x IS NOT NULL").where
+        assert where.negated
+
+    def test_scalar_subquery_comparison(self):
+        where = parse_select(
+            "SELECT a FROM t WHERE x > (SELECT AVG(x) FROM t)"
+        ).where
+        assert isinstance(where.right, Subquery)
+
+
+class TestClauses:
+    def test_group_by(self):
+        stmt = parse_select("SELECT city, COUNT(*) FROM t GROUP BY city")
+        assert len(stmt.group_by) == 1
+
+    def test_having(self):
+        stmt = parse_select(
+            "SELECT city FROM t GROUP BY city HAVING COUNT(*) > 3"
+        )
+        assert isinstance(stmt.having, BinaryOp)
+
+    def test_order_by_desc(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a DESC")
+        assert stmt.order_by[0].direction == "desc"
+
+    def test_order_by_default_asc(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a")
+        assert stmt.order_by[0].direction == "asc"
+
+    def test_order_by_aggregate(self):
+        stmt = parse_select("SELECT a FROM t GROUP BY a ORDER BY COUNT(*) DESC")
+        assert isinstance(stmt.order_by[0].expr, FuncCall)
+
+    def test_limit(self):
+        assert parse_select("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_select_without_from(self):
+        stmt = parse_select("SELECT 1")
+        assert stmt.from_clause is None
+        assert stmt.select_items[0].expr.value == 1
+
+
+class TestSetOperations:
+    @pytest.mark.parametrize("op", ["UNION", "INTERSECT", "EXCEPT"])
+    def test_set_ops(self, op):
+        stmt = parse_select(f"SELECT a FROM t {op} SELECT b FROM u")
+        assert stmt.set_operation.op == op.lower()
+
+    def test_union_all(self):
+        stmt = parse_select("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert stmt.set_operation.op == "union all"
+
+    def test_chained_set_ops(self):
+        stmt = parse_select("SELECT a FROM t UNION SELECT b FROM u UNION SELECT c FROM v")
+        assert stmt.set_operation.right.set_operation is not None
+
+
+class TestCase:
+    def test_case_expression(self):
+        stmt = parse_select(
+            "SELECT CASE WHEN x > 1 THEN 'big' ELSE 'small' END FROM t"
+        )
+        expr = stmt.select_items[0].expr
+        assert isinstance(expr, CaseExpr)
+        assert len(expr.whens) == 1
+        assert expr.else_value is not None
+
+    def test_case_without_else(self):
+        expr = parse_select("SELECT CASE WHEN x = 1 THEN 'a' END FROM t").select_items[0].expr
+        assert expr.else_value is None
+
+
+class TestNested:
+    def test_all_statements_counts_nesting(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z > (SELECT AVG(z) FROM u))"
+        )
+        assert len(stmt.all_statements()) == 3
+
+    def test_negative_literal(self):
+        where = parse_select("SELECT a FROM t WHERE x > -5").where
+        assert where.right.value == -5
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad_sql",
+        [
+            "FROM t",
+            "SELECT",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP city",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t JOIN",
+            "SELECT unknown_func(a) FROM t",
+            "SELECT a FROM t extra garbage ,",
+            "SELECT CASE END FROM t",
+        ],
+    )
+    def test_raises_parse_error(self, bad_sql):
+        with pytest.raises(SQLParseError):
+            parse_select(bad_sql)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse_select("SELECT a FROM t ; SELECT b FROM u")

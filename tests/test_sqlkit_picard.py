@@ -1,0 +1,88 @@
+"""Tests for the PICARD-style validity gate."""
+
+from repro.sqlkit.picard import PicardChecker, is_valid_sql, schema_violations
+from repro.sqlkit.parser import parse_select
+
+
+class TestIsValidSql:
+    def test_valid_without_schema(self):
+        assert is_valid_sql("SELECT a FROM t")
+
+    def test_invalid_syntax(self):
+        assert not is_valid_sql("SELECT FROM WHERE")
+
+    def test_valid_against_schema(self, toy_schema):
+        assert is_valid_sql("SELECT name FROM airports", toy_schema)
+
+    def test_unknown_table(self, toy_schema):
+        assert not is_valid_sql("SELECT name FROM hotels", toy_schema)
+
+    def test_unknown_column(self, toy_schema):
+        assert not is_valid_sql("SELECT colour FROM airports", toy_schema)
+
+    def test_column_wrong_table(self, toy_schema):
+        assert not is_valid_sql(
+            "SELECT T1.price FROM airports AS T1", toy_schema
+        )
+
+
+class TestSchemaViolations:
+    def test_clean_query_no_violations(self, toy_schema):
+        stmt = parse_select(
+            "SELECT T1.name FROM airports AS T1 JOIN flights AS T2 "
+            "ON T1.airport_id = T2.airport_id"
+        )
+        assert schema_violations(stmt, toy_schema) == []
+
+    def test_messages_are_informative(self, toy_schema):
+        stmt = parse_select("SELECT colour FROM airports")
+        violations = schema_violations(stmt, toy_schema)
+        assert violations and "colour" in violations[0]
+
+    def test_subquery_checked(self, toy_schema):
+        stmt = parse_select(
+            "SELECT name FROM airports WHERE airport_id IN "
+            "(SELECT bogus FROM flights)"
+        )
+        assert schema_violations(stmt, toy_schema)
+
+    def test_aggregate_arity(self, toy_schema):
+        stmt = parse_select("SELECT AVG(elevation, city) FROM airports")
+        assert schema_violations(stmt, toy_schema)
+
+    def test_unqualified_column_resolved_anywhere(self, toy_schema):
+        stmt = parse_select("SELECT price FROM flights")
+        assert schema_violations(stmt, toy_schema) == []
+
+
+class TestPicardChecker:
+    def test_accepts(self, toy_schema):
+        checker = PicardChecker(toy_schema)
+        assert checker.accepts("SELECT city FROM airports")
+        assert not checker.accepts("SELECT city FORM airports")
+
+    def test_violations_reports_parse_error(self, toy_schema):
+        checker = PicardChecker(toy_schema)
+        violations = checker.violations("SELECT city FORM airports")
+        assert violations and "parse error" in violations[0]
+
+    def test_no_schema_only_syntax(self):
+        checker = PicardChecker(None)
+        assert checker.accepts("SELECT anything FROM anywhere")
+
+    def test_prefix_feasible_full_query(self, toy_schema):
+        checker = PicardChecker(toy_schema)
+        assert checker.is_prefix_feasible("SELECT city FROM airports")
+
+    def test_prefix_feasible_partial(self, toy_schema):
+        checker = PicardChecker(toy_schema)
+        assert checker.is_prefix_feasible("SELECT city FROM")
+        assert checker.is_prefix_feasible("SELECT")
+        assert checker.is_prefix_feasible("SELECT COUNT(*) FROM t WHERE x =")
+
+    def test_prefix_infeasible(self, toy_schema):
+        checker = PicardChecker(toy_schema)
+        assert not checker.is_prefix_feasible("SELECT city FORM airports WHERE")
+
+    def test_empty_prefix_feasible(self, toy_schema):
+        assert PicardChecker(toy_schema).is_prefix_feasible("")

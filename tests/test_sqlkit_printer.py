@@ -1,0 +1,97 @@
+"""Tests for SQL rendering and normalization."""
+
+import pytest
+
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.printer import normalize_sql, render_literal, to_sql
+
+ROUND_TRIP_QUERIES = [
+    "SELECT name FROM airports",
+    "SELECT DISTINCT city FROM airports WHERE elevation > 100",
+    "SELECT T1.name, T2.price FROM airports AS T1 JOIN flights AS T2 ON T1.id = T2.aid",
+    "SELECT city, COUNT(*) FROM airports GROUP BY city HAVING COUNT(*) > 1",
+    "SELECT name FROM t ORDER BY price DESC LIMIT 3",
+    "SELECT a FROM t WHERE x BETWEEN 1 AND 5 AND name LIKE '%x%'",
+    "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z = 1)",
+    "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)",
+    "SELECT a FROM t UNION SELECT b FROM u",
+    "SELECT CASE WHEN x > 1 THEN 'a' ELSE 'b' END FROM t",
+    "SELECT a FROM t WHERE x IS NOT NULL OR y = 2",
+    "SELECT COUNT(DISTINCT city) FROM airports",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+    def test_normalize_is_fixed_point(self, sql):
+        once = normalize_sql(sql)
+        assert normalize_sql(once) == once
+
+    @pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+    def test_round_trip_preserves_structure(self, sql):
+        assert normalize_sql(sql) == normalize_sql(normalize_sql(sql))
+
+
+class TestFormatting:
+    def test_keywords_uppercased(self):
+        assert normalize_sql("select a from t where x = 1") == (
+            "SELECT a FROM t WHERE x = 1"
+        )
+
+    def test_diamond_rendered_as_bang_equal(self):
+        assert "!=" in normalize_sql("SELECT a FROM t WHERE x <> 1")
+
+    def test_string_quotes_normalized(self):
+        assert normalize_sql('SELECT a FROM t WHERE x = "val"') == (
+            "SELECT a FROM t WHERE x = 'val'"
+        )
+
+    def test_string_escaping(self):
+        sql = normalize_sql("SELECT a FROM t WHERE x = 'it''s'")
+        assert "'it''s'" in sql
+
+    def test_nested_boolean_parenthesized(self):
+        sql = normalize_sql("SELECT a FROM t WHERE x = 1 AND (y = 2 OR z = 3)")
+        assert "(y = 2 OR z = 3)" in sql
+
+    def test_order_direction_explicit(self):
+        sql = normalize_sql("SELECT a FROM t ORDER BY a")
+        assert sql.endswith("ORDER BY a ASC")
+
+    def test_alias_preserved(self):
+        sql = normalize_sql("SELECT x.a FROM t x")
+        assert "FROM t AS x" in sql
+
+
+class TestRenderLiteral:
+    def test_null(self):
+        assert render_literal(None) == "NULL"
+
+    def test_bool(self):
+        assert render_literal(True) == "1"
+        assert render_literal(False) == "0"
+
+    def test_int(self):
+        assert render_literal(5) == "5"
+
+    def test_whole_float_collapses(self):
+        assert render_literal(5.0) == "5"
+
+    def test_fractional_float(self):
+        assert render_literal(2.5) == "2.5"
+
+    def test_string_escaped(self):
+        assert render_literal("o'brien") == "'o''brien'"
+
+
+class TestToSql:
+    def test_limit_rendered(self):
+        assert to_sql(parse_select("SELECT a FROM t LIMIT 7")).endswith("LIMIT 7")
+
+    def test_union_all(self):
+        sql = to_sql(parse_select("SELECT a FROM t UNION ALL SELECT b FROM u"))
+        assert "UNION ALL" in sql
+
+    def test_cast_rendered(self):
+        sql = to_sql(parse_select("SELECT CAST(x AS REAL) FROM t"))
+        assert "CAST(x AS REAL)" in sql

@@ -1,0 +1,97 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLTokenizeError
+from repro.sqlkit.tokenizer import Token, TokenType, tokenize, unquote
+
+
+def kinds(sql):
+    return [t.token_type for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_ends_with_eof(self):
+        assert tokenize("SELECT 1")[-1].token_type == TokenType.EOF
+
+    def test_keywords_recognized(self):
+        tokens = tokenize("SELECT name FROM t WHERE x")
+        assert tokens[0].is_keyword("select")
+        assert tokens[2].is_keyword("from")
+        assert tokens[4].is_keyword("where")
+
+    def test_identifier_vs_keyword(self):
+        tokens = tokenize("select selection")
+        assert tokens[0].token_type == TokenType.KEYWORD
+        assert tokens[1].token_type == TokenType.IDENTIFIER
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.token_type == TokenType.NUMBER
+        assert token.value == "42"
+
+    def test_float_literal(self):
+        assert tokenize("3.14")[0].value == "3.14"
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].token_type == TokenType.NUMBER
+
+    def test_operators(self):
+        assert values("a >= b <> c != d") == ["a", ">=", "b", "<>", "c", "!=", "d"]
+
+    def test_punctuation(self):
+        assert values("(a, b.c);") == ["(", "a", ",", "b", ".", "c", ")", ";"]
+
+    def test_whitespace_ignored(self):
+        assert values("a   \n\t b") == ["a", "b"]
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        token = tokenize("'hello'")[0]
+        assert token.token_type == TokenType.STRING
+        assert token.value == "'hello'"
+
+    def test_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "'it''s'"
+        assert unquote(token.value) == "it's"
+
+    def test_double_quoted(self):
+        assert tokenize('"name"')[0].token_type == TokenType.STRING
+
+    def test_unterminated_raises(self):
+        with pytest.raises(SQLTokenizeError):
+            tokenize("'oops")
+
+    def test_unquote_plain_text(self):
+        assert unquote("plain") == "plain"
+
+
+class TestErrors:
+    def test_illegal_character(self):
+        with pytest.raises(SQLTokenizeError) as exc_info:
+            tokenize("SELECT @x")
+        assert exc_info.value.position == 7
+
+    def test_position_recorded(self):
+        tokens = tokenize("SELECT a")
+        assert tokens[1].position == 7
+
+
+class TestTokenHelpers:
+    def test_lowered(self):
+        assert Token(TokenType.KEYWORD, "SELECT", 0).lowered == "select"
+
+    def test_is_keyword_multiple(self):
+        token = Token(TokenType.KEYWORD, "UNION", 0)
+        assert token.is_keyword("union", "intersect")
+        assert not token.is_keyword("select")
+
+    def test_identifier_is_not_keyword(self):
+        token = Token(TokenType.IDENTIFIER, "select_col", 0)
+        assert not token.is_keyword("select")

@@ -1,0 +1,55 @@
+"""Tests for deterministic RNG derivation."""
+
+import random
+
+from repro.utils.rng import derive_rng, derive_seed, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("a", 1, None) == stable_hash("a", 1, None)
+
+    def test_distinguishes_part_order(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_distinguishes_concatenation_boundaries(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_64_bit_range(self):
+        value = stable_hash("anything")
+        assert 0 <= value < 2**64
+
+    def test_different_types_hash_differently(self):
+        assert stable_hash(1) != stable_hash("1")
+
+
+class TestDeriveSeed:
+    def test_same_key_same_seed(self):
+        assert derive_seed(42, "x", 3) == derive_seed(42, "x", 3)
+
+    def test_different_base_seed_changes_result(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_key_parts_matter(self):
+        assert derive_seed(42, "x") != derive_seed(42, "y")
+
+
+class TestDeriveRng:
+    def test_returns_random_instance(self):
+        assert isinstance(derive_rng(0, "k"), random.Random)
+
+    def test_streams_reproducible(self):
+        a = [derive_rng(7, "stream").random() for __ in range(5)]
+        b = [derive_rng(7, "stream").random() for __ in range(5)]
+        assert a == b
+
+    def test_streams_independent(self):
+        a = derive_rng(7, "one").random()
+        b = derive_rng(7, "two").random()
+        assert a != b
+
+    def test_insensitive_to_call_order(self):
+        rng_a = derive_rng(3, "a")
+        rng_a.random()
+        value_b = derive_rng(3, "b").random()
+        assert value_b == derive_rng(3, "b").random()

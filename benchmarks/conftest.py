@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.evaluator import Evaluator
 from repro.core.metrics import MethodReport
+from repro.core.parallel import ParallelEvaluator
 from repro.datagen.benchmark import (
     Dataset,
     bird_like_config,
@@ -29,10 +29,15 @@ class ReportBundle:
 
     def __init__(self, dataset: Dataset, measure_timing: bool) -> None:
         self.dataset = dataset
-        self.evaluator = Evaluator(
+        # The parallel engine shards each method's examples across workers
+        # and shares one gold-execution precompute across all methods.
+        self.evaluator = ParallelEvaluator(
             dataset, measure_timing=measure_timing, timing_repeats=3
         )
         self._reports: dict[str, MethodReport] = {}
+
+    def close(self) -> None:
+        self.evaluator.close()
 
     def report(self, method_name: str) -> MethodReport:
         if method_name not in self._reports:
@@ -60,9 +65,13 @@ def bird_dataset() -> Dataset:
 
 @pytest.fixture(scope="session")
 def spider_bundle(spider_dataset) -> ReportBundle:
-    return ReportBundle(spider_dataset, measure_timing=True)
+    bundle = ReportBundle(spider_dataset, measure_timing=True)
+    yield bundle
+    bundle.close()
 
 
 @pytest.fixture(scope="session")
 def bird_bundle(bird_dataset) -> ReportBundle:
-    return ReportBundle(bird_dataset, measure_timing=True)
+    bundle = ReportBundle(bird_dataset, measure_timing=True)
+    yield bundle
+    bundle.close()

@@ -1,0 +1,44 @@
+"""Tier-2 perf smoke: the parallel engine must not regress.
+
+Runs ``scripts/bench_eval.py --quick`` in-process: times sequential vs
+parallel vs warm-cache evaluation on a small dataset, asserts the
+warm-cache run performs zero predictions and is not slower than the
+sequential loop, and writes ``BENCH_eval.json`` so future PRs can track
+the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_eval", REPO_ROOT / "scripts" / "bench_eval.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_eval_quick_smoke(tmp_path):
+    bench_eval = _load_bench_module()
+    out = tmp_path / "BENCH_eval.json"
+    exit_code = bench_eval.main(["--quick", "--out", str(out)])
+    assert exit_code == 0
+
+    result = json.loads(out.read_text())
+    assert result["records_identical"]
+    assert result["warm_stats"]["predictions"] == 0
+    assert (
+        result["seconds"]["parallel_warm"]
+        <= result["seconds"]["sequential"] * 1.10
+    )
+    # Refresh the tracked trajectory file at the repo root.
+    (REPO_ROOT / "BENCH_eval.json").write_text(json.dumps(result, indent=2) + "\n")

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Benchmark the evaluation engine: sequential vs parallel vs warm cache.
+
+Times a multi-method zoo evaluation three ways and writes ``BENCH_eval.json``
+so the perf trajectory can be tracked across PRs:
+
+1. **sequential** — the classic :class:`Evaluator` loop.
+2. **parallel (cold)** — :class:`ParallelEvaluator` with a fresh result
+   cache: worker pool + one-pass gold precompute.
+3. **parallel (warm)** — a second engine over the same log store: every
+   record is served from the persistent cross-run result cache.
+
+Also verifies that the parallel records are identical to the sequential
+ones (the engine's core contract).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_eval.py            # full run
+    PYTHONPATH=src python scripts/bench_eval.py --quick    # tier-2 smoke:
+        # asserts parallel+warm-cache is not slower than sequential and
+        # that the warm run performs zero predictions; exits 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.evaluator import Evaluator  # noqa: E402
+from repro.core.logs import ExperimentLogStore  # noqa: E402
+from repro.core.parallel import ParallelEvaluator  # noqa: E402
+from repro.datagen.benchmark import build_benchmark, spider_like_config  # noqa: E402
+from repro.methods.zoo import build_method  # noqa: E402
+
+DEFAULT_METHODS = ["C3SQL", "DAILSQL", "SFT CodeS-7B", "RESDSQL-3B", "SuperSQL"]
+
+
+def _timed(fn) -> tuple[float, dict]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def run_bench(args: argparse.Namespace) -> dict:
+    dataset = build_benchmark(spider_like_config(scale=args.scale, seed=args.seed))
+    methods = args.methods
+    examples = dataset.dev_examples
+    print(
+        f"dataset: {dataset.name} scale={args.scale}"
+        f" ({len(examples)} dev examples, {len(methods)} methods,"
+        f" jobs={args.jobs})",
+        file=sys.stderr,
+    )
+
+    def sequential():
+        evaluator = Evaluator(dataset, measure_timing=args.timing)
+        return evaluator.evaluate_zoo([build_method(m, seed=args.seed) for m in methods])
+
+    seq_seconds, seq_reports = _timed(sequential)
+    print(f"sequential        : {seq_seconds:8.3f}s", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_db = str(Path(tmp) / "bench_cache.db")
+
+        def parallel_cold():
+            with ExperimentLogStore(cache_db) as store:
+                with ParallelEvaluator(
+                    dataset, log_store=store, measure_timing=args.timing,
+                    jobs=args.jobs,
+                ) as engine:
+                    reports = engine.evaluate_zoo(
+                        [build_method(m, seed=args.seed) for m in methods]
+                    )
+                    return reports, engine.stats
+
+        cold_seconds, (cold_reports, cold_stats) = _timed(parallel_cold)
+        print(f"parallel (cold)   : {cold_seconds:8.3f}s", file=sys.stderr)
+
+        def parallel_warm():
+            with ExperimentLogStore(cache_db) as store:
+                with ParallelEvaluator(
+                    dataset, log_store=store, measure_timing=args.timing,
+                    jobs=args.jobs,
+                ) as engine:
+                    reports = engine.evaluate_zoo(
+                        [build_method(m, seed=args.seed) for m in methods]
+                    )
+                    return reports, engine.stats
+
+        warm_seconds, (warm_reports, warm_stats) = _timed(parallel_warm)
+        print(f"parallel (warm)   : {warm_seconds:8.3f}s", file=sys.stderr)
+
+    # Core contract: identical records (bit-identical with timing off;
+    # with timing on, compare the deterministic fields via EX/EM).
+    if args.timing:
+        identical = all(
+            [r.ex for r in seq_reports[m].records]
+            == [r.ex for r in cold_reports[m].records]
+            for m in methods
+        )
+    else:
+        identical = all(
+            seq_reports[m].records == cold_reports[m].records
+            and seq_reports[m].records == warm_reports[m].records
+            for m in methods
+        )
+    dataset.close()
+
+    return {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+        "scale": args.scale,
+        "seed": args.seed,
+        "measure_timing": args.timing,
+        "methods": methods,
+        "dev_examples": len(examples),
+        "seconds": {
+            "sequential": round(seq_seconds, 4),
+            "parallel_cold": round(cold_seconds, 4),
+            "parallel_warm": round(warm_seconds, 4),
+        },
+        "speedup": {
+            "parallel_cold": round(seq_seconds / max(cold_seconds, 1e-9), 3),
+            "parallel_warm": round(seq_seconds / max(warm_seconds, 1e-9), 3),
+        },
+        "records_identical": identical,
+        "cold_stats": {
+            "predictions": cold_stats.predictions,
+            "cache_hits": cold_stats.cache_hits,
+            "gold_executions": cold_stats.gold_executions,
+            "parallel_tasks": cold_stats.parallel_tasks,
+        },
+        "warm_stats": {
+            "predictions": warm_stats.predictions,
+            "cache_hits": warm_stats.cache_hits,
+            "gold_executions": warm_stats.gold_executions,
+            "parallel_tasks": warm_stats.parallel_tasks,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--methods", nargs="+", default=DEFAULT_METHODS)
+    parser.add_argument("--timing", action="store_true",
+                        help="measure VES timings (off by default so runs"
+                             " are comparable bit-for-bit)")
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                             / "BENCH_eval.json"))
+    parser.add_argument("--quick", action="store_true",
+                        help="tier-2 smoke: small dataset, assert warm-cache"
+                             " is not slower than sequential")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.scale = min(args.scale, 0.12)
+        args.methods = args.methods[:3]
+
+    result = run_bench(args)
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    print(json.dumps(result["seconds"], indent=2))
+
+    if not result["records_identical"]:
+        print("FAIL: parallel records differ from sequential", file=sys.stderr)
+        return 1
+    if args.quick:
+        if result["warm_stats"]["predictions"] != 0:
+            print("FAIL: warm-cache run performed predictions", file=sys.stderr)
+            return 1
+        # Allow a little scheduler slack; a warm cache that only reads
+        # SQLite rows should beat a full evaluation comfortably anyway.
+        if result["seconds"]["parallel_warm"] > result["seconds"]["sequential"] * 1.10:
+            print("FAIL: parallel+warm-cache slower than sequential", file=sys.stderr)
+            return 1
+        print("quick smoke OK: warm-cache run did zero predictions and was"
+              f" {result['speedup']['parallel_warm']:.1f}x sequential",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

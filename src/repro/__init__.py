@@ -14,6 +14,7 @@ Quickstart::
 """
 
 from repro.core.evaluator import Evaluator
+from repro.core.parallel import ParallelEvaluator
 from repro.core.filter import DatasetFilter
 from repro.core.logs import ExperimentLogStore
 from repro.core.metrics import EvaluationRecord, MethodReport
@@ -42,6 +43,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Evaluator",
+    "ParallelEvaluator",
     "DatasetFilter",
     "ExperimentLogStore",
     "EvaluationRecord",

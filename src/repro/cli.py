@@ -8,6 +8,12 @@ Subcommands::
     python -m repro stats     --benchmark bird    # Table-2 style statistics
 
 All runs are offline and deterministic for a given ``--seed``.
+
+``evaluate``, ``search``, and ``compare`` run through the parallel
+evaluation engine: ``--jobs N`` shards work across N workers, and a
+``--log-db`` path enables the persistent cross-run result cache (disable
+with ``--no-result-cache``), so identical re-runs skip prediction and
+execution entirely.
 """
 
 from __future__ import annotations
@@ -17,8 +23,8 @@ import sys
 
 from repro.core.aas import AASConfig, run_aas
 from repro.core.design_space import SearchSpace
-from repro.core.evaluator import Evaluator
 from repro.core.logs import ExperimentLogStore
+from repro.core.parallel import ParallelEvaluator
 from repro.core.qvt import qvt_score
 from repro.core.report import format_leaderboard, format_table
 from repro.datagen.benchmark import bird_like_config, build_benchmark, spider_like_config
@@ -48,10 +54,34 @@ def _cmd_methods(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_evaluator(
+    dataset, args: argparse.Namespace, store: ExperimentLogStore | None,
+    measure_timing: bool,
+) -> ParallelEvaluator:
+    return ParallelEvaluator(
+        dataset,
+        log_store=store,
+        measure_timing=measure_timing,
+        jobs=args.jobs,
+        use_result_cache=not args.no_result_cache,
+    )
+
+
+def _print_eval_stats(evaluator: ParallelEvaluator) -> None:
+    stats = evaluator.stats
+    print(
+        f"[engine] predictions={stats.predictions}"
+        f" cache_hits={stats.cache_hits}"
+        f" gold_executions={stats.gold_executions}"
+        f" parallel_tasks={stats.parallel_tasks}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args.benchmark, args.scale, args.seed)
     store = ExperimentLogStore(args.log_db) if args.log_db else None
-    evaluator = Evaluator(dataset, log_store=store, measure_timing=not args.no_timing)
+    evaluator = _make_evaluator(dataset, args, store, not args.no_timing)
     reports = {}
     for name in args.methods:
         print(f"evaluating {name} ...", file=sys.stderr)
@@ -69,6 +99,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     ))
     print()
     print(format_leaderboard(reports, metric=args.metric))
+    _print_eval_stats(evaluator)
+    evaluator.close()
     if store is not None:
         store.close()
     dataset.close()
@@ -77,7 +109,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args.benchmark, args.scale, args.seed)
-    evaluator = Evaluator(dataset, measure_timing=False)
+    store = ExperimentLogStore(args.log_db) if args.log_db else None
+    evaluator = _make_evaluator(dataset, args, store, measure_timing=False)
     examples = dataset.dev_examples[: args.subset]
     config = AASConfig(
         population_size=args.population,
@@ -93,6 +126,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"  {layer:16s} -> {module}")
     print(f"fitness: {result.best.fitness:.1f} "
           f"({result.evaluations} distinct individuals evaluated)")
+    _print_eval_stats(evaluator)
+    evaluator.close()
+    if store is not None:
+        store.close()
     dataset.close()
     return 0
 
@@ -141,7 +178,8 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.compare import compare_methods
     dataset = _build_dataset(args.benchmark, args.scale, args.seed)
-    evaluator = Evaluator(dataset, measure_timing=False)
+    store = ExperimentLogStore(args.log_db) if args.log_db else None
+    evaluator = _make_evaluator(dataset, args, store, measure_timing=False)
     report_a = evaluator.evaluate_method(build_method(args.method_a, seed=args.seed))
     report_b = evaluator.evaluate_method(build_method(args.method_b, seed=args.seed))
     comparison = compare_methods(report_a, report_b)
@@ -154,6 +192,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
           f"95% CI for the EX gap: [{comparison.diff_ci_low:+.1f}, "
           f"{comparison.diff_ci_high:+.1f}]")
     print(comparison.verdict())
+    _print_eval_stats(evaluator)
+    evaluator.close()
+    if store is not None:
+        store.close()
     dataset.close()
     return 0
 
@@ -172,18 +214,30 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.15)
         p.add_argument("--seed", type=int, default=42)
 
+    def engine_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=None,
+                       help="evaluation workers (default: CPU count)")
+        p.add_argument("--no-result-cache", action="store_true",
+                       help="disable the persistent cross-run result cache")
+
     evaluate = sub.add_parser("evaluate", help="evaluate methods on a benchmark")
     common(evaluate)
+    engine_flags(evaluate)
     evaluate.add_argument("--methods", nargs="+", default=CORE_SPIDER_METHODS[:4])
     evaluate.add_argument("--metric", default="ex")
     evaluate.add_argument("--log-db", default=None,
-                          help="path to a SQLite experiment log store")
+                          help="path to a SQLite experiment log store"
+                               " (also hosts the result cache)")
     evaluate.add_argument("--no-timing", action="store_true",
                           help="skip VES timing for faster runs")
     evaluate.set_defaults(func=_cmd_evaluate)
 
     search = sub.add_parser("search", help="run the NL2SQL360-AAS genetic search")
     common(search)
+    engine_flags(search)
+    search.add_argument("--log-db", default=None,
+                        help="SQLite log store; makes genotype fitness"
+                             " survive process restarts via the result cache")
     search.add_argument("--backbone", default="gpt-3.5-turbo")
     search.add_argument("--population", type=int, default=6)
     search.add_argument("--generations", type=int, default=4)
@@ -212,6 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="statistical comparison of two methods (McNemar + bootstrap)"
     )
     common(compare)
+    engine_flags(compare)
+    compare.add_argument("--log-db", default=None,
+                         help="SQLite log store hosting the result cache")
     compare.add_argument("method_a")
     compare.add_argument("method_b")
     compare.set_defaults(func=_cmd_compare)

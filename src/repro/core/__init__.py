@@ -3,6 +3,7 @@
 from repro.core.filter import DatasetFilter
 from repro.core.metrics import EvaluationRecord, MethodReport
 from repro.core.evaluator import Evaluator
+from repro.core.parallel import EvalStats, MethodSpec, ParallelEvaluator, result_fingerprint
 from repro.core.logs import ExperimentLogStore
 from repro.core.qvt import qvt_score
 from repro.core.economy import EconomyRow, economy_table
@@ -18,6 +19,10 @@ __all__ = [
     "EvaluationRecord",
     "MethodReport",
     "Evaluator",
+    "ParallelEvaluator",
+    "MethodSpec",
+    "EvalStats",
+    "result_fingerprint",
     "ExperimentLogStore",
     "qvt_score",
     "EconomyRow",

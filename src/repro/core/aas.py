@@ -13,7 +13,13 @@ A standard genetic algorithm (paper §5.2, Figure 14):
 
 Fitness is any :class:`MethodReport` metric (EX by default) on a chosen
 dataset split; evaluated individuals are cached by assignment so repeated
-genotypes cost nothing.
+genotypes cost nothing.  Each generation's unique unevaluated genotypes
+are handed to the evaluator as one batch (``evaluate_zoo``), so a
+:class:`~repro.core.parallel.ParallelEvaluator` evaluates them
+concurrently — and its persistent result cache makes repeated genotypes
+free even across process restarts.  Genotypes are named canonically by
+their assignment (not their population index), so the same composition
+always maps to the same pipeline config and the same cache fingerprint.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from repro.core.design_space import SearchSpace
 from repro.datagen.benchmark import Example
 from repro.errors import DesignSpaceError
 from repro.methods.base import MethodGroup, PipelineMethod
-from repro.utils.rng import derive_rng
+from repro.utils.rng import derive_rng, stable_hash
 
 
 @dataclass(frozen=True)
@@ -53,7 +59,13 @@ class Individual:
 
 @dataclass
 class AASResult:
-    """Outcome of a search run."""
+    """Outcome of a search run.
+
+    ``evaluations`` counts genotypes whose fitness required actual method
+    predictions — genotypes served entirely by an evaluator's persistent
+    result cache (see :class:`~repro.core.parallel.ParallelEvaluator`)
+    are not counted, so a warm-cache re-run reports fewer evaluations.
+    """
 
     best: Individual
     history: list[list[Individual]] = field(default_factory=list)
@@ -75,26 +87,64 @@ class _FitnessCache:
         self._cache[individual.key()] = fitness
 
 
-def _evaluate(
-    individual: Individual,
+def genotype_name(assignment: dict[str, object]) -> str:
+    """Canonical, order-independent method name for one genotype.
+
+    Using the assignment (not the population index) keeps the pipeline
+    config — and therefore the persistent result-cache fingerprint —
+    identical whenever the same composition reappears, in any generation
+    or any later process.
+    """
+    key = tuple(sorted((k, str(v)) for k, v in assignment.items()))
+    return f"aas-{stable_hash(key):012x}"
+
+
+def _evaluate_population(
+    population: list[Individual],
     space: SearchSpace,
     evaluator: Evaluator,
     examples: list[Example],
     metric: str,
     cache: _FitnessCache,
     counter: list[int],
-    index: int,
-) -> float:
-    cached = cache.get(individual)
-    if cached is not None:
-        return cached
-    config = space.to_config(f"aas-{index}", individual.assignment)
-    method = PipelineMethod(config, MethodGroup.HYBRID)
-    report = evaluator.evaluate_method(method, examples=examples)
-    fitness = float(getattr(report, metric))
-    cache.put(individual, fitness)
-    counter[0] += 1
-    return fitness
+) -> None:
+    """Assign fitness to every individual, batching unevaluated genotypes.
+
+    Unique cache-miss genotypes are evaluated in one ``evaluate_zoo``
+    call, which a :class:`~repro.core.parallel.ParallelEvaluator` fans
+    out across its worker pool.
+    """
+    pending: dict[tuple, list[Individual]] = {}
+    for individual in population:
+        cached = cache.get(individual)
+        if cached is not None:
+            individual.fitness = cached
+        else:
+            pending.setdefault(individual.key(), []).append(individual)
+    if not pending:
+        return
+    methods = {
+        key: PipelineMethod(
+            space.to_config(genotype_name(group[0].assignment), group[0].assignment),
+            MethodGroup.HYBRID,
+        )
+        for key, group in pending.items()
+    }
+    reports = evaluator.evaluate_zoo(list(methods.values()), examples=examples)
+    fresh_counts = getattr(evaluator, "stats", None)
+    for key, group in pending.items():
+        method = methods[key]
+        fitness = float(getattr(reports[method.name], metric))
+        cache.put(group[0], fitness)
+        for individual in group:
+            individual.fitness = fitness
+        # Only count genotypes that actually ran predictions; ones served
+        # fully from a persistent result cache are free.
+        fresh = None
+        if fresh_counts is not None:
+            fresh = fresh_counts.fresh_by_method.get(method.name)
+        if fresh is None or fresh > 0:
+            counter[0] += 1
 
 
 def _roulette_pick(population: list[Individual], rng) -> Individual:
@@ -131,10 +181,9 @@ def run_aas(
         Individual(assignment=space.random_assignment(rng))
         for __ in range(config.population_size)
     ]
-    for i, individual in enumerate(population):
-        individual.fitness = _evaluate(
-            individual, space, evaluator, examples, config.metric, cache, counter, i
-        )
+    _evaluate_population(
+        population, space, evaluator, examples, config.metric, cache, counter
+    )
 
     history = [list(population)]
     for generation in range(config.generations):
@@ -162,11 +211,9 @@ def run_aas(
                 next_population.append(Individual(assignment=child_b))
 
         population = next_population
-        for i, individual in enumerate(population):
-            individual.fitness = _evaluate(
-                individual, space, evaluator, examples, config.metric, cache, counter,
-                generation * config.population_size + i,
-            )
+        _evaluate_population(
+            population, space, evaluator, examples, config.metric, cache, counter
+        )
         history.append(list(population))
 
     best = max(

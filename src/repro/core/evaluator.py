@@ -16,7 +16,16 @@ from repro.dbengine.executor import ExecutionResult, execute_sql, results_match
 from repro.dbengine.timing import timed_execute
 from repro.methods.base import NL2SQLMethod
 from repro.sqlkit.exact_match import exact_match
-from repro.sqlkit.features import extract_features
+from repro.sqlkit.features import SQLFeatures, extract_features
+
+# (db_id, gold_sql) -> (result, seconds); shared between the sequential
+# evaluator and the parallel engine's one-pass gold precompute.
+GoldCache = dict[str, tuple[ExecutionResult, float]]
+
+
+def gold_key(example: Example) -> str:
+    """Cache key for one distinct (db_id, gold_sql) gold execution."""
+    return f"{example.db_id}::{example.gold_sql}"
 
 
 class Evaluator:
@@ -28,18 +37,24 @@ class Evaluator:
         log_store: ExperimentLogStore | None = None,
         timing_repeats: int = 1,
         measure_timing: bool = True,
+        gold_cache: GoldCache | None = None,
+        feature_cache: dict[str, SQLFeatures] | None = None,
     ) -> None:
         self.dataset = dataset
         self.log_store = log_store
         self.timing_repeats = timing_repeats
         self.measure_timing = measure_timing
-        self._gold_cache: dict[str, tuple[ExecutionResult, float]] = {}
-        self._feature_cache: dict[str, object] = {}
+        # Caches may be injected so several evaluators (e.g. the parallel
+        # engine's local path and its workers) share one set of results.
+        self._gold_cache: GoldCache = gold_cache if gold_cache is not None else {}
+        self._feature_cache: dict[str, SQLFeatures] = (
+            feature_cache if feature_cache is not None else {}
+        )
 
     # -- internals ----------------------------------------------------------
 
     def _gold_execution(self, example: Example) -> tuple[ExecutionResult, float]:
-        key = f"{example.db_id}::{example.gold_sql}"
+        key = gold_key(example)
         if key not in self._gold_cache:
             database = self.dataset.database(example.db_id)
             if self.measure_timing:
@@ -52,7 +67,21 @@ class Evaluator:
                 self._gold_cache[key] = (result, 1e-4)
         return self._gold_cache[key]
 
-    def _features(self, gold_sql: str):
+    def precompute_gold(self, examples: list[Example]) -> int:
+        """One-pass gold precompute: run each distinct (db_id, gold_sql) once.
+
+        Shares the timed results with every method evaluated afterwards
+        (and, via the injected ``gold_cache``, with parallel workers).
+        Returns the number of fresh executions performed.
+        """
+        fresh = 0
+        for example in examples:
+            if gold_key(example) not in self._gold_cache:
+                self._gold_execution(example)
+                fresh += 1
+        return fresh
+
+    def _features(self, gold_sql: str) -> SQLFeatures:
         if gold_sql not in self._feature_cache:
             self._feature_cache[gold_sql] = extract_features(gold_sql)
         return self._feature_cache[gold_sql]

@@ -3,6 +3,12 @@
 Every evaluation record is persisted to a normalized schema so that the
 analysis module (and end users) can slice past runs with plain SQL —
 fitting, for a paper about SQL.
+
+The store also hosts the **cross-run result cache** used by
+:class:`~repro.core.parallel.ParallelEvaluator`: finished records are
+keyed by a stable fingerprint of (method config, dataset identity) plus
+the example id, so re-running the same method on the same dataset — in
+this process or a later one — skips prediction and execution entirely.
 """
 
 from __future__ import annotations
@@ -13,16 +19,15 @@ from pathlib import Path
 from repro.core.metrics import EvaluationRecord, MethodReport
 from repro.sqlkit.hardness import BirdDifficulty, Hardness
 
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS runs (
-    run_id INTEGER PRIMARY KEY AUTOINCREMENT,
-    dataset TEXT NOT NULL,
-    method TEXT NOT NULL,
-    created_at TEXT DEFAULT CURRENT_TIMESTAMP
-);
-CREATE TABLE IF NOT EXISTS records (
-    record_id INTEGER PRIMARY KEY AUTOINCREMENT,
-    run_id INTEGER NOT NULL REFERENCES runs(run_id),
+_RECORD_COLUMNS = (
+    "example_id", "db_id", "domain", "question", "gold_sql", "predicted_sql",
+    "hardness", "bird_difficulty", "variant_group", "variant_style", "ex",
+    "em", "gold_seconds", "predicted_seconds", "input_tokens",
+    "output_tokens", "cost_usd", "latency_s", "has_join", "has_subquery",
+    "has_logical_connector", "has_order_by",
+)
+
+_RECORD_COLUMN_SQL = """
     example_id TEXT NOT NULL,
     db_id TEXT NOT NULL,
     domain TEXT NOT NULL,
@@ -45,9 +50,59 @@ CREATE TABLE IF NOT EXISTS records (
     has_subquery INTEGER NOT NULL,
     has_logical_connector INTEGER NOT NULL,
     has_order_by INTEGER NOT NULL
+"""
+
+_SCHEMA = f"""
+CREATE TABLE IF NOT EXISTS runs (
+    run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    dataset TEXT NOT NULL,
+    method TEXT NOT NULL,
+    created_at TEXT DEFAULT CURRENT_TIMESTAMP
+);
+CREATE TABLE IF NOT EXISTS records (
+    record_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id INTEGER NOT NULL REFERENCES runs(run_id),
+    {_RECORD_COLUMN_SQL}
 );
 CREATE INDEX IF NOT EXISTS idx_records_run ON records(run_id);
+CREATE TABLE IF NOT EXISTS result_cache (
+    fingerprint TEXT NOT NULL,
+    method TEXT NOT NULL,
+    {_RECORD_COLUMN_SQL},
+    PRIMARY KEY (fingerprint, example_id)
+);
 """
+
+
+def _record_row(record: EvaluationRecord) -> tuple:
+    """One record as a tuple in ``_RECORD_COLUMNS`` order."""
+    return (
+        record.example_id, record.db_id, record.domain, record.question,
+        record.gold_sql, record.predicted_sql, record.hardness.value,
+        record.bird_difficulty.value, record.variant_group,
+        record.variant_style, int(record.ex), int(record.em),
+        record.gold_seconds, record.predicted_seconds, record.input_tokens,
+        record.output_tokens, record.cost_usd, record.latency_s,
+        int(record.has_join), int(record.has_subquery),
+        int(record.has_logical_connector), int(record.has_order_by),
+    )
+
+
+def _row_to_record(method: str, row: tuple) -> EvaluationRecord:
+    """Inverse of :func:`_record_row`."""
+    return EvaluationRecord(
+        method=method,
+        example_id=row[0], db_id=row[1], domain=row[2], question=row[3],
+        gold_sql=row[4], predicted_sql=row[5],
+        hardness=Hardness(row[6]), bird_difficulty=BirdDifficulty(row[7]),
+        variant_group=row[8], variant_style=row[9],
+        ex=bool(row[10]), em=bool(row[11]),
+        gold_seconds=row[12], predicted_seconds=row[13],
+        input_tokens=row[14], output_tokens=row[15],
+        cost_usd=row[16], latency_s=row[17],
+        has_join=bool(row[18]), has_subquery=bool(row[19]),
+        has_logical_connector=bool(row[20]), has_order_by=bool(row[21]),
+    )
 
 
 class ExperimentLogStore:
@@ -78,26 +133,11 @@ class ExperimentLogStore:
             "INSERT INTO runs (dataset, method) VALUES (?, ?)", (dataset, method)
         )
         run_id = cursor.lastrowid
-        rows = [
-            (
-                run_id, r.example_id, r.db_id, r.domain, r.question, r.gold_sql,
-                r.predicted_sql, r.hardness.value, r.bird_difficulty.value,
-                r.variant_group, r.variant_style, int(r.ex), int(r.em),
-                r.gold_seconds, r.predicted_seconds, r.input_tokens,
-                r.output_tokens, r.cost_usd, r.latency_s, int(r.has_join),
-                int(r.has_subquery), int(r.has_logical_connector),
-                int(r.has_order_by),
-            )
-            for r in records
-        ]
+        placeholders = ", ".join("?" for __ in _RECORD_COLUMNS)
         self.connection.executemany(
-            "INSERT INTO records (run_id, example_id, db_id, domain, question,"
-            " gold_sql, predicted_sql, hardness, bird_difficulty, variant_group,"
-            " variant_style, ex, em, gold_seconds, predicted_seconds,"
-            " input_tokens, output_tokens, cost_usd, latency_s, has_join,"
-            " has_subquery, has_logical_connector, has_order_by)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            rows,
+            f"INSERT INTO records (run_id, {', '.join(_RECORD_COLUMNS)})"
+            f" VALUES (?, {placeholders})",
+            [(run_id, *_record_row(r)) for r in records],
         )
         self.connection.commit()
         return int(run_id)
@@ -119,32 +159,57 @@ class ExperimentLogStore:
         if method_row is None:
             raise KeyError(f"no run with id {run_id}")
         cursor = self.connection.execute(
-            "SELECT example_id, db_id, domain, question, gold_sql, predicted_sql,"
-            " hardness, bird_difficulty, variant_group, variant_style, ex, em,"
-            " gold_seconds, predicted_seconds, input_tokens, output_tokens,"
-            " cost_usd, latency_s, has_join, has_subquery,"
-            " has_logical_connector, has_order_by"
-            " FROM records WHERE run_id = ? ORDER BY record_id",
+            f"SELECT {', '.join(_RECORD_COLUMNS)} FROM records"
+            " WHERE run_id = ? ORDER BY record_id",
             (run_id,),
         )
-        records = [
-            EvaluationRecord(
-                method=method_row[0],
-                example_id=row[0], db_id=row[1], domain=row[2], question=row[3],
-                gold_sql=row[4], predicted_sql=row[5],
-                hardness=Hardness(row[6]), bird_difficulty=BirdDifficulty(row[7]),
-                variant_group=row[8], variant_style=row[9],
-                ex=bool(row[10]), em=bool(row[11]),
-                gold_seconds=row[12], predicted_seconds=row[13],
-                input_tokens=row[14], output_tokens=row[15],
-                cost_usd=row[16], latency_s=row[17],
-                has_join=bool(row[18]), has_subquery=bool(row[19]),
-                has_logical_connector=bool(row[20]), has_order_by=bool(row[21]),
-            )
-            for row in cursor.fetchall()
-        ]
+        records = [_row_to_record(method_row[0], row) for row in cursor.fetchall()]
         return MethodReport(method=method_row[0], records=records)
 
     def query(self, sql: str, params: tuple = ()) -> list[tuple]:
         """Run arbitrary read-only SQL over the log schema."""
         return self.connection.execute(sql, params).fetchall()
+
+    # -- cross-run result cache ---------------------------------------------
+
+    def store_cached_records(
+        self, fingerprint: str, records: list[EvaluationRecord]
+    ) -> int:
+        """Upsert finished records under ``fingerprint``; returns the count."""
+        if not records:
+            return 0
+        placeholders = ", ".join("?" for __ in _RECORD_COLUMNS)
+        self.connection.executemany(
+            "INSERT OR REPLACE INTO result_cache"
+            f" (fingerprint, method, {', '.join(_RECORD_COLUMNS)})"
+            f" VALUES (?, ?, {placeholders})",
+            [(fingerprint, r.method, *_record_row(r)) for r in records],
+        )
+        self.connection.commit()
+        return len(records)
+
+    def cached_records(self, fingerprint: str) -> dict[str, EvaluationRecord]:
+        """All cached records for ``fingerprint``, keyed by example id."""
+        cursor = self.connection.execute(
+            f"SELECT method, {', '.join(_RECORD_COLUMNS)} FROM result_cache"
+            " WHERE fingerprint = ?",
+            (fingerprint,),
+        )
+        records = [_row_to_record(row[0], row[1:]) for row in cursor.fetchall()]
+        return {record.example_id: record for record in records}
+
+    def result_cache_size(self) -> int:
+        """Number of cached (fingerprint, example) entries."""
+        row = self.connection.execute("SELECT COUNT(*) FROM result_cache").fetchone()
+        return int(row[0])
+
+    def clear_result_cache(self, fingerprint: str | None = None) -> int:
+        """Drop cached results (all of them, or one fingerprint's)."""
+        if fingerprint is None:
+            cursor = self.connection.execute("DELETE FROM result_cache")
+        else:
+            cursor = self.connection.execute(
+                "DELETE FROM result_cache WHERE fingerprint = ?", (fingerprint,)
+            )
+        self.connection.commit()
+        return int(cursor.rowcount)

@@ -109,6 +109,27 @@ class Dataset:
     name: str
     examples: list[Example] = field(default_factory=list)
     databases: dict[str, Database] = field(default_factory=dict)
+    # The recipe this dataset was built from (set by build_benchmark).
+    # Parallel evaluation workers use it to rebuild the dataset in-process,
+    # since live sqlite3 connections cannot cross a process boundary.
+    config: "BenchmarkConfig | None" = None
+
+    def fingerprint(self) -> str:
+        """Stable identity of this dataset's contents across processes.
+
+        Built datasets hash their full build recipe (name, seed, scale-derived
+        counts, shape weights); hand-assembled datasets fall back to hashing
+        the example stream itself.
+        """
+        from repro.utils.rng import stable_hash
+
+        if self.config is not None:
+            return f"{stable_hash('benchmark-config', repr(self.config)):016x}"
+        content = [
+            (e.example_id, e.db_id, e.gold_sql, e.question, e.split)
+            for e in self.examples
+        ]
+        return f"{stable_hash('dataset-content', self.name, content):016x}"
 
     def database(self, db_id: str) -> Database:
         try:
@@ -345,7 +366,7 @@ def _make_examples(
 
 def build_benchmark(config: BenchmarkConfig) -> Dataset:
     """Build the full benchmark described by ``config``."""
-    dataset = Dataset(name=config.name)
+    dataset = Dataset(name=config.name, config=config)
     # Dev databases use distinct indices from train databases so dev
     # schemas are unseen during fine-tuning (cross-database evaluation, as
     # in Spider).

@@ -8,6 +8,7 @@ offers value lookups used by BRIDGE-style DB-content matching.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
@@ -22,10 +23,14 @@ class Database:
     def __init__(self, schema: DatabaseSchema, path: str | Path | None = None) -> None:
         self.schema = schema
         self._path = str(path) if path is not None else ":memory:"
-        self.connection = sqlite3.connect(self._path)
+        # check_same_thread=False lets the parallel evaluator's thread pool
+        # share this connection; the lock serializes access because the
+        # progress-handler install/remove in execute_sql is not atomic.
+        self.connection = sqlite3.connect(self._path, check_same_thread=False)
+        self.lock = threading.RLock()
         self.connection.execute("PRAGMA foreign_keys = ON")
         self._create_tables()
-        self._value_cache: dict[tuple[str, str], list[object]] = {}
+        self._value_cache: dict[tuple[str, str, int], list[object]] = {}
 
     # -- lifecycle ------------------------------------------------------
 
@@ -66,29 +71,32 @@ class Database:
         column_names = ", ".join(column.name for column in columns)
         sql = f"INSERT INTO {table_name} ({column_names}) VALUES ({placeholders})"
         rows = list(rows)
-        try:
-            self.connection.executemany(sql, rows)
-        except sqlite3.Error as exc:
-            raise ExecutionError(f"insert into {table_name} failed: {exc}", sql) from exc
-        self.connection.commit()
-        self._value_cache.clear()
+        with self.lock:
+            try:
+                self.connection.executemany(sql, rows)
+            except sqlite3.Error as exc:
+                raise ExecutionError(f"insert into {table_name} failed: {exc}", sql) from exc
+            self.connection.commit()
+            self._value_cache.clear()
         return len(rows)
 
     def row_count(self, table_name: str) -> int:
-        cursor = self.connection.execute(f"SELECT COUNT(*) FROM {table_name}")
-        return int(cursor.fetchone()[0])
+        with self.lock:
+            cursor = self.connection.execute(f"SELECT COUNT(*) FROM {table_name}")
+            return int(cursor.fetchone()[0])
 
     # -- content access (BRIDGE-style value matching) --------------------
 
     def column_values(self, table_name: str, column_name: str, limit: int = 2000) -> list[object]:
-        """Return distinct values of a column (cached)."""
-        key = (table_name.lower(), column_name.lower())
-        if key not in self._value_cache:
-            cursor = self.connection.execute(
-                f"SELECT DISTINCT {column_name} FROM {table_name} LIMIT {int(limit)}"
-            )
-            self._value_cache[key] = [row[0] for row in cursor.fetchall()]
-        return self._value_cache[key]
+        """Return distinct values of a column (cached per requested limit)."""
+        key = (table_name.lower(), column_name.lower(), int(limit))
+        with self.lock:
+            if key not in self._value_cache:
+                cursor = self.connection.execute(
+                    f"SELECT DISTINCT {column_name} FROM {table_name} LIMIT {int(limit)}"
+                )
+                self._value_cache[key] = [row[0] for row in cursor.fetchall()]
+            return self._value_cache[key]
 
     def text_columns(self) -> list[tuple[str, str]]:
         """Return (table, column) pairs for text-typed columns."""

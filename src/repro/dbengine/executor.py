@@ -48,29 +48,33 @@ def execute_sql(
     score failing predictions as simply incorrect.
     """
     connection = database.connection
-    if timeout_ms is not None:
-        budget = {"ticks": max(timeout_ms, 1) * 500}
-
-        def _tick() -> int:
-            budget["ticks"] -= 1
-            return 1 if budget["ticks"] <= 0 else 0
-
-        connection.set_progress_handler(_tick, 1_000)
-    try:
-        cursor = connection.execute(sql)
-        rows = cursor.fetchmany(max_rows + 1)
-        if len(rows) > max_rows:
-            rows = rows[:max_rows]
-        return ExecutionResult(rows=[tuple(row) for row in rows], sql=sql)
-    except sqlite3.OperationalError as exc:
-        if "interrupted" in str(exc).lower():
-            return ExecutionResult(error=f"timeout: {exc}", sql=sql)
-        return ExecutionResult(error=str(exc), sql=sql)
-    except sqlite3.Error as exc:
-        return ExecutionResult(error=str(exc), sql=sql)
-    finally:
+    # The database lock serializes concurrent executions from the parallel
+    # evaluator's thread pool: the progress-handler install/remove below
+    # must not interleave between threads sharing one connection.
+    with database.lock:
         if timeout_ms is not None:
-            connection.set_progress_handler(None, 0)
+            budget = {"ticks": max(timeout_ms, 1) * 500}
+
+            def _tick() -> int:
+                budget["ticks"] -= 1
+                return 1 if budget["ticks"] <= 0 else 0
+
+            connection.set_progress_handler(_tick, 1_000)
+        try:
+            cursor = connection.execute(sql)
+            rows = cursor.fetchmany(max_rows + 1)
+            if len(rows) > max_rows:
+                rows = rows[:max_rows]
+            return ExecutionResult(rows=[tuple(row) for row in rows], sql=sql)
+        except sqlite3.OperationalError as exc:
+            if "interrupted" in str(exc).lower():
+                return ExecutionResult(error=f"timeout: {exc}", sql=sql)
+            return ExecutionResult(error=str(exc), sql=sql)
+        except sqlite3.Error as exc:
+            return ExecutionResult(error=str(exc), sql=sql)
+        finally:
+            if timeout_ms is not None:
+                connection.set_progress_handler(None, 0)
 
 
 def execute_sql_strict(database: Database, sql: str, **kwargs: object) -> ExecutionResult:

@@ -3,7 +3,9 @@
 BIRD's VES weighs each correctly-answered example by
 ``sqrt(T_gold / T_pred)`` — the relative runtime of the ground-truth query
 versus the predicted query.  We time repeated executions with
-``time.perf_counter`` and take the median to damp scheduler noise.
+``time.perf_counter`` and take the minimum to damp scheduler noise (the
+minimum is the standard noise-robust estimator for micro timings: noise
+only ever adds time).
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from repro.dbengine.executor import ExecutionResult, execute_sql
 
 @dataclass(frozen=True)
 class TimedExecution:
-    """An execution result plus its median wall-clock runtime in seconds."""
+    """An execution result plus its minimum wall-clock runtime in seconds."""
 
     result: ExecutionResult
     seconds: float
@@ -30,7 +32,7 @@ def timed_execute(
     repeats: int = 3,
     timeout_ms: int | None = 2_000,
 ) -> TimedExecution:
-    """Execute ``sql`` ``repeats`` times; return result and median runtime."""
+    """Execute ``sql`` ``repeats`` times; return result and minimum runtime."""
     # Warm-up run: puts pages in SQLite's cache so the timed runs below
     # compare plans, not cold-cache effects.
     result = execute_sql(database, sql, timeout_ms=timeout_ms)

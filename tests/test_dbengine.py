@@ -118,3 +118,44 @@ class TestTiming:
 
     def test_ves_ratio_handles_zero(self):
         assert ves_ratio(0.0, 0.0) == pytest.approx(1.0)
+
+
+class TestColumnValuesLimit:
+    def test_small_limit_does_not_poison_larger_requests(self, toy_db):
+        # Regression: the cache key used to ignore ``limit``, so an early
+        # call with a small limit truncated every later call's view.
+        two = toy_db.column_values("airports", "city", limit=2)
+        assert len(two) == 2
+        everything = toy_db.column_values("airports", "city", limit=2000)
+        assert sorted(everything) == ["Aberdeen", "Boston", "Denver"]
+
+    def test_each_limit_cached_independently(self, toy_db):
+        full = toy_db.column_values("flights", "destination")
+        one = toy_db.column_values("flights", "destination", limit=1)
+        assert len(one) == 1
+        assert toy_db.column_values("flights", "destination") == full
+
+    def test_thread_shared_connection(self, toy_db):
+        # The parallel engine's thread fallback shares one connection; the
+        # database lock must keep concurrent executions well-formed.
+        from concurrent.futures import ThreadPoolExecutor
+
+        def query(_):
+            return execute_sql(toy_db, "SELECT COUNT(*) FROM flights").rows[0][0]
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            assert list(pool.map(query, range(16))) == [6] * 16
+
+
+class TestTimingEstimator:
+    def test_minimum_is_the_runtime_estimator(self, toy_db, monkeypatch):
+        # Pin the estimator choice: repeated runs report the *minimum*
+        # wall-clock sample (noise only ever adds time), not the median.
+        import repro.dbengine.timing as timing
+
+        ticks = iter([0.0, 0.030, 0.030, 0.035, 0.035, 0.045])
+
+        monkeypatch.setattr(timing.time, "perf_counter", lambda: next(ticks))
+        timed = timing.timed_execute(toy_db, "SELECT * FROM flights", repeats=3)
+        # Samples are 0.030, 0.005, 0.010 seconds -> min is 0.005.
+        assert timed.seconds == pytest.approx(0.005)

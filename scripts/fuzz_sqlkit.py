@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Driver for the SQL-toolkit differential fuzz harness.
+
+Runs the three oracle families of :mod:`repro.sqlkit.differential`
+(round-trip, metamorphic exact-match, executor) over the gold corpus of
+both synthetic benchmarks plus ``--seeds`` seeded fuzz rounds, and exits
+non-zero when any oracle diverges.  Equivalent to::
+
+    PYTHONPATH=src python -m repro fuzz-sqlkit --seeds 500
+
+but usable standalone in CI, with a ``--quick`` smoke mode::
+
+    PYTHONPATH=src python scripts/fuzz_sqlkit.py --quick
+
+``--quick`` caps the run (spider corpus only, 40 seeds) so it finishes
+in a few seconds; the tier-1 test suite runs the same configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=500)
+    parser.add_argument("--benchmark", choices=["spider", "bird", "both"],
+                        default="both")
+    parser.add_argument("--scale", type=float, default=0.08)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--max-divergences", type=int, default=25)
+    parser.add_argument("--quick", action="store_true",
+                        help="capped smoke run (spider only, 40 seeds)")
+    args = parser.parse_args(argv)
+
+    from repro.sqlkit.differential import run_fuzz
+
+    if args.quick:
+        args.benchmark = "spider"
+        args.seeds = min(args.seeds, 40)
+        args.scale = min(args.scale, 0.05)
+
+    report = run_fuzz(
+        seeds=args.seeds,
+        benchmark=args.benchmark,
+        scale=args.scale,
+        seed=args.seed,
+        max_divergences=args.max_divergences,
+    )
+    print(report.summary())
+    for divergence in report.divergences:
+        print()
+        print(divergence)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro methods                       # list the model zoo
     python -m repro search    --generations 4     # run NL2SQL360-AAS
     python -m repro stats     --benchmark bird    # Table-2 style statistics
+    python -m repro fuzz-sqlkit --seeds 500       # metric-fidelity fuzz
 
 All runs are offline and deterministic for a given ``--seed``.
 
@@ -175,6 +176,23 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz_sqlkit(args: argparse.Namespace) -> int:
+    from repro.sqlkit.differential import run_fuzz
+    report = run_fuzz(
+        seeds=args.seeds,
+        benchmark=args.benchmark,
+        scale=args.scale,
+        seed=args.seed,
+        include_gold_corpus=not args.no_gold_corpus,
+        max_divergences=args.max_divergences,
+    )
+    print(report.summary())
+    for divergence in report.divergences:
+        print()
+        print(divergence)
+    return 0 if report.ok else 1
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.compare import compare_methods
     dataset = _build_dataset(args.benchmark, args.scale, args.seed)
@@ -261,6 +279,23 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite.add_argument("--db-id", default=None,
                          help="database to resolve ambiguity against")
     rewrite.set_defaults(func=_cmd_rewrite)
+
+    fuzz = sub.add_parser(
+        "fuzz-sqlkit",
+        help="differential/metamorphic fuzz of the SQL toolkit and executor",
+    )
+    fuzz.add_argument("--benchmark", choices=["spider", "bird", "both"],
+                      default="both")
+    fuzz.add_argument("--scale", type=float, default=0.08,
+                      help="benchmark scale for the fuzz corpus")
+    fuzz.add_argument("--seed", type=int, default=42)
+    fuzz.add_argument("--seeds", type=int, default=200,
+                      help="number of fuzz rounds after the gold-corpus pass")
+    fuzz.add_argument("--no-gold-corpus", action="store_true",
+                      help="skip the exhaustive gold-query round-trip pass")
+    fuzz.add_argument("--max-divergences", type=int, default=25,
+                      help="stop after reporting this many divergences")
+    fuzz.set_defaults(func=_cmd_fuzz_sqlkit)
 
     compare = sub.add_parser(
         "compare", help="statistical comparison of two methods (McNemar + bootstrap)"

@@ -131,6 +131,8 @@ class Evaluator:
             has_subquery=features.has_subquery,
             has_logical_connector=features.has_logical_connector,
             has_order_by=features.has_order_by,
+            gold_truncated=gold_result.truncated,
+            predicted_truncated=predicted_result.truncated,
         )
 
     # -- public API --------------------------------------------------------------

@@ -24,7 +24,8 @@ _RECORD_COLUMNS = (
     "hardness", "bird_difficulty", "variant_group", "variant_style", "ex",
     "em", "gold_seconds", "predicted_seconds", "input_tokens",
     "output_tokens", "cost_usd", "latency_s", "has_join", "has_subquery",
-    "has_logical_connector", "has_order_by",
+    "has_logical_connector", "has_order_by", "gold_truncated",
+    "predicted_truncated",
 )
 
 _RECORD_COLUMN_SQL = """
@@ -49,7 +50,9 @@ _RECORD_COLUMN_SQL = """
     has_join INTEGER NOT NULL,
     has_subquery INTEGER NOT NULL,
     has_logical_connector INTEGER NOT NULL,
-    has_order_by INTEGER NOT NULL
+    has_order_by INTEGER NOT NULL,
+    gold_truncated INTEGER NOT NULL DEFAULT 0,
+    predicted_truncated INTEGER NOT NULL DEFAULT 0
 """
 
 _SCHEMA = f"""
@@ -85,6 +88,7 @@ def _record_row(record: EvaluationRecord) -> tuple:
         record.output_tokens, record.cost_usd, record.latency_s,
         int(record.has_join), int(record.has_subquery),
         int(record.has_logical_connector), int(record.has_order_by),
+        int(record.gold_truncated), int(record.predicted_truncated),
     )
 
 
@@ -102,6 +106,7 @@ def _row_to_record(method: str, row: tuple) -> EvaluationRecord:
         cost_usd=row[16], latency_s=row[17],
         has_join=bool(row[18]), has_subquery=bool(row[19]),
         has_logical_connector=bool(row[20]), has_order_by=bool(row[21]),
+        gold_truncated=bool(row[22]), predicted_truncated=bool(row[23]),
     )
 
 
@@ -111,7 +116,22 @@ class ExperimentLogStore:
     def __init__(self, path: str | Path = ":memory:") -> None:
         self.connection = sqlite3.connect(str(path))
         self.connection.executescript(_SCHEMA)
+        self._migrate()
         self.connection.commit()
+
+    def _migrate(self) -> None:
+        """Add columns introduced after a store file was first created."""
+        for table in ("records", "result_cache"):
+            existing = {
+                row[1]
+                for row in self.connection.execute(f"PRAGMA table_info({table})")
+            }
+            for column in ("gold_truncated", "predicted_truncated"):
+                if column not in existing:
+                    self.connection.execute(
+                        f"ALTER TABLE {table} ADD COLUMN {column}"
+                        " INTEGER NOT NULL DEFAULT 0"
+                    )
 
     def close(self) -> None:
         self.connection.close()

@@ -42,6 +42,10 @@ class EvaluationRecord:
     has_subquery: bool = False
     has_logical_connector: bool = False
     has_order_by: bool = False
+    # Executor truncation flags: when set, the corresponding execution hit
+    # the row cap and its EX verdict was forced to False by results_match.
+    gold_truncated: bool = False
+    predicted_truncated: bool = False
 
     @property
     def total_tokens(self) -> int:

@@ -21,11 +21,18 @@ _DEFAULT_MAX_ROWS = 100_000
 
 @dataclass
 class ExecutionResult:
-    """Outcome of executing one SQL query."""
+    """Outcome of executing one SQL query.
+
+    ``truncated`` marks results cut off at the executor's ``max_rows``
+    cap: the visible rows are only a prefix of the true result, so two
+    truncated results agreeing row-for-row proves nothing about the full
+    result sets.
+    """
 
     rows: list[tuple] = field(default_factory=list)
     error: str | None = None
     sql: str = ""
+    truncated: bool = False
 
     @property
     def ok(self) -> bool:
@@ -63,9 +70,12 @@ def execute_sql(
         try:
             cursor = connection.execute(sql)
             rows = cursor.fetchmany(max_rows + 1)
-            if len(rows) > max_rows:
+            truncated = len(rows) > max_rows
+            if truncated:
                 rows = rows[:max_rows]
-            return ExecutionResult(rows=[tuple(row) for row in rows], sql=sql)
+            return ExecutionResult(
+                rows=[tuple(row) for row in rows], sql=sql, truncated=truncated
+            )
         except sqlite3.OperationalError as exc:
             if "interrupted" in str(exc).lower():
                 return ExecutionResult(error=f"timeout: {exc}", sql=sql)
@@ -111,6 +121,12 @@ def results_match(
 ) -> bool:
     """Return True iff both executions succeeded and produce equal results."""
     if not predicted.ok or not gold.ok:
+        return False
+    if predicted.truncated or gold.truncated:
+        # A truncated result is a silent prefix of a larger set: two
+        # truncated results agreeing row-for-row proves nothing, and a
+        # truncated result matching an untruncated one of the same visible
+        # length has a provably larger true row count.  Refuse both.
         return False
     if len(predicted.rows) != len(gold.rows):
         return False

@@ -29,6 +29,12 @@ from repro.sqlkit.hardness import Hardness, classify_hardness
 from repro.sqlkit.exact_match import exact_match
 from repro.sqlkit.natsql import NatSQLQuery, from_natsql, to_natsql
 from repro.sqlkit.picard import PicardChecker, is_valid_sql
+from repro.sqlkit.differential import (
+    DifferentialFuzzer,
+    Divergence,
+    FuzzReport,
+    run_fuzz,
+)
 
 __all__ = [
     "Token",
@@ -67,4 +73,8 @@ __all__ = [
     "to_natsql",
     "PicardChecker",
     "is_valid_sql",
+    "DifferentialFuzzer",
+    "Divergence",
+    "FuzzReport",
+    "run_fuzz",
 ]

@@ -38,10 +38,16 @@ class Star(Expr):
 
 @dataclass
 class ColumnRef(Expr):
-    """A (possibly table-qualified) column reference."""
+    """A (possibly table-qualified) column reference.
+
+    ``quoted`` records that the column name was written with SQLite
+    identifier quotes; the printer re-quotes it so SQLite's
+    double-quoted-string fallback cannot reinterpret the reference.
+    """
 
     column: str
     table: str | None = None
+    quoted: bool = False
 
     def key(self) -> str:
         """Case-insensitive ``table.column`` key for comparisons."""
@@ -119,14 +125,18 @@ class NotExpr(Expr):
 
 @dataclass
 class LikeExpr(Expr):
-    """``expr [NOT] LIKE pattern``."""
+    """``expr [NOT] LIKE pattern [ESCAPE escape]``."""
 
     operand: Expr
     pattern: Expr
     negated: bool = False
+    escape: Expr | None = None
 
     def children(self) -> list[Expr]:
-        return [self.operand, self.pattern]
+        kids = [self.operand, self.pattern]
+        if self.escape is not None:
+            kids.append(self.escape)
+        return kids
 
 
 @dataclass

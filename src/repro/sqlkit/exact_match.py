@@ -36,9 +36,14 @@ from repro.sqlkit.parser import parse_select
 
 @dataclass(frozen=True)
 class _Canon:
-    """Canonical component decomposition of one SELECT statement."""
+    """Canonical component decomposition of one SELECT statement.
 
-    select_items: frozenset[str]
+    ``select_items`` is an order-insensitive *multiset* (sorted tuple):
+    ``SELECT a, a`` returns a different shape than ``SELECT a`` and must
+    not collapse to the same component set.
+    """
+
+    select_items: tuple[str, ...]
     distinct: bool
     tables: frozenset[str]
     join_conditions: frozenset[str]
@@ -51,8 +56,16 @@ class _Canon:
     nested: tuple["_Canon", ...]
 
 
-def _alias_map(statement: SelectStatement) -> dict[str, str]:
-    mapping: dict[str, str] = {}
+def _alias_map(
+    statement: SelectStatement, outer: dict[str, str] | None = None
+) -> dict[str, str]:
+    """Binding -> real table name, inheriting (and shadowing) outer scope.
+
+    Correlated subqueries reference the enclosing query's aliases
+    (``WHERE T2.aid = T1.id``); a fresh per-statement map would leave
+    ``T1`` unresolved and fail semantically identical pairs.
+    """
+    mapping: dict[str, str] = dict(outer or {})
     if statement.from_clause is None:
         return mapping
     for table in statement.from_clause.tables:
@@ -91,8 +104,14 @@ def _canon_expr(
         op = "!=" if expr.op == "<>" else expr.op
         left = _canon_expr(expr.left, aliases, single_table, compare_values)
         right = _canon_expr(expr.right, aliases, single_table, compare_values)
-        if op == "=":
+        if op in ("=", "!="):
+            # Symmetric comparisons: operand order is irrelevant.
             left, right = sorted((left, right))
+        elif op in (">", ">="):
+            # Mirror flips: ``a > b`` is ``b < a``; canonicalize on < / <=
+            # so flipped spellings compare equal (but a<b never equals b<a).
+            op = "<" if op == ">" else "<="
+            left, right = right, left
         return f"({left} {op} {right})"
     if isinstance(expr, BooleanOp):
         inner = sorted(
@@ -105,7 +124,10 @@ def _canon_expr(
     if isinstance(expr, LikeExpr):
         keyword = "not like" if expr.negated else "like"
         pattern = _canon_expr(expr.pattern, aliases, single_table, compare_values)
-        return f"({_canon_expr(expr.operand, aliases, single_table, compare_values)} {keyword} {pattern})"
+        suffix = ""
+        if expr.escape is not None:
+            suffix = f" escape {_canon_expr(expr.escape, aliases, single_table, compare_values)}"
+        return f"({_canon_expr(expr.operand, aliases, single_table, compare_values)} {keyword} {pattern}{suffix})"
     if isinstance(expr, BetweenExpr):
         keyword = "not between" if expr.negated else "between"
         low = _canon_expr(expr.low, aliases, single_table, compare_values)
@@ -118,7 +140,7 @@ def _canon_expr(
         keyword = "not in" if expr.negated else "in"
         operand = _canon_expr(expr.operand, aliases, single_table, compare_values)
         if expr.subquery is not None:
-            inner = repr(_canonicalize(expr.subquery.select, compare_values))
+            inner = repr(_canonicalize(expr.subquery.select, compare_values, aliases))
             return f"({operand} {keyword} <{inner}>)"
         values = sorted(
             _canon_expr(value, aliases, single_table, compare_values) for value in expr.values
@@ -126,10 +148,10 @@ def _canon_expr(
         return f"({operand} {keyword} [{','.join(values)}])"
     if isinstance(expr, Exists):
         keyword = "not exists" if expr.negated else "exists"
-        inner = repr(_canonicalize(expr.subquery.select, compare_values))
+        inner = repr(_canonicalize(expr.subquery.select, compare_values, aliases))
         return f"({keyword} <{inner}>)"
     if isinstance(expr, Subquery):
-        return f"<{_canonicalize(expr.select, compare_values)!r}>"
+        return f"<{_canonicalize(expr.select, compare_values, aliases)!r}>"
     if isinstance(expr, CaseExpr):
         whens = ";".join(
             f"{_canon_expr(c, aliases, single_table, compare_values)}:"
@@ -156,8 +178,12 @@ def _split_conditions(expr: Expr | None) -> list[Expr]:
     return [expr]
 
 
-def _canonicalize(statement: SelectStatement, compare_values: bool) -> _Canon:
-    aliases = _alias_map(statement)
+def _canonicalize(
+    statement: SelectStatement,
+    compare_values: bool,
+    outer_aliases: dict[str, str] | None = None,
+) -> _Canon:
+    aliases = _alias_map(statement, outer_aliases)
     single_table: str | None = None
     if statement.from_clause is not None and len(statement.from_clause.tables) == 1:
         single_table = statement.from_clause.base.name.lower()
@@ -165,10 +191,10 @@ def _canonicalize(statement: SelectStatement, compare_values: bool) -> _Canon:
     def canon(expr: Expr) -> str:
         return _canon_expr(expr, aliases, single_table, compare_values)
 
-    select_items = frozenset(
+    select_items = tuple(sorted(
         ("distinct " if statement.distinct else "") + canon(item.expr)
         for item in statement.select_items
-    )
+    ))
     tables = frozenset(
         table.name.lower()
         for table in (statement.from_clause.tables if statement.from_clause else [])
@@ -186,7 +212,11 @@ def _canonicalize(statement: SelectStatement, compare_values: bool) -> _Canon:
     set_op: str | None = None
     if statement.set_operation is not None:
         set_op = statement.set_operation.op
-        nested.append(_canonicalize(statement.set_operation.right, compare_values))
+        # Set-operation branches are sibling scopes: they see the same
+        # outer aliases as this statement, not this statement's own FROM.
+        nested.append(
+            _canonicalize(statement.set_operation.right, compare_values, outer_aliases)
+        )
     return _Canon(
         select_items=select_items,
         distinct=statement.distinct,

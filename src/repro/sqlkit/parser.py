@@ -191,7 +191,9 @@ class _Parser:
         token = self.advance()
         if token.token_type not in (TokenType.IDENTIFIER, TokenType.STRING):
             raise SQLParseError(f"expected table name, found {token.value!r}")
-        name = unquote(token.value)
+        # Quoted identifiers arrive pre-unquoted; legacy single-quoted
+        # table names still need their literal quotes stripped.
+        name = token.value if token.token_type == TokenType.IDENTIFIER else unquote(token.value)
         alias: str | None = None
         if self.accept_keyword("as"):
             alias = self.advance().value
@@ -273,7 +275,10 @@ class _Parser:
         if token.is_keyword("like"):
             self.advance()
             pattern = self._parse_additive()
-            return LikeExpr(operand=left, pattern=pattern, negated=negated)
+            escape: Expr | None = None
+            if self.accept_keyword("escape"):
+                escape = self._parse_additive()
+            return LikeExpr(operand=left, pattern=pattern, negated=negated, escape=escape)
         if token.is_keyword("between"):
             self.advance()
             low = self._parse_additive()
@@ -384,7 +389,11 @@ class _Parser:
     def _parse_identifier_expr(self) -> Expr:
         name_token = self.advance()
         name = name_token.value
-        if self.current.token_type == TokenType.PUNCTUATION and self.current.value == "(":
+        if (
+            not name_token.quoted
+            and self.current.token_type == TokenType.PUNCTUATION
+            and self.current.value == "("
+        ):
             return self._parse_func_call(name)
         if self.accept_punct("."):
             member = self.advance()
@@ -392,8 +401,9 @@ class _Parser:
                 return Star(table=name)
             if member.token_type not in (TokenType.IDENTIFIER, TokenType.STRING, TokenType.KEYWORD):
                 raise SQLParseError(f"expected column after {name}., found {member.value!r}")
-            return ColumnRef(column=unquote(member.value), table=name)
-        return ColumnRef(column=name)
+            column = member.value if member.token_type == TokenType.IDENTIFIER else unquote(member.value)
+            return ColumnRef(column=column, table=name, quoted=member.quoted)
+        return ColumnRef(column=name, quoted=name_token.quoted)
 
     def _parse_func_call(self, name: str) -> Expr:
         if name.lower() not in FUNCTIONS:

@@ -7,6 +7,8 @@ library to compare queries modulo whitespace/case/quoting differences.
 
 from __future__ import annotations
 
+import re
+
 from repro.sqlkit.ast_nodes import (
     BetweenExpr,
     BinaryOp,
@@ -30,6 +32,22 @@ from repro.sqlkit.ast_nodes import (
     TableRef,
 )
 from repro.sqlkit.parser import parse_select
+from repro.sqlkit.tokenizer import KEYWORDS
+
+_BARE_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def quote_identifier(name: str, force: bool = False) -> str:
+    """Render ``name`` as a SQL identifier, SQLite-quoted when needed.
+
+    Quotes are required when the name is not a valid bare identifier or
+    collides with a keyword; ``force`` re-quotes identifiers that were
+    quoted in the source (bare output could hit SQLite's double-quoted
+    string-literal fallback and silently change meaning).
+    """
+    if force or not _BARE_IDENTIFIER.match(name) or name.lower() in KEYWORDS:
+        return '"' + name.replace('"', '""') + '"'
+    return name
 
 
 def to_sql(statement: SelectStatement) -> str:
@@ -64,7 +82,7 @@ def to_sql(statement: SelectStatement) -> str:
 def _render_select_item(item: SelectItem) -> str:
     rendered = render_expr(item.expr)
     if item.alias:
-        rendered += f" AS {item.alias}"
+        rendered += f" AS {quote_identifier(item.alias)}"
     return rendered
 
 
@@ -73,9 +91,10 @@ def _render_order_item(item: OrderItem) -> str:
 
 
 def _render_table_ref(table: TableRef) -> str:
+    name = quote_identifier(table.name)
     if table.alias:
-        return f"{table.name} AS {table.alias}"
-    return table.name
+        return f"{name} AS {quote_identifier(table.alias)}"
+    return name
 
 
 def _render_from(from_clause: FromClause) -> str:
@@ -106,9 +125,10 @@ def render_literal(value: object) -> str:
 def render_expr(expr: Expr) -> str:
     """Render any expression node to SQL text."""
     if isinstance(expr, Star):
-        return f"{expr.table}.*" if expr.table else "*"
+        return f"{quote_identifier(expr.table)}.*" if expr.table else "*"
     if isinstance(expr, ColumnRef):
-        return f"{expr.table}.{expr.column}" if expr.table else expr.column
+        column = quote_identifier(expr.column, force=expr.quoted)
+        return f"{quote_identifier(expr.table)}.{column}" if expr.table else column
     if isinstance(expr, Literal):
         return render_literal(expr.value)
     if isinstance(expr, FuncCall):
@@ -128,7 +148,10 @@ def render_expr(expr: Expr) -> str:
         return f"NOT {_render_operand(expr.operand, boolean_context=True)}"
     if isinstance(expr, LikeExpr):
         keyword = "NOT LIKE" if expr.negated else "LIKE"
-        return f"{render_expr(expr.operand)} {keyword} {render_expr(expr.pattern)}"
+        rendered = f"{render_expr(expr.operand)} {keyword} {render_expr(expr.pattern)}"
+        if expr.escape is not None:
+            rendered += f" ESCAPE {render_expr(expr.escape)}"
+        return rendered
     if isinstance(expr, BetweenExpr):
         keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
         return (

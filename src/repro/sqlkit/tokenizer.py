@@ -18,7 +18,7 @@ KEYWORDS = {
     "limit", "offset", "join", "inner", "left", "right", "outer", "full",
     "cross", "on", "as", "and", "or", "not", "in", "like", "between", "is",
     "null", "exists", "union", "intersect", "except", "all", "asc", "desc",
-    "case", "when", "then", "else", "end", "cast",
+    "case", "when", "then", "else", "end", "cast", "escape",
 }
 
 FUNCTIONS = {"count", "sum", "avg", "min", "max", "abs", "round", "length", "iif", "strftime"}
@@ -38,11 +38,17 @@ class TokenType(Enum):
 
 @dataclass(frozen=True)
 class Token:
-    """A single token with its lexical type, value, and source position."""
+    """A single token with its lexical type, value, and source position.
+
+    ``quoted`` marks identifiers that were written with SQLite identifier
+    quotes (``"..."`` or `` `...` ``); their ``value`` is the unquoted
+    name.  String-literal tokens keep their raw quoted text as ``value``.
+    """
 
     token_type: TokenType
     value: str
     position: int
+    quoted: bool = False
 
     @property
     def lowered(self) -> str:
@@ -79,10 +85,12 @@ def tokenize(sql: str) -> list[Token]:
             if char == "'":
                 tokens.append(Token(TokenType.STRING, raw, i))
             else:
-                # Double-quoted / backtick strings are quoted identifiers in
-                # SQLite, but Spider-style SQL uses "..." for values too; we
-                # classify by content later at parse time.  Keep as STRING.
-                tokens.append(Token(TokenType.STRING, raw, i))
+                # Double-quoted / backtick names are quoted *identifiers* in
+                # SQLite, never string literals; rewriting them to '...'
+                # would change semantics.  The token carries the unquoted
+                # name plus a ``quoted`` marker so the printer can restore
+                # identifier quotes.
+                tokens.append(Token(TokenType.IDENTIFIER, unquote(raw), i, quoted=True))
             i = end
             continue
         if char.isdigit() or (char == "." and i + 1 < length and sql[i + 1].isdigit()):

@@ -113,3 +113,51 @@ class TestLogStore:
             run_id = store.store_records("spider-like", report.records)
         with ExperimentLogStore(path) as store:
             assert store.load_report(run_id).ex == report.ex
+
+    def test_truncation_flags_round_trip(self, evaluated):
+        __, store, report = evaluated
+        import dataclasses
+
+        flagged = dataclasses.replace(
+            report.records[0], gold_truncated=True, predicted_truncated=True
+        )
+        run_id = store.store_records("spider-like", [flagged])
+        reloaded = store.load_report(run_id).records[0]
+        assert reloaded.gold_truncated and reloaded.predicted_truncated
+
+    def test_old_store_file_gains_truncation_columns(self, tmp_path, evaluated):
+        # Stores created before the truncated flags existed must be
+        # migrated in place when reopened.
+        import sqlite3
+
+        from repro.core.logs import _RECORD_COLUMN_SQL
+
+        path = tmp_path / "old.db"
+        old_columns = _RECORD_COLUMN_SQL.split("gold_truncated")[0].rstrip().rstrip(",")
+        connection = sqlite3.connect(path)
+        connection.executescript(f"""
+            CREATE TABLE runs (
+                run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+                dataset TEXT NOT NULL, method TEXT NOT NULL,
+                created_at TEXT DEFAULT CURRENT_TIMESTAMP
+            );
+            CREATE TABLE records (
+                record_id INTEGER PRIMARY KEY AUTOINCREMENT,
+                run_id INTEGER NOT NULL REFERENCES runs(run_id),
+                {old_columns}
+            );
+            CREATE TABLE result_cache (
+                fingerprint TEXT NOT NULL, method TEXT NOT NULL,
+                {old_columns},
+                PRIMARY KEY (fingerprint, example_id)
+            );
+        """)
+        connection.commit()
+        connection.close()
+
+        __, __, report = evaluated
+        with ExperimentLogStore(path) as store:
+            run_id = store.store_records("spider-like", report.records)
+            loaded = store.load_report(run_id)
+        assert len(loaded) == len(report)
+        assert all(not r.gold_truncated for r in loaded.records)

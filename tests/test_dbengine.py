@@ -66,6 +66,31 @@ class TestExecutor:
         result = execute_sql(toy_db, "SELECT * FROM flights", max_rows=3)
         assert len(result) == 3
 
+    def test_truncation_flag_set_on_overflow(self, toy_db):
+        result = execute_sql(toy_db, "SELECT * FROM flights", max_rows=3)
+        assert result.truncated
+
+    def test_truncation_flag_clear_when_all_rows_fit(self, toy_db):
+        result = execute_sql(toy_db, "SELECT * FROM flights", max_rows=6)
+        assert not result.truncated
+        assert len(result) == 6
+
+    def test_truncated_results_never_match(self, toy_db):
+        # Regression: two row-capped results used to compare equal even
+        # though the visible rows are only a prefix of the true result
+        # sets — EX could silently confirm a wrong prediction.
+        a = execute_sql(toy_db, "SELECT * FROM flights", max_rows=3)
+        b = execute_sql(toy_db, "SELECT * FROM flights", max_rows=3)
+        assert a.truncated and b.truncated
+        assert not results_match(a, b)
+
+    def test_truncated_vs_complete_never_match(self, toy_db):
+        capped = execute_sql(toy_db, "SELECT * FROM flights LIMIT 3", max_rows=2)
+        full = execute_sql(toy_db, "SELECT * FROM flights LIMIT 2")
+        assert capped.truncated and not full.truncated
+        assert not results_match(capped, full)
+        assert not results_match(full, capped)
+
     def test_results_match_order_insensitive(self):
         a = ExecutionResult(rows=[(1,), (2,)])
         b = ExecutionResult(rows=[(2,), (1,)])

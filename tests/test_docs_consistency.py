@@ -78,7 +78,7 @@ class TestReadme:
             action for action in parser._actions
             if hasattr(action, "choices") and action.choices
         )
-        for command in re.findall(r"python -m repro ([a-z]+)", readme):
+        for command in re.findall(r"python -m repro ([a-z][a-z-]*)", readme):
             assert command in subparsers.choices, command
 
 

@@ -112,6 +112,87 @@ class TestMismatches:
         )
 
 
+class TestCorrelatedSubqueries:
+    def test_outer_alias_visible_in_subquery(self):
+        # Regression: the subquery's canonicalization used to start from an
+        # empty alias map, so the correlated outer reference T1.id resolved
+        # differently on each side and equivalent pairs scored EM = 0.
+        assert exact_match(
+            "SELECT T1.name FROM airports AS T1 WHERE EXISTS "
+            "(SELECT 1 FROM flights WHERE flights.aid = T1.id)",
+            "SELECT A.name FROM airports AS A WHERE EXISTS "
+            "(SELECT 1 FROM flights WHERE flights.aid = A.id)",
+        )
+
+    def test_inner_alias_shadows_outer(self):
+        assert exact_match(
+            "SELECT T1.a FROM t AS T1 WHERE T1.x IN "
+            "(SELECT T1.y FROM u AS T1)",
+            "SELECT B.a FROM t AS B WHERE B.x IN "
+            "(SELECT C.y FROM u AS C)",
+        )
+
+    def test_correlated_in_subquery(self):
+        assert exact_match(
+            "SELECT T1.name FROM airports AS T1 WHERE T1.id IN "
+            "(SELECT aid FROM flights WHERE flights.price > T1.elevation)",
+            "SELECT X.name FROM airports AS X WHERE X.id IN "
+            "(SELECT aid FROM flights WHERE flights.price > X.elevation)",
+        )
+
+    def test_set_operation_branch_does_not_inherit_aliases(self):
+        # UNION branches are sibling scopes, not nested ones: an alias
+        # defined on the left must not leak into the right branch.
+        assert exact_match(
+            "SELECT T1.a FROM t AS T1 UNION SELECT T1.a FROM u AS T1",
+            "SELECT X.a FROM t AS X UNION SELECT Y.a FROM u AS Y",
+        )
+
+
+class TestDuplicateSelectItems:
+    def test_duplicate_item_not_collapsed(self):
+        # Regression: select items were compared as a frozenset, so
+        # SELECT a, a matched SELECT a (and COUNT(*), COUNT(*) matched
+        # COUNT(*)) — a silent EM false positive.
+        assert not exact_match("SELECT a, a FROM t", "SELECT a FROM t")
+
+    def test_duplicate_aggregate_not_collapsed(self):
+        assert not exact_match(
+            "SELECT COUNT(*), COUNT(*) FROM t", "SELECT COUNT(*) FROM t"
+        )
+
+    def test_duplicates_on_both_sides_match(self):
+        assert exact_match("SELECT a, a FROM t", "SELECT a, a FROM t")
+
+    def test_reorder_still_matches(self):
+        assert exact_match("SELECT a, b, a FROM t", "SELECT b, a, a FROM t")
+
+
+class TestComparisonCanonicalization:
+    def test_mirrored_comparison_matches(self):
+        assert exact_match(
+            "SELECT a FROM t WHERE x < 5", "SELECT a FROM t WHERE 5 > x"
+        )
+
+    def test_mirrored_ge_matches(self):
+        assert exact_match(
+            "SELECT a FROM t WHERE x >= y.b", "SELECT a FROM t WHERE y.b <= x"
+        )
+
+    def test_unmirrored_flip_does_not_match(self):
+        assert not exact_match(
+            "SELECT a FROM t WHERE x < 5", "SELECT a FROM t WHERE x > 5"
+        )
+
+    def test_inequality_symmetric(self):
+        assert exact_match(
+            "SELECT a FROM t WHERE x != y", "SELECT a FROM t WHERE y != x"
+        )
+
+    def test_quoted_and_bare_identifier_match(self):
+        assert exact_match('SELECT "name" FROM t', "SELECT name FROM t")
+
+
 class TestRobustness:
     def test_unparseable_prediction_fails_gracefully(self):
         assert not exact_match("SELECT FROM WHERE", "SELECT a FROM t")

@@ -41,10 +41,25 @@ class TestFormatting:
     def test_diamond_rendered_as_bang_equal(self):
         assert "!=" in normalize_sql("SELECT a FROM t WHERE x <> 1")
 
-    def test_string_quotes_normalized(self):
+    def test_double_quoted_identifier_not_rewritten_to_string(self):
+        # Regression: "val" is a quoted identifier; rewriting it to the
+        # string literal 'val' changed query semantics.
         assert normalize_sql('SELECT a FROM t WHERE x = "val"') == (
-            "SELECT a FROM t WHERE x = 'val'"
+            'SELECT a FROM t WHERE x = "val"'
         )
+
+    def test_quoted_identifier_round_trips_as_identifier(self):
+        assert normalize_sql('SELECT "name" FROM t') == 'SELECT "name" FROM t'
+        assert "'" not in normalize_sql('SELECT "name" FROM t')
+
+    def test_identifier_needing_quotes_is_quoted(self):
+        assert normalize_sql('SELECT "first name" FROM "order"') == (
+            'SELECT "first name" FROM "order"'
+        )
+
+    def test_like_escape_round_trips(self):
+        sql = "SELECT a FROM t WHERE b LIKE '%50!%%' ESCAPE '!'"
+        assert normalize_sql(sql) == sql
 
     def test_string_escaping(self):
         sql = normalize_sql("SELECT a FROM t WHERE x = 'it''s'")

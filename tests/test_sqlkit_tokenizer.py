@@ -61,8 +61,37 @@ class TestStrings:
         assert token.value == "'it''s'"
         assert unquote(token.value) == "it's"
 
-    def test_double_quoted(self):
-        assert tokenize('"name"')[0].token_type == TokenType.STRING
+    def test_double_quoted_is_identifier(self):
+        # Regression: "name" is a quoted identifier in SQLite, not a string
+        # literal; lexing it as STRING rewrote it to 'name' downstream.
+        token = tokenize('"name"')[0]
+        assert token.token_type == TokenType.IDENTIFIER
+        assert token.value == "name"
+        assert token.quoted
+
+    def test_backtick_quoted_is_identifier(self):
+        token = tokenize("`name`")[0]
+        assert token.token_type == TokenType.IDENTIFIER
+        assert token.quoted
+
+    def test_quoted_keyword_stays_identifier(self):
+        token = tokenize('"order"')[0]
+        assert token.token_type == TokenType.IDENTIFIER
+        assert token.value == "order"
+
+    def test_quoted_identifier_with_space(self):
+        token = tokenize('"first name"')[0]
+        assert token.value == "first name"
+
+    def test_quoted_identifier_escaped_quote(self):
+        token = tokenize('"a""b"')[0]
+        assert token.value == 'a"b'
+
+    def test_bare_identifier_not_quoted(self):
+        assert not tokenize("name")[0].quoted
+
+    def test_escape_is_keyword(self):
+        assert tokenize("ESCAPE")[0].is_keyword("escape")
 
     def test_unterminated_raises(self):
         with pytest.raises(SQLTokenizeError):

@@ -1,0 +1,79 @@
+"""Tracing and run reports: spans, per-stage metrics, and report-run.
+
+Run with::
+
+    python examples/tracing_and_reports.py
+
+Evaluates one method with the observability layer enabled, prints the
+self-documenting run report (stage-time breakdown, failure categories,
+cache effectiveness, cost per correct query), then persists the traced
+run into an ExperimentLogStore and rebuilds the identical report from
+the database — which is exactly what ``python -m repro report-run``
+does. Reference: docs/OBSERVABILITY.md.
+"""
+
+from repro import Evaluator, build_benchmark, build_method, spider_like_config
+from repro.core.logs import ExperimentLogStore
+from repro.obs import (
+    build_run_report,
+    build_run_trace,
+    render_markdown,
+    report_from_store,
+    tracing,
+)
+
+
+def main() -> None:
+    print("Building spider-like benchmark ...")
+    dataset = build_benchmark(spider_like_config(scale=0.1))
+
+    # 1. Evaluate inside a tracing() block: every example records a span
+    #    tree over the pipeline stages, and tracer.metrics aggregates the
+    #    labelled counters/histograms.
+    method = build_method("SuperSQL")
+    evaluator = Evaluator(dataset, measure_timing=False)
+    with tracing() as tracer:
+        print(f"Evaluating {method.name} (traced) ...")
+        report = evaluator.evaluate_method(method)
+    spans = evaluator.trace_spans
+    print(f"  collected {len(spans)} example spans, "
+          f"{sum(len(s.stages) for s in spans)} stage spans")
+
+    # 2. Peek at the raw span hierarchy for one example.
+    run_trace = build_run_trace(dataset.name, spans)
+    first = run_trace.methods[0].examples[0]
+    print(f"\nSpan tree for {first.method} / {first.example_id}:")
+    for stage in first.stages:
+        print(f"  {stage.stage:<16} {stage.seconds * 1e3:8.3f} ms"
+              f"  cache_hit={stage.cache_hit}  llm_calls={stage.llm_calls}")
+    print(f"  failure tag: {first.failure or 'none (correct)'}")
+
+    # 3. The self-documenting run report.
+    print()
+    print(render_markdown(build_run_report(
+        report.records,
+        spans=spans,
+        metrics=tracer.metrics,
+        dataset=dataset.name,
+    )))
+
+    # 4. Persist the traced run and rebuild the report from the store —
+    #    this is what `python -m repro report-run --log-db ...` does.
+    with ExperimentLogStore(":memory:") as store:
+        run_id = store.store_records(dataset.name, report.records)
+        store.store_trace(run_id, spans)
+        # One method evaluated, so the tracer's merged registry is exactly
+        # this run's registry.
+        store.store_metrics(run_id, tracer.metrics)
+        rebuilt = report_from_store(store)
+        same = rebuilt.equivalence_key() == build_run_report(
+            report.records, spans=spans, metrics=tracer.metrics,
+            dataset=dataset.name,
+        ).equivalence_key()
+        print(f"report rebuilt from log store: run_id={run_id}, "
+              f"failure/cache/economy sections identical: {same}")
+    dataset.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,11 @@ so the perf trajectory can be tracked across PRs:
 3. **parallel (warm)** — a second engine over the same log store: every
    record is served from the persistent cross-run result cache.
 
+A fourth, traced sequential pass measures the observability layer's
+overhead and emits the per-stage time breakdown into the ``tracing``
+section of ``BENCH_eval.json`` (schema documented in
+docs/OBSERVABILITY.md).
+
 Also verifies that the parallel records are identical to the sequential
 ones (the engine's core contract).
 
@@ -39,6 +44,7 @@ from repro.core.logs import ExperimentLogStore  # noqa: E402
 from repro.core.parallel import ParallelEvaluator  # noqa: E402
 from repro.datagen.benchmark import build_benchmark, spider_like_config  # noqa: E402
 from repro.methods.zoo import build_method  # noqa: E402
+from repro.obs import stage_breakdown, tracing  # noqa: E402
 
 DEFAULT_METHODS = ["C3SQL", "DAILSQL", "SFT CodeS-7B", "RESDSQL-3B", "SuperSQL"]
 
@@ -66,6 +72,23 @@ def run_bench(args: argparse.Namespace) -> dict:
 
     seq_seconds, seq_reports = _timed(sequential)
     print(f"sequential        : {seq_seconds:8.3f}s", file=sys.stderr)
+
+    def sequential_traced():
+        evaluator = Evaluator(dataset, measure_timing=args.timing)
+        with tracing():
+            evaluator.evaluate_zoo(
+                [build_method(m, seed=args.seed) for m in methods]
+            )
+        return evaluator.trace_spans
+
+    traced_seconds, trace_spans = _timed(sequential_traced)
+    trace_overhead_pct = 100.0 * (traced_seconds - seq_seconds) / max(seq_seconds, 1e-9)
+    print(
+        f"sequential traced : {traced_seconds:8.3f}s"
+        f" (overhead {trace_overhead_pct:+.1f}%)",
+        file=sys.stderr,
+    )
+    stage_rows = stage_breakdown(trace_spans)
 
     with tempfile.TemporaryDirectory() as tmp:
         cache_db = str(Path(tmp) / "bench_cache.db")
@@ -125,8 +148,19 @@ def run_bench(args: argparse.Namespace) -> dict:
         "dev_examples": len(examples),
         "seconds": {
             "sequential": round(seq_seconds, 4),
+            "sequential_traced": round(traced_seconds, 4),
             "parallel_cold": round(cold_seconds, 4),
             "parallel_warm": round(warm_seconds, 4),
+        },
+        "tracing": {
+            "overhead_pct": round(trace_overhead_pct, 2),
+            "spans": len(trace_spans),
+            "stage_seconds": {
+                stage: round(row["seconds"], 4) for stage, row in stage_rows.items()
+            },
+            "stage_share_pct": {
+                stage: round(row["share_pct"], 2) for stage, row in stage_rows.items()
+            },
         },
         "speedup": {
             "parallel_cold": round(seq_seconds / max(cold_seconds, 1e-9), 3),
@@ -184,8 +218,16 @@ def main(argv: list[str] | None = None) -> int:
         if result["seconds"]["parallel_warm"] > result["seconds"]["sequential"] * 1.10:
             print("FAIL: parallel+warm-cache slower than sequential", file=sys.stderr)
             return 1
+        # The acceptance bar is <= 5% tracing overhead; the smoke gate is
+        # looser because tiny --quick runs are dominated by timer noise.
+        if result["tracing"]["overhead_pct"] > 25.0:
+            print("FAIL: tracing overhead "
+                  f"{result['tracing']['overhead_pct']:.1f}% exceeds smoke bound",
+                  file=sys.stderr)
+            return 1
         print("quick smoke OK: warm-cache run did zero predictions and was"
-              f" {result['speedup']['parallel_warm']:.1f}x sequential",
+              f" {result['speedup']['parallel_warm']:.1f}x sequential;"
+              f" tracing overhead {result['tracing']['overhead_pct']:+.1f}%",
               file=sys.stderr)
     return 0
 

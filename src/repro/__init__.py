@@ -38,6 +38,14 @@ from repro.datagen.benchmark import (
 from repro.methods.base import MethodGroup, NL2SQLMethod, PipelineMethod, Prediction
 from repro.methods.zoo import build_method, default_zoo, method_config
 from repro.modules.base import PipelineConfig
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    build_run_report,
+    render_markdown,
+    report_from_store,
+    tracing,
+)
 
 __version__ = "1.0.0"
 
@@ -77,5 +85,11 @@ __all__ = [
     "default_zoo",
     "method_config",
     "PipelineConfig",
+    "Tracer",
+    "tracing",
+    "MetricsRegistry",
+    "build_run_report",
+    "report_from_store",
+    "render_markdown",
     "__version__",
 ]

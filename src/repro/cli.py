@@ -7,6 +7,7 @@ Subcommands::
     python -m repro search    --generations 4     # run NL2SQL360-AAS
     python -m repro stats     --benchmark bird    # Table-2 style statistics
     python -m repro fuzz-sqlkit --seeds 500       # metric-fidelity fuzz
+    python -m repro report-run --log-db runs.db   # observability run report
 
 All runs are offline and deterministic for a given ``--seed``.
 
@@ -14,13 +15,18 @@ All runs are offline and deterministic for a given ``--seed``.
 evaluation engine: ``--jobs N`` shards work across N workers, and a
 ``--log-db`` path enables the persistent cross-run result cache (disable
 with ``--no-result-cache``), so identical re-runs skip prediction and
-execution entirely.
+execution entirely.  ``--trace`` turns on the observability layer
+(:mod:`repro.obs`): per-stage spans and metrics are collected, appended
+to the printed output, and — with ``--log-db`` — persisted so ``repro
+report-run`` can re-render the run report later (``--json`` for machine
+consumption, ``--check`` for an end-to-end self-test).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 from repro.core.aas import AASConfig, run_aas
 from repro.core.design_space import SearchSpace
@@ -30,6 +36,14 @@ from repro.core.qvt import qvt_score
 from repro.core.report import format_leaderboard, format_table
 from repro.datagen.benchmark import bird_like_config, build_benchmark, spider_like_config
 from repro.methods.zoo import CORE_SPIDER_METHODS, build_method, zoo_configs
+from repro.obs import (
+    build_run_report,
+    render_json,
+    render_markdown,
+    report_from_store,
+    stage_breakdown,
+    tracing,
+)
 from repro.schema.stats import corpus_statistics
 
 
@@ -79,27 +93,52 @@ def _print_eval_stats(evaluator: ParallelEvaluator) -> None:
     )
 
 
+def _print_stage_breakdown(evaluator: ParallelEvaluator) -> None:
+    rows = [
+        [stage, int(row["calls"]), f"{row['seconds']:.4f}",
+         f"{row['share_pct']:.1f}", f"{row['avg_ms']:.3f}"]
+        for stage, row in stage_breakdown(evaluator.trace_spans).items()
+    ]
+    if rows:
+        print()
+        print(format_table(
+            ["Stage", "Calls", "Total s", "Share %", "Avg ms"],
+            rows, title="Stage-time breakdown",
+        ))
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args.benchmark, args.scale, args.seed)
     store = ExperimentLogStore(args.log_db) if args.log_db else None
     evaluator = _make_evaluator(dataset, args, store, not args.no_timing)
     reports = {}
-    for name in args.methods:
-        print(f"evaluating {name} ...", file=sys.stderr)
-        reports[name] = evaluator.evaluate_method(build_method(name, seed=args.seed))
-    rows = [
-        [name, f"{report.ex:.1f}", f"{report.em:.1f}", f"{report.ves:.1f}",
-         f"{qvt_score(report):.1f}", f"{report.avg_tokens:.0f}",
-         f"{report.avg_cost:.4f}"]
-        for name, report in reports.items()
-    ]
-    print(format_table(
-        ["Method", "EX", "EM", "VES", "QVT", "Tok/q", "$/q"],
-        rows,
-        title=f"Evaluation on {dataset.name} dev ({len(dataset.dev_examples)} examples)",
-    ))
-    print()
-    print(format_leaderboard(reports, metric=args.metric))
+    with tracing() if args.trace else nullcontext() as tracer:
+        for name in args.methods:
+            print(f"evaluating {name} ...", file=sys.stderr)
+            reports[name] = evaluator.evaluate_method(build_method(name, seed=args.seed))
+        rows = [
+            [name, f"{report.ex:.1f}", f"{report.em:.1f}", f"{report.ves:.1f}",
+             f"{qvt_score(report):.1f}", f"{report.avg_tokens:.0f}",
+             f"{report.avg_cost:.4f}"]
+            for name, report in reports.items()
+        ]
+        print(format_table(
+            ["Method", "EX", "EM", "VES", "QVT", "Tok/q", "$/q"],
+            rows,
+            title=f"Evaluation on {dataset.name} dev"
+                  f" ({len(dataset.dev_examples)} examples)",
+        ))
+        print()
+        print(format_leaderboard(reports, metric=args.metric))
+        if tracer is not None:
+            all_records = [r for rep in reports.values() for r in rep.records]
+            print()
+            print(render_markdown(build_run_report(
+                all_records,
+                spans=evaluator.trace_spans,
+                metrics=tracer.metrics,
+                dataset=dataset.name,
+            )), end="")
     _print_eval_stats(evaluator)
     evaluator.close()
     if store is not None:
@@ -120,13 +159,18 @@ def _cmd_search(args: argparse.Namespace) -> int:
         mutation_probability=args.mutate,
         seed=args.seed,
     )
-    result = run_aas(SearchSpace(backbone=args.backbone), evaluator, examples, config)
-    print("best-of-generation EX:", [f"{v:.1f}" for v in result.best_per_generation])
-    print("best composition:")
-    for layer, module in result.best.assignment.items():
-        print(f"  {layer:16s} -> {module}")
-    print(f"fitness: {result.best.fitness:.1f} "
-          f"({result.evaluations} distinct individuals evaluated)")
+    with tracing() if args.trace else nullcontext() as tracer:
+        result = run_aas(
+            SearchSpace(backbone=args.backbone), evaluator, examples, config
+        )
+        print("best-of-generation EX:", [f"{v:.1f}" for v in result.best_per_generation])
+        print("best composition:")
+        for layer, module in result.best.assignment.items():
+            print(f"  {layer:16s} -> {module}")
+        print(f"fitness: {result.best.fitness:.1f} "
+              f"({result.evaluations} distinct individuals evaluated)")
+        if tracer is not None:
+            _print_stage_breakdown(evaluator)
     _print_eval_stats(evaluator)
     evaluator.close()
     if store is not None:
@@ -198,23 +242,83 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args.benchmark, args.scale, args.seed)
     store = ExperimentLogStore(args.log_db) if args.log_db else None
     evaluator = _make_evaluator(dataset, args, store, measure_timing=False)
-    report_a = evaluator.evaluate_method(build_method(args.method_a, seed=args.seed))
-    report_b = evaluator.evaluate_method(build_method(args.method_b, seed=args.seed))
-    comparison = compare_methods(report_a, report_b)
-    print(f"{comparison.method_a}: EX {comparison.ex_a:.1f} | "
-          f"{comparison.method_b}: EX {comparison.ex_b:.1f} "
-          f"(n={comparison.n})")
-    print(f"discordant pairs: {comparison.a_only} only-{comparison.method_a}, "
-          f"{comparison.b_only} only-{comparison.method_b}")
-    print(f"McNemar p = {comparison.p_value:.4f}; "
-          f"95% CI for the EX gap: [{comparison.diff_ci_low:+.1f}, "
-          f"{comparison.diff_ci_high:+.1f}]")
-    print(comparison.verdict())
+    with tracing() if args.trace else nullcontext() as tracer:
+        report_a = evaluator.evaluate_method(build_method(args.method_a, seed=args.seed))
+        report_b = evaluator.evaluate_method(build_method(args.method_b, seed=args.seed))
+        comparison = compare_methods(report_a, report_b)
+        print(f"{comparison.method_a}: EX {comparison.ex_a:.1f} | "
+              f"{comparison.method_b}: EX {comparison.ex_b:.1f} "
+              f"(n={comparison.n})")
+        print(f"discordant pairs: {comparison.a_only} only-{comparison.method_a}, "
+              f"{comparison.b_only} only-{comparison.method_b}")
+        print(f"McNemar p = {comparison.p_value:.4f}; "
+              f"95% CI for the EX gap: [{comparison.diff_ci_low:+.1f}, "
+              f"{comparison.diff_ci_high:+.1f}]")
+        print(comparison.verdict())
+        if tracer is not None:
+            _print_stage_breakdown(evaluator)
     _print_eval_stats(evaluator)
     evaluator.close()
     if store is not None:
         store.close()
     dataset.close()
+    return 0
+
+
+def _report_run_check() -> int:
+    """End-to-end self-test: trace a tiny run, persist it, re-render it."""
+    import json
+
+    dataset = _build_dataset("spider", 0.05, 42)
+    store = ExperimentLogStore()
+    with tracing():
+        evaluator = ParallelEvaluator(
+            dataset, log_store=store, measure_timing=False, jobs=1,
+            use_result_cache=False,
+        )
+        evaluator.evaluate_method(build_method("C3SQL", seed=42))
+        evaluator.close()
+    report = report_from_store(store)
+    payload = json.loads(render_json(report))
+    problems = []
+    if not report.traced:
+        problems.append("report not marked as traced")
+    if not report.stage_rows:
+        problems.append("stage-time breakdown is empty")
+    for section in ("headline", "stages", "failures", "cache", "economy"):
+        if section not in payload:
+            problems.append(f"JSON report is missing section {section!r}")
+    if report.cache.get("examples") != len(dataset.dev_examples):
+        problems.append("cache section disagrees with the dev split size")
+    if "# Run report" not in render_markdown(report):
+        problems.append("markdown rendering lost its title")
+    store.close()
+    dataset.close()
+    if problems:
+        for problem in problems:
+            print(f"report-run check: {problem}", file=sys.stderr)
+        return 1
+    print(f"report-run check: OK ({report.examples} examples,"
+          f" {len(report.stage_rows)} stages,"
+          f" {len(report.failures)} failure categories)")
+    return 0
+
+
+def _cmd_report_run(args: argparse.Namespace) -> int:
+    if args.check:
+        return _report_run_check()
+    if not args.log_db:
+        print("report-run needs --log-db (or --check)", file=sys.stderr)
+        return 2
+    store = ExperimentLogStore(args.log_db)
+    try:
+        report = report_from_store(store, run_id=args.run_id)
+    except (ValueError, KeyError) as exc:
+        print(f"report-run: {exc}", file=sys.stderr)
+        store.close()
+        return 1
+    print(render_json(report) if args.json else render_markdown(report), end="")
+    store.close()
     return 0
 
 
@@ -237,6 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="evaluation workers (default: CPU count)")
         p.add_argument("--no-result-cache", action="store_true",
                        help="disable the persistent cross-run result cache")
+        p.add_argument("--trace", action="store_true",
+                       help="collect per-stage spans and metrics;"
+                            " appends the run report to the output")
 
     evaluate = sub.add_parser("evaluate", help="evaluate methods on a benchmark")
     common(evaluate)
@@ -307,6 +414,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("method_a")
     compare.add_argument("method_b")
     compare.set_defaults(func=_cmd_compare)
+
+    report_run = sub.add_parser(
+        "report-run", help="render a persisted run's observability report"
+    )
+    report_run.add_argument("--log-db", default=None,
+                            help="SQLite experiment log store to read")
+    report_run.add_argument("--run-id", type=int, default=None,
+                            help="run to report on (default: the latest)")
+    report_run.add_argument("--json", action="store_true",
+                            help="emit deterministic JSON instead of Markdown")
+    report_run.add_argument("--check", action="store_true",
+                            help="self-test: trace a tiny run end-to-end"
+                                 " and validate the rendered report")
+    report_run.set_defaults(func=_cmd_report_run)
     return parser
 
 

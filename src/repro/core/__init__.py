@@ -1,4 +1,11 @@
-"""NL2SQL360 core: dataset filter, metrics, evaluator, logs, reports, AAS."""
+"""NL2SQL360 core: dataset filter, metrics, evaluator, logs, reports, AAS.
+
+Inputs/outputs: re-exports only; see each submodule's docstring.
+
+Thread/process safety: per re-exported symbol — evaluators and log
+stores are single-owner objects, records and reports are safe to share
+once built (see the submodule docstrings for specifics).
+"""
 
 from repro.core.filter import DatasetFilter
 from repro.core.metrics import EvaluationRecord, MethodReport

@@ -20,6 +20,13 @@ concurrently — and its persistent result cache makes repeated genotypes
 free even across process restarts.  Genotypes are named canonically by
 their assignment (not their population index), so the same composition
 always maps to the same pipeline config and the same cache fingerprint.
+
+Inputs/outputs: a :class:`SearchSpace`, an evaluator, a fitness example
+subset, and an :class:`AASConfig` in; an :class:`AASResult` (best
+individual, per-generation curve, evaluation count) out.
+
+Thread/process safety: ``run_aas`` is a single-threaded coordinator; it
+parallelizes only through the evaluator handed to it.
 """
 
 from __future__ import annotations

@@ -8,6 +8,12 @@ testbed proper paired tests over shared examples:
 * :func:`bootstrap_diff_ci` — a paired bootstrap confidence interval for
   the EX difference;
 * :func:`compare_methods` — both at once, with a verdict.
+
+Inputs/outputs: two :class:`MethodReport` record streams over the same
+examples in; a :class:`Comparison` (test statistics + verdict) out.
+
+Thread/process safety: stateless pure functions — safe from any thread
+or process.
 """
 
 from __future__ import annotations

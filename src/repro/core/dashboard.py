@@ -4,6 +4,12 @@
 the paper's analysis module exposes: the leaderboard, per-hardness
 breakdown, per-characteristic breakdown, per-domain extremes, and the
 economy block — one call, one printable report.
+
+Inputs/outputs: evaluated :class:`MethodReport` objects in; one
+printable text report out.
+
+Thread/process safety: stateless pure formatting — safe from any thread
+or process.
 """
 
 from __future__ import annotations

@@ -6,6 +6,12 @@ fixed to greedy (API models expose no decoder control), prompting uses
 DAIL-SQL's similarity few-shot module when enabled, and the searchable
 layers are pre-processing (schema linking, DB contents), the generation
 strategy (multi-step, intermediate representation), and post-processing.
+
+Inputs/outputs: a :class:`SearchSpace` plus a caller-owned
+``random.Random`` in; :class:`PipelineConfig` individuals out.
+
+Thread/process safety: stateless apart from the RNG the caller passes —
+give each thread its own ``Random`` and the module is safe anywhere.
 """
 
 from __future__ import annotations

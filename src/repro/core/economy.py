@@ -2,6 +2,12 @@
 
 For each prompt-based method: average tokens per query, average dollar
 cost per query, EX, and the EX / average-cost cost-effectiveness ratio.
+
+Inputs/outputs: :class:`MethodReport` objects in; :class:`EconomyRow`
+tables out.
+
+Thread/process safety: stateless pure functions — safe from any thread
+or process.
 """
 
 from __future__ import annotations

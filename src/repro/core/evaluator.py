@@ -5,16 +5,38 @@ databases (caching gold executions), computes EX with Spider's
 order-sensitivity rule, EM with Spider's component comparison, and times
 executions for VES.  Every record can be persisted to the SQLite-backed
 :class:`~repro.core.logs.ExperimentLogStore` for later analysis.
+
+Observability: when a tracer is installed (``repro.obs.tracing()``),
+``evaluate_example`` opens an example span with ``execute``/``score``
+stage children (prediction-side stages are emitted inside the method
+pipeline), tags failures via
+:func:`repro.core.taxonomy.classify_failure`, and ``evaluate_method``
+drains the method's spans into ``self.trace_spans``, folds them into the
+tracer's :class:`~repro.obs.registry.MetricsRegistry`, and persists both
+next to the records when a log store is attached.
+
+Inputs/outputs: a :class:`~repro.datagen.benchmark.Dataset` plus methods
+in, :class:`~repro.core.metrics.MethodReport` record streams out.
+
+Thread/process safety: concurrent ``evaluate_example`` calls from
+multiple threads are safe (database access is lock-guarded, cache-dict
+updates are atomic under the GIL, span state is thread-local);
+``evaluate_method`` / ``evaluate_zoo`` are coordinator-only.  Instances
+do not cross process boundaries — the parallel engine rebuilds one
+evaluator per worker.
 """
 
 from __future__ import annotations
 
 from repro.core.logs import ExperimentLogStore
 from repro.core.metrics import EvaluationRecord, MethodReport
+from repro.core.taxonomy import classify_failure
 from repro.datagen.benchmark import Dataset, Example
 from repro.dbengine.executor import ExecutionResult, execute_sql, results_match
 from repro.dbengine.timing import timed_execute
 from repro.methods.base import NL2SQLMethod
+from repro.obs.registry import MetricsRegistry, ingest_record, ingest_span
+from repro.obs.trace import ExampleSpan, get_tracer
 from repro.sqlkit.exact_match import exact_match
 from repro.sqlkit.features import SQLFeatures, extract_features
 
@@ -50,6 +72,9 @@ class Evaluator:
         self._feature_cache: dict[str, SQLFeatures] = (
             feature_cache if feature_cache is not None else {}
         )
+        # Spans drained from the ambient tracer, one batch per
+        # evaluate_method call; empty while tracing is disabled.
+        self.trace_spans: list[ExampleSpan] = []
 
     # -- internals ----------------------------------------------------------
 
@@ -88,25 +113,39 @@ class Evaluator:
 
     def evaluate_example(self, method: NL2SQLMethod, example: Example) -> EvaluationRecord:
         """Run ``method`` on one example and score it."""
-        database = self.dataset.database(example.db_id)
-        prediction = method.predict(example, database)
-        gold_result, gold_seconds = self._gold_execution(example)
-        features = self._features(example.gold_sql)
-
-        if self.measure_timing:
-            predicted_timed = timed_execute(
-                database, prediction.sql, repeats=self.timing_repeats
-            )
-            predicted_result = predicted_timed.result
-            predicted_seconds = predicted_timed.seconds
-        else:
-            predicted_result = execute_sql(database, prediction.sql)
-            predicted_seconds = 1e-4
-
-        ex = results_match(
-            predicted_result, gold_result, order_matters=features.has_order_by
-        )
-        em = exact_match(prediction.sql, example.gold_sql)
+        trace = get_tracer()
+        with trace.example(method.name, example.example_id) as span:
+            database = self.dataset.database(example.db_id)
+            prediction = method.predict(example, database)
+            gold_cached = gold_key(example) in self._gold_cache
+            with trace.stage("execute") as stage:
+                stage.cache_hit = gold_cached
+                gold_result, gold_seconds = self._gold_execution(example)
+                if self.measure_timing:
+                    predicted_timed = timed_execute(
+                        database, prediction.sql, repeats=self.timing_repeats
+                    )
+                    predicted_result = predicted_timed.result
+                    predicted_seconds = predicted_timed.seconds
+                else:
+                    predicted_result = execute_sql(database, prediction.sql)
+                    predicted_seconds = 1e-4
+            with trace.stage("score"):
+                features = self._features(example.gold_sql)
+                ex = results_match(
+                    predicted_result, gold_result, order_matters=features.has_order_by
+                )
+                em = exact_match(prediction.sql, example.gold_sql)
+            if trace.enabled:
+                span.input_tokens = prediction.input_tokens
+                span.output_tokens = prediction.output_tokens
+                span.cost_usd = prediction.cost_usd
+                span.failure = classify_failure(
+                    ex=ex,
+                    prediction_errors=prediction.errors,
+                    execution_error=predicted_result.error,
+                    truncated=gold_result.truncated or predicted_result.truncated,
+                )
         return EvaluationRecord(
             method=method.name,
             example_id=example.example_id,
@@ -135,6 +174,29 @@ class Evaluator:
             predicted_truncated=predicted_result.truncated,
         )
 
+    def _collect_observability(
+        self, method_name: str, records: list[EvaluationRecord], fresh_gold: int
+    ) -> tuple[list[ExampleSpan], MetricsRegistry | None]:
+        """Drain this method's spans and build its per-run metrics."""
+        trace = get_tracer()
+        if not trace.enabled:
+            return [], None
+        spans = trace.drain(method=method_name)
+        self.trace_spans.extend(spans)
+        registry = MetricsRegistry()
+        registry.count(
+            "gold_executions",
+            value=fresh_gold,
+            method=method_name,
+            benchmark=self.dataset.name,
+        )
+        for record in records:
+            ingest_record(registry, self.dataset.name, record)
+        for span in spans:
+            ingest_span(registry, self.dataset.name, span)
+        trace.metrics.merge(registry)
+        return spans, registry
+
     # -- public API --------------------------------------------------------------
 
     def evaluate_method(
@@ -148,11 +210,21 @@ class Evaluator:
         if prepare:
             method.prepare(self.dataset)
         examples = examples if examples is not None else self.dataset.split(split)
+        # Precompute gold up front: each distinct gold query runs exactly
+        # once, and every example span sees the gold cache warm — same
+        # behaviour as the parallel engine, so span trees are comparable.
+        fresh_gold = self.precompute_gold(examples)
         report = MethodReport(method=method.name)
         for example in examples:
             report.records.append(self.evaluate_example(method, example))
+        spans, registry = self._collect_observability(
+            method.name, report.records, fresh_gold
+        )
         if self.log_store is not None:
-            self.log_store.store_records(self.dataset.name, report.records)
+            run_id = self.log_store.store_records(self.dataset.name, report.records)
+            if registry is not None:
+                self.log_store.store_trace(run_id, spans)
+                self.log_store.store_metrics(run_id, registry)
         return report
 
     def evaluate_zoo(

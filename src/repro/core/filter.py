@@ -15,6 +15,12 @@ Filters compose fluently and lazily::
               .with_join()
               .hardness("hard", "extra")
               .domain("movies"))
+
+Inputs/outputs: an example list in; lazily-composed filtered example
+lists out (the source list is never mutated).
+
+Thread/process safety: filters are immutable once built and evaluation
+is read-only, so sharing across threads is safe.
 """
 
 from __future__ import annotations

@@ -6,6 +6,12 @@ finding holds on this data, with the supporting numbers.  The benchmark
 harness asserts shapes table-by-table; this module offers the same checks
 as a user-facing API — e.g. to validate a *new* benchmark against the
 paper's conclusions.
+
+Inputs/outputs: evaluation artifacts (reports, sweep curves) in;
+:class:`FindingResult` verdicts with supporting numbers out.
+
+Thread/process safety: stateless pure functions — safe from any thread
+or process.
 """
 
 from __future__ import annotations

@@ -9,14 +9,30 @@ The store also hosts the **cross-run result cache** used by
 keyed by a stable fingerprint of (method config, dataset identity) plus
 the example id, so re-running the same method on the same dataset — in
 this process or a later one — skips prediction and execution entirely.
+
+Observability runs piggyback on the same run ids: ``store_trace`` /
+``load_trace`` persist the flattened example+stage span stream of
+:mod:`repro.obs.trace`, and ``store_metrics`` / ``load_metrics`` persist
+a run's :class:`~repro.obs.registry.MetricsRegistry`, so ``repro
+report-run`` can rebuild a full report from the database alone.
+
+Inputs/outputs: evaluation records, spans, and registries in; the same
+objects (plus arbitrary read-only SQL result rows) back out.
+
+Thread/process safety: one store wraps one ``sqlite3`` connection and
+must be used from its owning thread/process only.  Workers never touch
+the store — the coordinating evaluator persists everything exactly once.
 """
 
 from __future__ import annotations
 
+import json
 import sqlite3
 from pathlib import Path
 
 from repro.core.metrics import EvaluationRecord, MethodReport
+from repro.obs.registry import HistogramSummary, MetricsRegistry
+from repro.obs.trace import ExampleSpan, StageSpan
 from repro.sqlkit.hardness import BirdDifficulty, Hardness
 
 _RECORD_COLUMNS = (
@@ -73,6 +89,32 @@ CREATE TABLE IF NOT EXISTS result_cache (
     method TEXT NOT NULL,
     {_RECORD_COLUMN_SQL},
     PRIMARY KEY (fingerprint, example_id)
+);
+CREATE TABLE IF NOT EXISTS trace_spans (
+    run_id INTEGER NOT NULL REFERENCES runs(run_id),
+    position INTEGER NOT NULL,
+    method TEXT NOT NULL,
+    example_id TEXT NOT NULL,
+    stage TEXT NOT NULL DEFAULT '',
+    seconds REAL NOT NULL,
+    cache_hit INTEGER NOT NULL,
+    llm_calls INTEGER NOT NULL,
+    input_tokens INTEGER NOT NULL,
+    output_tokens INTEGER NOT NULL,
+    cost_usd REAL NOT NULL,
+    failure TEXT,
+    PRIMARY KEY (run_id, position)
+);
+CREATE TABLE IF NOT EXISTS run_metrics (
+    run_id INTEGER NOT NULL REFERENCES runs(run_id),
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    labels TEXT NOT NULL,
+    count REAL NOT NULL,
+    total REAL NOT NULL,
+    minimum REAL NOT NULL,
+    maximum REAL NOT NULL,
+    PRIMARY KEY (run_id, kind, name, labels)
 );
 """
 
@@ -233,3 +275,104 @@ class ExperimentLogStore:
             )
         self.connection.commit()
         return int(cursor.rowcount)
+
+    # -- observability: spans and metrics ------------------------------------
+
+    def store_trace(self, run_id: int, spans: list[ExampleSpan]) -> int:
+        """Persist a run's span stream (flattened); returns the row count.
+
+        Each example span becomes one row with ``stage = ''`` followed by
+        one row per stage span; ``position`` preserves the stream order.
+        """
+        rows = []
+        position = 0
+        for span in spans:
+            rows.append((
+                run_id, position, span.method, span.example_id, "",
+                span.seconds, int(span.cache_hit), 0,
+                span.input_tokens, span.output_tokens, span.cost_usd,
+                span.failure,
+            ))
+            position += 1
+            for stage in span.stages:
+                rows.append((
+                    run_id, position, span.method, span.example_id,
+                    stage.stage, stage.seconds, int(stage.cache_hit),
+                    stage.llm_calls, 0, stage.output_tokens, 0.0, None,
+                ))
+                position += 1
+        if rows:
+            self.connection.executemany(
+                "INSERT OR REPLACE INTO trace_spans (run_id, position,"
+                " method, example_id, stage, seconds, cache_hit, llm_calls,"
+                " input_tokens, output_tokens, cost_usd, failure)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            self.connection.commit()
+        return len(rows)
+
+    def load_trace(self, run_id: int) -> list[ExampleSpan]:
+        """Rebuild a run's :class:`ExampleSpan` stream (inverse of store)."""
+        cursor = self.connection.execute(
+            "SELECT method, example_id, stage, seconds, cache_hit, llm_calls,"
+            " input_tokens, output_tokens, cost_usd, failure FROM trace_spans"
+            " WHERE run_id = ? ORDER BY position",
+            (run_id,),
+        )
+        spans: list[ExampleSpan] = []
+        for row in cursor.fetchall():
+            if row[2] == "":
+                spans.append(ExampleSpan(
+                    method=row[0], example_id=row[1], seconds=row[3],
+                    cache_hit=bool(row[4]), input_tokens=int(row[6]),
+                    output_tokens=int(row[7]), cost_usd=row[8],
+                    failure=row[9],
+                ))
+            else:
+                spans[-1].stages.append(StageSpan(
+                    stage=row[2], seconds=row[3], cache_hit=bool(row[4]),
+                    llm_calls=int(row[5]), output_tokens=int(row[7]),
+                ))
+        return spans
+
+    def store_metrics(self, run_id: int, registry: MetricsRegistry) -> int:
+        """Persist a run's metrics registry; returns the row count."""
+        rows = [
+            (run_id, "counter", name, json.dumps(labels, sort_keys=True),
+             value, value, 0.0, 0.0)
+            for name, labels, value in registry.counters()
+        ] + [
+            (run_id, "histogram", name, json.dumps(labels, sort_keys=True),
+             summary.count, summary.total, summary.minimum, summary.maximum)
+            for name, labels, summary in registry.histograms()
+        ]
+        if rows:
+            self.connection.executemany(
+                "INSERT OR REPLACE INTO run_metrics (run_id, kind, name,"
+                " labels, count, total, minimum, maximum)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            self.connection.commit()
+        return len(rows)
+
+    def load_metrics(self, run_id: int) -> MetricsRegistry:
+        """Rebuild a run's :class:`MetricsRegistry` (inverse of store)."""
+        registry = MetricsRegistry()
+        cursor = self.connection.execute(
+            "SELECT kind, name, labels, count, total, minimum, maximum"
+            " FROM run_metrics WHERE run_id = ?",
+            (run_id,),
+        )
+        for kind, name, labels_json, count, total, minimum, maximum in cursor:
+            labels = json.loads(labels_json)
+            key = (name, tuple(sorted(labels.items())))
+            if kind == "counter":
+                registry._counters[key] = count
+            else:
+                registry._histograms[key] = HistogramSummary(
+                    count=int(count), total=total,
+                    minimum=minimum, maximum=maximum,
+                )
+        return registry

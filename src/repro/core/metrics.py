@@ -4,6 +4,13 @@ An :class:`EvaluationRecord` captures one (method, example) outcome with
 all per-example measurements; :class:`MethodReport` aggregates records
 into the paper's metrics: Execution Accuracy (EX), Exact Match (EM),
 Valid Efficiency Score (VES), token/cost economics, and latency.
+
+Inputs/outputs: per-example measurements in; :class:`EvaluationRecord`
+rows and :class:`MethodReport` aggregates out.
+
+Thread/process safety: records are frozen and reports are plain
+containers — build a report single-threaded, then share it freely;
+records pickle cleanly across process boundaries.
 """
 
 from __future__ import annotations

@@ -28,6 +28,22 @@ Determinism: prediction randomness flows through keyed RNG streams
 (:func:`repro.utils.rng.derive_rng`), which are independent of call
 order, so sharding does not change results.  With ``measure_timing``
 off, parallel output is bit-identical to the sequential evaluator's.
+
+Observability: when the coordinator's ambient tracer is enabled, thread
+workers trace through the shared (thread-safe) tracer directly, process
+workers install their own tracer and ship finished spans back with each
+record batch, and examples served by the result cache get synthetic
+``cache_hit`` spans — so a parallel run drains the same deterministic
+span stream as a sequential one (modulo timings).
+
+Inputs/outputs: same as :class:`~repro.core.evaluator.Evaluator` —
+datasets and methods in, :class:`MethodReport` streams out, plus
+``stats`` counters and drained ``trace_spans``.
+
+Thread/process safety: the coordinator object itself is single-threaded;
+it owns the pools.  Worker-side state lives in the per-process
+``_WORKER`` dict and never crosses back except as picklable records and
+spans.
 """
 
 from __future__ import annotations
@@ -39,9 +55,12 @@ from dataclasses import dataclass, field
 from repro.core.evaluator import Evaluator, GoldCache, gold_key
 from repro.core.logs import ExperimentLogStore
 from repro.core.metrics import EvaluationRecord, MethodReport
+from repro.core.taxonomy import classify_failure
 from repro.datagen.benchmark import BenchmarkConfig, Dataset, Example, build_benchmark
 from repro.methods.base import MethodGroup, NL2SQLMethod, PipelineMethod
 from repro.modules.base import PipelineConfig
+from repro.obs.registry import MetricsRegistry, ingest_record, ingest_span
+from repro.obs.trace import ExampleSpan, Tracer, get_tracer, set_tracer
 from repro.sqlkit.features import SQLFeatures
 from repro.utils.rng import stable_hash
 
@@ -113,6 +132,7 @@ def _worker_init(
     benchmark_config: BenchmarkConfig,
     measure_timing: bool,
     timing_repeats: int,
+    trace_enabled: bool = False,
 ) -> None:
     dataset = build_benchmark(benchmark_config)
     _WORKER["dataset"] = dataset
@@ -121,13 +141,17 @@ def _worker_init(
     )
     _WORKER["examples"] = {e.example_id: e for e in dataset.examples}
     _WORKER["methods"] = {}
+    if trace_enabled:
+        # Workers trace into their own ambient tracer; finished spans are
+        # shipped back (pickled dataclasses) with each chunk's records.
+        set_tracer(Tracer())
 
 
 def _worker_evaluate(
     spec: MethodSpec,
     example_ids: list[str],
     gold_updates: GoldCache,
-) -> list[EvaluationRecord]:
+) -> tuple[list[EvaluationRecord], list[ExampleSpan]]:
     evaluator: Evaluator = _WORKER["evaluator"]
     # Coordinator-precomputed gold results: the worker never re-executes
     # gold SQL, so each distinct gold query runs exactly once per dataset.
@@ -140,7 +164,8 @@ def _worker_evaluate(
         methods[key] = method
     method = methods[key]
     examples = [_WORKER["examples"][eid] for eid in example_ids]
-    return [evaluator.evaluate_example(method, example) for example in examples]
+    records = [evaluator.evaluate_example(method, example) for example in examples]
+    return records, get_tracer().drain()
 
 
 # -- coordinator side --------------------------------------------------------
@@ -199,6 +224,9 @@ class ParallelEvaluator:
         self.chunk_size = chunk_size
         self.stats = EvalStats()
         self.last_run_fresh = 0
+        # Spans drained from the ambient tracer (workers included), one
+        # batch per evaluate_method call; empty while tracing is disabled.
+        self.trace_spans: list[ExampleSpan] = []
         self._feature_cache: dict[str, SQLFeatures] = {}
         self._gold_cache: GoldCache = {}
         # The local evaluator shares both caches with this engine; it owns
@@ -233,10 +261,13 @@ class ParallelEvaluator:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_worker_init,
+                # Tracing state is captured at pool creation: toggle the
+                # ambient tracer before the first parallel evaluate call.
                 initargs=(
                     self.benchmark_config,
                     self.measure_timing,
                     self.timing_repeats,
+                    get_tracer().enabled,
                 ),
             )
         return self._pool
@@ -281,7 +312,13 @@ class ParallelEvaluator:
             ids = [e.example_id for e in chunk]
             futures.append(pool.submit(_worker_evaluate, spec, ids, gold_updates))
             self.stats.parallel_tasks += 1
-        return [record for future in futures for record in future.result()]
+        trace = get_tracer()
+        records: list[EvaluationRecord] = []
+        for future in futures:
+            chunk_records, chunk_spans = future.result()
+            records.extend(chunk_records)
+            trace.add_spans(chunk_spans)
+        return records
 
     def _evaluate_threads(
         self, method: NL2SQLMethod, pending: list[Example]
@@ -322,8 +359,10 @@ class ParallelEvaluator:
         self.stats.fresh_by_method[method.name] = len(pending)
 
         fresh: dict[str, EvaluationRecord] = {}
+        fresh_gold = 0
         if pending:
-            self.stats.gold_executions += self._local.precompute_gold(pending)
+            fresh_gold = self._local.precompute_gold(pending)
+            self.stats.gold_executions += fresh_gold
             spec = MethodSpec.from_method(method)
             mode = self._pick_executor(spec, len(pending), prepare)
             if mode == "process":
@@ -345,11 +384,71 @@ class ParallelEvaluator:
             cached[e.example_id] if e.example_id in cached else fresh[e.example_id]
             for e in examples
         ]
+        spans, registry = self._collect_observability(
+            method.name, report.records, cached, fresh_gold
+        )
         if fingerprint is not None and fresh:
             self.log_store.store_cached_records(fingerprint, list(fresh.values()))
         if self.log_store is not None and report.records:
-            self.log_store.store_records(self.dataset.name, report.records)
+            run_id = self.log_store.store_records(self.dataset.name, report.records)
+            if registry is not None:
+                self.log_store.store_trace(run_id, spans)
+                self.log_store.store_metrics(run_id, registry)
         return report
+
+    def _collect_observability(
+        self,
+        method_name: str,
+        records: list[EvaluationRecord],
+        cached: dict[str, EvaluationRecord],
+        fresh_gold: int,
+    ) -> tuple[list[ExampleSpan], MetricsRegistry | None]:
+        """Drain this method's spans (synthesizing cache-hit spans) and
+        build its per-run metrics — mirror of the sequential evaluator's."""
+        trace = get_tracer()
+        if not trace.enabled:
+            return [], None
+        # Examples served by the cross-run cache never ran the pipeline,
+        # so they get synthetic stage-less spans; the failure tag is
+        # re-derived from the record's deterministic fields (corruption
+        # tags are not persisted, so attribution is coarser here).
+        synthetic = [
+            ExampleSpan(
+                method=record.method,
+                example_id=record.example_id,
+                cache_hit=True,
+                input_tokens=record.input_tokens,
+                output_tokens=record.output_tokens,
+                cost_usd=record.cost_usd,
+                failure=classify_failure(
+                    ex=record.ex,
+                    truncated=record.gold_truncated or record.predicted_truncated,
+                ),
+            )
+            for record in records
+            if record.example_id in cached
+        ]
+        trace.add_spans(synthetic)
+        spans = trace.drain(method=method_name)
+        self.trace_spans.extend(spans)
+        registry = MetricsRegistry()
+        registry.count(
+            "gold_executions",
+            value=fresh_gold,
+            method=method_name,
+            benchmark=self.dataset.name,
+        )
+        for record in records:
+            ingest_record(
+                registry,
+                self.dataset.name,
+                record,
+                cache_hit=record.example_id in cached,
+            )
+        for span in spans:
+            ingest_span(registry, self.dataset.name, span)
+        trace.metrics.merge(registry)
+        return spans, registry
 
     def evaluate_zoo(
         self,

@@ -5,6 +5,12 @@ queries with multiple NL phrasings, the fraction of phrasings the model
 answers correctly — *conditioned on the model answering at least one
 phrasing correctly* (the paper builds each model's QVT test set from the
 pairs where it solves at least one variant).
+
+Inputs/outputs: a :class:`MethodReport` (or its records) in; the QVT
+score out.
+
+Thread/process safety: stateless pure functions — safe from any thread
+or process.
 """
 
 from __future__ import annotations

@@ -4,6 +4,12 @@ The Evaluator's output renders into aligned text tables (the testbed's
 "easily interpretable formats like tables or leaderboards").  The module
 also carries the historical Spider-leaderboard records behind the paper's
 Figure 2 (PLM- vs LLM-based model evolution over time).
+
+Inputs/outputs: method reports and rows in; aligned text tables and
+leaderboards out.
+
+Thread/process safety: stateless pure formatting over constant data —
+safe from any thread or process.
 """
 
 from __future__ import annotations

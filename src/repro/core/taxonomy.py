@@ -1,9 +1,22 @@
-"""The NL2SQL evolutionary tree (paper Figure 1).
+"""NL2SQL taxonomies: the evolutionary tree and the failure taxonomy.
 
 Figure 1 surveys two decades of NL2SQL systems across four branches:
 rule-based, neural-network-based, PLM-based, and LLM-based.  This module
 carries that taxonomy as data — usable for timelines, grouping, and the
 Figure-2 era analysis — plus a small text renderer.
+
+It also defines the **failure taxonomy** used by the observability layer
+(:mod:`repro.obs`): :data:`FAILURE_CATEGORIES` names the ways an
+evaluation can fail, each attributed to the pipeline stage that caused
+it, and :func:`classify_failure` maps one scored example (EX verdict,
+the prediction's corruption tags, the executor's error, truncation
+flags) to a single deterministic tag — so sequential and parallel runs
+of the same configuration always agree.
+
+Inputs/outputs: pure data plus pure functions over it; no I/O.
+
+Thread/process safety: stateless module — all data is immutable and all
+functions are pure, so it is safe from any thread or process.
 """
 
 from __future__ import annotations
@@ -67,6 +80,108 @@ def era_span(branch: str) -> tuple[int, int]:
     """(first year, last year) a branch is represented in the tree."""
     years = [entry.year for entry in EVOLUTIONARY_TREE if entry.branch == branch]
     return min(years), max(years)
+
+
+# -- failure taxonomy ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailureCategory:
+    """One way an evaluation can fail, attributed to a pipeline stage."""
+
+    tag: str
+    stage: str           # understand | generate | execute | score
+    description: str
+
+
+FAILURE_CATEGORIES: tuple[FailureCategory, ...] = (
+    FailureCategory(
+        "parse_failure", "understand",
+        "the model could not parse the question; a fallback SELECT was emitted",
+    ),
+    FailureCategory(
+        "invalid_sql", "execute",
+        "the predicted SQL failed to parse or execute",
+    ),
+    FailureCategory(
+        "execution_timeout", "execute",
+        "the predicted SQL exceeded the execution time budget",
+    ),
+    FailureCategory(
+        "result_truncated", "execute",
+        "a result hit the executor's row cap, so the EX verdict was refused",
+    ),
+    FailureCategory(
+        "schema_error", "generate",
+        "a wrong table, column, or join path was used",
+    ),
+    FailureCategory(
+        "value_error", "generate",
+        "a wrong literal or value binding was used",
+    ),
+    FailureCategory(
+        "structure_error", "generate",
+        "a clause, operator, or subquery is missing or wrong",
+    ),
+    FailureCategory(
+        "unattributed", "score",
+        "the SQL executed but returned different rows; no finer attribution"
+        " is available (e.g. a record served from the result cache)",
+    ),
+)
+
+# Corruption-model error tags (repro.llm.corruption.BASE_RATES keys)
+# grouped into failure-taxonomy families.
+CORRUPTION_FAMILIES: dict[str, str] = {
+    "join_error": "schema_error",
+    "column_error": "schema_error",
+    "value_error": "value_error",
+    "drop_subquery": "structure_error",
+    "op_error": "structure_error",
+    "agg_error": "structure_error",
+    "connector_error": "structure_error",
+    "order_error": "structure_error",
+    "having_error": "structure_error",
+    "distinct_error": "structure_error",
+}
+
+
+def failure_category(tag: str) -> FailureCategory:
+    """Look up one failure category by tag."""
+    for category in FAILURE_CATEGORIES:
+        if category.tag == tag:
+            return category
+    raise KeyError(f"unknown failure tag {tag!r}")
+
+
+def classify_failure(
+    *,
+    ex: bool,
+    prediction_errors: tuple[str, ...] = (),
+    execution_error: str | None = None,
+    truncated: bool = False,
+) -> str | None:
+    """Deterministic failure tag for one scored example (None = correct).
+
+    Priority: understanding failures, then hard execution failures, then
+    truncation refusals, then the first corruption tag's family (tags are
+    recorded in deterministic application order), then ``unattributed``.
+    """
+    if ex:
+        return None
+    if "parse_failure" in prediction_errors:
+        return "parse_failure"
+    if execution_error is not None:
+        if execution_error.startswith("timeout"):
+            return "execution_timeout"
+        return "invalid_sql"
+    if truncated:
+        return "result_truncated"
+    for tag in prediction_errors:
+        family = CORRUPTION_FAMILIES.get(tag)
+        if family is not None:
+            return family
+    return "unattributed"
 
 
 def render_tree() -> str:

@@ -35,6 +35,7 @@ from repro.llm.tokens import count_tokens
 from repro.nlu.intent_parser import IntentParser, NLUParseError
 from repro.nlu.lexicon import HARD_PHRASES, Lexicon
 from repro.nlu.linker import SchemaLinker
+from repro.obs.trace import get_tracer
 from repro.schema.model import DatabaseSchema, ForeignKey
 from repro.sqlkit.natsql import from_natsql, to_natsql
 from repro.sqlkit.parser import parse_select
@@ -189,9 +190,11 @@ class SimulatedLanguageModel:
 
         if intent is None:
             sql = self._fallback_sql(prompt.question, effective_schema)
+            tokens = count_tokens(sql)
+            get_tracer().annotate_stage(llm_calls=1, output_tokens=tokens)
             return GenerationCandidate(
                 sql=sql,
-                output_tokens=count_tokens(sql),
+                output_tokens=tokens,
                 parse_failed=True,
                 errors=("parse_failure",),
                 draw=draw,
@@ -219,9 +222,11 @@ class SimulatedLanguageModel:
             sql = _break_syntax(sql, draw_rng)
             context.errors.append("syntax_error")
 
+        tokens = count_tokens(sql)
+        get_tracer().annotate_stage(llm_calls=1, output_tokens=tokens)
         return GenerationCandidate(
             sql=sql,
-            output_tokens=count_tokens(sql),
+            output_tokens=tokens,
             parse_failed=parse_failed,
             errors=tuple(context.errors),
             intent=intent,

@@ -3,6 +3,11 @@
 The paper notes GPT-4's API is 60x more expensive than GPT-3.5-turbo for
 input tokens and 40x for output tokens; the sheet below ($30/$60 vs
 $0.50/$1.50 per million) reproduces those ratios exactly.
+:func:`cost_per_correct` is the run-report economics counter (dollars
+per EX-correct query, the paper's cost-effectiveness angle).
+
+Thread/process safety: stateless pure functions over a constant price
+sheet — safe from any thread or process.
 """
 
 from __future__ import annotations
@@ -41,6 +46,17 @@ def prompt_cost(model: str, input_tokens: int, output_tokens: int) -> float:
         return 0.0
     input_rate, output_rate = PRICE_SHEET[model]
     return input_tokens / 1000 * input_rate + output_tokens / 1000 * output_rate
+
+
+def cost_per_correct(total_cost_usd: float, correct: int) -> float:
+    """Dollars spent per EX-correct query (the run report's key counter).
+
+    Zero correct answers with zero spend is a free (local) model — 0.0;
+    zero correct answers with nonzero spend is unboundedly bad — inf.
+    """
+    if correct > 0:
+        return total_cost_usd / correct
+    return 0.0 if total_cost_usd <= 0 else float("inf")
 
 
 def price_ratio(model_a: str, model_b: str) -> tuple[float, float]:

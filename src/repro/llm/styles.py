@@ -91,6 +91,9 @@ def _is_real_column(sel, intent: QueryIntent, schema: DatabaseSchema | None) -> 
     The ORDER BY ... LIMIT 1 rendering of an extreme query diverges from
     the MAX/MIN-subquery form whenever the extreme value is tied; integer
     columns tie routinely, so the transform is restricted to REAL ones.
+    REAL columns can still tie (values round to two decimals), so the
+    transform remains probabilistically — not universally — EX-preserving;
+    the style-equivalence property test tolerates that exact residual.
     """
     from repro.schema.model import ColumnType
     if schema is None or sel.is_star:

@@ -4,7 +4,17 @@
 zoo and every AAS individual: it prepares the backbone (fine-tuning when
 configured), builds the prompt through the pre-processing modules, decodes
 candidates, applies the configured post-processing, and accounts tokens,
-dollars, and latency.
+dollars, and latency.  Under an enabled tracer the candidate decoding and
+the post-processing branch are timed as the ``decode`` / ``post_process``
+stages of the example span (see :mod:`repro.obs.trace`).
+
+Inputs/outputs: an :class:`Example` plus its :class:`Database` in, one
+:class:`Prediction` (SQL + resource accounting + error tags) out.
+
+Thread/process safety: ``predict`` is read-only over prepared state, so
+one prepared method may serve many threads; ``prepare`` must finish
+first, single-threaded.  Methods rebuilt in worker processes via
+:class:`~repro.core.parallel.MethodSpec` are prepared per process.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from repro.modules.post_processing import (
     self_consistency_vote,
 )
 from repro.modules.prompts import build_prompt
+from repro.obs.trace import get_tracer
 from repro.sqlkit.picard import PicardChecker
 
 
@@ -135,36 +146,46 @@ class PipelineMethod(NL2SQLMethod):
             style_divergence=config.style_divergence,
         )
         checker = PicardChecker(database.schema)
+        trace = get_tracer()
         model_calls = 1
 
         if config.post_processing == "self_consistency":
-            candidates = SamplingDecoder(
-                num_samples=config.self_consistency_samples, temperature=0.5
-            ).decode(sampler)
-            final = self_consistency_vote(candidates, database)
+            with trace.stage("decode"):
+                candidates = SamplingDecoder(
+                    num_samples=config.self_consistency_samples, temperature=0.5
+                ).decode(sampler)
+            with trace.stage("post_process"):
+                final = self_consistency_vote(candidates, database)
         elif config.post_processing == "execution_guided":
-            candidates = self._decode(sampler, checker)
-            if len(candidates) == 1:
-                candidates = BeamDecoder(width=config.beam_width).decode(sampler)
-            final = execution_guided_select(candidates, database)
+            with trace.stage("decode"):
+                candidates = self._decode(sampler, checker)
+                if len(candidates) == 1:
+                    candidates = BeamDecoder(width=config.beam_width).decode(sampler)
+            with trace.stage("post_process"):
+                final = execution_guided_select(candidates, database)
         elif config.post_processing == "reranker":
-            candidates = self._decode(sampler, checker)
-            if len(candidates) == 1:
-                candidates = BeamDecoder(width=config.beam_width).decode(sampler)
-            final = rerank_candidates(candidates, database, checker)
+            with trace.stage("decode"):
+                candidates = self._decode(sampler, checker)
+                if len(candidates) == 1:
+                    candidates = BeamDecoder(width=config.beam_width).decode(sampler)
+            with trace.stage("post_process"):
+                final = rerank_candidates(candidates, database, checker)
         elif config.post_processing == "self_correction":
-            candidates = self._decode(sampler, checker)
+            with trace.stage("decode"):
+                candidates = self._decode(sampler, checker)
             final = candidates[0]
-            if needs_correction(final, database):
-                # The model re-reads its own faulty SQL with the problem
-                # pointed out; a fresh focused draw with lower noise.
-                corrected = sampler(101, 0.0)
-                model_calls += 1
-                if not needs_correction(corrected, database):
-                    final = corrected
-                candidates = candidates + [corrected]
+            with trace.stage("post_process"):
+                if needs_correction(final, database):
+                    # The model re-reads its own faulty SQL with the problem
+                    # pointed out; a fresh focused draw with lower noise.
+                    corrected = sampler(101, 0.0)
+                    model_calls += 1
+                    if not needs_correction(corrected, database):
+                        final = corrected
+                    candidates = candidates + [corrected]
         else:
-            candidates = self._decode(sampler, checker)
+            with trace.stage("decode"):
+                candidates = self._decode(sampler, checker)
             final = candidates[0]
 
         return self._account(prompt.text, final, candidates, model_calls)

@@ -6,6 +6,10 @@ examples, and the question — so the Exp-6 token/cost accounting measures
 genuine prompt sizes.  Verbose methods (C3's calibration instructions,
 DIN-SQL's four-stage manual exemplars) carry their documented token
 overhead as instruction text.
+
+When tracing is enabled the pre-processing steps are timed as the
+``schema_linking`` / ``fewshot`` / ``prompt_build`` stages of the
+example's span (see :mod:`repro.obs.trace`).
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from repro.modules.base import PipelineConfig
 from repro.modules.db_content import match_db_content
 from repro.modules.fewshot import select_examples
 from repro.modules.schema_linking import link_schema
+from repro.obs.trace import get_tracer
 from repro.schema.ddl import render_schema_ddl
 
 _OVERHEAD_SENTENCE = (
@@ -41,49 +46,53 @@ def build_prompt(
     train_pairs: list[tuple[str, str]] | None = None,
 ) -> Prompt:
     """Assemble the full prompt for one question under ``config``."""
+    trace = get_tracer()
     schema = database.schema
     schema_tables: tuple[str, ...] | None = None
     if config.schema_linking is not None:
-        schema_tables = link_schema(config.schema_linking, schema, question)
-
-    db_content: dict[str, dict[str, list[str]]] | None = None
-    if config.db_content is not None:
-        db_content = match_db_content(config.db_content, database, question)
+        with trace.stage("schema_linking"):
+            schema_tables = link_schema(config.schema_linking, schema, question)
 
     few_shot_quality = 0.0
     example_block = ""
     few_shot_count = 0
     if config.prompting != "zero_shot":
-        examples, few_shot_quality = select_examples(
-            config.prompting, question, train_pairs or [], config.few_shot_k
+        with trace.stage("fewshot"):
+            examples, few_shot_quality = select_examples(
+                config.prompting, question, train_pairs or [], config.few_shot_k
+            )
+            few_shot_count = len(examples)
+            lines = []
+            for example in examples:
+                lines.append(f"/* Answer the following: {example.question} */")
+                lines.append(example.sql + ";")
+            example_block = "\n".join(lines) + "\n\n" if lines else ""
+
+    with trace.stage("prompt_build"):
+        db_content: dict[str, dict[str, list[str]]] | None = None
+        if config.db_content is not None:
+            db_content = match_db_content(config.db_content, database, question)
+
+        value_comments = None
+        if db_content is not None:
+            value_comments = {
+                table: {column: [str(v) for v in values] for column, values in columns.items()}
+                for table, columns in db_content.items()
+            }
+        ddl = render_schema_ddl(
+            schema,
+            value_comments=value_comments,
+            tables=list(schema_tables) if schema_tables is not None else None,
         )
-        few_shot_count = len(examples)
-        lines = []
-        for example in examples:
-            lines.append(f"/* Answer the following: {example.question} */")
-            lines.append(example.sql + ";")
-        example_block = "\n".join(lines) + "\n\n" if lines else ""
 
-    value_comments = None
-    if db_content is not None:
-        value_comments = {
-            table: {column: [str(v) for v in values] for column, values in columns.items()}
-            for table, columns in db_content.items()
-        }
-    ddl = render_schema_ddl(
-        schema,
-        value_comments=value_comments,
-        tables=list(schema_tables) if schema_tables is not None else None,
-    )
-
-    text = (
-        _overhead_text(config.prompt_overhead_tokens)
-        + "/* Given the following database schema: */\n"
-        + ddl
-        + "\n\n"
-        + example_block
-        + f"/* Answer the following: {question} */\nSELECT"
-    )
+        text = (
+            _overhead_text(config.prompt_overhead_tokens)
+            + "/* Given the following database schema: */\n"
+            + ddl
+            + "\n\n"
+            + example_block
+            + f"/* Answer the following: {question} */\nSELECT"
+        )
     features = PromptFeatures(
         schema_tables=schema_tables,
         db_content=db_content,

@@ -102,3 +102,50 @@ class TestExtensionCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "McNemar" in out and "EX" in out
+
+
+class TestObservabilityCommands:
+    def test_traced_evaluate_prints_run_report(self, tmp_path, capsys):
+        log_path = tmp_path / "runs.db"
+        code = main([
+            "evaluate", "--methods", "C3SQL", "--scale", "0.05", "--no-timing",
+            "--trace", "--log-db", str(log_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Run report" in out
+        assert "Stage-time breakdown" in out
+
+        # report-run re-renders the persisted run.
+        assert main(["report-run", "--log-db", str(log_path)]) == 0
+        rerendered = capsys.readouterr().out
+        assert "# Run report" in rerendered
+        assert "Cache effectiveness" in rerendered
+
+        assert main(["report-run", "--log-db", str(log_path), "--json"]) == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traced"] is True
+        assert {"headline", "stages", "failures", "cache", "economy"} <= set(payload)
+
+    def test_untraced_evaluate_prints_no_report(self, capsys):
+        assert main([
+            "evaluate", "--methods", "C3SQL", "--scale", "0.05", "--no-timing",
+        ]) == 0
+        assert "# Run report" not in capsys.readouterr().out
+
+    def test_report_run_requires_log_db(self, capsys):
+        assert main(["report-run"]) == 2
+        assert "log-db" in capsys.readouterr().err.lower()
+
+    def test_report_run_missing_run_fails_cleanly(self, tmp_path, capsys):
+        log_path = tmp_path / "empty.db"
+        from repro.core.logs import ExperimentLogStore
+        ExperimentLogStore(log_path).close()
+        assert main(["report-run", "--log-db", str(log_path)]) == 1
+        capsys.readouterr()
+
+    def test_report_run_check_smoke(self, capsys):
+        assert main(["report-run", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "report-run check: OK" in out

@@ -1,5 +1,6 @@
 """Documentation consistency: the docs reference things that exist."""
 
+import ast
 import re
 from pathlib import Path
 
@@ -10,6 +11,10 @@ ROOT = Path(__file__).resolve().parent.parent
 
 def _read(name: str) -> str:
     return (ROOT / name).read_text()
+
+
+def _doc_files() -> list[Path]:
+    return sorted(ROOT.glob("*.md")) + sorted((ROOT / "docs").glob("*.md"))
 
 
 class TestDesignDoc:
@@ -93,3 +98,60 @@ class TestPackageMetadata:
         for module in (ROOT / "src" / "repro").rglob("*.py"):
             text = module.read_text()
             assert text.lstrip().startswith('"""'), module
+
+
+class TestDocLinks:
+    def test_relative_markdown_links_resolve(self):
+        for doc in _doc_files():
+            text = doc.read_text()
+            for target in re.findall(r"\]\(([^)#]+(?:\.md|\.py|\.json))\)", text):
+                if "://" in target:
+                    continue
+                resolved = (doc.parent / target).resolve()
+                assert resolved.exists(), f"{doc.name} links to missing {target}"
+
+
+class TestObservabilityDocs:
+    def test_every_cli_subcommand_is_documented(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        documented = "\n".join(doc.read_text() for doc in _doc_files())
+        for command in subparsers.choices:
+            assert f"python -m repro {command}" in documented, (
+                f"CLI subcommand {command!r} is not documented in any"
+                " markdown file"
+            )
+
+    def test_every_obs_public_symbol_is_documented(self):
+        import repro.obs
+        reference = _read("docs/OBSERVABILITY.md")
+        for symbol in repro.obs.__all__:
+            assert f"`{symbol}`" in reference, (
+                f"repro.obs.{symbol} missing from docs/OBSERVABILITY.md"
+            )
+
+    def test_core_and_obs_docstrings_state_safety(self):
+        # Every repro.core / repro.obs module must document its
+        # inputs/outputs and thread/process safety.
+        for package in ("core", "obs"):
+            for module in (ROOT / "src" / "repro" / package).glob("*.py"):
+                docstring = ast.get_docstring(ast.parse(module.read_text()))
+                assert docstring, module
+                lowered = docstring.lower()
+                assert "inputs/outputs" in lowered, (
+                    f"{module} docstring lacks an Inputs/outputs statement"
+                )
+                assert "safety" in lowered, (
+                    f"{module} docstring lacks a thread/process-safety"
+                    " statement"
+                )
+
+    def test_canonical_stages_match_doc(self):
+        from repro.obs import STAGES
+        reference = _read("docs/OBSERVABILITY.md")
+        for stage in STAGES:
+            assert f"`{stage}`" in reference, stage

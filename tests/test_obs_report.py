@@ -1,0 +1,221 @@
+"""Run reports and the sequential/parallel observability equivalence.
+
+The acceptance contract of the observability layer: sequential and
+parallel runs of the same configuration produce identical merged span
+trees (modulo timings) and identical report failure/cache/cost sections.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluator import Evaluator
+from repro.core.logs import ExperimentLogStore
+from repro.core.parallel import ParallelEvaluator
+from repro.methods.zoo import build_method
+from repro.obs import (
+    STAGES,
+    build_run_report,
+    render_json,
+    render_markdown,
+    report_from_store,
+    tracing,
+)
+
+METHODS = ["DAILSQL", "SuperSQL"]
+
+
+def _structures(spans):
+    return [span.structure() for span in spans]
+
+
+@pytest.fixture(scope="module")
+def sequential_traced(small_dataset):
+    evaluator = Evaluator(small_dataset, measure_timing=False)
+    with tracing() as tracer:
+        reports = evaluator.evaluate_zoo([build_method(m) for m in METHODS])
+    return reports, evaluator.trace_spans, tracer.metrics
+
+
+class TestSequentialTracedRun:
+    def test_span_per_example_with_full_stage_chain(
+        self, small_dataset, sequential_traced
+    ):
+        _, spans, _ = sequential_traced
+        assert len(spans) == len(METHODS) * len(small_dataset.dev_examples)
+        for span in spans:
+            stages = [stage.stage for stage in span.stages]
+            # Stage order always follows the canonical pipeline order and
+            # always ends with execute -> score.
+            order = {name: rank for rank, name in enumerate(STAGES)}
+            assert stages == sorted(stages, key=order.__getitem__)
+            assert stages[-2:] == ["execute", "score"]
+            # Gold is precomputed before the loop, so the execute stage is
+            # uniformly a gold-cache hit (the parallel engine matches).
+            assert span.stages[-2].cache_hit is True
+
+    def test_failure_tags_only_on_incorrect_examples(self, sequential_traced):
+        reports, spans, _ = sequential_traced
+        by_id = {(s.method, s.example_id): s for s in spans}
+        for name in METHODS:
+            for record in reports[name].records:
+                span = by_id[(name, record.example_id)]
+                if record.ex:
+                    assert span.failure is None
+                else:
+                    assert span.failure is not None
+
+    def test_report_sections(self, small_dataset, sequential_traced):
+        reports, spans, metrics = sequential_traced
+        records = [r for name in METHODS for r in reports[name].records]
+        report = build_run_report(
+            records, spans=spans, metrics=metrics, dataset=small_dataset.name
+        )
+        assert report.traced
+        assert report.methods == sorted(METHODS)
+        assert report.examples == len(records)
+        assert {row["stage"] for row in report.stage_rows} >= {
+            "decode", "execute", "score"
+        }
+        assert report.failures, "a small run still has some failures"
+        assert report.cache["result_cache_hits"] == 0
+        distinct_gold = {
+            (e.db_id, e.gold_sql) for e in small_dataset.dev_examples
+        }
+        # gold_executions counts fresh executions: all on the first
+        # method, zero on the second (the cache is already warm).
+        assert report.cache["gold_executions"] == len(distinct_gold)
+        assert report.economy["correct"] == sum(1 for r in records if r.ex)
+        markdown = render_markdown(report)
+        assert "# Run report" in markdown
+        for section in ("Headline metrics", "Stage-time breakdown",
+                        "Failure categories", "Cache effectiveness", "Economy"):
+            assert section in markdown
+        assert '"failures"' in render_json(report)
+
+    def test_untraced_report_degrades_gracefully(self, sequential_traced):
+        reports, _, _ = sequential_traced
+        records = reports[METHODS[0]].records
+        report = build_run_report(records, dataset="x")
+        assert not report.traced
+        assert report.stage_rows == [] and report.failures == []
+        markdown = render_markdown(report)
+        assert "No stage data" in markdown and "No failure data" in markdown
+
+
+class TestSequentialParallelEquivalence:
+    """The acceptance test: identical span structures and report sections."""
+
+    def _assert_equivalent(self, small_dataset, sequential_traced, engine_spans,
+                           engine_reports, engine_metrics):
+        seq_reports, seq_spans, seq_metrics = sequential_traced
+        assert _structures(engine_spans) == _structures(seq_spans)
+        seq_records = [r for name in METHODS for r in seq_reports[name].records]
+        par_records = [r for name in METHODS for r in engine_reports[name].records]
+        seq_report = build_run_report(
+            seq_records, spans=seq_spans, metrics=seq_metrics,
+            dataset=small_dataset.name,
+        )
+        par_report = build_run_report(
+            par_records, spans=engine_spans, metrics=engine_metrics,
+            dataset=small_dataset.name,
+        )
+        assert par_report.equivalence_key() == seq_report.equivalence_key()
+
+    def test_thread_pool_equivalence(self, small_dataset, sequential_traced):
+        with tracing() as tracer:
+            with ParallelEvaluator(
+                small_dataset, measure_timing=False, jobs=3, executor="thread",
+                chunk_size=2,
+            ) as engine:
+                reports = engine.evaluate_zoo([build_method(m) for m in METHODS])
+        self._assert_equivalent(
+            small_dataset, sequential_traced, engine.trace_spans, reports,
+            tracer.metrics,
+        )
+
+    def test_process_pool_equivalence(self, small_dataset, sequential_traced):
+        with tracing() as tracer:
+            with ParallelEvaluator(
+                small_dataset, measure_timing=False, jobs=2, executor="process",
+                min_process_work=1,
+            ) as engine:
+                reports = engine.evaluate_zoo([build_method(m) for m in METHODS])
+                assert engine.stats.parallel_tasks > 0
+        self._assert_equivalent(
+            small_dataset, sequential_traced, engine.trace_spans, reports,
+            tracer.metrics,
+        )
+
+
+class TestPersistenceRoundTrip:
+    def test_trace_and_metrics_round_trip(self, small_dataset, sequential_traced):
+        reports, spans, metrics = sequential_traced
+        with ExperimentLogStore() as store:
+            run_id = store.store_records(
+                small_dataset.name, reports[METHODS[0]].records
+            )
+            store.store_trace(run_id, spans)
+            store.store_metrics(run_id, metrics)
+            assert store.load_trace(run_id) == spans
+            assert store.load_metrics(run_id).as_dict() == metrics.as_dict()
+
+    def test_report_from_store_matches_in_memory(
+        self, small_dataset, sequential_traced
+    ):
+        # One run per method, as the engines persist them; report-run
+        # defaults to the latest.
+        reports, spans, metrics = sequential_traced
+        method = METHODS[-1]
+        method_spans = [s for s in spans if s.method == method]
+        in_memory = build_run_report(
+            reports[method].records, spans=method_spans, metrics=metrics,
+            dataset=small_dataset.name,
+        )
+        with ExperimentLogStore() as store:
+            for name in METHODS:
+                run_id = store.store_records(
+                    small_dataset.name, reports[name].records
+                )
+                store.store_trace(
+                    run_id, [s for s in spans if s.method == name]
+                )
+                store.store_metrics(run_id, metrics)
+            rebuilt = report_from_store(store)      # defaults to latest run
+            assert rebuilt.dataset == small_dataset.name
+            assert rebuilt.as_dict() == in_memory.as_dict()
+            assert report_from_store(store, run_id).as_dict() == in_memory.as_dict()
+
+    def test_report_from_empty_store_raises(self):
+        with ExperimentLogStore() as store:
+            with pytest.raises(ValueError):
+                report_from_store(store)
+
+
+class TestWarmCacheSpans:
+    def test_cache_served_examples_get_synthetic_spans(self, small_dataset):
+        store = ExperimentLogStore()
+        method = "DAILSQL"
+        with tracing():
+            with ParallelEvaluator(
+                small_dataset, log_store=store, measure_timing=False, jobs=1
+            ) as engine:
+                engine.evaluate_method(build_method(method))
+        with tracing() as tracer:
+            with ParallelEvaluator(
+                small_dataset, log_store=store, measure_timing=False, jobs=1
+            ) as warm:
+                report = warm.evaluate_method(build_method(method))
+        store.close()
+        assert warm.stats.predictions == 0
+        spans = warm.trace_spans
+        assert len(spans) == len(small_dataset.dev_examples)
+        # Cache-served spans are stageless and flagged as cache hits.
+        assert all(span.cache_hit and span.stages == [] for span in spans)
+        run_report = build_run_report(
+            report.records, spans=spans, metrics=tracer.metrics,
+            dataset=small_dataset.name,
+        )
+        assert run_report.cache["result_cache_hits"] == len(spans)
+        assert run_report.cache["fresh_evaluations"] == 0
+        assert run_report.cache["result_cache_hit_pct"] == 100.0

@@ -1,10 +1,12 @@
-"""Tier-2 perf smoke: the parallel engine must not regress.
+"""Tier-2 perf smoke: the parallel engine and hot-path caches must not regress.
 
 Runs ``scripts/bench_eval.py --quick`` in-process: times sequential vs
-parallel vs warm-cache evaluation on a small dataset, asserts the
-warm-cache run performs zero predictions and is not slower than the
-sequential loop, and writes ``BENCH_eval.json`` so future PRs can track
-the perf trajectory.
+parallel vs warm-cache evaluation on a small dataset and enforces the
+stage-level perf gates — the warm-cache run performs zero predictions
+and is not slower than the sequential loop, the hot-path memo layers are
+bit-identical on vs off, and with the few-shot retrieval index the
+``fewshot`` stage stays below a 10% share of stage time.  Writes
+``BENCH_eval.json`` so future PRs can track the perf trajectory.
 """
 
 from __future__ import annotations
@@ -35,10 +37,20 @@ def test_bench_eval_quick_smoke(tmp_path):
 
     result = json.loads(out.read_text())
     assert result["records_identical"]
+    assert result["cache_records_identical"]
     assert result["warm_stats"]["predictions"] == 0
     assert (
         result["seconds"]["parallel_warm"]
         <= result["seconds"]["sequential"] * 1.10
     )
+    # Stage-level perf gate: the retrieval index + selection memo keep the
+    # fewshot stage a single-digit share of traced stage time.
+    fewshot_share = result["tracing"]["stage_share_pct"].get("fewshot", 0.0)
+    assert fewshot_share < bench_eval.FEWSHOT_SHARE_BOUND_PCT
+    # The warm-cache speedup and the hot-path cache speedup must stay in
+    # the trajectory file (and the memo layers must actually win).
+    assert result["speedup"]["parallel_warm"] > 0
+    assert result["speedup"]["hot_path_caches"] >= 1.0
+    assert result["tracing"]["cache_stage_speedup"].get("fewshot", 0.0) >= 2.0
     # Refresh the tracked trajectory file at the repo root.
     (REPO_ROOT / "BENCH_eval.json").write_text(json.dumps(result, indent=2) + "\n")

@@ -6,6 +6,13 @@ order-sensitivity rule, EM with Spider's component comparison, and times
 executions for VES.  Every record can be persisted to the SQLite-backed
 :class:`~repro.core.logs.ExperimentLogStore` for later analysis.
 
+Hot-path memo layers (all bit-identical on vs off, see
+``repro.utils.cache``): prepared methods select few-shot examples
+through the shared :class:`~repro.modules.retrieval.FewShotIndex`, the
+simulated model memoizes honestly-parsed intents per question, PICARD
+verdicts and candidate executions are memoized per schema/database, and
+untimed predicted-SQL scoring reuses the candidate-execution LRU.
+
 Observability: when a tracer is installed (``repro.obs.tracing()``),
 ``evaluate_example`` opens an example span with ``execute``/``score``
 stage children (prediction-side stages are emitted inside the method
@@ -32,7 +39,12 @@ from repro.core.logs import ExperimentLogStore
 from repro.core.metrics import EvaluationRecord, MethodReport
 from repro.core.taxonomy import classify_failure
 from repro.datagen.benchmark import Dataset, Example
-from repro.dbengine.executor import ExecutionResult, execute_sql, results_match
+from repro.dbengine.executor import (
+    ExecutionResult,
+    execute_sql,
+    execute_sql_cached,
+    results_match,
+)
 from repro.dbengine.timing import timed_execute
 from repro.methods.base import NL2SQLMethod
 from repro.obs.registry import MetricsRegistry, ingest_record, ingest_span
@@ -128,7 +140,9 @@ class Evaluator:
                     predicted_result = predicted_timed.result
                     predicted_seconds = predicted_timed.seconds
                 else:
-                    predicted_result = execute_sql(database, prediction.sql)
+                    # Untimed scoring shares the candidate-execution LRU:
+                    # post-processing usually executed this exact SQL.
+                    predicted_result = execute_sql_cached(database, prediction.sql)
                     predicted_seconds = 1e-4
             with trace.stage("score"):
                 features = self._features(example.gold_sql)

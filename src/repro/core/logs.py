@@ -98,6 +98,7 @@ CREATE TABLE IF NOT EXISTS trace_spans (
     stage TEXT NOT NULL DEFAULT '',
     seconds REAL NOT NULL,
     cache_hit INTEGER NOT NULL,
+    memo_hits INTEGER NOT NULL DEFAULT 0,
     llm_calls INTEGER NOT NULL,
     input_tokens INTEGER NOT NULL,
     output_tokens INTEGER NOT NULL,
@@ -174,6 +175,15 @@ class ExperimentLogStore:
                         f"ALTER TABLE {table} ADD COLUMN {column}"
                         " INTEGER NOT NULL DEFAULT 0"
                     )
+        trace_columns = {
+            row[1]
+            for row in self.connection.execute("PRAGMA table_info(trace_spans)")
+        }
+        if "memo_hits" not in trace_columns:
+            self.connection.execute(
+                "ALTER TABLE trace_spans ADD COLUMN memo_hits"
+                " INTEGER NOT NULL DEFAULT 0"
+            )
 
     def close(self) -> None:
         self.connection.close()
@@ -289,7 +299,7 @@ class ExperimentLogStore:
         for span in spans:
             rows.append((
                 run_id, position, span.method, span.example_id, "",
-                span.seconds, int(span.cache_hit), 0,
+                span.seconds, int(span.cache_hit), 0, 0,
                 span.input_tokens, span.output_tokens, span.cost_usd,
                 span.failure,
             ))
@@ -298,15 +308,16 @@ class ExperimentLogStore:
                 rows.append((
                     run_id, position, span.method, span.example_id,
                     stage.stage, stage.seconds, int(stage.cache_hit),
-                    stage.llm_calls, 0, stage.output_tokens, 0.0, None,
+                    stage.memo_hits, stage.llm_calls, 0,
+                    stage.output_tokens, 0.0, None,
                 ))
                 position += 1
         if rows:
             self.connection.executemany(
                 "INSERT OR REPLACE INTO trace_spans (run_id, position,"
-                " method, example_id, stage, seconds, cache_hit, llm_calls,"
-                " input_tokens, output_tokens, cost_usd, failure)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " method, example_id, stage, seconds, cache_hit, memo_hits,"
+                " llm_calls, input_tokens, output_tokens, cost_usd, failure)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 rows,
             )
             self.connection.commit()
@@ -316,8 +327,8 @@ class ExperimentLogStore:
         """Rebuild a run's :class:`ExampleSpan` stream (inverse of store)."""
         cursor = self.connection.execute(
             "SELECT method, example_id, stage, seconds, cache_hit, llm_calls,"
-            " input_tokens, output_tokens, cost_usd, failure FROM trace_spans"
-            " WHERE run_id = ? ORDER BY position",
+            " input_tokens, output_tokens, cost_usd, failure, memo_hits"
+            " FROM trace_spans WHERE run_id = ? ORDER BY position",
             (run_id,),
         )
         spans: list[ExampleSpan] = []
@@ -333,6 +344,7 @@ class ExperimentLogStore:
                 spans[-1].stages.append(StageSpan(
                     stage=row[2], seconds=row[3], cache_hit=bool(row[4]),
                     llm_calls=int(row[5]), output_tokens=int(row[7]),
+                    memo_hits=int(row[10]),
                 ))
         return spans
 

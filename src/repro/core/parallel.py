@@ -28,6 +28,13 @@ Determinism: prediction randomness flows through keyed RNG streams
 (:func:`repro.utils.rng.derive_rng`), which are independent of call
 order, so sharding does not change results.  With ``measure_timing``
 off, parallel output is bit-identical to the sequential evaluator's.
+The hot-path memo layers (few-shot index, intent memo, PICARD verdict
+memo, candidate-execution LRU — see ``repro.utils.cache``) are adopted
+transparently: thread workers share the coordinator's process-level
+memos, process workers rebuild them lazily via each method's
+``prepare`` (the few-shot index registry is keyed by corpus content),
+and every layer returns bit-identical values to the uncached path, so
+sharding with caches on still reproduces the sequential record stream.
 
 Observability: when the coordinator's ambient tracer is enabled, thread
 workers trace through the shared (thread-safe) tracer directly, process

@@ -31,6 +31,9 @@ class Database:
         self.connection.execute("PRAGMA foreign_keys = ON")
         self._create_tables()
         self._value_cache: dict[tuple[str, str, int], list[object]] = {}
+        # Monotonic content-version counter; execution caches key on it so
+        # any mutation invalidates every cached result for this database.
+        self.data_version = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -78,6 +81,7 @@ class Database:
                 raise ExecutionError(f"insert into {table_name} failed: {exc}", sql) from exc
             self.connection.commit()
             self._value_cache.clear()
+            self.data_version += 1
         return len(rows)
 
     def row_count(self, table_name: str) -> int:

@@ -87,6 +87,39 @@ def execute_sql(
                 connection.set_progress_handler(None, 0)
 
 
+def execute_sql_cached(
+    database: Database,
+    sql: str,
+    max_rows: int = _DEFAULT_MAX_ROWS,
+    timeout_ms: int | None = 2_000,
+) -> ExecutionResult:
+    """Execute via a bounded per-database LRU over candidate executions.
+
+    Post-processing (self-consistency voting, execution-guided selection,
+    reranking, self-correction probes) repeatedly executes near-duplicate
+    candidate SQL against the same database; results are pure given the
+    database content, so they are memoized per live :class:`Database`
+    keyed on ``(data_version, sql, max_rows, timeout_ms)`` —
+    ``data_version`` advances on every mutation, invalidating stale
+    entries.  Callers must not mutate the returned result.
+    """
+    from repro.utils.cache import caches_enabled, per_object_cache
+
+    if not caches_enabled():
+        return execute_sql(database, sql, max_rows=max_rows, timeout_ms=timeout_ms)
+    cache = per_object_cache(database, "candidate_exec", maxsize=512)
+    key = (database.data_version, sql, max_rows, timeout_ms)
+    hit, result = cache.lookup(key)
+    if hit:
+        from repro.obs.trace import get_tracer
+
+        get_tracer().annotate_stage(memo_hits=1)
+        return result
+    result = execute_sql(database, sql, max_rows=max_rows, timeout_ms=timeout_ms)
+    cache.put(key, result)
+    return result
+
+
 def execute_sql_strict(database: Database, sql: str, **kwargs: object) -> ExecutionResult:
     """Like :func:`execute_sql` but raises on failure."""
     result = execute_sql(database, sql, **kwargs)  # type: ignore[arg-type]

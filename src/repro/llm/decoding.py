@@ -85,10 +85,17 @@ class PicardDecoder:
         self, sample: SampleFn, checker: PicardChecker
     ) -> list[GenerationCandidate]:
         accepted: list[GenerationCandidate] = []
+        seen: set[str] = set()
         draw = 0
         while len(accepted) < self.width and draw < self.max_attempts:
             candidate = sample(draw, 0.0 if draw == 0 else 0.15)
             draw += 1
+            # Attempts are spent on distinct candidates: re-drawing the
+            # identical SQL (accepted or rejected) cannot change the gate's
+            # verdict, so duplicates are skipped instead of re-checked.
+            if candidate.sql in seen:
+                continue
+            seen.add(candidate.sql)
             if checker.accepts(candidate.sql):
                 accepted.append(candidate)
         if not accepted:

@@ -39,6 +39,7 @@ from repro.obs.trace import get_tracer
 from repro.schema.model import DatabaseSchema, ForeignKey
 from repro.sqlkit.natsql import from_natsql, to_natsql
 from repro.sqlkit.parser import parse_select
+from repro.utils.cache import LRUCache, caches_enabled
 from repro.utils.rng import derive_rng
 
 # Fraction of each error class that is systematic (identical across
@@ -100,6 +101,12 @@ class SimulatedLanguageModel:
         self.finetune = finetune
         self.seed = seed
         self._lexicon: Lexicon | None = None
+        # Honest-parse memo: the intent (or None on a parse failure) per
+        # (db_id, question, pruned-table tuple).  Beam/sampling draws of
+        # the same question re-derive an identical pre-corruption intent,
+        # and QueryIntent is frozen, so sharing it is safe.
+        self._intent_cache = LRUCache(maxsize=8192)
+        self._pruned_cache = LRUCache(maxsize=512)
 
     # -- identity --------------------------------------------------------
 
@@ -159,8 +166,22 @@ class SimulatedLanguageModel:
         """
         schema = database.schema
         effective_schema = schema
+        use_caches = caches_enabled()
         if prompt.features.schema_tables is not None:
-            effective_schema = _pruned_schema(schema, prompt.features.schema_tables)
+            if use_caches:
+                pruned_key = (schema.db_id, prompt.features.schema_tables)
+                hit, cached_schema = self._pruned_cache.lookup(pruned_key)
+                if hit:
+                    effective_schema = cached_schema
+                else:
+                    effective_schema = _pruned_schema(
+                        schema, prompt.features.schema_tables
+                    )
+                    self._pruned_cache.put(pruned_key, effective_schema)
+            else:
+                effective_schema = _pruned_schema(
+                    schema, prompt.features.schema_tables
+                )
 
         context = CorruptionContext(
             schema=effective_schema,
@@ -180,13 +201,24 @@ class SimulatedLanguageModel:
         systematic_rng = derive_rng(self.seed, "sys", *question_key)
         draw_rng = derive_rng(self.seed, "draw", *question_key, draw, round(temperature, 3))
 
-        parser = IntentParser(effective_schema, self.lexicon())
-        parse_failed = False
-        try:
-            intent = parser.parse(prompt.question)
-        except (NLUParseError, ReproError):
-            parse_failed = True
-            intent = None
+        # A parse failure is as deterministic as a parse success (both
+        # depend only on question + effective schema + lexicon), so the
+        # memo stores intent-or-None and parse_failed is derived from it.
+        if use_caches:
+            intent_key = (
+                prompt.db_id,
+                prompt.question,
+                prompt.features.schema_tables,
+            )
+            hit, intent = self._intent_cache.lookup(intent_key)
+            if hit:
+                get_tracer().annotate_stage(memo_hits=1)
+            else:
+                intent = self._parse_intent(effective_schema, prompt.question)
+                self._intent_cache.put(intent_key, intent)
+        else:
+            intent = self._parse_intent(effective_schema, prompt.question)
+        parse_failed = intent is None
 
         if intent is None:
             sql = self._fallback_sql(prompt.question, effective_schema)
@@ -232,6 +264,16 @@ class SimulatedLanguageModel:
             intent=intent,
             draw=draw,
         )
+
+    def _parse_intent(
+        self, effective_schema: DatabaseSchema, question: str
+    ) -> QueryIntent | None:
+        """Honestly parse ``question``; ``None`` signals a parse failure."""
+        parser = IntentParser(effective_schema, self.lexicon())
+        try:
+            return parser.parse(question)
+        except (NLUParseError, ReproError):
+            return None
 
     def _render(
         self,

@@ -44,6 +44,7 @@ from repro.modules.post_processing import (
     self_consistency_vote,
 )
 from repro.modules.prompts import build_prompt
+from repro.modules.retrieval import FewShotIndex, index_for
 from repro.obs.trace import get_tracer
 from repro.sqlkit.picard import PicardChecker
 
@@ -99,6 +100,7 @@ class PipelineMethod(NL2SQLMethod):
         self.seed = seed
         self.model: SimulatedLanguageModel | None = None
         self._train_pairs: list[tuple[str, str]] = []
+        self._fewshot_index: FewShotIndex | None = None
         self._prepared_on: str | None = None
 
     # -- setup ---------------------------------------------------------------
@@ -111,6 +113,7 @@ class PipelineMethod(NL2SQLMethod):
             model = model.fine_tune(dataset.name, train_examples)
         self.model = model
         self._train_pairs = [(e.question, e.gold_sql) for e in train_examples]
+        self._fewshot_index = index_for(self._train_pairs)
         self._prepared_on = dataset.name
 
     def prepare_with_examples(self, dataset_name: str, examples: list[Example]) -> None:
@@ -121,6 +124,7 @@ class PipelineMethod(NL2SQLMethod):
             model = model.fine_tune(dataset_name, examples)
         self.model = model
         self._train_pairs = [(e.question, e.gold_sql) for e in examples]
+        self._fewshot_index = index_for(self._train_pairs)
         self._prepared_on = dataset_name
 
     def _require_model(self) -> SimulatedLanguageModel:
@@ -135,7 +139,13 @@ class PipelineMethod(NL2SQLMethod):
     def predict(self, example: Example, database: Database) -> Prediction:
         model = self._require_model()
         config = self.config
-        prompt = build_prompt(config, database, example.question, self._train_pairs)
+        prompt = build_prompt(
+            config,
+            database,
+            example.question,
+            self._train_pairs,
+            fewshot_index=self._fewshot_index,
+        )
         sampler = make_sampler(
             model,
             prompt,

@@ -13,6 +13,7 @@ from repro.modules.base import (
 from repro.modules.schema_linking import link_schema
 from repro.modules.db_content import match_db_content
 from repro.modules.fewshot import FewShotExample, select_examples
+from repro.modules.retrieval import FewShotIndex, clear_index_registry, index_for
 from repro.modules.prompts import build_prompt
 from repro.modules.post_processing import (
     execution_guided_select,
@@ -32,7 +33,10 @@ __all__ = [
     "link_schema",
     "match_db_content",
     "FewShotExample",
+    "FewShotIndex",
     "select_examples",
+    "index_for",
+    "clear_index_registry",
     "build_prompt",
     "execution_guided_select",
     "rerank_candidates",

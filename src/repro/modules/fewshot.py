@@ -92,7 +92,9 @@ def select_examples(
     ]
     if not examples:
         return [], 0.0
-    mean_similarity = sum(e.similarity for e in examples) / len(examples)
+    # Quality comes from the unrounded similarities; the 4-decimal
+    # rounding on FewShotExample is display-only.
+    mean_similarity = sum(sim for sim, _, _ in top) / len(top)
     # Structural templates repeat across databases, so even modest token
     # overlap picks a structurally matching exemplar; map into [0.5, 0.95].
     quality = max(MANUAL_QUALITY, min(0.5 + mean_similarity, 0.95))

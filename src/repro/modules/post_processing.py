@@ -8,12 +8,17 @@
   pick the best.
 * **Self-Correction** (DIN-SQL) lives in the method driver (it needs to
   re-query the model); helpers here detect when correction is warranted.
+
+All candidate executions go through
+:func:`~repro.dbengine.executor.execute_sql_cached`, a bounded
+per-database LRU: near-duplicate candidates (the common case under
+systematic corruption) execute once and hit the memo thereafter.
 """
 
 from __future__ import annotations
 
 from repro.dbengine.database import Database
-from repro.dbengine.executor import ExecutionResult, execute_sql
+from repro.dbengine.executor import ExecutionResult, execute_sql_cached
 from repro.llm.model import GenerationCandidate
 from repro.sqlkit.picard import PicardChecker
 
@@ -40,7 +45,7 @@ def self_consistency_vote(
     buckets: dict[str, list[int]] = {}
     results: list[ExecutionResult] = []
     for index, candidate in enumerate(candidates):
-        result = execute_sql(database, candidate.sql)
+        result = execute_sql_cached(database, candidate.sql)
         results.append(result)
         key = _result_key(result)
         buckets.setdefault(key, []).append(index)
@@ -62,7 +67,7 @@ def execution_guided_select(
     if not candidates:
         raise ValueError("execution-guided selection requires candidates")
     for candidate in candidates:
-        result = execute_sql(database, candidate.sql)
+        result = execute_sql_cached(database, candidate.sql)
         if result.ok:
             return candidate
     return candidates[0]
@@ -80,7 +85,7 @@ def rerank_candidates(
     def score(item: tuple[int, GenerationCandidate]) -> tuple[int, int, int, int]:
         index, candidate = item
         valid = 1 if checker is None or checker.accepts(candidate.sql) else 0
-        result = execute_sql(database, candidate.sql)
+        result = execute_sql_cached(database, candidate.sql)
         executable = 1 if result.ok else 0
         non_empty = 1 if result.ok and result.rows else 0
         return (valid, executable, non_empty, -index)
@@ -94,5 +99,5 @@ def needs_correction(candidate: GenerationCandidate, database: Database) -> bool
     checker = PicardChecker(database.schema)
     if not checker.accepts(candidate.sql):
         return True
-    result = execute_sql(database, candidate.sql)
+    result = execute_sql_cached(database, candidate.sql)
     return not result.ok

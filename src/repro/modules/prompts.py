@@ -19,8 +19,10 @@ from repro.llm.prompt import Prompt, PromptFeatures
 from repro.modules.base import PipelineConfig
 from repro.modules.db_content import match_db_content
 from repro.modules.fewshot import select_examples
+from repro.modules.retrieval import FewShotIndex
 from repro.modules.schema_linking import link_schema
 from repro.obs.trace import get_tracer
+from repro.utils.cache import caches_enabled
 from repro.schema.ddl import render_schema_ddl
 
 _OVERHEAD_SENTENCE = (
@@ -44,8 +46,15 @@ def build_prompt(
     database: Database,
     question: str,
     train_pairs: list[tuple[str, str]] | None = None,
+    fewshot_index: FewShotIndex | None = None,
 ) -> Prompt:
-    """Assemble the full prompt for one question under ``config``."""
+    """Assemble the full prompt for one question under ``config``.
+
+    When ``fewshot_index`` is provided (and caches are enabled) few-shot
+    selection goes through the inverted-index retriever, which is
+    bit-identical to :func:`select_examples` but amortises tokenization
+    and memoizes per-question selections across methods.
+    """
     trace = get_tracer()
     schema = database.schema
     schema_tables: tuple[str, ...] | None = None
@@ -58,9 +67,16 @@ def build_prompt(
     few_shot_count = 0
     if config.prompting != "zero_shot":
         with trace.stage("fewshot"):
-            examples, few_shot_quality = select_examples(
-                config.prompting, question, train_pairs or [], config.few_shot_k
-            )
+            if fewshot_index is not None and caches_enabled():
+                examples, few_shot_quality, memo_hit = fewshot_index.select(
+                    config.prompting, question, config.few_shot_k
+                )
+                if memo_hit:
+                    trace.annotate_stage(memo_hits=1)
+            else:
+                examples, few_shot_quality = select_examples(
+                    config.prompting, question, train_pairs or [], config.few_shot_k
+                )
             few_shot_count = len(examples)
             lines = []
             for example in examples:

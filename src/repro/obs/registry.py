@@ -188,5 +188,8 @@ def ingest_span(registry: MetricsRegistry, benchmark: str, span) -> None:
         registry.observe("stage_seconds", stage.seconds, **labels)
         if stage.cache_hit:
             registry.count("stage_cache_hits", **labels)
+        memo_hits = getattr(stage, "memo_hits", 0)
+        if memo_hits:
+            registry.count("stage_memo_hits", value=memo_hits, **labels)
         if stage.llm_calls:
             registry.count("llm_calls", value=stage.llm_calls, **labels)

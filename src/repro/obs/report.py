@@ -99,6 +99,7 @@ def build_run_report(
             "share_pct": round(row["share_pct"], 2),
             "avg_ms": round(row["avg_ms"], 4),
             "cache_hits": int(row["cache_hits"]),
+            "memo_hits": int(row.get("memo_hits", 0)),
             "llm_calls": int(row["llm_calls"]),
             "output_tokens": int(row["output_tokens"]),
         }
@@ -222,11 +223,12 @@ def render_markdown(report: RunReport) -> str:
     if report.stage_rows:
         lines += _md_table(
             ["Stage", "Calls", "Total s", "Share %", "Avg ms",
-             "Cache hits", "LLM calls", "Out tokens"],
+             "Cache hits", "Memo hits", "LLM calls", "Out tokens"],
             [[
                 row["stage"], row["calls"], f"{row['seconds']:.4f}",
                 f"{row['share_pct']:.1f}", f"{row['avg_ms']:.3f}",
-                row["cache_hits"], row["llm_calls"], row["output_tokens"],
+                row["cache_hits"], row.get("memo_hits", 0),
+                row["llm_calls"], row["output_tokens"],
             ] for row in report.stage_rows],
         )
     else:

@@ -4,7 +4,7 @@ A :class:`Tracer` collects one :class:`ExampleSpan` per (method, example)
 evaluation; each holds ordered :class:`StageSpan` children for the
 pipeline stages in :data:`STAGES` (schema linking, few-shot retrieval,
 prompt build, decode, post-process, execute, score), with wall time,
-LLM-call/token counters, cache-hit flags, and a failure-taxonomy tag from
+LLM-call/token counters, cache-hit flags, hot-path memo-hit counters, and a failure-taxonomy tag from
 :func:`repro.core.taxonomy.classify_failure`.  :func:`build_run_trace`
 groups the flat span stream into the canonical ``run -> method ->
 example -> stage`` hierarchy; :func:`stage_breakdown` aggregates the
@@ -52,13 +52,22 @@ STAGES = (
 
 @dataclass
 class StageSpan:
-    """One pipeline stage within one example evaluation."""
+    """One pipeline stage within one example evaluation.
+
+    ``memo_hits`` counts hot-path memo hits observed inside the stage
+    (few-shot selection memo, intent memo, PICARD verdict memo,
+    candidate-execution LRU).  Unlike ``cache_hit`` it is deliberately
+    *excluded* from :meth:`ExampleSpan.structure`: memos are shared
+    process-wide, so hit patterns legitimately differ between sequential
+    and sharded parallel runs even though results are bit-identical.
+    """
 
     stage: str
     seconds: float = 0.0
     cache_hit: bool = False
     llm_calls: int = 0
     output_tokens: int = 0
+    memo_hits: int = 0
 
 
 @dataclass
@@ -170,12 +179,15 @@ class Tracer:
             self._tls.stage = previous
             example_span.stages.append(span)
 
-    def annotate_stage(self, llm_calls: int = 0, output_tokens: int = 0) -> None:
+    def annotate_stage(
+        self, llm_calls: int = 0, output_tokens: int = 0, memo_hits: int = 0
+    ) -> None:
         """Add counters to the innermost open stage span (if any)."""
         span = getattr(self._tls, "stage", None)
         if span is not None:
             span.llm_calls += llm_calls
             span.output_tokens += output_tokens
+            span.memo_hits += memo_hits
 
     # -- collection ------------------------------------------------------
 
@@ -212,7 +224,9 @@ class NullTracer(Tracer):
     def stage(self, stage: str):
         return _NULL_CONTEXT
 
-    def annotate_stage(self, llm_calls: int = 0, output_tokens: int = 0) -> None:
+    def annotate_stage(
+        self, llm_calls: int = 0, output_tokens: int = 0, memo_hits: int = 0
+    ) -> None:
         pass
 
 
@@ -292,9 +306,9 @@ def build_run_trace(dataset: str, spans: list[ExampleSpan]) -> RunTrace:
 def stage_breakdown(spans: list[ExampleSpan]) -> dict[str, dict[str, float]]:
     """Aggregate stage spans into the per-stage timing table.
 
-    Returns ``stage -> {calls, seconds, avg_ms, cache_hits, llm_calls,
-    output_tokens, share_pct}`` with stages in canonical order (unknown
-    stages follow alphabetically).
+    Returns ``stage -> {calls, seconds, avg_ms, cache_hits, memo_hits,
+    llm_calls, output_tokens, share_pct}`` with stages in canonical order
+    (unknown stages follow alphabetically).
     """
     totals: dict[str, dict[str, float]] = {}
     for span in spans:
@@ -302,11 +316,12 @@ def stage_breakdown(spans: list[ExampleSpan]) -> dict[str, dict[str, float]]:
             row = totals.setdefault(
                 stage.stage,
                 {"calls": 0, "seconds": 0.0, "cache_hits": 0,
-                 "llm_calls": 0, "output_tokens": 0},
+                 "memo_hits": 0, "llm_calls": 0, "output_tokens": 0},
             )
             row["calls"] += 1
             row["seconds"] += stage.seconds
             row["cache_hits"] += int(stage.cache_hit)
+            row["memo_hits"] += stage.memo_hits
             row["llm_calls"] += stage.llm_calls
             row["output_tokens"] += stage.output_tokens
     grand_total = sum(row["seconds"] for row in totals.values())

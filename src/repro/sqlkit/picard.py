@@ -113,8 +113,27 @@ class PicardChecker:
         self.schema = schema
 
     def accepts(self, sql: str) -> bool:
-        """Full-candidate check: parseable and schema-consistent."""
-        return is_valid_sql(sql, self.schema)
+        """Full-candidate check: parseable and schema-consistent.
+
+        Verdicts are memoized per (live schema object, sql) — every
+        checker over the same schema shares one memo, and the verdict is
+        a pure function of (sql, schema), so the memo never needs
+        invalidation while the schema object lives.
+        """
+        from repro.utils.cache import caches_enabled, per_object_cache
+
+        if self.schema is None or not caches_enabled():
+            return is_valid_sql(sql, self.schema)
+        cache = per_object_cache(self.schema, "picard_accepts", maxsize=2048)
+        hit, verdict = cache.lookup(sql)
+        if hit:
+            from repro.obs.trace import get_tracer
+
+            get_tracer().annotate_stage(memo_hits=1)
+            return verdict
+        verdict = is_valid_sql(sql, self.schema)
+        cache.put(sql, verdict)
+        return verdict
 
     def violations(self, sql: str) -> list[str]:
         """Return all problems with ``sql`` (parse errors or schema issues)."""

@@ -53,12 +53,19 @@ def execute_sql(
     A progress-handler based interrupt bounds runaway queries; errors are
     captured in the result rather than raised so that evaluation loops can
     score failing predictions as simply incorrect.
+
+    Read-only is enforced, not assumed: ``PRAGMA query_only`` rejects any
+    mutating candidate for the duration of the call, so executions are
+    pure given the database content — a prerequisite for the
+    ``data_version``-keyed memo in :func:`execute_sql_cached` — and the
+    cached and uncached paths fail such candidates identically.
     """
     connection = database.connection
     # The database lock serializes concurrent executions from the parallel
     # evaluator's thread pool: the progress-handler install/remove below
     # must not interleave between threads sharing one connection.
     with database.lock:
+        connection.execute("PRAGMA query_only = ON")
         if timeout_ms is not None:
             budget = {"ticks": max(timeout_ms, 1) * 500}
 
@@ -85,6 +92,7 @@ def execute_sql(
         finally:
             if timeout_ms is not None:
                 connection.set_progress_handler(None, 0)
+            connection.execute("PRAGMA query_only = OFF")
 
 
 def execute_sql_cached(
@@ -97,8 +105,10 @@ def execute_sql_cached(
 
     Post-processing (self-consistency voting, execution-guided selection,
     reranking, self-correction probes) repeatedly executes near-duplicate
-    candidate SQL against the same database; results are pure given the
-    database content, so they are memoized per live :class:`Database`
+    candidate SQL against the same database; :func:`execute_sql` enforces
+    ``PRAGMA query_only``, so results are pure given the database content
+    (a mutating candidate fails instead of silently invalidating the
+    memo) and they are memoized per live :class:`Database`
     keyed on ``(data_version, sql, max_rows, timeout_ms)`` —
     ``data_version`` advances on every mutation, invalidating stale
     entries.  Callers must not mutate the returned result.

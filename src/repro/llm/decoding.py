@@ -76,27 +76,38 @@ class PicardDecoder:
     Candidates that fail to parse or reference unknown schema elements are
     rejected and re-drawn (up to ``max_attempts``); PICARD's guarantee —
     output always valid — is preserved by the fallback.
+
+    The gate's verdict for a given SQL string cannot change between
+    draws, so verdicts are memoized locally and each distinct candidate
+    is checked once.  Beam *composition* is untouched: re-drawn accepted
+    duplicates still fill beam slots (they act as self-consistency votes
+    downstream) and rejected duplicates still consume attempts, exactly
+    as in unmemoized decoding.  ``distinct=True`` opts into skipping
+    duplicates entirely so attempts are spent on distinct candidates —
+    that changes beam composition and therefore downstream selection, so
+    it is off by default and unused by the reproduced method configs.
     """
 
     width: int = 4
     max_attempts: int = 10
+    distinct: bool = False
 
     def decode(
         self, sample: SampleFn, checker: PicardChecker
     ) -> list[GenerationCandidate]:
         accepted: list[GenerationCandidate] = []
-        seen: set[str] = set()
+        verdicts: dict[str, bool] = {}
         draw = 0
         while len(accepted) < self.width and draw < self.max_attempts:
             candidate = sample(draw, 0.0 if draw == 0 else 0.15)
             draw += 1
-            # Attempts are spent on distinct candidates: re-drawing the
-            # identical SQL (accepted or rejected) cannot change the gate's
-            # verdict, so duplicates are skipped instead of re-checked.
-            if candidate.sql in seen:
+            verdict = verdicts.get(candidate.sql)
+            if verdict is None:
+                verdict = checker.accepts(candidate.sql)
+                verdicts[candidate.sql] = verdict
+            elif self.distinct:
                 continue
-            seen.add(candidate.sql)
-            if checker.accepts(candidate.sql):
+            if verdict:
                 accepted.append(candidate)
         if not accepted:
             fallback_table = (

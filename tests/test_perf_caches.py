@@ -162,7 +162,7 @@ class TestFewShotIndexEquivalence:
         assert ours[:2] == theirs[:2]
 
 
-# -- decoder dedupe and verdict memo -------------------------------------
+# -- decoder verdict memo and opt-in dedupe ------------------------------
 
 
 class _CountingChecker:
@@ -185,21 +185,52 @@ def _sampler_over(sqls: list[str]):
     return sample
 
 
-class TestPicardDecoderDedupe:
-    def test_duplicate_candidates_checked_once(self, toy_schema):
+def _unmemoized_decode(decoder, sample, checker):
+    """The plain PICARD loop: the semantics the verdict memo must preserve."""
+    accepted = []
+    draw = 0
+    while len(accepted) < decoder.width and draw < decoder.max_attempts:
+        candidate = sample(draw, 0.0 if draw == 0 else 0.15)
+        draw += 1
+        if checker.accepts(candidate.sql):
+            accepted.append(candidate)
+    return accepted
+
+
+_DUPLICATE_DRAWS = [
+    "SELECT * FROM airports",
+    "SELECT * FROM airports",
+    "SELECT name FROM airports",
+    "SELECT * FROM airports",
+    "SELECT city FROM airports",
+]
+
+
+class TestPicardDecoderVerdictMemo:
+    def test_beam_composition_identical_to_unmemoized_loop(self, toy_schema):
+        decoder = PicardDecoder(width=4, max_attempts=5)
         checker = _CountingChecker(toy_schema)
-        sqls = [
-            "SELECT * FROM airports",
+        accepted = decoder.decode(_sampler_over(_DUPLICATE_DRAWS), checker)
+        reference = _unmemoized_decode(
+            decoder, _sampler_over(_DUPLICATE_DRAWS), PicardChecker(toy_schema)
+        )
+        # Accepted duplicates refill beam slots exactly as without the
+        # memo — they are self-consistency votes downstream, so dedupe
+        # would change predictions.
+        assert accepted == reference
+        assert [c.sql for c in accepted].count("SELECT * FROM airports") == 3
+        assert checker.calls == 2  # one per distinct sql actually drawn
+
+    def test_distinct_opt_in_spends_attempts_on_new_sql(self, toy_schema):
+        checker = _CountingChecker(toy_schema)
+        decoder = PicardDecoder(width=4, max_attempts=5, distinct=True)
+        accepted = decoder.decode(_sampler_over(_DUPLICATE_DRAWS), checker)
+        assert [c.sql for c in accepted] == [
             "SELECT * FROM airports",
             "SELECT name FROM airports",
-            "SELECT * FROM airports",
             "SELECT city FROM airports",
         ]
-        decoder = PicardDecoder(width=4, max_attempts=5)
-        accepted = decoder.decode(_sampler_over(sqls), checker)
-        accepted_sqls = [c.sql for c in accepted]
-        assert len(set(accepted_sqls)) == len(accepted_sqls)
-        assert checker.calls == 3  # one per distinct sql
+        assert checker.calls == 3  # duplicates skipped, never re-checked
 
     def test_identical_invalid_draws_degenerate_to_fallback(self, toy_schema):
         checker = _CountingChecker(toy_schema)
@@ -250,6 +281,30 @@ class TestExecutorCache:
             second = execute_sql_cached(toy_db, sql)
         assert first is not second
         assert first.rows == second.rows
+
+    def test_execute_sql_is_forced_read_only(self, toy_db):
+        before = toy_db.row_count("airports")
+        result = execute_sql(toy_db, "DELETE FROM airports")
+        assert not result.ok
+        assert "readonly" in (result.error or "").lower()
+        assert toy_db.row_count("airports") == before
+        # The query_only guard is scoped to the call: loading still works.
+        toy_db.insert_rows("airports", [(97, "Guard Field", "Bern", 120)])
+        assert toy_db.row_count("airports") == before + 1
+
+    def test_mutating_candidate_cannot_poison_the_cache(self, toy_db):
+        count_sql = "SELECT COUNT(*) FROM airports"
+        first = execute_sql_cached(toy_db, count_sql)
+        version = toy_db.data_version
+        blocked = execute_sql_cached(toy_db, "DELETE FROM airports")
+        assert not blocked.ok
+        # Nothing mutated, so data_version is honest and the cached
+        # result is still the true answer (and on/off paths agree:
+        # the uncached path rejects the same statement identically).
+        assert toy_db.data_version == version
+        assert execute_sql_cached(toy_db, count_sql).rows == first.rows
+        with caches_disabled():
+            assert not execute_sql(toy_db, "DELETE FROM airports").ok
 
 
 # -- end-to-end equivalence ----------------------------------------------

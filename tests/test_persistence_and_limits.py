@@ -51,11 +51,12 @@ class TestExecutionLimits:
             assert "timeout" in result.error or "interrupt" in result.error.lower()
 
     def test_write_statements_fail_cleanly(self, toy_db):
-        # The executor targets SELECTs; DML on a read path is captured as
-        # an error (FK enforcement blocks the delete) without raising.
+        # The executor targets SELECTs; DML on the read path is rejected
+        # by the PRAGMA query_only guard and captured as an error (it used
+        # to rely on FK enforcement, which only covered referenced rows).
         result = execute_sql(toy_db, "DELETE FROM airports")
         assert not result.ok
-        assert "FOREIGN KEY" in result.error
+        assert "readonly" in result.error
         # ... and the data is untouched.
         assert toy_db.row_count("airports") == 4
 

@@ -1,0 +1,68 @@
+"""Tier-2 perf smoke: the online serving engine must not regress.
+
+Runs ``scripts/bench_serve.py --quick`` in-process and asserts the
+deterministic gates — every served response bit-identical to the
+offline evaluator's record, open-loop coalescing exact (hits equal
+requests minus distinct keys), every read routed through the connection
+pool, zero timeouts on the no-deadline runs, and full-workload timeouts
+under the zero-deadline degradation run.  Wall-clock speedups are
+recorded for trend tracking but the tier-2 gate is counter-based; the
+hard 3x-at-concurrency-8 speedup gate is enforced by the full
+``scripts/bench_serve.py`` run that refreshes the tracked
+``BENCH_serve.json`` at the repo root (which this quick smoke therefore
+does *not* overwrite).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_serve", REPO_ROOT / "scripts" / "bench_serve.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_serve_quick_smoke(tmp_path):
+    bench_serve = _load_bench_module()
+    out = tmp_path / "BENCH_serve.json"
+    exit_code = bench_serve.main(["--quick", "--out", str(out)])
+    assert exit_code == 0
+
+    result = json.loads(out.read_text())
+    assert result["quick"]
+    # Correctness under concurrency: every response matched the offline
+    # evaluator's record, across all concurrency levels and both loops.
+    assert result["responses_identical"]
+    assert result["timeouts_total"] == 0
+    # Coalescing is exact under the open loop: all requests are queued
+    # before the scheduler resumes, so duplicates must all coalesce.
+    coalesce = result["coalesce"]
+    assert coalesce["open_hits_at_8"] == coalesce["expected_open_hits"]
+    assert coalesce["expected_open_hits"] == (
+        result["requests"] - result["distinct_keys"]
+    )
+    # Every read went through the per-database pool (query_only replicas).
+    assert result["pool"]["checkouts"] > 0
+    assert result["pool"]["created"] >= 1
+    # Graceful degradation: a zero deadline times every request out with a
+    # typed response instead of hanging, and the engine recovers.
+    degradation = result["degradation"]
+    assert degradation["timeouts"] == degradation["requests"]
+    assert degradation["recovered_ok"]
+    # Throughput numbers ride along for trend tracking; the quick run
+    # reports them but only the full run gates on the 3x speedup.
+    assert result["serial"]["throughput_rps"] > 0
+    for level in ("1", "4", "8"):
+        assert result["concurrency"][level]["closed"]["throughput_rps"] > 0
+    assert result["speedup_at_8"] > 0

@@ -1,0 +1,22 @@
+"""Serving-engine benchmark driver — see repro.serve.bench for the design.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py [--quick] [--out BENCH_serve.json]
+
+Runs the offline reference, serial baseline, closed-/open-loop runs at
+concurrency 1/4/8, and the zero-deadline degradation check; writes the
+result document and exits non-zero if any gate fails.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

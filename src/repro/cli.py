@@ -83,6 +83,8 @@ def _make_evaluator(
 
 
 def _print_eval_stats(evaluator: ParallelEvaluator) -> None:
+    from repro.utils.cache import lru_cache_stats
+
     stats = evaluator.stats
     print(
         f"[engine] predictions={stats.predictions}"
@@ -91,6 +93,13 @@ def _print_eval_stats(evaluator: ParallelEvaluator) -> None:
         f" parallel_tasks={stats.parallel_tasks}",
         file=sys.stderr,
     )
+    lru = lru_cache_stats()
+    if lru:
+        detail = " ".join(
+            f"{name}={bucket['hits']}/{bucket['hits'] + bucket['misses']}"
+            for name, bucket in sorted(lru.items())
+        )
+        print(f"[caches] hits/lookups: {detail}", file=sys.stderr)
 
 
 def _print_stage_breakdown(evaluator: ParallelEvaluator) -> None:
@@ -265,6 +274,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import main as bench_main
+    argv = ["--seed", str(args.seed), "--zipf", str(args.zipf), "--out", args.out]
+    if args.quick:
+        argv.append("--quick")
+    if args.scale is not None:
+        argv += ["--scale", str(args.scale)]
+    if args.requests is not None:
+        argv += ["--requests", str(args.requests)]
+    if args.distinct is not None:
+        argv += ["--distinct", str(args.distinct)]
+    if args.methods:
+        argv += ["--methods", *args.methods]
+    return bench_main(argv)
+
+
 def _report_run_check() -> int:
     """End-to-end self-test: trace a tiny run, persist it, re-render it."""
     import json
@@ -414,6 +439,22 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("method_a")
     compare.add_argument("method_b")
     compare.set_defaults(func=_cmd_compare)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="benchmark the online serving engine (throughput, p50/p95/p99)",
+    )
+    serve_bench.add_argument("--quick", action="store_true",
+                             help="small workload; skips the wall-clock gate")
+    serve_bench.add_argument("--scale", type=float, default=None)
+    serve_bench.add_argument("--seed", type=int, default=42)
+    serve_bench.add_argument("--requests", type=int, default=None)
+    serve_bench.add_argument("--distinct", type=int, default=None)
+    serve_bench.add_argument("--zipf", type=float, default=1.1)
+    serve_bench.add_argument("--methods", nargs="+", default=None)
+    serve_bench.add_argument("--out", default="BENCH_serve.json",
+                             help="result JSON path")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     report_run = sub.add_parser(
         "report-run", help="render a persisted run's observability report"

@@ -47,8 +47,14 @@ from repro.dbengine.executor import (
 )
 from repro.dbengine.timing import timed_execute
 from repro.methods.base import NL2SQLMethod
-from repro.obs.registry import MetricsRegistry, ingest_record, ingest_span
+from repro.obs.registry import (
+    MetricsRegistry,
+    ingest_lru_deltas,
+    ingest_record,
+    ingest_span,
+)
 from repro.obs.trace import ExampleSpan, get_tracer
+from repro.utils.cache import lru_cache_stats
 from repro.sqlkit.exact_match import exact_match
 from repro.sqlkit.features import SQLFeatures, extract_features
 
@@ -189,7 +195,11 @@ class Evaluator:
         )
 
     def _collect_observability(
-        self, method_name: str, records: list[EvaluationRecord], fresh_gold: int
+        self,
+        method_name: str,
+        records: list[EvaluationRecord],
+        fresh_gold: int,
+        lru_before: dict[str, dict[str, int]] | None = None,
     ) -> tuple[list[ExampleSpan], MetricsRegistry | None]:
         """Drain this method's spans and build its per-run metrics."""
         trace = get_tracer()
@@ -204,6 +214,7 @@ class Evaluator:
             method=method_name,
             benchmark=self.dataset.name,
         )
+        ingest_lru_deltas(registry, self.dataset.name, method_name, lru_before)
         for record in records:
             ingest_record(registry, self.dataset.name, record)
         for span in spans:
@@ -224,6 +235,9 @@ class Evaluator:
         if prepare:
             method.prepare(self.dataset)
         examples = examples if examples is not None else self.dataset.split(split)
+        # Snapshot the process-cumulative LRU counters so the collected
+        # metrics carry only this run's hit/miss deltas.
+        lru_before = lru_cache_stats()
         # Precompute gold up front: each distinct gold query runs exactly
         # once, and every example span sees the gold cache warm — same
         # behaviour as the parallel engine, so span trees are comparable.
@@ -232,7 +246,7 @@ class Evaluator:
         for example in examples:
             report.records.append(self.evaluate_example(method, example))
         spans, registry = self._collect_observability(
-            method.name, report.records, fresh_gold
+            method.name, report.records, fresh_gold, lru_before
         )
         if self.log_store is not None:
             run_id = self.log_store.store_records(self.dataset.name, report.records)

@@ -66,7 +66,13 @@ from repro.core.taxonomy import classify_failure
 from repro.datagen.benchmark import BenchmarkConfig, Dataset, Example, build_benchmark
 from repro.methods.base import MethodGroup, NL2SQLMethod, PipelineMethod
 from repro.modules.base import PipelineConfig
-from repro.obs.registry import MetricsRegistry, ingest_record, ingest_span
+from repro.obs.registry import (
+    MetricsRegistry,
+    ingest_lru_deltas,
+    ingest_record,
+    ingest_span,
+)
+from repro.utils.cache import lru_cache_stats
 from repro.obs.trace import ExampleSpan, Tracer, get_tracer, set_tracer
 from repro.sqlkit.features import SQLFeatures
 from repro.utils.rng import stable_hash
@@ -352,6 +358,10 @@ class ParallelEvaluator:
     ) -> MethodReport:
         """Evaluate ``method`` on ``examples`` (default: the dev split)."""
         examples = list(examples) if examples is not None else self.dataset.split(split)
+        # Snapshot the process-cumulative LRU counters so the collected
+        # metrics carry only this run's hit/miss deltas (coordinator
+        # process only; worker-process memos stay worker-local).
+        lru_before = lru_cache_stats()
         cached: dict[str, EvaluationRecord] = {}
         fingerprint: str | None = None
         if self.use_result_cache and MethodSpec.from_method(method) is not None:
@@ -392,7 +402,7 @@ class ParallelEvaluator:
             for e in examples
         ]
         spans, registry = self._collect_observability(
-            method.name, report.records, cached, fresh_gold
+            method.name, report.records, cached, fresh_gold, lru_before
         )
         if fingerprint is not None and fresh:
             self.log_store.store_cached_records(fingerprint, list(fresh.values()))
@@ -409,6 +419,7 @@ class ParallelEvaluator:
         records: list[EvaluationRecord],
         cached: dict[str, EvaluationRecord],
         fresh_gold: int,
+        lru_before: dict[str, dict[str, int]] | None = None,
     ) -> tuple[list[ExampleSpan], MetricsRegistry | None]:
         """Drain this method's spans (synthesizing cache-hit spans) and
         build its per-run metrics — mirror of the sequential evaluator's."""
@@ -445,6 +456,7 @@ class ParallelEvaluator:
             method=method_name,
             benchmark=self.dataset.name,
         )
+        ingest_lru_deltas(registry, self.dataset.name, method_name, lru_before)
         for record in records:
             ingest_record(
                 registry,

@@ -141,6 +141,9 @@ def load_spider_format(path: str | Path, name: str = "spider-import") -> Dataset
         database = Database(schema)
         with database.connection:
             source.backup(database.connection)
+        # The restore bypassed insert_rows: advance data_version so
+        # execution memos and pooled replicas see the new content.
+        database.mark_mutated()
         source.close()
         dataset.databases[db_id] = database
 

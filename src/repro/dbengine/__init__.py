@@ -1,7 +1,20 @@
-"""SQLite-backed database engine: materialization, safe execution, timing."""
+"""SQLite-backed database engine: materialization, safe execution, timing.
+
+Reads run through a per-database pool of read-only replica connections
+(:mod:`repro.dbengine.pool`); the legacy locked shared-connection path
+remains available via :func:`pooling_disabled` for equivalence testing.
+"""
 
 from repro.dbengine.database import Database
 from repro.dbengine.executor import ExecutionResult, execute_sql, results_match
+from repro.dbengine.pool import (
+    DEFAULT_POOL_SIZE,
+    PoolStats,
+    ReadConnectionPool,
+    pooling_disabled,
+    pooling_enabled,
+    set_pooling_enabled,
+)
 from repro.dbengine.timing import TimedExecution, timed_execute, ves_ratio
 
 __all__ = [
@@ -12,4 +25,10 @@ __all__ = [
     "TimedExecution",
     "timed_execute",
     "ves_ratio",
+    "DEFAULT_POOL_SIZE",
+    "PoolStats",
+    "ReadConnectionPool",
+    "pooling_disabled",
+    "pooling_enabled",
+    "set_pooling_enabled",
 ]

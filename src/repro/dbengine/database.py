@@ -12,6 +12,7 @@ import threading
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
+from repro.dbengine.pool import DEFAULT_POOL_SIZE, ReadConnectionPool
 from repro.errors import ExecutionError, SchemaError
 from repro.schema.ddl import render_schema_ddl
 from repro.schema.model import ColumnType, DatabaseSchema
@@ -20,7 +21,12 @@ from repro.schema.model import ColumnType, DatabaseSchema
 class Database:
     """A live SQLite database plus its in-memory schema model."""
 
-    def __init__(self, schema: DatabaseSchema, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        path: str | Path | None = None,
+        pool_size: int = DEFAULT_POOL_SIZE,
+    ) -> None:
         self.schema = schema
         self._path = str(path) if path is not None else ":memory:"
         # check_same_thread=False lets the parallel evaluator's thread pool
@@ -34,6 +40,9 @@ class Database:
         # Monotonic content-version counter; execution caches key on it so
         # any mutation invalidates every cached result for this database.
         self.data_version = 0
+        # Read-only replica pool, created lazily on first pooled read.
+        self._pool_size = pool_size
+        self._pool: ReadConnectionPool | None = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -51,7 +60,37 @@ class Database:
         self.connection.commit()
 
     def close(self) -> None:
-        self.connection.close()
+        with self.lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+            self.connection.close()
+
+    def read_pool(self) -> ReadConnectionPool:
+        """The lazily-created read-only replica pool for this database."""
+        with self.lock:
+            if self._pool is None:
+                self._pool = ReadConnectionPool(self, size=self._pool_size)
+            return self._pool
+
+    def pool_stats(self) -> dict[str, int]:
+        """Deterministic pool counters (all zero before the first read)."""
+        with self.lock:
+            if self._pool is None:
+                return {"created": 0, "checkouts": 0, "refreshes": 0, "waits": 0}
+            return self._pool.stats.as_dict()
+
+    def mark_mutated(self) -> None:
+        """Record an out-of-band content mutation (e.g. a bulk restore).
+
+        Bumps ``data_version`` and drops value caches, so execution memos
+        and pooled replicas refresh before their next use.  ``insert_rows``
+        calls this implicitly; callers writing through ``connection``
+        directly (restores, migrations) must call it themselves.
+        """
+        with self.lock:
+            self._value_cache.clear()
+            self.data_version += 1
 
     def __enter__(self) -> "Database":
         return self
@@ -80,8 +119,7 @@ class Database:
             except sqlite3.Error as exc:
                 raise ExecutionError(f"insert into {table_name} failed: {exc}", sql) from exc
             self.connection.commit()
-            self._value_cache.clear()
-            self.data_version += 1
+            self.mark_mutated()
         return len(rows)
 
     def row_count(self, table_name: str) -> int:

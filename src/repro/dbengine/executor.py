@@ -13,6 +13,7 @@ import sqlite3
 from dataclasses import dataclass, field
 
 from repro.dbengine.database import Database
+from repro.dbengine.pool import pooling_enabled
 from repro.errors import ExecutionError, ExecutionTimeout
 
 _FLOAT_TOLERANCE = 1e-6
@@ -42,6 +43,56 @@ class ExecutionResult:
         return len(self.rows)
 
 
+def _run_readonly(
+    connection: sqlite3.Connection,
+    sql: str,
+    max_rows: int,
+    timeout_ms: int | None,
+) -> ExecutionResult:
+    """Run ``sql`` on a connection the caller holds exclusively.
+
+    The connection must already reject writes (``PRAGMA query_only``);
+    the caller guarantees no other thread touches it while the progress
+    handler is installed.
+    """
+    if timeout_ms is not None:
+        budget = {"ticks": max(timeout_ms, 1) * 500}
+
+        def _tick() -> int:
+            budget["ticks"] -= 1
+            return 1 if budget["ticks"] <= 0 else 0
+
+        connection.set_progress_handler(_tick, 1_000)
+    try:
+        cursor = connection.execute(sql)
+        try:
+            rows = cursor.fetchmany(max_rows + 1)
+        finally:
+            # Reset the statement: a lingering active cursor would block
+            # the next backup-refresh of a pooled replica.
+            cursor.close()
+        truncated = len(rows) > max_rows
+        if truncated:
+            rows = rows[:max_rows]
+        return ExecutionResult(
+            rows=[tuple(row) for row in rows], sql=sql, truncated=truncated
+        )
+    except sqlite3.OperationalError as exc:
+        if "interrupted" in str(exc).lower():
+            return ExecutionResult(error=f"timeout: {exc}", sql=sql)
+        return ExecutionResult(error=str(exc), sql=sql)
+    except sqlite3.Error as exc:
+        return ExecutionResult(error=str(exc), sql=sql)
+    finally:
+        if timeout_ms is not None:
+            connection.set_progress_handler(None, 0)
+        # A failed DML (e.g. a mutating candidate rejected by query_only)
+        # leaves the implicit transaction open; a replica stuck in a
+        # transaction would refuse the next backup-refresh.
+        if connection.in_transaction:
+            connection.rollback()
+
+
 def execute_sql(
     database: Database,
     sql: str,
@@ -54,44 +105,31 @@ def execute_sql(
     captured in the result rather than raised so that evaluation loops can
     score failing predictions as simply incorrect.
 
-    Read-only is enforced, not assumed: ``PRAGMA query_only`` rejects any
-    mutating candidate for the duration of the call, so executions are
-    pure given the database content — a prerequisite for the
-    ``data_version``-keyed memo in :func:`execute_sql_cached` — and the
-    cached and uncached paths fail such candidates identically.
+    Read-only is enforced, not assumed: the query runs against a pooled
+    replica connection with ``PRAGMA query_only`` set once at creation
+    (see :mod:`repro.dbengine.pool`), so any mutating candidate fails and
+    executions are pure given the database content — a prerequisite for
+    the ``data_version``-keyed memo in :func:`execute_sql_cached` — and
+    the cached and uncached paths fail such candidates identically.
+    Replicas refresh from the master whenever ``data_version`` advanced,
+    and checkouts are exclusive, so queries from many threads run truly
+    concurrently with no cross-call PRAGMA or progress-handler
+    interleaving.  With :func:`~repro.dbengine.pool.pooling_disabled` the
+    legacy locked shared-connection path is used instead; results are
+    bit-identical either way.
     """
+    if pooling_enabled():
+        with database.read_pool().checkout() as connection:
+            return _run_readonly(connection, sql, max_rows, timeout_ms)
     connection = database.connection
-    # The database lock serializes concurrent executions from the parallel
-    # evaluator's thread pool: the progress-handler install/remove below
-    # must not interleave between threads sharing one connection.
+    # Legacy path: the database lock serializes concurrent executions on
+    # the one shared connection — the PRAGMA toggle and progress-handler
+    # install/remove below must not interleave between threads.
     with database.lock:
         connection.execute("PRAGMA query_only = ON")
-        if timeout_ms is not None:
-            budget = {"ticks": max(timeout_ms, 1) * 500}
-
-            def _tick() -> int:
-                budget["ticks"] -= 1
-                return 1 if budget["ticks"] <= 0 else 0
-
-            connection.set_progress_handler(_tick, 1_000)
         try:
-            cursor = connection.execute(sql)
-            rows = cursor.fetchmany(max_rows + 1)
-            truncated = len(rows) > max_rows
-            if truncated:
-                rows = rows[:max_rows]
-            return ExecutionResult(
-                rows=[tuple(row) for row in rows], sql=sql, truncated=truncated
-            )
-        except sqlite3.OperationalError as exc:
-            if "interrupted" in str(exc).lower():
-                return ExecutionResult(error=f"timeout: {exc}", sql=sql)
-            return ExecutionResult(error=str(exc), sql=sql)
-        except sqlite3.Error as exc:
-            return ExecutionResult(error=str(exc), sql=sql)
+            return _run_readonly(connection, sql, max_rows, timeout_ms)
         finally:
-            if timeout_ms is not None:
-                connection.set_progress_handler(None, 0)
             connection.execute("PRAGMA query_only = OFF")
 
 

@@ -63,3 +63,20 @@ class EvaluationError(ReproError):
 
 class DesignSpaceError(ReproError):
     """Raised for invalid design-space configurations in NL2SQL360-AAS."""
+
+
+class ServeError(ReproError):
+    """Base class for online serving-engine errors."""
+
+
+class ServeTimeout(ServeError):
+    """Raised when waiting on a served response exceeds the caller's budget.
+
+    Deadline expiry on the *request* never raises — it resolves the
+    request with a typed ``TIMEOUT`` response; this exception covers only
+    an explicit wait budget passed to ``ServeFuture.response(timeout=…)``.
+    """
+
+
+class ServeOverloaded(ServeError):
+    """Raised when a request is submitted to an engine past admission capacity."""

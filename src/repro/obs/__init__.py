@@ -19,6 +19,7 @@ is stateless and safe anywhere.
 from repro.obs.registry import (
     HistogramSummary,
     MetricsRegistry,
+    ingest_lru_deltas,
     ingest_record,
     ingest_span,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "HistogramSummary",
     "ingest_record",
     "ingest_span",
+    "ingest_lru_deltas",
     "RunReport",
     "build_run_report",
     "report_from_store",

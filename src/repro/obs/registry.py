@@ -193,3 +193,33 @@ def ingest_span(registry: MetricsRegistry, benchmark: str, span) -> None:
             registry.count("stage_memo_hits", value=memo_hits, **labels)
         if stage.llm_calls:
             registry.count("llm_calls", value=stage.llm_calls, **labels)
+
+
+def ingest_lru_deltas(
+    registry: MetricsRegistry,
+    benchmark: str,
+    method: str,
+    before: dict[str, dict[str, int]] | None,
+) -> None:
+    """Fold one run's LRU cache hit/miss deltas into counters.
+
+    ``before`` is a :func:`~repro.utils.cache.lru_cache_stats` snapshot
+    taken when the run started; the difference against the current
+    totals is this run's share of the process-cumulative counters.
+    Emits ``lru_cache_hits`` / ``lru_cache_misses`` per cache name (only
+    the coordinator process's caches — worker-process memos do not
+    cross the boundary).  A ``None`` snapshot skips ingestion.
+    """
+    if before is None:
+        return
+    from repro.utils.cache import lru_cache_stats
+
+    for name, stats in sorted(lru_cache_stats().items()):
+        prior = before.get(name, {})
+        labels = {"cache": name, "method": method, "benchmark": benchmark}
+        hits = stats["hits"] - prior.get("hits", 0)
+        misses = stats["misses"] - prior.get("misses", 0)
+        if hits > 0:
+            registry.count("lru_cache_hits", value=hits, **labels)
+        if misses > 0:
+            registry.count("lru_cache_misses", value=misses, **labels)

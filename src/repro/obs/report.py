@@ -33,6 +33,13 @@ from repro.obs.trace import ExampleSpan, stage_breakdown
 # Example ids listed per failure category before truncation.
 _MAX_FAILURE_EXAMPLES = 5
 
+# Cache-section keys whose values depend on the evaluation schedule
+# (thread sharding changes which lookup warms a memo first), excluded
+# from the sequential/parallel equivalence comparison.
+_SCHEDULE_SENSITIVE_CACHE_KEYS = frozenset(
+    {"stage_memo_hits", "lru_cache_hits", "lru_cache_misses", "lru_cache_hit_pct"}
+)
+
 
 @dataclass
 class RunReport:
@@ -49,10 +56,19 @@ class RunReport:
     economy: dict[str, float] = field(default_factory=dict)
 
     def equivalence_key(self) -> dict:
-        """The timing-free sections: identical across sequential/parallel."""
+        """The timing-free sections: identical across sequential/parallel.
+
+        Memo-hit and LRU counters are reported in ``cache`` but excluded
+        here — which lookup warms a shared memo first is schedule-
+        dependent even though every *result* is bit-identical.
+        """
         return {
             "failures": self.failures,
-            "cache": self.cache,
+            "cache": {
+                key: value
+                for key, value in self.cache.items()
+                if key not in _SCHEDULE_SENSITIVE_CACHE_KEYS
+            },
             "economy": self.economy,
         }
 
@@ -134,6 +150,16 @@ def build_run_report(
     gold_executions = (
         int(metrics.counter_total("gold_executions")) if metrics is not None else 0
     )
+    stage_memo_hits = sum(
+        stage.memo_hits for span in spans for stage in span.stages
+    )
+    lru_hits = (
+        int(metrics.counter_total("lru_cache_hits")) if metrics is not None else 0
+    )
+    lru_misses = (
+        int(metrics.counter_total("lru_cache_misses")) if metrics is not None else 0
+    )
+    lru_lookups = lru_hits + lru_misses
     cache = {
         "examples": n,
         "result_cache_hits": result_cache_hits,
@@ -141,6 +167,12 @@ def build_run_report(
         "result_cache_hit_pct": round(100.0 * result_cache_hits / n, 2) if n else 0.0,
         "gold_executions": gold_executions,
         "gold_executions_saved": max(n - gold_executions, 0) if n else 0,
+        "stage_memo_hits": stage_memo_hits,
+        "lru_cache_hits": lru_hits,
+        "lru_cache_misses": lru_misses,
+        "lru_cache_hit_pct": (
+            round(100.0 * lru_hits / lru_lookups, 2) if lru_lookups else 0.0
+        ),
     }
 
     economy = {
@@ -261,6 +293,12 @@ def render_markdown(report: RunReport) -> str:
         f"- fresh evaluations: {cache.get('fresh_evaluations', 0)}",
         f"- gold executions: {cache.get('gold_executions', 0)} distinct "
         f"(saved {cache.get('gold_executions_saved', 0)} re-executions)",
+        f"- hot-path memo hits: {cache.get('stage_memo_hits', 0)} across "
+        f"traced stages (per-stage counts in the breakdown above)",
+        f"- LRU caches: {cache.get('lru_cache_hits', 0)} hits / "
+        f"{cache.get('lru_cache_misses', 0)} misses "
+        f"({cache.get('lru_cache_hit_pct', 0.0)}% hit rate,"
+        f" coordinator process)",
         "",
         "## Economy",
         "",

@@ -1,0 +1,42 @@
+"""repro.serve: online NL2SQL serving over the offline evaluation pipeline.
+
+:mod:`repro.serve.engine` is the request scheduler (micro-batching,
+in-flight coalescing, admission control, deadlines, warm start);
+:mod:`repro.serve.workload` generates seeded Zipf-skewed request
+streams; :mod:`repro.serve.bench` is the load-generator benchmark
+behind ``python -m repro serve-bench`` and ``BENCH_serve.json``.  See
+docs/SERVING.md for the architecture and knob reference.
+
+Served responses are bit-identical to offline
+:class:`~repro.core.evaluator.Evaluator` records under any concurrency,
+batching, or coalescing schedule.
+"""
+
+from repro.serve.engine import (
+    ServeConfig,
+    ServeFuture,
+    ServeRequest,
+    ServeResponse,
+    ServeSpan,
+    ServeStats,
+    ServeStatus,
+    ServingEngine,
+    ingest_serve_span,
+    question_index,
+)
+from repro.serve.workload import WorkloadSpec, build_workload
+
+__all__ = [
+    "ServeConfig",
+    "ServeFuture",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeSpan",
+    "ServeStats",
+    "ServeStatus",
+    "ServingEngine",
+    "ingest_serve_span",
+    "question_index",
+    "WorkloadSpec",
+    "build_workload",
+]

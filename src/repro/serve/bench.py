@@ -1,0 +1,335 @@
+"""Load-generator benchmark for the online serving engine.
+
+Measures the serving engine against the offline evaluator on one seeded
+Zipf-skewed workload (see :mod:`repro.serve.workload`):
+
+* **offline reference** — every distinct ``(method, db_id, question)``
+  key is evaluated once with the plain sequential
+  :class:`~repro.core.evaluator.Evaluator`; every served response must
+  be bit-identical to these records (``responses_identical``);
+* **serial baseline** — one request at a time through a 1-worker,
+  no-coalescing engine: the throughput denominator;
+* **closed loop** — N client threads, each submitting its share of the
+  workload and waiting for each response before sending the next;
+  latency percentiles (p50/p95/p99) come from these runs;
+* **open loop** — the whole workload is queued while the scheduler is
+  paused, then released at once: duplicate keys coalesce
+  deterministically (hits == requests − distinct keys, an exact gate)
+  and the drain rate gives peak throughput;
+* **degradation** — a zero-deadline run must resolve every request as a
+  typed ``TIMEOUT`` (never hang) and the engine must serve normally
+  right after.
+
+Emits a JSON document (``BENCH_serve.json`` at the repo root, see
+``benchmarks/test_perf_serve_smoke.py``) with throughput, latency
+percentiles at concurrency 1/4/8, coalesce/pool/timeout counters, and
+the ``speedup_at_8`` headline gated at ≥ :data:`SPEEDUP_GATE`× in full
+runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.core.evaluator import Evaluator
+from repro.datagen.benchmark import build_benchmark, spider_like_config
+from repro.methods.zoo import build_method
+from repro.serve.engine import (
+    ServeConfig,
+    ServeRequest,
+    ServeResponse,
+    ServeStatus,
+    ServingEngine,
+    question_index,
+)
+from repro.serve.workload import WorkloadSpec, build_workload
+
+#: Full-run throughput gate: open-loop @ concurrency 8 vs the serial baseline.
+SPEEDUP_GATE = 3.0
+
+CONCURRENCIES = (1, 4, 8)
+
+
+def _percentiles(latencies_s: list[float]) -> dict[str, float]:
+    if not latencies_s:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    ordered = sorted(latencies_s)
+
+    def pick(quantile: float) -> float:
+        index = min(len(ordered) - 1, int(quantile * len(ordered)))
+        return round(ordered[index] * 1000.0, 3)
+
+    return {"p50_ms": pick(0.50), "p95_ms": pick(0.95), "p99_ms": pick(0.99)}
+
+
+def _loop_summary(
+    responses: list[ServeResponse], elapsed: float, engine: ServingEngine
+) -> dict:
+    return {
+        "seconds": round(elapsed, 4),
+        "throughput_rps": round(len(responses) / elapsed, 2) if elapsed else 0.0,
+        "ok": sum(1 for r in responses if r.ok),
+        "coalesce_hits": engine.stats.coalesce_hits,
+        "batches": engine.stats.batches,
+        "max_batch": engine.stats.max_batch,
+        **_percentiles([r.total_s for r in responses]),
+    }
+
+
+def _closed_loop(
+    engine: ServingEngine, workload: list[ServeRequest], clients: int
+) -> tuple[list[ServeResponse], float]:
+    """Each client thread works its round-robin share, one request at a time."""
+    responses: list[ServeResponse | None] = [None] * len(workload)
+    barrier = threading.Barrier(clients + 1)
+
+    def client(cid: int) -> None:
+        barrier.wait()
+        for i in range(cid, len(workload), clients):
+            responses[i] = engine.submit(workload[i]).response()
+
+    threads = [
+        threading.Thread(target=client, args=(cid,), name=f"client-{cid}")
+        for cid in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return [r for r in responses if r is not None], elapsed
+
+
+def _open_loop(
+    engine: ServingEngine, workload: list[ServeRequest]
+) -> tuple[list[ServeResponse], float]:
+    """Queue the whole workload while paused, then release it at once."""
+    engine.pause()
+    futures = [engine.submit(request) for request in workload]
+    started = time.perf_counter()
+    engine.resume()
+    responses = [future.response() for future in futures]
+    elapsed = time.perf_counter() - started
+    return responses, elapsed
+
+
+def run_bench(
+    scale: float = 0.08,
+    seed: int = 42,
+    requests: int = 240,
+    distinct_examples: int = 32,
+    zipf_s: float = 1.1,
+    method_names: tuple[str, ...] = ("SuperSQL", "DAILSQL"),
+    quick: bool = False,
+) -> dict:
+    """Run the full serving benchmark; returns the result document."""
+    dataset = build_benchmark(spider_like_config(scale=scale, seed=seed))
+    workload = build_workload(
+        dataset,
+        WorkloadSpec(
+            requests=requests,
+            methods=method_names,
+            distinct_examples=distinct_examples,
+            zipf_s=zipf_s,
+            seed=seed,
+        ),
+    )
+    distinct_keys = sorted({request.key for request in workload})
+
+    # Shared, prepared method instances: every engine (and the offline
+    # reference) sees identical prepared state, and preparation cost is
+    # paid once.
+    methods = {name: build_method(name, seed=seed) for name in method_names}
+    for method in methods.values():
+        method.prepare(dataset)
+
+    def fresh_engine(
+        workers: int,
+        coalesce: bool = True,
+        deadline_s: float | None = None,
+    ) -> ServingEngine:
+        config = ServeConfig(
+            methods=method_names,
+            workers=workers,
+            max_in_flight=max(len(workload) * 2, 64),
+            coalesce=coalesce,
+            default_deadline_s=deadline_s,
+            measure_timing=False,
+            warm_start=True,
+            seed=seed,
+        )
+        return ServingEngine(dataset, config, methods=dict(methods)).start()
+
+    # Offline reference: the ground truth every response must match.
+    # Also warms the process-wide memo layers, so the serial baseline and
+    # the concurrent runs compete on equal (warm) footing.
+    index = question_index(dataset)
+    offline = Evaluator(dataset, measure_timing=False)
+    reference = {
+        key: offline.evaluate_example(methods[key[0]], index[(key[1], key[2])])
+        for key in distinct_keys
+    }
+
+    mismatches = 0
+    timeouts_total = 0
+
+    def check(responses: list[ServeResponse]) -> None:
+        nonlocal mismatches, timeouts_total
+        for response in responses:
+            if response.status is ServeStatus.TIMEOUT:
+                timeouts_total += 1
+            if not response.ok or response.record != reference[response.request.key]:
+                mismatches += 1
+
+    # Serial baseline: one request at a time, no coalescing.
+    engine = fresh_engine(workers=1, coalesce=False)
+    serial_responses, serial_elapsed = _closed_loop(engine, workload, clients=1)
+    check(serial_responses)
+    serial = _loop_summary(serial_responses, serial_elapsed, engine)
+    engine.close()
+
+    concurrency: dict[str, dict] = {}
+    open_hits_at_8 = 0
+    for clients in CONCURRENCIES:
+        engine = fresh_engine(workers=clients)
+        closed_responses, closed_elapsed = _closed_loop(engine, workload, clients)
+        check(closed_responses)
+        closed = _loop_summary(closed_responses, closed_elapsed, engine)
+        engine.close()
+
+        engine = fresh_engine(workers=clients)
+        open_responses, open_elapsed = _open_loop(engine, workload)
+        check(open_responses)
+        opened = _loop_summary(open_responses, open_elapsed, engine)
+        if clients == CONCURRENCIES[-1]:
+            open_hits_at_8 = engine.stats.coalesce_hits
+        # Pool counters live on the shared Database objects, so this is
+        # cumulative over every run so far (snapshotted once below).
+        pool_totals = engine.pool_stats()
+        engine.close()
+        concurrency[str(clients)] = {"closed": closed, "open": opened}
+
+    # Graceful degradation: a zero deadline must time out every request
+    # (typed responses, nothing hangs) and leave the engine healthy.
+    engine = fresh_engine(workers=4, deadline_s=0.0)
+    degradation_workload = workload[: max(len(distinct_keys), 8)]
+    engine.pause()
+    futures = [engine.submit(request) for request in degradation_workload]
+    engine.resume()
+    degraded = [future.response() for future in futures]
+    # Recovery requests carry an explicit generous deadline (overriding
+    # the engine's zero default): the same engine must serve them fine.
+    recovery = [
+        engine.submit(
+            ServeRequest(method=key[0], db_id=key[1], question=key[2],
+                         deadline_s=300.0)
+        ).response()
+        for key in distinct_keys[:4]
+    ]
+    check(recovery)
+    degradation = {
+        "requests": len(degraded),
+        "timeouts": sum(1 for r in degraded if r.status is ServeStatus.TIMEOUT),
+        "shed": engine.stats.shed,
+        "recovered_ok": sum(1 for r in recovery if r.ok),
+    }
+    engine.close()
+
+    open_8 = concurrency[str(CONCURRENCIES[-1])]["open"]
+    speedup = (
+        open_8["throughput_rps"] / serial["throughput_rps"]
+        if serial["throughput_rps"]
+        else 0.0
+    )
+    return {
+        "quick": quick,
+        "scale": scale,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "requests": len(workload),
+        "distinct_keys": len(distinct_keys),
+        "zipf_s": zipf_s,
+        "methods": list(method_names),
+        "responses_identical": mismatches == 0,
+        "timeouts_total": timeouts_total,
+        "serial": serial,
+        "concurrency": concurrency,
+        "speedup_at_8": round(speedup, 2),
+        "coalesce": {
+            "open_hits_at_8": open_hits_at_8,
+            "expected_open_hits": len(workload) - len(distinct_keys),
+        },
+        "pool": pool_totals,
+        "degradation": degradation,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="serving engine benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="small dataset/workload; skips the wall-clock gate")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--distinct", type=int, default=None)
+    parser.add_argument("--zipf", type=float, default=1.1)
+    parser.add_argument("--methods", nargs="+", default=None)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        defaults = {"scale": 0.05, "requests": 120, "distinct": 24,
+                    "methods": ["C3SQL"]}
+    else:
+        defaults = {"scale": 0.08, "requests": 240, "distinct": 32,
+                    "methods": ["SuperSQL", "DAILSQL"]}
+    result = run_bench(
+        scale=args.scale if args.scale is not None else defaults["scale"],
+        seed=args.seed,
+        requests=args.requests if args.requests is not None else defaults["requests"],
+        distinct_examples=(
+            args.distinct if args.distinct is not None else defaults["distinct"]
+        ),
+        zipf_s=args.zipf,
+        method_names=tuple(args.methods or defaults["methods"]),
+        quick=args.quick,
+    )
+
+    problems = []
+    if not result["responses_identical"]:
+        problems.append("served responses diverge from offline Evaluator records")
+    if result["coalesce"]["open_hits_at_8"] != result["coalesce"]["expected_open_hits"]:
+        problems.append("open-loop coalescing is not exact")
+    if result["timeouts_total"]:
+        problems.append("deadline-free runs recorded timeouts")
+    if result["pool"]["checkouts"] == 0:
+        problems.append("connection pool was never exercised")
+    if result["degradation"]["timeouts"] != result["degradation"]["requests"]:
+        problems.append("zero-deadline run did not time out every request")
+    if not args.quick and result["speedup_at_8"] < SPEEDUP_GATE:
+        problems.append(
+            f"speedup_at_8 {result['speedup_at_8']}x below the {SPEEDUP_GATE}x gate"
+        )
+
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    for problem in problems:
+        print(f"bench_serve: FAIL — {problem}")
+    if not problems:
+        print(
+            f"bench_serve: OK — {result['speedup_at_8']}x at concurrency "
+            f"{CONCURRENCIES[-1]} ({result['requests']} requests, "
+            f"{result['distinct_keys']} distinct)"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,632 @@
+"""Online NL2SQL serving engine: scheduler, coalescing, admission control.
+
+:class:`ServingEngine` turns the offline evaluation pipeline into a
+concurrent request-processing system.  Requests name a ``(method,
+db_id, question)``; the engine resolves them against the dataset's dev
+split, schedules them through a bounded queue, and answers with the
+*exact* :class:`~repro.core.metrics.EvaluationRecord` the offline
+:class:`~repro.core.evaluator.Evaluator` would produce — bit-identical
+under any concurrency, batching, or coalescing schedule.
+
+Moving parts:
+
+* **Scheduler** — a dedicated thread drains the bounded submission
+  queue and groups waiting computations by ``(method, db_id)`` into
+  micro-batches (bounded by ``max_batch_size``) so consecutive requests
+  share warm few-shot/schema state, then dispatches them to a worker
+  pool.
+* **In-flight coalescing** — while a computation for a key is pending,
+  identical submissions attach to it and all receive the one result;
+  duplicate work is never scheduled.
+* **Admission control & degradation** — at most ``max_in_flight``
+  requests are admitted (excess resolves immediately with ``REJECTED``);
+  a per-request deadline resolves with a typed ``TIMEOUT`` response
+  instead of hanging, and computations whose every waiter has expired
+  are shed without running.
+* **Warm start** — :meth:`warmup` prepares each served method (few-shot
+  index build), precomputes gold executions for the served split, and
+  primes per-database prompt/schema caches with one prediction per
+  ``(method, database)`` before traffic is accepted.
+* **Observability** — per-request serve spans (queue wait, service
+  time, coalesce flag, batch size) feed the ambient tracer's
+  :class:`~repro.obs.registry.MetricsRegistry` under ``serve_*`` names
+  and are kept in ``engine.request_log``.
+
+Inputs/outputs: a :class:`~repro.datagen.benchmark.Dataset` plus a
+:class:`ServeConfig` in; :class:`ServeResponse` objects (wrapping
+offline-identical records) and deterministic :class:`ServeStats`
+counters out.  Nothing in the dataset is mutated.
+
+Thread/process safety: ``submit`` and every ``ServeFuture`` method are
+safe from any thread; internal state is guarded by one engine lock and
+work runs on the engine's own scheduler/worker threads.  Instances do
+not cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.core.evaluator import Evaluator
+from repro.core.metrics import EvaluationRecord
+from repro.datagen.benchmark import Dataset, Example
+from repro.errors import ServeError, ServeOverloaded
+from repro.errors import ServeTimeout as ServeTimeoutError
+from repro.methods.base import NL2SQLMethod
+from repro.methods.zoo import build_method
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import get_tracer
+
+
+class ServeStatus(str, Enum):
+    """Terminal state of one served request."""
+
+    OK = "ok"
+    TIMEOUT = "timeout"
+    REJECTED = "rejected"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One online NL2SQL request.
+
+    ``deadline_s`` bounds the total time from submission; expiry yields
+    a ``TIMEOUT`` response, never a hang.  ``None`` falls back to the
+    engine's ``default_deadline_s``.
+    """
+
+    method: str
+    db_id: str
+    question: str
+    deadline_s: float | None = None
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The coalescing identity: concurrent equals share one computation."""
+        return (self.method, self.db_id, self.question)
+
+
+@dataclass
+class ServeResponse:
+    """Terminal answer for one request (always produced, never raised)."""
+
+    request: ServeRequest
+    status: ServeStatus
+    record: EvaluationRecord | None = None
+    error: str | None = None
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    total_s: float = 0.0
+    coalesced: bool = False
+    batch_size: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ServeStatus.OK
+
+    def raise_for_status(self) -> "ServeResponse":
+        """Return self if OK; raise the matching typed ServeError otherwise."""
+        if self.status is ServeStatus.OK:
+            return self
+        message = self.error or self.status.value
+        if self.status is ServeStatus.TIMEOUT:
+            raise ServeTimeoutError(message)
+        if self.status is ServeStatus.REJECTED:
+            raise ServeOverloaded(message)
+        raise ServeError(message)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Scheduler/admission knobs (see docs/SERVING.md)."""
+
+    methods: tuple[str, ...] = ("SuperSQL",)
+    workers: int = 4
+    max_in_flight: int = 1024
+    max_batch_size: int = 32
+    coalesce: bool = True
+    default_deadline_s: float | None = None
+    measure_timing: bool = False
+    warm_start: bool = True
+    seed: int = 42
+
+
+@dataclass
+class ServeStats:
+    """Deterministic engine counters (no wall-clock values)."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    coalesce_hits: int = 0
+    computed: int = 0
+    shed: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    max_queue_depth: int = 0
+    warmed_methods: int = 0
+    warmed_gold: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass(frozen=True)
+class ServeSpan:
+    """Per-request observability record fed into the metrics registry."""
+
+    method: str
+    db_id: str
+    status: str
+    queue_wait_s: float
+    service_s: float
+    total_s: float
+    coalesced: bool
+    batch_size: int
+
+
+def ingest_serve_span(registry: MetricsRegistry, span: ServeSpan) -> None:
+    """Fold one serve span into ``serve_*`` counters and histograms."""
+    registry.count("serve_requests", method=span.method, status=span.status)
+    if span.coalesced:
+        registry.count("serve_coalesce_hits", method=span.method)
+    if span.status == ServeStatus.TIMEOUT.value:
+        registry.count("serve_timeouts", method=span.method)
+    registry.observe("serve_queue_wait_s", span.queue_wait_s, method=span.method)
+    registry.observe("serve_service_s", span.service_s, method=span.method)
+    registry.observe("serve_latency_s", span.total_s, method=span.method)
+
+
+class ServeFuture:
+    """Handle for one submitted request; resolves exactly once."""
+
+    def __init__(self, engine: "ServingEngine", request: ServeRequest) -> None:
+        self._engine = engine
+        self.request = request
+        self.submitted_at = time.perf_counter()
+        self.coalesced = False
+        self.admitted = False
+        self._event = threading.Event()
+        self._response: ServeResponse | None = None
+        self._resolve_lock = threading.Lock()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def _resolve(self, response: ServeResponse) -> bool:
+        """First resolution wins; returns whether this call was it."""
+        with self._resolve_lock:
+            if self._response is not None:
+                return False
+            self._response = response
+        self._event.set()
+        return True
+
+    def _deadline_remaining(self) -> float | None:
+        if self.request.deadline_s is None:
+            return None
+        return self.request.deadline_s - (time.perf_counter() - self.submitted_at)
+
+    def response(self, timeout: float | None = None) -> ServeResponse:
+        """Block for the response.
+
+        Deadline expiry resolves the request with a ``TIMEOUT`` response.
+        An exhausted explicit ``timeout`` (with the deadline still live)
+        raises :class:`~repro.errors.ServeTimeout` — the request itself
+        stays pending.
+        """
+        while True:
+            remaining = self._deadline_remaining()
+            waits = [w for w in (timeout, remaining) if w is not None]
+            wait = min(waits) if waits else None
+            if self._event.wait(None if wait is None else max(wait, 0.0)):
+                assert self._response is not None
+                return self._response
+            remaining = self._deadline_remaining()
+            if remaining is not None and remaining <= 0:
+                self._engine._expire(self)
+                assert self._response is not None
+                return self._response
+            if timeout is not None:
+                raise ServeTimeoutError(
+                    f"no response within {timeout}s for {self.request.key}"
+                )
+            # Deadline-governed wait raced the clock by a hair; re-wait.
+
+
+class _Computation:
+    """One scheduled unit of work; several futures may wait on it."""
+
+    __slots__ = ("key", "example", "method", "waiters", "registered")
+
+    def __init__(
+        self,
+        key: tuple[str, str, str],
+        example: Example,
+        method: NL2SQLMethod,
+        registered: bool,
+    ) -> None:
+        self.key = key
+        self.example = example
+        self.method = method
+        self.waiters: list[ServeFuture] = []
+        self.registered = registered
+
+
+class ServingEngine:
+    """Concurrent online front-end over one dataset's evaluation pipeline."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: ServeConfig | None = None,
+        methods: dict[str, NL2SQLMethod] | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config if config is not None else ServeConfig()
+        if self.config.workers <= 0:
+            raise ServeError("workers must be positive")
+        if self.config.max_batch_size <= 0:
+            raise ServeError("max_batch_size must be positive")
+        self.stats = ServeStats()
+        self.request_log: deque[ServeSpan] = deque(maxlen=4096)
+        self._evaluator = Evaluator(dataset, measure_timing=self.config.measure_timing)
+        self._methods: dict[str, NL2SQLMethod] = dict(methods or {})
+        self._examples = question_index(dataset)
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: deque[_Computation] = deque()
+        self._inflight_keys: dict[tuple[str, str, str], _Computation] = {}
+        self._in_flight = 0
+        self._paused = False
+        self._closed = False
+        self._started = False
+        self._scheduler: threading.Thread | None = None
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ServingEngine":
+        """Warm up (if configured) and begin accepting traffic."""
+        if self._started:
+            return self
+        if self.config.warm_start:
+            self.warmup()
+        else:
+            self._prepare_methods()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="serve"
+        )
+        self._scheduler = threading.Thread(
+            target=self._schedule_loop, name="serve-scheduler", daemon=True
+        )
+        self._started = True
+        self._scheduler.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting traffic, drain scheduled work, join the workers."""
+        with self._wakeup:
+            self._closed = True
+            self._wakeup.notify_all()
+        if self._scheduler is not None:
+            self._scheduler.join()
+            self._scheduler = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._started = False
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- warm start -----------------------------------------------------
+
+    def _prepare_methods(self) -> None:
+        for name in self.config.methods:
+            if name not in self._methods:
+                method = build_method(name, seed=self.config.seed)
+                method.prepare(self.dataset)
+                self._methods[name] = method
+                self.stats.warmed_methods += 1
+
+    def warmup(self) -> None:
+        """Prime caches before traffic: methods, gold executions, schemas.
+
+        Prepares each served method (few-shot index build / simulated
+        fine-tune), executes every distinct gold query of the served
+        split once (also creating each database's first pooled replica),
+        and runs one prediction per ``(method, database)`` so pruned
+        schema parses and prompt-side value caches are warm.  Warmup
+        predictions emit no example spans (no example context is open),
+        so traced serving metrics cover only real traffic.
+        """
+        self._prepare_methods()
+        served = self.dataset.dev_examples
+        self.stats.warmed_gold += self._evaluator.precompute_gold(served)
+        first_by_db: dict[str, Example] = {}
+        for example in served:
+            first_by_db.setdefault(example.db_id, example)
+        for method in self._methods.values():
+            for example in first_by_db.values():
+                method.predict(example, self.dataset.database(example.db_id))
+
+    # -- flow control ---------------------------------------------------
+
+    def pause(self) -> None:
+        """Hold scheduling; submissions queue (and coalesce) deterministically."""
+        with self._wakeup:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._wakeup:
+            self._paused = False
+            self._wakeup.notify_all()
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, request: ServeRequest) -> ServeFuture:
+        """Admit one request; always returns a future that will resolve."""
+        if not self._started:
+            raise ServeError("engine is not started (use start() or a with-block)")
+        if request.deadline_s is None and self.config.default_deadline_s is not None:
+            request = replace(request, deadline_s=self.config.default_deadline_s)
+        future = ServeFuture(self, request)
+        method = self._methods.get(request.method)
+        example = self._examples.get((request.db_id, request.question))
+        with self._wakeup:
+            self.stats.submitted += 1
+            if self._closed:
+                return self._finish_locked(future, ServeStatus.ERROR,
+                                           error="engine is closed")
+            if method is None:
+                return self._finish_locked(
+                    future, ServeStatus.ERROR,
+                    error=f"method {request.method!r} is not served")
+            if example is None:
+                return self._finish_locked(
+                    future, ServeStatus.ERROR,
+                    error=f"unknown question for db {request.db_id!r}")
+            if self._in_flight >= self.config.max_in_flight:
+                return self._finish_locked(
+                    future, ServeStatus.REJECTED,
+                    error=f"engine at capacity ({self.config.max_in_flight} in flight)")
+            future.admitted = True
+            self._in_flight += 1
+            computation = self._inflight_keys.get(request.key)
+            if self.config.coalesce and computation is not None:
+                future.coalesced = True
+                self.stats.coalesce_hits += 1
+                computation.waiters.append(future)
+            else:
+                computation = _Computation(
+                    request.key, example, method, registered=self.config.coalesce
+                )
+                computation.waiters.append(future)
+                if self.config.coalesce:
+                    self._inflight_keys[request.key] = computation
+                self._queue.append(computation)
+                self.stats.max_queue_depth = max(
+                    self.stats.max_queue_depth, len(self._queue)
+                )
+                self._wakeup.notify()
+        return future
+
+    def ask(
+        self, method: str, db_id: str, question: str,
+        deadline_s: float | None = None,
+    ) -> ServeFuture:
+        """Convenience wrapper building and submitting a :class:`ServeRequest`."""
+        return self.submit(ServeRequest(method, db_id, question, deadline_s))
+
+    def serve(
+        self, requests: list[ServeRequest], submit_paused: bool = False
+    ) -> list[ServeResponse]:
+        """Submit a batch and wait for every response, in request order.
+
+        ``submit_paused`` holds the scheduler until all requests are
+        queued — every duplicate key then coalesces deterministically,
+        which the serve benchmark and tests rely on.
+        """
+        if submit_paused:
+            self.pause()
+        futures = [self.submit(request) for request in requests]
+        if submit_paused:
+            self.resume()
+        return [future.response() for future in futures]
+
+    # -- resolution plumbing (engine lock conventions) -------------------
+
+    def _finish_locked(
+        self, future: ServeFuture, status: ServeStatus, **fields: object
+    ) -> ServeFuture:
+        """Resolve a future while already holding the engine lock."""
+        self._finalize(future, status, locked=True, **fields)
+        return future
+
+    def _finalize(
+        self,
+        future: ServeFuture,
+        status: ServeStatus,
+        locked: bool = False,
+        **fields: object,
+    ) -> None:
+        now = time.perf_counter()
+        response = ServeResponse(
+            request=future.request,
+            status=status,
+            coalesced=future.coalesced,
+            total_s=now - future.submitted_at,
+            **fields,  # type: ignore[arg-type]
+        )
+        if not future._resolve(response):
+            return
+        span = ServeSpan(
+            method=future.request.method,
+            db_id=future.request.db_id,
+            status=status.value,
+            queue_wait_s=response.queue_wait_s,
+            service_s=response.service_s,
+            total_s=response.total_s,
+            coalesced=response.coalesced,
+            batch_size=response.batch_size,
+        )
+        if locked:
+            self._account_locked(future, status)
+        else:
+            with self._lock:
+                self._account_locked(future, status)
+        self.request_log.append(span)
+        tracer = get_tracer()
+        if tracer.enabled:
+            ingest_serve_span(tracer.metrics, span)
+
+    def _account_locked(self, future: ServeFuture, status: ServeStatus) -> None:
+        if future.admitted:
+            self._in_flight -= 1
+        if status is ServeStatus.OK:
+            self.stats.completed += 1
+        elif status is ServeStatus.TIMEOUT:
+            self.stats.timeouts += 1
+        elif status is ServeStatus.REJECTED:
+            self.stats.rejected += 1
+        else:
+            self.stats.errors += 1
+
+    def _expire(self, future: ServeFuture) -> None:
+        """Resolve one future as TIMEOUT (deadline passed); idempotent."""
+        self._finalize(future, ServeStatus.TIMEOUT, error="deadline exceeded")
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._closed and (self._paused or not self._queue):
+                    self._wakeup.wait()
+                if self._closed and not self._queue:
+                    return
+                drained = list(self._queue)
+                self._queue.clear()
+            # Micro-batch: group the drained backlog by (method, db_id) so
+            # consecutive computations reuse warm few-shot/schema state,
+            # preserving arrival order within each group.
+            groups: dict[tuple[str, str], list[_Computation]] = {}
+            for computation in drained:
+                group_key = (computation.key[0], computation.key[1])
+                groups.setdefault(group_key, []).append(computation)
+            step = self.config.max_batch_size
+            assert self._pool is not None
+            for group in groups.values():
+                for start in range(0, len(group), step):
+                    batch = group[start:start + step]
+                    with self._lock:
+                        self.stats.batches += 1
+                        self.stats.max_batch = max(self.stats.max_batch, len(batch))
+                    self._pool.submit(self._run_batch, batch)
+
+    def _run_batch(self, batch: list[_Computation]) -> None:
+        for computation in batch:
+            self._run_computation(computation, len(batch))
+
+    def _run_computation(self, computation: _Computation, batch_size: int) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            expired = [
+                waiter for waiter in computation.waiters
+                if not waiter.done()
+                and waiter.request.deadline_s is not None
+                and now - waiter.submitted_at > waiter.request.deadline_s
+            ]
+            live = any(
+                not waiter.done() for waiter in computation.waiters
+                if waiter not in expired
+            )
+            if not live:
+                # Every waiter is gone: shed the computation unrun.
+                if computation.registered and (
+                    self._inflight_keys.get(computation.key) is computation
+                ):
+                    del self._inflight_keys[computation.key]
+                computation.registered = False
+                self.stats.shed += 1
+        for waiter in expired:
+            self._expire(waiter)
+        if not live:
+            return
+        started = time.perf_counter()
+        record: EvaluationRecord | None = None
+        error: str | None = None
+        try:
+            record = self._evaluator.evaluate_example(
+                computation.method, computation.example
+            )
+        except Exception as exc:  # noqa: BLE001 - a request must never hang
+            error = f"{type(exc).__name__}: {exc}"
+        service_s = time.perf_counter() - started
+        with self._lock:
+            # Unregister first: later identical submissions start a fresh
+            # computation instead of attaching to a resolved one.
+            if computation.registered and (
+                self._inflight_keys.get(computation.key) is computation
+            ):
+                del self._inflight_keys[computation.key]
+            waiters = list(computation.waiters)
+            if record is not None:
+                self.stats.computed += 1
+        status = ServeStatus.OK if record is not None else ServeStatus.ERROR
+        for waiter in waiters:
+            self._finalize(
+                waiter,
+                status,
+                record=record,
+                error=error,
+                queue_wait_s=started - waiter.submitted_at,
+                service_s=service_s,
+                batch_size=batch_size,
+            )
+
+    # -- introspection --------------------------------------------------
+
+    def backpressure(self) -> dict[str, int]:
+        """Live admission-control snapshot (in-flight, queue depth, capacity)."""
+        with self._lock:
+            return {
+                "in_flight": self._in_flight,
+                "queued": len(self._queue),
+                "max_in_flight": self.config.max_in_flight,
+            }
+
+    def pool_stats(self) -> dict[str, int]:
+        """Connection-pool counters summed over this dataset's databases."""
+        totals = {"created": 0, "checkouts": 0, "refreshes": 0, "waits": 0}
+        for database in self.dataset.databases.values():
+            for key, value in database.pool_stats().items():
+                totals[key] += value
+        return totals
+
+
+def question_index(dataset: Dataset) -> dict[tuple[str, str], Example]:
+    """Map ``(db_id, question)`` to the example that serves it.
+
+    Dev examples win over train; within a split the first occurrence
+    wins.  Offline reference runs must resolve through this same index
+    so served responses compare bit-identically.
+    """
+    index: dict[tuple[str, str], Example] = {}
+    for example in dataset.dev_examples:
+        index.setdefault((example.db_id, example.question), example)
+    for example in dataset.examples:
+        index.setdefault((example.db_id, example.question), example)
+    return index

@@ -117,6 +117,31 @@ def per_object_cache(host: object, name: str, maxsize: int = 1024) -> LRUCache:
     return cache
 
 
+def lru_cache_stats() -> dict[str, dict[str, int]]:
+    """Aggregate live per-object cache counters, keyed by cache name.
+
+    Sums ``hits``/``misses``/``entries`` over every live host sharing a
+    cache name (e.g. all databases' ``candidate_exec`` memos) plus the
+    live cache count, for surfacing through CLI stats and the run
+    report.  Counters are process-cumulative; callers wanting per-run
+    numbers snapshot before/after and subtract.
+    """
+    totals: dict[str, dict[str, int]] = {}
+    with _OBJECT_CACHES_LOCK:
+        entries = list(_OBJECT_CACHES.items())
+    for (_host_id, name), (ref, cache) in entries:
+        if ref() is None:
+            continue
+        bucket = totals.setdefault(
+            name, {"hits": 0, "misses": 0, "entries": 0, "caches": 0}
+        )
+        bucket["hits"] += cache.hits
+        bucket["misses"] += cache.misses
+        bucket["entries"] += len(cache)
+        bucket["caches"] += 1
+    return totals
+
+
 # -- global enable switch ------------------------------------------------
 
 _ENABLED = True

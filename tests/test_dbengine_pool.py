@@ -1,0 +1,159 @@
+"""Tests for the per-database read-only connection pool.
+
+Covers the pool mechanics (replica creation, exclusive checkout,
+``data_version`` refresh, closed-pool behaviour), the pooled-vs-legacy
+execution equivalence, and — as a regression for the old shared-
+connection design — a many-thread hammer on ``execute_sql`` asserting
+no cross-call PRAGMA/progress-handler interleaving is observable: the
+master connection stays writable throughout, every concurrent read sees
+a consistent snapshot, and mutating candidates fail identically on both
+paths.
+"""
+
+import threading
+
+import pytest
+
+from repro.dbengine.database import Database
+from repro.dbengine.executor import execute_sql
+from repro.dbengine.pool import (
+    ReadConnectionPool,
+    pooling_disabled,
+    pooling_enabled,
+)
+from repro.errors import ExecutionError
+
+
+class TestReadConnectionPool:
+    def test_checkout_is_query_only(self, toy_db):
+        with toy_db.read_pool().checkout() as connection:
+            assert connection.execute("PRAGMA query_only").fetchone()[0] == 1
+
+    def test_replica_serves_master_content(self, toy_db):
+        with toy_db.read_pool().checkout() as connection:
+            count = connection.execute("SELECT COUNT(*) FROM airports").fetchone()[0]
+        assert count == toy_db.row_count("airports")
+
+    def test_replica_refreshes_on_data_version_bump(self, toy_db):
+        before = execute_sql(toy_db, "SELECT COUNT(*) FROM airports").rows[0][0]
+        toy_db.insert_rows("airports", [(99, "New Strip", "Quebec", 10)])
+        after = execute_sql(toy_db, "SELECT COUNT(*) FROM airports").rows[0][0]
+        assert (before, after) == (4, 5)
+        stats = toy_db.pool_stats()
+        assert stats["refreshes"] >= 2 and stats["checkouts"] >= 2
+
+    def test_mark_mutated_refreshes_out_of_band_writes(self, toy_db):
+        pool = toy_db.read_pool()
+        with pool.checkout() as connection:
+            assert connection.execute(
+                "SELECT COUNT(*) FROM airports WHERE city = 'Sneaky'"
+            ).fetchone()[0] == 0
+        # Write through the master connection directly (bypassing
+        # insert_rows), as a bulk restore would.
+        with toy_db.lock:
+            toy_db.connection.execute(
+                "INSERT INTO airports VALUES (77, 'Backdoor', 'Sneaky', 1)"
+            )
+            toy_db.connection.commit()
+        toy_db.mark_mutated()
+        with pool.checkout() as connection:
+            assert connection.execute(
+                "SELECT COUNT(*) FROM airports WHERE city = 'Sneaky'"
+            ).fetchone()[0] == 1
+
+    def test_writes_fail_on_replica_like_on_master(self, toy_db):
+        pooled = execute_sql(toy_db, "DELETE FROM flights")
+        with pooling_disabled():
+            legacy = execute_sql(toy_db, "DELETE FROM flights")
+        assert not pooled.ok and not legacy.ok
+        assert pooled.error == legacy.error
+        assert "readonly" in pooled.error
+        assert toy_db.row_count("flights") == 6
+
+    def test_replicas_bounded_and_reused(self, toy_db):
+        pool = toy_db.read_pool()
+        for _ in range(10):
+            with pool.checkout():
+                pass
+        assert pool.stats.created == 1
+        assert pool.stats.checkouts == 10
+
+    def test_checkout_after_close_raises(self, toy_schema):
+        database = Database(toy_schema)
+        pool = database.read_pool()
+        database.close()
+        with pytest.raises(ExecutionError):
+            with pool.checkout():
+                pass  # pragma: no cover - checkout must raise
+
+    def test_invalid_size_rejected(self, toy_db):
+        with pytest.raises(ValueError):
+            ReadConnectionPool(toy_db, size=0)
+
+    def test_pooling_switch_scopes(self):
+        assert pooling_enabled()
+        with pooling_disabled():
+            assert not pooling_enabled()
+        assert pooling_enabled()
+
+
+class TestSharedConnectionRaceRegression:
+    """The old design toggled PRAGMA query_only per call on one shared
+    connection; with the pool, concurrent calls must never observe each
+    other's read-only state, interrupt budgets, or half-applied writes."""
+
+    N_THREADS = 12
+    N_ROUNDS = 25
+
+    def test_execute_sql_hammered_from_many_threads(self, toy_db):
+        start = threading.Barrier(self.N_THREADS)
+        failures: list[str] = []
+
+        def worker(worker_id: int) -> None:
+            start.wait()
+            for round_no in range(self.N_ROUNDS):
+                # Reads must see a consistent airport count (4 before the
+                # writer round, 5 after — never a torn intermediate).
+                result = execute_sql(
+                    toy_db, "SELECT COUNT(*) FROM airports", timeout_ms=2_000
+                )
+                if not result.ok or result.rows[0][0] not in (4, 5):
+                    failures.append(f"read {worker_id}/{round_no}: {result.error}")
+                # Mutating candidates must always fail read-only...
+                attempt = execute_sql(toy_db, "DELETE FROM flights")
+                if attempt.ok or "readonly" not in (attempt.error or ""):
+                    failures.append(f"write leak {worker_id}/{round_no}")
+                # ...and must never leave the *master* connection
+                # read-only for the writer thread (the old per-call
+                # PRAGMA toggle could).
+                with toy_db.lock:
+                    if toy_db.connection.execute(
+                        "PRAGMA query_only"
+                    ).fetchone()[0] != 0:
+                        failures.append(f"master readonly {worker_id}/{round_no}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        # A real write lands mid-storm and must go through cleanly.
+        toy_db.insert_rows("airports", [(98, "Mid Storm", "Gale", 2)])
+        for thread in threads:
+            thread.join()
+        assert not failures, failures[:5]
+        assert toy_db.row_count("airports") == 5
+        assert toy_db.row_count("flights") == 6
+        # Every read went through the pool, bounded by its size.
+        stats = toy_db.pool_stats()
+        assert stats["checkouts"] >= self.N_THREADS * self.N_ROUNDS
+        assert 1 <= stats["created"] <= toy_db.read_pool().size
+
+    def test_hammer_results_identical_with_pooling_disabled(self, toy_db):
+        sql = "SELECT city, COUNT(*) FROM airports GROUP BY city ORDER BY city"
+        pooled = execute_sql(toy_db, sql)
+        with pooling_disabled():
+            legacy = execute_sql(toy_db, sql)
+        assert pooled.ok and pooled.rows == legacy.rows
+        assert pooled.truncated == legacy.truncated

@@ -155,3 +155,47 @@ class TestObservabilityDocs:
         reference = _read("docs/OBSERVABILITY.md")
         for stage in STAGES:
             assert f"`{stage}`" in reference, stage
+
+
+class TestServingDocs:
+    def test_every_serve_public_symbol_is_documented(self):
+        import repro.serve
+        reference = _read("docs/SERVING.md")
+        for symbol in repro.serve.__all__:
+            assert f"`{symbol}`" in reference, (
+                f"repro.serve.{symbol} missing from docs/SERVING.md"
+            )
+
+    def test_every_serve_config_knob_is_documented(self):
+        import dataclasses
+        from repro.serve import ServeConfig
+        reference = _read("docs/SERVING.md")
+        for config_field in dataclasses.fields(ServeConfig):
+            assert f"`{config_field.name}`" in reference, (
+                f"ServeConfig.{config_field.name} missing from docs/SERVING.md"
+            )
+
+    def test_serve_metric_names_are_documented(self):
+        reference = _read("docs/SERVING.md")
+        for metric in (
+            "serve_requests", "serve_coalesce_hits", "serve_timeouts",
+            "serve_queue_wait_s", "serve_service_s", "serve_latency_s",
+        ):
+            assert f"`{metric}`" in reference, metric
+
+    def test_speedup_gate_matches_doc(self):
+        from repro.serve.bench import SPEEDUP_GATE
+        reference = _read("docs/SERVING.md")
+        assert f"({int(SPEEDUP_GATE)}×)" in reference
+
+    def test_pool_api_is_documented(self):
+        import repro.dbengine
+        reference = _read("docs/SERVING.md")
+        for symbol in (
+            "ReadConnectionPool", "PoolStats", "DEFAULT_POOL_SIZE",
+            "pooling_enabled", "pooling_disabled", "set_pooling_enabled",
+        ):
+            assert hasattr(repro.dbengine, symbol), symbol
+            assert f"`{symbol}`" in reference, (
+                f"{symbol} missing from docs/SERVING.md"
+            )

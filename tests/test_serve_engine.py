@@ -1,0 +1,298 @@
+"""Tests for the online serving engine (repro.serve).
+
+The load-bearing property is serve/offline equivalence: under any
+schedule — concurrent clients, micro-batching, coalescing on or off,
+connection pooling on or off — every OK response must carry the exact
+:class:`~repro.core.metrics.EvaluationRecord` the offline
+:class:`~repro.core.evaluator.Evaluator` produces for the same
+``(method, example)``.  The remaining tests pin the deterministic
+scheduler counters (coalesce hits, computed, shed), admission control,
+deadline semantics, warm start, and the ``serve_*`` metrics surface.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core.evaluator import Evaluator
+from repro.dbengine.pool import pooling_disabled
+from repro.errors import ServeError, ServeOverloaded, ServeTimeout
+from repro.methods.zoo import build_method
+from repro.obs.trace import tracing
+from repro.serve import (
+    ServeConfig,
+    ServeRequest,
+    ServeStatus,
+    ServingEngine,
+    WorkloadSpec,
+    build_workload,
+    question_index,
+)
+
+METHOD = "C3SQL"
+
+
+@pytest.fixture(scope="module")
+def served_method(small_dataset):
+    method = build_method(METHOD, seed=42)
+    method.prepare(small_dataset)
+    return method
+
+
+@pytest.fixture(scope="module")
+def workload(small_dataset):
+    spec = WorkloadSpec(
+        requests=40, methods=(METHOD,), distinct_examples=8, zipf_s=1.1, seed=7
+    )
+    return build_workload(small_dataset, spec)
+
+
+@pytest.fixture(scope="module")
+def offline_records(small_dataset, served_method, workload):
+    """Reference records from the offline evaluator, one per distinct key."""
+    index = question_index(small_dataset)
+    evaluator = Evaluator(small_dataset, measure_timing=False)
+    records = {}
+    for request in workload:
+        if request.key not in records:
+            example = index[(request.db_id, request.question)]
+            records[request.key] = evaluator.evaluate_example(served_method, example)
+    return records
+
+
+def make_engine(small_dataset, served_method, **overrides):
+    config = ServeConfig(
+        methods=(METHOD,),
+        workers=4,
+        measure_timing=False,
+        **overrides,
+    )
+    return ServingEngine(small_dataset, config, methods={METHOD: served_method})
+
+
+class TestServeOfflineEquivalence:
+    """Served records are bit-identical to offline ones under any schedule."""
+
+    @pytest.mark.parametrize("coalesce", [True, False])
+    @pytest.mark.parametrize("pooled", [True, False])
+    def test_concurrent_clients_match_offline(
+        self, small_dataset, served_method, workload, offline_records,
+        coalesce, pooled,
+    ):
+        clients = 4
+        rng = random.Random(0xC0FFEE + coalesce + 2 * pooled)
+        shuffled = list(workload)
+        rng.shuffle(shuffled)
+        slices = [shuffled[cid::clients] for cid in range(clients)]
+        responses: list = []
+        lock = threading.Lock()
+
+        def client(requests: list[ServeRequest]) -> None:
+            for request in requests:
+                response = engine.submit(request).response()
+                with lock:
+                    responses.append(response)
+
+        with pooling_disabled() if not pooled else _noop():
+            with make_engine(small_dataset, served_method, coalesce=coalesce) as engine:
+                threads = [
+                    threading.Thread(target=client, args=(part,)) for part in slices
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        assert len(responses) == len(workload)
+        for response in responses:
+            assert response.status is ServeStatus.OK, response.error
+            assert response.record == offline_records[response.request.key]
+
+    def test_serve_preserves_request_order(
+        self, small_dataset, served_method, workload, offline_records
+    ):
+        with make_engine(small_dataset, served_method) as engine:
+            responses = engine.serve(list(workload), submit_paused=True)
+        assert [r.request for r in responses] == list(workload)
+        for response in responses:
+            assert response.ok
+            assert response.record == offline_records[response.request.key]
+
+
+class TestCoalescing:
+    def test_paused_submission_coalesces_exactly(
+        self, small_dataset, served_method, workload
+    ):
+        distinct = len({request.key for request in workload})
+        with make_engine(small_dataset, served_method) as engine:
+            responses = engine.serve(list(workload), submit_paused=True)
+        assert all(response.ok for response in responses)
+        assert engine.stats.coalesce_hits == len(workload) - distinct
+        assert engine.stats.computed == distinct
+        coalesced = sum(1 for response in responses if response.coalesced)
+        assert coalesced == engine.stats.coalesce_hits
+
+    def test_disabled_coalescing_computes_every_request(
+        self, small_dataset, served_method, workload
+    ):
+        requests = list(workload)[:12]
+        with make_engine(small_dataset, served_method, coalesce=False) as engine:
+            responses = engine.serve(requests, submit_paused=True)
+        assert all(response.ok for response in responses)
+        assert engine.stats.coalesce_hits == 0
+        assert engine.stats.computed == len(requests)
+
+
+class TestAdmissionControl:
+    def test_over_capacity_rejected_with_typed_error(
+        self, small_dataset, served_method, workload
+    ):
+        request = workload[0]
+        with make_engine(
+            small_dataset, served_method, coalesce=False, max_in_flight=1
+        ) as engine:
+            engine.pause()
+            admitted = engine.submit(request)
+            rejected = engine.submit(request)
+            assert rejected.done()
+            response = rejected.response()
+            assert response.status is ServeStatus.REJECTED
+            with pytest.raises(ServeOverloaded):
+                response.raise_for_status()
+            engine.resume()
+            assert admitted.response().ok
+        assert engine.stats.rejected == 1
+
+    def test_backpressure_snapshot(self, small_dataset, served_method, workload):
+        with make_engine(small_dataset, served_method, max_in_flight=7) as engine:
+            snapshot = engine.backpressure()
+        assert snapshot["max_in_flight"] == 7
+        assert snapshot["in_flight"] == 0 and snapshot["queued"] == 0
+
+
+class TestDeadlines:
+    def test_expired_deadline_yields_typed_timeout(
+        self, small_dataset, served_method, workload
+    ):
+        request = workload[0]
+        with make_engine(small_dataset, served_method) as engine:
+            engine.pause()
+            future = engine.submit(
+                ServeRequest(request.method, request.db_id, request.question,
+                             deadline_s=0.0)
+            )
+            response = future.response()
+            assert response.status is ServeStatus.TIMEOUT
+            with pytest.raises(ServeTimeout):
+                response.raise_for_status()
+            engine.resume()
+            # The engine stays healthy: the shed slot serves new traffic.
+            assert engine.submit(request).response().ok
+        assert engine.stats.timeouts == 1
+
+    def test_default_deadline_applies_to_bare_requests(
+        self, small_dataset, served_method, workload
+    ):
+        request = workload[0]
+        with make_engine(
+            small_dataset, served_method, default_deadline_s=0.0
+        ) as engine:
+            engine.pause()
+            response = engine.submit(request).response()
+            engine.resume()
+        assert response.status is ServeStatus.TIMEOUT
+
+    def test_explicit_wait_timeout_raises_but_request_survives(
+        self, small_dataset, served_method, workload
+    ):
+        request = workload[0]
+        with make_engine(small_dataset, served_method) as engine:
+            engine.pause()
+            future = engine.submit(request)
+            with pytest.raises(ServeTimeout):
+                future.response(timeout=0.02)
+            engine.resume()
+            assert future.response().ok
+
+
+class TestErrorsAndLifecycle:
+    def test_unknown_method_and_question_resolve_as_error(
+        self, small_dataset, served_method, workload
+    ):
+        request = workload[0]
+        with make_engine(small_dataset, served_method) as engine:
+            bad_method = engine.ask("NoSuchMethod", request.db_id, request.question)
+            bad_question = engine.ask(METHOD, request.db_id, "what is the airspeed?")
+            for future in (bad_method, bad_question):
+                response = future.response()
+                assert response.status is ServeStatus.ERROR
+                with pytest.raises(ServeError):
+                    response.raise_for_status()
+        assert engine.stats.errors == 2
+
+    def test_submit_before_start_raises(self, small_dataset, served_method, workload):
+        engine = make_engine(small_dataset, served_method)
+        with pytest.raises(ServeError):
+            engine.submit(workload[0])
+
+    def test_warmup_counts_methods_and_gold(self, small_dataset):
+        config = ServeConfig(methods=(METHOD,), workers=2, measure_timing=False)
+        engine = ServingEngine(small_dataset, config)
+        with engine:
+            assert engine.stats.warmed_methods == 1
+            assert engine.stats.warmed_gold > 0
+            pool = engine.pool_stats()
+            assert pool["checkouts"] > 0
+
+
+class TestServeObservability:
+    def test_serve_metrics_ingested_under_tracing(
+        self, small_dataset, served_method, workload
+    ):
+        requests = [workload[0], workload[0], workload[1]]
+        with tracing() as tracer:
+            with make_engine(small_dataset, served_method) as engine:
+                responses = engine.serve(requests, submit_paused=True)
+        assert all(response.ok for response in responses)
+        metrics = tracer.metrics
+        assert metrics.counter_total("serve_requests", method=METHOD) == 3
+        assert metrics.counter_total("serve_coalesce_hits", method=METHOD) == 1
+        histograms = {name for name, _labels, _summary in metrics.histograms()}
+        assert {"serve_queue_wait_s", "serve_service_s", "serve_latency_s"} <= histograms
+        assert len(engine.request_log) == 3
+
+    def test_request_log_spans_carry_batch_metadata(
+        self, small_dataset, served_method, workload
+    ):
+        with make_engine(small_dataset, served_method) as engine:
+            engine.serve([workload[0], workload[1]], submit_paused=True)
+        for span in engine.request_log:
+            assert span.status == ServeStatus.OK.value
+            assert span.batch_size >= 1
+            assert span.method == METHOD
+
+
+class TestWorkload:
+    def test_workload_is_seed_deterministic(self, small_dataset):
+        spec = WorkloadSpec(requests=25, methods=(METHOD,), distinct_examples=6, seed=3)
+        first = build_workload(small_dataset, spec)
+        second = build_workload(small_dataset, spec)
+        assert first == second
+        assert len(first) == 25
+        assert len({request.key for request in first}) <= 6
+
+    def test_workload_rejects_bad_spec(self, small_dataset):
+        with pytest.raises(ServeError):
+            build_workload(
+                small_dataset, WorkloadSpec(requests=0, methods=(METHOD,))
+            )
+
+
+class _noop:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False

@@ -4,8 +4,10 @@ Runs ``scripts/bench_serve.py --quick`` in-process and asserts the
 deterministic gates — every served response bit-identical to the
 offline evaluator's record, open-loop coalescing exact (hits equal
 requests minus distinct keys), every read routed through the connection
-pool, zero timeouts on the no-deadline runs, and full-workload timeouts
-under the zero-deadline degradation run.  Wall-clock speedups are
+pool, zero timeouts on the no-deadline runs, full-workload timeouts
+under the zero-deadline degradation run, and exact response-cache
+counters (cold misses, warm hits, data_version invalidation, zero
+stale serves).  Wall-clock speedups are
 recorded for trend tracking but the tier-2 gate is counter-based; the
 hard 3x-at-concurrency-8 speedup gate is enforced by the full
 ``scripts/bench_serve.py`` run that refreshes the tracked
@@ -60,9 +62,38 @@ def test_bench_serve_quick_smoke(tmp_path):
     degradation = result["degradation"]
     assert degradation["timeouts"] == degradation["requests"]
     assert degradation["recovered_ok"]
+    # Response cache: the open-loop passes pause submission, so the
+    # hit/miss counters are schedule-independent and gate exactly.
+    cache = result["response_cache"]
+    assert cache["enabled"]
+    assert cache["cold"]["cache_hits"] == 0
+    assert cache["cold"]["cache_misses"] == result["requests"]
+    assert cache["warm"]["cache_hits"] == result["requests"]
+    assert cache["warm"]["cache_misses"] == 0
+    assert cache["warm"]["served_cached"] == result["requests"]
+    # Whitespace/case variants of cached questions still hit (shared
+    # normalize_question key).
+    assert cache["variant_probes"]["hits"] == cache["variant_probes"]["requests"]
+    # data_version invalidation: the mutated database's entries are all
+    # purged (counter matches the distinct affected keys), the replay
+    # hits exactly the unaffected entries, recomputes exactly the
+    # affected ones, and never serves a stale record.
+    invalidation = cache["invalidation"]
+    assert invalidation["invalidated_entries"] == invalidation["expected_invalidated"]
+    assert invalidation["expected_invalidated"] > 0
+    assert invalidation["replay_hits"] == invalidation["unaffected_requests"]
+    assert invalidation["replay_misses"] == invalidation["affected_requests"]
+    assert invalidation["stale_serves"] == 0
+    # The semantic-key probe rides along as a risk measurement, never a
+    # gate: it reports collision and mismatch counts.
+    semantic = cache["semantic"]
+    assert semantic["distinct_semantic_keys"] <= semantic["distinct_base_keys"]
+    assert semantic["warm_hits"] == result["requests"]
     # Throughput numbers ride along for trend tracking; the quick run
-    # reports them but only the full run gates on the 3x speedup.
+    # reports them but only the full run gates on the 3x speedup (and
+    # the 10x warm-cache speedup).
     assert result["serial"]["throughput_rps"] > 0
     for level in ("1", "4", "8"):
         assert result["concurrency"][level]["closed"]["throughput_rps"] > 0
     assert result["speedup_at_8"] > 0
+    assert cache["warm_speedup_vs_off"] > 0

@@ -1,4 +1,4 @@
-"""Online serving quickstart: scheduler, coalescing, deadlines, pool.
+"""Online serving quickstart: scheduler, coalescing, cache, deadlines.
 
 Builds a small synthetic Spider-like benchmark, starts a
 :class:`repro.serve.ServingEngine` serving C3SQL, and walks through the
@@ -7,8 +7,10 @@ serving features end to end:
 1. a single request answered with the exact offline evaluation record;
 2. a Zipf-skewed workload served through the micro-batching scheduler,
    with the open-loop submission coalescing every duplicate question;
-3. a zero-deadline request resolving as a typed TIMEOUT (never a hang);
-4. admission-control and connection-pool counters.
+3. the cross-request response cache: a repeat of the same workload hits
+   on every request, and a ``data_version`` bump invalidates cleanly;
+4. a zero-deadline request resolving as a typed TIMEOUT (never a hang);
+5. admission-control and connection-pool counters.
 
 Run with: ``PYTHONPATH=src python examples/serving_quickstart.py``
 (see docs/SERVING.md for the full reference).
@@ -26,7 +28,7 @@ from repro.serve import (
 
 def main() -> None:
     dataset = build_benchmark(spider_like_config(scale=0.05))
-    config = ServeConfig(methods=("C3SQL",), workers=4)
+    config = ServeConfig(methods=("C3SQL",), workers=4, response_cache=True)
 
     with ServingEngine(dataset, config) as engine:
         # 1. One request: the response carries the offline-identical record.
@@ -53,7 +55,22 @@ def main() -> None:
             f" max_batch={engine.stats.max_batch}"
         )
 
-        # 3. Deadlines degrade gracefully: a zero deadline yields a typed
+        # 3. The response cache: replaying the workload hits on every
+        # request (hits resolve in submit, before admission control),
+        # each response cached-flagged but bit-identical.  A mutation
+        # bumps the database's data_version, which purges its entries —
+        # stale answers are structurally unservable.
+        replay = engine.serve(workload, submit_paused=True)
+        print(
+            f"\nreplay: cache_hits={engine.stats.cache_hits}"
+            f" identical={all(a.record == b.record for a, b in zip(responses, replay))}"
+            f" cached={sum(r.cached for r in replay)}/{len(replay)}"
+        )
+        mutated_db = workload[0].db_id
+        dataset.databases[mutated_db].mark_mutated()
+        print(f"after mutating {mutated_db}: {engine.cache_stats()}")
+
+        # 4. Deadlines degrade gracefully: a zero deadline yields a typed
         # TIMEOUT response instead of hanging, and the engine stays healthy.
         expired = engine.submit(
             ServeRequest("C3SQL", example.db_id, example.question, deadline_s=0.0)
@@ -61,7 +78,7 @@ def main() -> None:
         print(f"\nzero-deadline request -> {expired.status.value}")
         print(f"engine healthy after: {engine.ask('C3SQL', example.db_id, example.question).response().ok}")
 
-        # 4. Backpressure and pool counters.
+        # 5. Backpressure and pool counters.
         print(f"\nbackpressure: {engine.backpressure()}")
         print(f"pool: {engine.pool_stats()}")
 

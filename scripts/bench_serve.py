@@ -5,8 +5,12 @@ Usage::
     PYTHONPATH=src python scripts/bench_serve.py [--quick] [--out BENCH_serve.json]
 
 Runs the offline reference, serial baseline, closed-/open-loop runs at
-concurrency 1/4/8, and the zero-deadline degradation check; writes the
-result document and exits non-zero if any gate fails.
+concurrency 1/4/8, the zero-deadline degradation check, and the
+response-cache comparison (cold/warm Zipf passes with hit-rate fields,
+the semantic-key risk probe, and the data_version invalidation replay);
+writes the result document and exits non-zero if any gate fails.
+Cache knobs: ``--no-response-cache``, ``--cache-size``, ``--cache-ttl-s``,
+``--semantic-keys``.
 """
 
 from __future__ import annotations

@@ -287,6 +287,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         argv += ["--distinct", str(args.distinct)]
     if args.methods:
         argv += ["--methods", *args.methods]
+    argv.append("--response-cache" if args.response_cache else "--no-response-cache")
+    argv += ["--cache-size", str(args.cache_size)]
+    if args.cache_ttl_s is not None:
+        argv += ["--cache-ttl-s", str(args.cache_ttl_s)]
+    if args.semantic_keys:
+        argv.append("--semantic-keys")
     return bench_main(argv)
 
 
@@ -452,6 +458,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--distinct", type=int, default=None)
     serve_bench.add_argument("--zipf", type=float, default=1.1)
     serve_bench.add_argument("--methods", nargs="+", default=None)
+    serve_bench.add_argument("--response-cache", default=True,
+                             action=argparse.BooleanOptionalAction,
+                             help="measure the cross-request response cache tier")
+    serve_bench.add_argument("--cache-size", type=int, default=4096,
+                             help="response cache capacity (entries)")
+    serve_bench.add_argument("--cache-ttl-s", type=float, default=None,
+                             help="response cache TTL in seconds (default: no TTL)")
+    serve_bench.add_argument("--semantic-keys", action="store_true",
+                             help="cache on paraphrase-normalized question keys "
+                                  "(measured correctness risk)")
     serve_bench.add_argument("--out", default="BENCH_serve.json",
                              help="result JSON path")
     serve_bench.set_defaults(func=_cmd_serve_bench)

@@ -58,14 +58,20 @@ from repro.utils.cache import lru_cache_stats
 from repro.sqlkit.exact_match import exact_match
 from repro.sqlkit.features import SQLFeatures, extract_features
 
-# (db_id, gold_sql) -> (result, seconds); shared between the sequential
-# evaluator and the parallel engine's one-pass gold precompute.
+# (db_id, data_version, gold_sql) -> (result, seconds); shared between the
+# sequential evaluator and the parallel engine's one-pass gold precompute.
 GoldCache = dict[str, tuple[ExecutionResult, float]]
 
 
-def gold_key(example: Example) -> str:
-    """Cache key for one distinct (db_id, gold_sql) gold execution."""
-    return f"{example.db_id}::{example.gold_sql}"
+def gold_key(example: Example, data_version: int = 0) -> str:
+    """Cache key for one distinct (db_id, data_version, gold_sql) gold execution.
+
+    Keying on the database's ``data_version`` means a content mutation
+    (``Database.mark_mutated``) invalidates the gold result along with
+    every other execution memo — a mid-run mutation can never serve a
+    stale gold row set.
+    """
+    return f"{example.db_id}::{data_version}::{example.gold_sql}"
 
 
 class Evaluator:
@@ -97,9 +103,9 @@ class Evaluator:
     # -- internals ----------------------------------------------------------
 
     def _gold_execution(self, example: Example) -> tuple[ExecutionResult, float]:
-        key = gold_key(example)
+        database = self.dataset.database(example.db_id)
+        key = gold_key(example, database.data_version)
         if key not in self._gold_cache:
-            database = self.dataset.database(example.db_id)
             if self.measure_timing:
                 timed = timed_execute(
                     database, example.gold_sql, repeats=self.timing_repeats
@@ -119,7 +125,8 @@ class Evaluator:
         """
         fresh = 0
         for example in examples:
-            if gold_key(example) not in self._gold_cache:
+            version = self.dataset.database(example.db_id).data_version
+            if gold_key(example, version) not in self._gold_cache:
                 self._gold_execution(example)
                 fresh += 1
         return fresh
@@ -135,7 +142,7 @@ class Evaluator:
         with trace.example(method.name, example.example_id) as span:
             database = self.dataset.database(example.db_id)
             prediction = method.predict(example, database)
-            gold_cached = gold_key(example) in self._gold_cache
+            gold_cached = gold_key(example, database.data_version) in self._gold_cache
             with trace.stage("execute") as stage:
                 stage.cache_hit = gold_cached
                 gold_result, gold_seconds = self._gold_execution(example)

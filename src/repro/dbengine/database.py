@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from pathlib import Path
 
 from repro.dbengine.pool import DEFAULT_POOL_SIZE, ReadConnectionPool
@@ -40,6 +40,9 @@ class Database:
         # Monotonic content-version counter; execution caches key on it so
         # any mutation invalidates every cached result for this database.
         self.data_version = 0
+        # Callbacks fired (with (db_id, new_version)) after every
+        # data_version bump; the serving response cache subscribes here.
+        self._mutation_listeners: list[Callable[[str, int], None]] = []
         # Read-only replica pool, created lazily on first pooled read.
         self._pool_size = pool_size
         self._pool: ReadConnectionPool | None = None
@@ -84,13 +87,36 @@ class Database:
         """Record an out-of-band content mutation (e.g. a bulk restore).
 
         Bumps ``data_version`` and drops value caches, so execution memos
-        and pooled replicas refresh before their next use.  ``insert_rows``
-        calls this implicitly; callers writing through ``connection``
-        directly (restores, migrations) must call it themselves.
+        and pooled replicas refresh before their next use, then notifies
+        every registered mutation listener.  ``insert_rows`` calls this
+        implicitly; callers writing through ``connection`` directly
+        (restores, migrations) must call it themselves.
         """
         with self.lock:
             self._value_cache.clear()
             self.data_version += 1
+            version = self.data_version
+            listeners = list(self._mutation_listeners)
+        for callback in listeners:
+            callback(self.db_id, version)
+
+    def add_mutation_listener(self, callback: Callable[[str, int], None]) -> None:
+        """Subscribe ``callback(db_id, new_version)`` to content mutations.
+
+        Listeners run on the mutating thread, after the version bump is
+        visible; they must not acquire this database's lock (callers of
+        ``insert_rows`` still hold it re-entrantly when they fire).
+        """
+        with self.lock:
+            self._mutation_listeners.append(callback)
+
+    def remove_mutation_listener(self, callback: Callable[[str, int], None]) -> None:
+        """Unsubscribe a listener; unknown callbacks are ignored."""
+        with self.lock:
+            try:
+                self._mutation_listeners.remove(callback)
+            except ValueError:
+                pass
 
     def __enter__(self) -> "Database":
         return self

@@ -34,10 +34,15 @@ from repro.obs.trace import ExampleSpan, stage_breakdown
 _MAX_FAILURE_EXAMPLES = 5
 
 # Cache-section keys whose values depend on the evaluation schedule
-# (thread sharding changes which lookup warms a memo first), excluded
-# from the sequential/parallel equivalence comparison.
+# (thread sharding changes which lookup warms a memo first, request
+# interleaving changes which submission warms the response cache),
+# excluded from the sequential/parallel equivalence comparison.
 _SCHEDULE_SENSITIVE_CACHE_KEYS = frozenset(
-    {"stage_memo_hits", "lru_cache_hits", "lru_cache_misses", "lru_cache_hit_pct"}
+    {
+        "stage_memo_hits", "lru_cache_hits", "lru_cache_misses",
+        "lru_cache_hit_pct", "serve_cache_hits", "serve_cache_misses",
+        "serve_cache_evictions",
+    }
 )
 
 
@@ -160,6 +165,17 @@ def build_run_report(
         int(metrics.counter_total("lru_cache_misses")) if metrics is not None else 0
     )
     lru_lookups = lru_hits + lru_misses
+    serve_cache_hits = (
+        int(metrics.counter_total("serve_cache_hits")) if metrics is not None else 0
+    )
+    serve_cache_misses = (
+        int(metrics.counter_total("serve_cache_misses")) if metrics is not None else 0
+    )
+    serve_cache_evictions = (
+        int(metrics.counter_total("serve_cache_evictions"))
+        if metrics is not None
+        else 0
+    )
     cache = {
         "examples": n,
         "result_cache_hits": result_cache_hits,
@@ -173,6 +189,9 @@ def build_run_report(
         "lru_cache_hit_pct": (
             round(100.0 * lru_hits / lru_lookups, 2) if lru_lookups else 0.0
         ),
+        "serve_cache_hits": serve_cache_hits,
+        "serve_cache_misses": serve_cache_misses,
+        "serve_cache_evictions": serve_cache_evictions,
     }
 
     economy = {
@@ -299,6 +318,9 @@ def render_markdown(report: RunReport) -> str:
         f"{cache.get('lru_cache_misses', 0)} misses "
         f"({cache.get('lru_cache_hit_pct', 0.0)}% hit rate,"
         f" coordinator process)",
+        f"- serve response cache: {cache.get('serve_cache_hits', 0)} hits / "
+        f"{cache.get('serve_cache_misses', 0)} misses "
+        f"({cache.get('serve_cache_evictions', 0)} evictions)",
         "",
         "## Economy",
         "",

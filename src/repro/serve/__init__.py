@@ -2,16 +2,19 @@
 
 :mod:`repro.serve.engine` is the request scheduler (micro-batching,
 in-flight coalescing, admission control, deadlines, warm start);
-:mod:`repro.serve.workload` generates seeded Zipf-skewed request
-streams; :mod:`repro.serve.bench` is the load-generator benchmark
-behind ``python -m repro serve-bench`` and ``BENCH_serve.json``.  See
-docs/SERVING.md for the architecture and knob reference.
+:mod:`repro.serve.cache` is the cross-request response cache tier
+(TTL+LRU, ``data_version``-invalidated); :mod:`repro.serve.workload`
+generates seeded Zipf-skewed request streams; :mod:`repro.serve.bench`
+is the load-generator benchmark behind ``python -m repro serve-bench``
+and ``BENCH_serve.json``.  See docs/SERVING.md for the architecture and
+knob reference.
 
 Served responses are bit-identical to offline
 :class:`~repro.core.evaluator.Evaluator` records under any concurrency,
 batching, or coalescing schedule.
 """
 
+from repro.serve.cache import DEFAULT_RESPONSE_CACHE_SIZE, ResponseCache
 from repro.serve.engine import (
     ServeConfig,
     ServeFuture,
@@ -21,12 +24,15 @@ from repro.serve.engine import (
     ServeStats,
     ServeStatus,
     ServingEngine,
+    ingest_serve_cache,
     ingest_serve_span,
     question_index,
 )
 from repro.serve.workload import WorkloadSpec, build_workload
 
 __all__ = [
+    "DEFAULT_RESPONSE_CACHE_SIZE",
+    "ResponseCache",
     "ServeConfig",
     "ServeFuture",
     "ServeRequest",
@@ -35,6 +41,7 @@ __all__ = [
     "ServeStats",
     "ServeStatus",
     "ServingEngine",
+    "ingest_serve_cache",
     "ingest_serve_span",
     "question_index",
     "WorkloadSpec",

@@ -18,13 +18,24 @@ Zipf-skewed workload (see :mod:`repro.serve.workload`):
   and the drain rate gives peak throughput;
 * **degradation** — a zero-deadline run must resolve every request as a
   typed ``TIMEOUT`` (never hang) and the engine must serve normally
-  right after.
+  right after;
+* **response cache** — cache-on engines replay the workload cold (all
+  misses, exact counter gate) then warm (all hits, served from memory);
+  the warm drain rate against the cache-off open loop is the
+  ``warm_speedup_vs_off`` headline, gated at ≥
+  :data:`CACHE_SPEEDUP_GATE`× in full runs.  A semantic-key pass
+  measures the paraphrase-folding correctness risk (collisions and
+  record mismatches, reported but never gated), and a final
+  invalidation stage mutates the hottest database mid-run and proves —
+  by exact hit/miss/invalidation counters and bit-comparison against a
+  fresh post-mutation offline reference — that no stale entry is ever
+  served.
 
 Emits a JSON document (``BENCH_serve.json`` at the repo root, see
 ``benchmarks/test_perf_serve_smoke.py``) with throughput, latency
-percentiles at concurrency 1/4/8, coalesce/pool/timeout counters, and
-the ``speedup_at_8`` headline gated at ≥ :data:`SPEEDUP_GATE`× in full
-runs.
+percentiles at concurrency 1/4/8, coalesce/pool/timeout/cache counters,
+and the ``speedup_at_8`` headline gated at ≥ :data:`SPEEDUP_GATE`× in
+full runs.
 """
 
 from __future__ import annotations
@@ -36,9 +47,13 @@ import threading
 import time
 from pathlib import Path
 
+from collections import Counter
+
 from repro.core.evaluator import Evaluator
 from repro.datagen.benchmark import build_benchmark, spider_like_config
 from repro.methods.zoo import build_method
+from repro.schema.model import ColumnType, DatabaseSchema
+from repro.serve.cache import DEFAULT_RESPONSE_CACHE_SIZE
 from repro.serve.engine import (
     ServeConfig,
     ServeRequest,
@@ -48,9 +63,13 @@ from repro.serve.engine import (
     question_index,
 )
 from repro.serve.workload import WorkloadSpec, build_workload
+from repro.utils.text import normalize_question
 
 #: Full-run throughput gate: open-loop @ concurrency 8 vs the serial baseline.
 SPEEDUP_GATE = 3.0
+
+#: Full-run gate: warm response-cache drain vs the cache-off open loop @ 8.
+CACHE_SPEEDUP_GATE = 10.0
 
 CONCURRENCIES = (1, 4, 8)
 
@@ -120,6 +139,39 @@ def _open_loop(
     return responses, elapsed
 
 
+def _cached_pass(
+    engine: ServingEngine, workload: list[ServeRequest]
+) -> tuple[list[ServeResponse], float]:
+    """Submit and collect with submission time included.
+
+    Warm response-cache hits resolve synchronously inside ``submit``, so
+    the open loop's resume-to-drain window would measure nothing; this
+    pass times the whole submit+collect cycle instead.
+    """
+    started = time.perf_counter()
+    futures = [engine.submit(request) for request in workload]
+    responses = [future.response() for future in futures]
+    elapsed = time.perf_counter() - started
+    return responses, elapsed
+
+
+def _mutable_text_column(schema: DatabaseSchema) -> tuple[str, str]:
+    """A (table, column) safe to rewrite in place: TEXT, non-key, non-FK."""
+    fk_columns = set()
+    for fk in schema.foreign_keys:
+        fk_columns.add((fk.source_table.lower(), fk.source_column.lower()))
+        fk_columns.add((fk.target_table.lower(), fk.target_column.lower()))
+    for table in schema.tables:
+        for column in table.columns:
+            if (
+                column.col_type is ColumnType.TEXT
+                and not column.is_primary_key
+                and (table.name.lower(), column.name.lower()) not in fk_columns
+            ):
+                return table.name, column.name
+    raise RuntimeError(f"no mutable text column in {schema.db_id!r}")
+
+
 def run_bench(
     scale: float = 0.08,
     seed: int = 42,
@@ -128,6 +180,10 @@ def run_bench(
     zipf_s: float = 1.1,
     method_names: tuple[str, ...] = ("SuperSQL", "DAILSQL"),
     quick: bool = False,
+    response_cache: bool = True,
+    cache_size: int = DEFAULT_RESPONSE_CACHE_SIZE,
+    cache_ttl_s: float | None = None,
+    semantic_keys: bool = False,
 ) -> dict:
     """Run the full serving benchmark; returns the result document."""
     dataset = build_benchmark(spider_like_config(scale=scale, seed=seed))
@@ -154,6 +210,8 @@ def run_bench(
         workers: int,
         coalesce: bool = True,
         deadline_s: float | None = None,
+        cache: bool = False,
+        semantic: bool = False,
     ) -> ServingEngine:
         config = ServeConfig(
             methods=method_names,
@@ -164,6 +222,10 @@ def run_bench(
             measure_timing=False,
             warm_start=True,
             seed=seed,
+            response_cache=cache,
+            response_cache_size=cache_size,
+            response_cache_ttl_s=cache_ttl_s,
+            semantic_cache_keys=semantic,
         )
         return ServingEngine(dataset, config, methods=dict(methods)).start()
 
@@ -248,6 +310,153 @@ def run_bench(
         if serial["throughput_rps"]
         else 0.0
     )
+
+    # -- response cache: cold/warm comparison, semantic risk, invalidation.
+    # Runs last because the invalidation stage mutates a live database.
+    cache_doc: dict = {"enabled": bool(response_cache)}
+    if response_cache:
+        cache_doc.update(
+            size=cache_size, ttl_s=cache_ttl_s, semantic_keys=semantic_keys
+        )
+
+        # Cold pass: fresh cache, open loop — every submission must miss.
+        engine = fresh_engine(workers=8, cache=True, semantic=semantic_keys)
+        cold_responses, cold_elapsed = _open_loop(engine, workload)
+        if not semantic_keys:
+            check(cold_responses)
+        cold = _loop_summary(cold_responses, cold_elapsed, engine)
+        cold["cache_hits"] = engine.stats.cache_hits
+        cold["cache_misses"] = engine.stats.cache_misses
+
+        # Warm pass on the same engine: every request must hit.
+        warm_responses, warm_elapsed = _cached_pass(engine, workload)
+        warm = _loop_summary(warm_responses, warm_elapsed, engine)
+        warm["cache_hits"] = engine.stats.cache_hits - cold["cache_hits"]
+        warm["cache_misses"] = engine.stats.cache_misses - cold["cache_misses"]
+        warm["served_cached"] = sum(1 for r in warm_responses if r.cached)
+        if semantic_keys:
+            # Lossy keys: record divergences instead of gating on them.
+            warm["semantic_mismatches"] = sum(
+                1
+                for r in warm_responses
+                if not r.ok or r.record != reference[r.request.key]
+            )
+        else:
+            check(warm_responses)
+
+        # Whitespace/case variants must hit the same entries (the shared
+        # normalize_question key): mangled questions, identical records.
+        probes = [
+            ServeRequest(
+                method=key[0], db_id=key[1], question=f"  {key[2].upper()} "
+            )
+            for key in distinct_keys[: min(8, len(distinct_keys))]
+        ]
+        probe_hits_before = engine.stats.cache_hits
+        probe_responses = [engine.submit(probe).response() for probe in probes]
+        if not semantic_keys:
+            check(probe_responses)
+        variant_probes = {
+            "requests": len(probes),
+            "hits": engine.stats.cache_hits - probe_hits_before,
+        }
+        engine.close()
+
+        # Semantic-key risk measurement: fold paraphrase equivalence
+        # classes into the key and count collisions plus the record
+        # divergences they cause.  Reported, never gated.
+        semantic_base_keys = {
+            (key[0], key[1], normalize_question(key[2], semantic=True))
+            for key in distinct_keys
+        }
+        dev_questions = len(dataset.dev_examples)
+        dev_semantic = len(
+            {
+                (e.db_id, normalize_question(e.question, semantic=True))
+                for e in dataset.dev_examples
+            }
+        )
+        engine = fresh_engine(workers=8, cache=True, semantic=True)
+        _open_loop(engine, workload)
+        semantic_responses, _ = _cached_pass(engine, workload)
+        semantic_doc = {
+            "distinct_base_keys": len(distinct_keys),
+            "distinct_semantic_keys": len(semantic_base_keys),
+            "workload_collisions": len(distinct_keys) - len(semantic_base_keys),
+            "dev_questions": dev_questions,
+            "dev_collisions": dev_questions - dev_semantic,
+            "warm_hits": engine.stats.cache_hits,
+            "mismatches": sum(
+                1
+                for r in semantic_responses
+                if not r.ok or r.record != reference[r.request.key]
+            ),
+        }
+        engine.close()
+
+        # Invalidation: mutate the hottest database while a warm exact-key
+        # engine is live; its entries must be purged, every affected
+        # request must miss and recompute against a fresh post-mutation
+        # offline reference, and unaffected entries must keep hitting.
+        target_db = Counter(r.db_id for r in workload).most_common(1)[0][0]
+        affected = [r for r in workload if r.db_id == target_db]
+        unaffected = [r for r in workload if r.db_id != target_db]
+        affected_distinct = {r.key for r in affected}
+        engine = fresh_engine(workers=8, cache=True)
+        _open_loop(engine, workload)  # fill: one entry per distinct key
+        fill_hits = engine.stats.cache_hits
+        fill_misses = engine.stats.cache_misses
+        database = dataset.databases[target_db]
+        table, column = _mutable_text_column(database.schema)
+        with database.lock:
+            database.connection.execute(
+                f"UPDATE {table} SET {column} = {column} || ' (edited)' "
+                f"WHERE rowid IN (SELECT rowid FROM {table} LIMIT 1)"
+            )
+            database.connection.commit()
+        database.mark_mutated()  # fires the engine's invalidation listener
+        invalidated = engine.cache_stats()["invalidations"]
+        post_reference = dict(reference)
+        for key in sorted(affected_distinct):
+            post_reference[key] = offline.evaluate_example(
+                methods[key[0]], index[(key[1], key[2])]
+            )
+        replay_responses, _ = _open_loop(engine, workload)
+        replay_hits = engine.stats.cache_hits - fill_hits
+        replay_misses = engine.stats.cache_misses - fill_misses
+        stale_serves = sum(
+            1
+            for r in replay_responses
+            if not r.ok or r.record != post_reference[r.request.key]
+        )
+        mismatches += stale_serves
+        invalidation_doc = {
+            "mutated_db": target_db,
+            "mutated_table": table,
+            "affected_requests": len(affected),
+            "unaffected_requests": len(unaffected),
+            "expected_invalidated": len(affected_distinct),
+            "invalidated_entries": invalidated,
+            "replay_hits": replay_hits,
+            "replay_misses": replay_misses,
+            "stale_serves": stale_serves,
+        }
+        engine.close()
+
+        warm_speedup = (
+            warm["throughput_rps"] / open_8["throughput_rps"]
+            if open_8["throughput_rps"]
+            else 0.0
+        )
+        cache_doc.update(
+            cold=cold,
+            warm=warm,
+            warm_speedup_vs_off=round(warm_speedup, 2),
+            variant_probes=variant_probes,
+            semantic=semantic_doc,
+            invalidation=invalidation_doc,
+        )
+
     return {
         "quick": quick,
         "scale": scale,
@@ -268,6 +477,7 @@ def run_bench(
         },
         "pool": pool_totals,
         "degradation": degradation,
+        "response_cache": cache_doc,
     }
 
 
@@ -282,6 +492,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--zipf", type=float, default=1.1)
     parser.add_argument("--methods", nargs="+", default=None)
     parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--response-cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="run the response-cache stages (cold/warm, "
+                             "semantic risk, invalidation)")
+    parser.add_argument("--cache-size", type=int,
+                        default=DEFAULT_RESPONSE_CACHE_SIZE,
+                        help="response-cache entry bound")
+    parser.add_argument("--cache-ttl-s", type=float, default=None,
+                        help="response-cache TTL in seconds (default: no expiry)")
+    parser.add_argument("--semantic-keys", action="store_true",
+                        help="use paraphrase-folding semantic cache keys for "
+                             "the cold/warm passes (divergences are reported, "
+                             "not gated)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -300,6 +523,10 @@ def main(argv: list[str] | None = None) -> int:
         zipf_s=args.zipf,
         method_names=tuple(args.methods or defaults["methods"]),
         quick=args.quick,
+        response_cache=args.response_cache,
+        cache_size=args.cache_size,
+        cache_ttl_s=args.cache_ttl_s,
+        semantic_keys=args.semantic_keys,
     )
 
     problems = []
@@ -317,6 +544,33 @@ def main(argv: list[str] | None = None) -> int:
         problems.append(
             f"speedup_at_8 {result['speedup_at_8']}x below the {SPEEDUP_GATE}x gate"
         )
+    cache = result["response_cache"]
+    if cache["enabled"]:
+        if cache["cold"]["cache_hits"] != 0:
+            problems.append("cold response-cache pass recorded hits")
+        if cache["cold"]["cache_misses"] != result["requests"]:
+            problems.append("cold response-cache pass did not miss every request")
+        if cache["warm"]["cache_hits"] != result["requests"]:
+            problems.append("warm response-cache pass did not hit every request")
+        if cache["warm"]["served_cached"] != result["requests"]:
+            problems.append("warm responses were not all cached-flagged")
+        if cache["variant_probes"]["hits"] != cache["variant_probes"]["requests"]:
+            problems.append("whitespace/case variants missed the response cache")
+        invalidation = cache["invalidation"]
+        if invalidation["invalidated_entries"] != invalidation["expected_invalidated"]:
+            problems.append("data_version bump did not invalidate exactly the "
+                            "mutated database's entries")
+        if invalidation["replay_hits"] != invalidation["unaffected_requests"]:
+            problems.append("post-mutation replay missed unaffected entries")
+        if invalidation["replay_misses"] != invalidation["affected_requests"]:
+            problems.append("post-mutation replay hit stale-keyed entries")
+        if invalidation["stale_serves"] != 0:
+            problems.append("a stale cached response was served after invalidation")
+        if not args.quick and cache["warm_speedup_vs_off"] < CACHE_SPEEDUP_GATE:
+            problems.append(
+                f"warm_speedup_vs_off {cache['warm_speedup_vs_off']}x below "
+                f"the {CACHE_SPEEDUP_GATE}x gate"
+            )
 
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))

@@ -17,7 +17,17 @@ Moving parts:
   pool.
 * **In-flight coalescing** — while a computation for a key is pending,
   identical submissions attach to it and all receive the one result;
-  duplicate work is never scheduled.
+  duplicate work is never scheduled.  Request identity is the
+  *normalized* question (:func:`repro.utils.text.normalize_question`),
+  so whitespace/case variants coalesce too.
+* **Response cache** — an optional cross-request
+  :class:`~repro.serve.cache.ResponseCache` tier (``response_cache`` in
+  :class:`ServeConfig`) memoizes OK records keyed on ``(method, db_id,
+  normalized_question, data_version)``.  ``submit`` consults it before
+  admission control: a hit resolves immediately with a ``cached``-flagged
+  but otherwise bit-identical response, costs no in-flight slot, and a
+  ``Database.mark_mutated`` bump auto-invalidates the database's
+  entries via a mutation listener registered at ``start()``.
 * **Admission control & degradation** — at most ``max_in_flight``
   requests are admitted (excess resolves immediately with ``REJECTED``);
   a per-request deadline resolves with a typed ``TIMEOUT`` response
@@ -61,6 +71,8 @@ from repro.methods.base import NL2SQLMethod
 from repro.methods.zoo import build_method
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import get_tracer
+from repro.serve.cache import DEFAULT_RESPONSE_CACHE_SIZE, ResponseCache
+from repro.utils.text import normalize_question
 
 
 class ServeStatus(str, Enum):
@@ -88,8 +100,12 @@ class ServeRequest:
 
     @property
     def key(self) -> tuple[str, str, str]:
-        """The coalescing identity: concurrent equals share one computation."""
-        return (self.method, self.db_id, self.question)
+        """The coalescing identity: concurrent equals share one computation.
+
+        The question is canonicalized (whitespace/case) so trivially
+        different repeats share one computation and one cache entry.
+        """
+        return (self.method, self.db_id, normalize_question(self.question))
 
 
 @dataclass
@@ -105,6 +121,7 @@ class ServeResponse:
     total_s: float = 0.0
     coalesced: bool = False
     batch_size: int = 0
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -135,6 +152,10 @@ class ServeConfig:
     measure_timing: bool = False
     warm_start: bool = True
     seed: int = 42
+    response_cache: bool = False
+    response_cache_size: int = DEFAULT_RESPONSE_CACHE_SIZE
+    response_cache_ttl_s: float | None = None
+    semantic_cache_keys: bool = False
 
 
 @dataclass
@@ -149,6 +170,9 @@ class ServeStats:
     coalesce_hits: int = 0
     computed: int = 0
     shed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
     batches: int = 0
     max_batch: int = 0
     max_queue_depth: int = 0
@@ -171,6 +195,9 @@ class ServeSpan:
     total_s: float
     coalesced: bool
     batch_size: int
+    #: Response-cache outcome for this request: "off" (cache disabled),
+    #: "hit" (served from cache), or "miss" (cache consulted, computed).
+    cache: str = "off"
 
 
 def ingest_serve_span(registry: MetricsRegistry, span: ServeSpan) -> None:
@@ -178,11 +205,29 @@ def ingest_serve_span(registry: MetricsRegistry, span: ServeSpan) -> None:
     registry.count("serve_requests", method=span.method, status=span.status)
     if span.coalesced:
         registry.count("serve_coalesce_hits", method=span.method)
+    if span.cache == "hit":
+        registry.count("serve_cache_hits", method=span.method)
+    elif span.cache == "miss":
+        registry.count("serve_cache_misses", method=span.method)
     if span.status == ServeStatus.TIMEOUT.value:
         registry.count("serve_timeouts", method=span.method)
     registry.observe("serve_queue_wait_s", span.queue_wait_s, method=span.method)
     registry.observe("serve_service_s", span.service_s, method=span.method)
     registry.observe("serve_latency_s", span.total_s, method=span.method)
+
+
+def ingest_serve_cache(registry: MetricsRegistry, deltas: dict[str, int]) -> None:
+    """Fold one engine's response-cache counter deltas into ``serve_cache_*``.
+
+    ``deltas`` is a :meth:`ResponseCache.stats`-shaped dict (typically
+    end-of-run minus start-of-run); hits/misses arrive per request via
+    :func:`ingest_serve_span`, so only the store/eviction/expiry/
+    invalidation counters are folded here.
+    """
+    for name in ("stores", "evictions", "expirations", "invalidations"):
+        value = int(deltas.get(name, 0))
+        if value > 0:
+            registry.count(f"serve_cache_{name}", value=value)
 
 
 class ServeFuture:
@@ -194,6 +239,7 @@ class ServeFuture:
         self.submitted_at = time.perf_counter()
         self.coalesced = False
         self.admitted = False
+        self.cache_state = "off"
         self._event = threading.Event()
         self._response: ServeResponse | None = None
         self._resolve_lock = threading.Lock()
@@ -269,6 +315,7 @@ class ServingEngine:
         dataset: Dataset,
         config: ServeConfig | None = None,
         methods: dict[str, NL2SQLMethod] | None = None,
+        response_cache: ResponseCache | None = None,
     ) -> None:
         self.dataset = dataset
         self.config = config if config is not None else ServeConfig()
@@ -276,6 +323,19 @@ class ServingEngine:
             raise ServeError("workers must be positive")
         if self.config.max_batch_size <= 0:
             raise ServeError("max_batch_size must be positive")
+        # An injected cache (e.g. one with a LogicalClock for TTL tests)
+        # wins over the config knobs; otherwise build from the config.
+        if response_cache is not None:
+            self.response_cache: ResponseCache | None = response_cache
+        elif self.config.response_cache:
+            self.response_cache = ResponseCache(
+                maxsize=self.config.response_cache_size,
+                ttl_s=self.config.response_cache_ttl_s,
+                semantic=self.config.semantic_cache_keys,
+            )
+        else:
+            self.response_cache = None
+        self._cache_stats_at_start: dict[str, int] = {}
         self.stats = ServeStats()
         self.request_log: deque[ServeSpan] = deque(maxlen=4096)
         self._evaluator = Evaluator(dataset, measure_timing=self.config.measure_timing)
@@ -302,6 +362,10 @@ class ServingEngine:
             self.warmup()
         else:
             self._prepare_methods()
+        if self.response_cache is not None:
+            self._cache_stats_at_start = self.response_cache.stats()
+            for database in self.dataset.databases.values():
+                database.add_mutation_listener(self._on_mutation)
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="serve"
         )
@@ -323,7 +387,25 @@ class ServingEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self.response_cache is not None:
+            for database in self.dataset.databases.values():
+                database.remove_mutation_listener(self._on_mutation)
+            tracer = get_tracer()
+            if tracer.enabled:
+                current = self.response_cache.stats()
+                deltas = {
+                    name: current.get(name, 0)
+                    - self._cache_stats_at_start.get(name, 0)
+                    for name in ("stores", "evictions", "expirations",
+                                 "invalidations")
+                }
+                ingest_serve_cache(tracer.metrics, deltas)
         self._started = False
+
+    def _on_mutation(self, db_id: str, version: int) -> None:
+        """Mutation-listener hook: purge the mutated database's entries."""
+        if self.response_cache is not None:
+            self.response_cache.invalidate(db_id, version)
 
     def __enter__(self) -> "ServingEngine":
         return self.start()
@@ -384,7 +466,9 @@ class ServingEngine:
             request = replace(request, deadline_s=self.config.default_deadline_s)
         future = ServeFuture(self, request)
         method = self._methods.get(request.method)
-        example = self._examples.get((request.db_id, request.question))
+        example = self._examples.get(
+            (request.db_id, normalize_question(request.question))
+        )
         with self._wakeup:
             self.stats.submitted += 1
             if self._closed:
@@ -398,6 +482,28 @@ class ServingEngine:
                 return self._finish_locked(
                     future, ServeStatus.ERROR,
                     error=f"unknown question for db {request.db_id!r}")
+            remaining = future._deadline_remaining()
+            if remaining is not None and remaining <= 0:
+                # Dead on arrival: an already-expired deadline outranks
+                # even a cache hit (the degradation contract says a zero
+                # deadline always yields TIMEOUT).
+                return self._finish_locked(future, ServeStatus.TIMEOUT,
+                                           error="deadline exceeded")
+            if self.response_cache is not None:
+                # Consulted before admission control: a hit is answered
+                # from memory and must never cost an in-flight slot.
+                version = self.dataset.databases[request.db_id].data_version
+                record = self.response_cache.lookup(
+                    request.method, request.db_id, request.question, version
+                )
+                if record is not None:
+                    future.cache_state = "hit"
+                    self.stats.cache_hits += 1
+                    return self._finish_locked(
+                        future, ServeStatus.OK, record=record, cached=True
+                    )
+                future.cache_state = "miss"
+                self.stats.cache_misses += 1
             if self._in_flight >= self.config.max_in_flight:
                 return self._finish_locked(
                     future, ServeStatus.REJECTED,
@@ -481,6 +587,7 @@ class ServingEngine:
             total_s=response.total_s,
             coalesced=response.coalesced,
             batch_size=response.batch_size,
+            cache=future.cache_state,
         )
         if locked:
             self._account_locked(future, status)
@@ -568,6 +675,8 @@ class ServingEngine:
         started = time.perf_counter()
         record: EvaluationRecord | None = None
         error: str | None = None
+        database = self.dataset.databases[computation.example.db_id]
+        version_before = database.data_version
         try:
             record = self._evaluator.evaluate_example(
                 computation.method, computation.example
@@ -575,6 +684,19 @@ class ServingEngine:
         except Exception as exc:  # noqa: BLE001 - a request must never hang
             error = f"{type(exc).__name__}: {exc}"
         service_s = time.perf_counter() - started
+        if (
+            record is not None
+            and self.response_cache is not None
+            # A mutation mid-evaluation could leave a mixed-state record:
+            # only store results computed against one stable version.
+            and database.data_version == version_before
+        ):
+            self.response_cache.store(
+                computation.key[0], computation.key[1], computation.key[2],
+                version_before, record,
+            )
+            with self._lock:
+                self.stats.cache_stores += 1
         with self._lock:
             # Unregister first: later identical submissions start a fresh
             # computation instead of attaching to a resolved one.
@@ -608,6 +730,15 @@ class ServingEngine:
                 "max_in_flight": self.config.max_in_flight,
             }
 
+    def cache_stats(self) -> dict[str, int]:
+        """Response-cache counters (all zero when the cache is disabled)."""
+        if self.response_cache is None:
+            return {
+                "hits": 0, "misses": 0, "expirations": 0, "evictions": 0,
+                "entries": 0, "invalidations": 0, "stores": 0,
+            }
+        return self.response_cache.stats()
+
     def pool_stats(self) -> dict[str, int]:
         """Connection-pool counters summed over this dataset's databases."""
         totals = {"created": 0, "checkouts": 0, "refreshes": 0, "waits": 0}
@@ -620,13 +751,18 @@ class ServingEngine:
 def question_index(dataset: Dataset) -> dict[tuple[str, str], Example]:
     """Map ``(db_id, question)`` to the example that serves it.
 
-    Dev examples win over train; within a split the first occurrence
-    wins.  Offline reference runs must resolve through this same index
-    so served responses compare bit-identically.
+    Every example is indexed under both its verbatim question and its
+    normalized form (:func:`repro.utils.text.normalize_question`), so
+    whitespace/case request variants resolve to the same example.  Dev
+    examples win over train; within a split the first occurrence wins.
+    Offline reference runs must resolve through this same index so
+    served responses compare bit-identically.
     """
     index: dict[tuple[str, str], Example] = {}
     for example in dataset.dev_examples:
         index.setdefault((example.db_id, example.question), example)
+        index.setdefault((example.db_id, normalize_question(example.question)), example)
     for example in dataset.examples:
         index.setdefault((example.db_id, example.question), example)
+        index.setdefault((example.db_id, normalize_question(example.question)), example)
     return index

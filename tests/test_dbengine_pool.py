@@ -61,6 +61,23 @@ class TestReadConnectionPool:
                 "SELECT COUNT(*) FROM airports WHERE city = 'Sneaky'"
             ).fetchone()[0] == 1
 
+    def test_version_bump_while_replica_checked_out(self, toy_db):
+        # A replica already checked out when data_version advances keeps
+        # serving its pre-mutation snapshot (it refreshed at checkout
+        # time); the *next* checkout sees the new content.
+        pool = toy_db.read_pool()
+        with pool.checkout() as held:
+            toy_db.insert_rows("airports", [(88, "Mid Hold", "Gusty", 3)])
+            assert held.execute(
+                "SELECT COUNT(*) FROM airports WHERE city = 'Gusty'"
+            ).fetchone()[0] == 0
+            refreshes_during_hold = pool.stats.refreshes
+        with pool.checkout() as fresh:
+            assert fresh.execute(
+                "SELECT COUNT(*) FROM airports WHERE city = 'Gusty'"
+            ).fetchone()[0] == 1
+        assert pool.stats.refreshes == refreshes_during_hold + 1
+
     def test_writes_fail_on_replica_like_on_master(self, toy_db):
         pooled = execute_sql(toy_db, "DELETE FROM flights")
         with pooling_disabled():

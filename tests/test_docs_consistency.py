@@ -180,6 +180,9 @@ class TestServingDocs:
         for metric in (
             "serve_requests", "serve_coalesce_hits", "serve_timeouts",
             "serve_queue_wait_s", "serve_service_s", "serve_latency_s",
+            "serve_cache_hits", "serve_cache_misses", "serve_cache_stores",
+            "serve_cache_evictions", "serve_cache_expirations",
+            "serve_cache_invalidations",
         ):
             assert f"`{metric}`" in reference, metric
 
@@ -187,6 +190,17 @@ class TestServingDocs:
         from repro.serve.bench import SPEEDUP_GATE
         reference = _read("docs/SERVING.md")
         assert f"({int(SPEEDUP_GATE)}×)" in reference
+
+    def test_cache_speedup_gate_matches_doc(self):
+        from repro.serve.bench import CACHE_SPEEDUP_GATE
+        reference = _read("docs/SERVING.md")
+        assert f"({int(CACHE_SPEEDUP_GATE)}×)" in reference
+
+    def test_cache_bench_flags_are_documented(self):
+        reference = _read("docs/SERVING.md")
+        for flag in ("--no-response-cache", "--cache-size", "--cache-ttl-s",
+                     "--semantic-keys"):
+            assert f"`{flag}`" in reference, flag
 
     def test_pool_api_is_documented(self):
         import repro.dbengine

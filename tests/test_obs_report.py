@@ -15,6 +15,7 @@ from repro.core.parallel import ParallelEvaluator
 from repro.methods.zoo import build_method
 from repro.obs import (
     STAGES,
+    MetricsRegistry,
     build_run_report,
     render_json,
     render_markdown,
@@ -190,6 +191,43 @@ class TestPersistenceRoundTrip:
         with ExperimentLogStore() as store:
             with pytest.raises(ValueError):
                 report_from_store(store)
+
+
+class TestServeCacheReporting:
+    """serve_cache_* counters surface in the report but never in the
+    sequential/parallel equivalence key (hit/miss split is schedule- and
+    warmth-dependent)."""
+
+    def test_report_surfaces_serve_cache_counters(self, sequential_traced):
+        reports, spans, _ = sequential_traced
+        records = reports[METHODS[0]].records
+        metrics = MetricsRegistry()
+        metrics.count("serve_cache_hits", value=7)
+        metrics.count("serve_cache_misses", value=3)
+        metrics.count("serve_cache_evictions", value=2)
+        report = build_run_report(records, spans=spans, metrics=metrics,
+                                  dataset="x")
+        assert report.cache["serve_cache_hits"] == 7
+        assert report.cache["serve_cache_misses"] == 3
+        assert report.cache["serve_cache_evictions"] == 2
+        markdown = render_markdown(report)
+        assert "serve response cache: 7 hits / 3 misses (2 evictions)" in markdown
+
+    def test_serve_cache_counters_excluded_from_equivalence(
+        self, sequential_traced
+    ):
+        reports, spans, _ = sequential_traced
+        records = reports[METHODS[0]].records
+        cold = MetricsRegistry()
+        warm = MetricsRegistry()
+        warm.count("serve_cache_hits", value=100)
+        warm.count("serve_cache_misses", value=5)
+        warm.count("serve_cache_evictions", value=1)
+        cold_report = build_run_report(records, spans=spans, metrics=cold,
+                                       dataset="x")
+        warm_report = build_run_report(records, spans=spans, metrics=warm,
+                                       dataset="x")
+        assert cold_report.equivalence_key() == warm_report.equivalence_key()
 
 
 class TestWarmCacheSpans:

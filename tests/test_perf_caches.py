@@ -25,7 +25,9 @@ from repro.modules.fewshot import MANUAL_QUALITY, select_examples
 from repro.modules.retrieval import FewShotIndex, clear_index_registry, index_for
 from repro.sqlkit.picard import PicardChecker
 from repro.utils.cache import (
+    LogicalClock,
     LRUCache,
+    TTLCache,
     caches_disabled,
     caches_enabled,
     per_object_cache,
@@ -67,6 +69,80 @@ class TestLRUCache:
                 assert not caches_enabled()
             assert not caches_enabled()
         assert caches_enabled()
+
+    def test_eviction_counter(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.evictions == 0
+        cache.put("c", 3)
+        cache.put("d", 4)
+        assert cache.evictions == 2
+        assert len(cache) == 2
+
+
+class TestLogicalClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = LogicalClock()
+        assert clock() == 0.0
+        assert clock.advance(1.5) == 1.5
+        assert clock() == 1.5
+
+    def test_rejects_negative_advance(self):
+        clock = LogicalClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        assert clock() == 10.0
+
+
+class TestTTLCache:
+    def test_no_ttl_behaves_like_lru(self):
+        cache = TTLCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.lookup("a") == (True, 1)
+        cache.put("c", 3)  # evicts "b"
+        assert cache.lookup("b") == (False, None)
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "expirations": 0, "evictions": 1,
+            "entries": 2,
+        }
+
+    def test_deterministic_ttl_expiry(self):
+        clock = LogicalClock()
+        cache = TTLCache(maxsize=8, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.999)
+        assert cache.lookup("a") == (True, 1)  # age < ttl: live
+        clock.advance(0.001)
+        assert cache.lookup("a") == (False, None)  # age == ttl: expired
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_put_refreshes_the_stamp(self):
+        clock = LogicalClock()
+        cache = TTLCache(maxsize=8, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.0)
+        cache.put("a", 2)  # re-stamped at t=9
+        clock.advance(9.0)
+        assert cache.lookup("a") == (True, 2)
+
+    def test_purge_by_predicate(self):
+        cache = TTLCache(maxsize=8)
+        for db, version in [("x", 1), ("x", 2), ("y", 1)]:
+            cache.put((db, version), db + str(version))
+        removed = cache.purge(lambda key: key[0] == "x" and key[1] < 2)
+        assert removed == 1
+        assert cache.lookup(("x", 1)) == (False, None)
+        assert cache.lookup(("x", 2)) == (True, "x2")
+        assert cache.lookup(("y", 1)) == (True, "y1")
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            TTLCache(maxsize=0)
+        with pytest.raises(ValueError):
+            TTLCache(maxsize=1, ttl=0.0)
 
 
 # -- few-shot retrieval index --------------------------------------------

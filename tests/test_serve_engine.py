@@ -14,23 +14,30 @@ from __future__ import annotations
 
 import random
 import threading
+from types import SimpleNamespace
 
 import pytest
 
 from repro.core.evaluator import Evaluator
+from repro.datagen.benchmark import build_benchmark
 from repro.dbengine.pool import pooling_disabled
 from repro.errors import ServeError, ServeOverloaded, ServeTimeout
 from repro.methods.zoo import build_method
 from repro.obs.trace import tracing
 from repro.serve import (
+    ResponseCache,
     ServeConfig,
     ServeRequest,
+    ServeStats,
     ServeStatus,
     ServingEngine,
     WorkloadSpec,
     build_workload,
     question_index,
 )
+from repro.utils.cache import LogicalClock
+
+from tests.conftest import small_benchmark_config
 
 METHOD = "C3SQL"
 
@@ -63,14 +70,17 @@ def offline_records(small_dataset, served_method, workload):
     return records
 
 
-def make_engine(small_dataset, served_method, **overrides):
+def make_engine(small_dataset, served_method, response_cache=None, **overrides):
     config = ServeConfig(
         methods=(METHOD,),
         workers=4,
         measure_timing=False,
         **overrides,
     )
-    return ServingEngine(small_dataset, config, methods={METHOD: served_method})
+    return ServingEngine(
+        small_dataset, config, methods={METHOD: served_method},
+        response_cache=response_cache,
+    )
 
 
 class TestServeOfflineEquivalence:
@@ -288,6 +298,254 @@ class TestWorkload:
             build_workload(
                 small_dataset, WorkloadSpec(requests=0, methods=(METHOD,))
             )
+
+
+class TestRequestKeyNormalization:
+    """Coalescing identity and the exact cache key share normalize_question."""
+
+    def test_whitespace_and_case_variants_share_a_key(self):
+        a = ServeRequest(METHOD, "db", "List  the   Flights ")
+        b = ServeRequest(METHOD, "db", "list the flights")
+        assert a.key == b.key
+
+    def test_key_matches_response_cache_identity(self):
+        cache = ResponseCache()
+        request = ServeRequest(METHOD, "db", "  Show the NAMES ")
+        assert cache.key(METHOD, "db", request.question, 0)[:3] == request.key
+
+    def test_variants_coalesce_in_flight(
+        self, small_dataset, served_method, workload
+    ):
+        base = workload[0]
+        variant = ServeRequest(
+            base.method, base.db_id, f"  {base.question.upper()} "
+        )
+        with make_engine(small_dataset, served_method) as engine:
+            responses = engine.serve([base, variant], submit_paused=True)
+        assert all(response.ok for response in responses)
+        assert responses[0].record == responses[1].record
+        assert engine.stats.coalesce_hits == 1 and engine.stats.computed == 1
+
+
+class TestResponseCache:
+    def test_repeat_request_hits_and_is_bit_identical(
+        self, small_dataset, served_method, workload, offline_records
+    ):
+        request = workload[0]
+        with make_engine(
+            small_dataset, served_method, response_cache=ResponseCache()
+        ) as engine:
+            first = engine.submit(request).response()
+            second = engine.submit(request).response()
+        assert first.ok and not first.cached
+        assert second.ok and second.cached
+        assert first.record == second.record == offline_records[request.key]
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.cache_stores == 1
+        assert engine.stats.computed == 1
+
+    def test_whitespace_case_variant_hits_the_cache(
+        self, small_dataset, served_method, workload
+    ):
+        base = workload[0]
+        variant = ServeRequest(base.method, base.db_id, f" {base.question.upper()}  ")
+        with make_engine(
+            small_dataset, served_method, response_cache=ResponseCache()
+        ) as engine:
+            cold = engine.submit(base).response()
+            warm = engine.submit(variant).response()
+        assert not cold.cached and warm.cached
+        assert warm.record == cold.record
+        assert engine.stats.cache_hits == 1
+
+    def test_full_workload_equivalence_with_cache_enabled(
+        self, small_dataset, served_method, workload, offline_records
+    ):
+        with make_engine(
+            small_dataset, served_method, response_cache=ResponseCache()
+        ) as engine:
+            responses = engine.serve(list(workload) * 2, submit_paused=False)
+        for response in responses:
+            assert response.ok
+            assert response.record == offline_records[response.request.key]
+        assert engine.stats.cache_hits + engine.stats.cache_misses == (
+            2 * len(workload)
+        )
+
+    def test_ttl_expiry_is_deterministic_with_logical_clock(
+        self, small_dataset, served_method, workload
+    ):
+        request = workload[0]
+        clock = LogicalClock()
+        cache = ResponseCache(ttl_s=30.0, clock=clock)
+        with make_engine(
+            small_dataset, served_method, response_cache=cache
+        ) as engine:
+            engine.submit(request).response()
+            clock.advance(29.999)
+            assert engine.submit(request).response().cached
+            clock.advance(0.001)  # entry age reaches the TTL
+            assert not engine.submit(request).response().cached
+        assert cache.stats()["expirations"] == 1
+        assert engine.stats.cache_hits == 1 and engine.stats.cache_misses == 2
+
+    def test_expired_deadline_outranks_a_cache_hit(
+        self, small_dataset, served_method, workload
+    ):
+        request = workload[0]
+        with make_engine(
+            small_dataset, served_method, response_cache=ResponseCache()
+        ) as engine:
+            assert engine.submit(request).response().ok  # warm the cache
+            dead = engine.submit(
+                ServeRequest(request.method, request.db_id, request.question,
+                             deadline_s=0.0)
+            ).response()
+        assert dead.status is ServeStatus.TIMEOUT
+        assert engine.stats.timeouts == 1
+
+    def test_cache_disabled_by_default(
+        self, small_dataset, served_method, workload
+    ):
+        request = workload[0]
+        with make_engine(small_dataset, served_method) as engine:
+            first = engine.submit(request).response()
+            second = engine.submit(request).response()
+        assert not first.cached and not second.cached
+        assert all(value == 0 for value in engine.cache_stats().values())
+        assert engine.stats.cache_hits == 0 and engine.stats.cache_misses == 0
+
+    def test_cache_metrics_ingested_under_tracing(
+        self, small_dataset, served_method, workload
+    ):
+        request = workload[0]
+        with tracing() as tracer:
+            with make_engine(
+                small_dataset, served_method, response_cache=ResponseCache()
+            ) as engine:
+                engine.submit(request).response()
+                engine.submit(request).response()
+        metrics = tracer.metrics
+        assert metrics.counter_total("serve_cache_hits", method=METHOD) == 1
+        assert metrics.counter_total("serve_cache_misses", method=METHOD) == 1
+        assert metrics.counter_total("serve_cache_stores") == 1
+
+
+class TestResponseCacheInvalidation:
+    """A data_version bump must provably never serve a stale record."""
+
+    @pytest.fixture()
+    def private_dataset(self):
+        # The session-scoped small_dataset must never be mutated; this
+        # test edits database content, so it builds its own copy.
+        dataset = build_benchmark(small_benchmark_config())
+        yield dataset
+        dataset.close()
+
+    def test_mutation_invalidates_and_recomputes(self, private_dataset):
+        method = build_method(METHOD, seed=42)
+        method.prepare(private_dataset)
+        example = private_dataset.dev_examples[0]
+        request = ServeRequest(METHOD, example.db_id, example.question)
+        database = private_dataset.databases[example.db_id]
+        config = ServeConfig(methods=(METHOD,), workers=2, measure_timing=False)
+        cache = ResponseCache()
+        engine = ServingEngine(
+            private_dataset, config, methods={METHOD: method},
+            response_cache=cache,
+        )
+        with engine:
+            version_before = database.data_version
+            cold = engine.submit(request).response()
+            assert engine.submit(request).response().cached
+
+            # A writer advertises its mutation via mark_mutated(); the
+            # content edit itself is exercised end-to-end by the bench's
+            # invalidation stage.
+            database.mark_mutated()
+            assert database.data_version == version_before + 1
+            # The mutation listener eagerly purged this database's entries.
+            assert cache.stats()["invalidations"] == 1
+            assert len(cache) == 0
+
+            replay = engine.submit(request).response()
+            assert replay.ok and not replay.cached  # recomputed, not stale
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.cache_misses == 2
+        # The recomputed record matches a fresh post-mutation offline
+        # evaluation bit-for-bit.
+        offline = Evaluator(private_dataset, measure_timing=False)
+        assert replay.record == offline.evaluate_example(method, example)
+        assert cold.record == replay.record  # no-op edit: same content
+
+    def test_stale_entry_structurally_unreachable_without_listener(
+        self, private_dataset
+    ):
+        # Even if the eager purge never ran, a version-keyed lookup
+        # cannot return a pre-mutation record.
+        cache = ResponseCache()
+        database = private_dataset.databases[private_dataset.dev_examples[0].db_id]
+        cache.store(METHOD, database.db_id, "how many?", database.data_version,
+                    record="sentinel")
+        database.mark_mutated()
+        assert cache.lookup(
+            METHOD, database.db_id, "how many?", database.data_version
+        ) is None
+
+
+class TestBenchHelpers:
+    """Nearest-rank percentile and loop-summary edge cases."""
+
+    def test_percentiles_empty_is_all_zero(self):
+        from repro.serve.bench import _percentiles
+
+        assert _percentiles([]) == {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+
+    def test_percentiles_single_sample_pins_every_rank(self):
+        from repro.serve.bench import _percentiles
+
+        assert _percentiles([0.25]) == {
+            "p50_ms": 250.0, "p95_ms": 250.0, "p99_ms": 250.0
+        }
+
+    def test_percentiles_nearest_rank_semantics(self):
+        from repro.serve.bench import _percentiles
+
+        latencies = [i / 1000.0 for i in range(1, 101)]  # 1ms..100ms
+        result = _percentiles(latencies)
+        # index = min(n-1, int(q*n)) over the sorted list.
+        assert result == {"p50_ms": 51.0, "p95_ms": 96.0, "p99_ms": 100.0}
+
+    def test_percentiles_unsorted_input(self):
+        from repro.serve.bench import _percentiles
+
+        assert _percentiles([0.3, 0.1, 0.2])["p50_ms"] == 200.0
+
+    def test_loop_summary_empty_responses(self):
+        from repro.serve.bench import _loop_summary
+
+        engine = SimpleNamespace(stats=ServeStats())
+        summary = _loop_summary([], 0.0, engine)
+        assert summary["throughput_rps"] == 0.0
+        assert summary["ok"] == 0
+        assert summary["p99_ms"] == 0.0
+
+    def test_loop_summary_counts_and_rates(self):
+        from repro.serve.bench import _loop_summary
+
+        stats = ServeStats(coalesce_hits=3, batches=2, max_batch=4)
+        engine = SimpleNamespace(stats=stats)
+        responses = [
+            SimpleNamespace(ok=True, total_s=0.010),
+            SimpleNamespace(ok=False, total_s=0.030),
+        ]
+        summary = _loop_summary(responses, 0.5, engine)
+        assert summary["throughput_rps"] == 4.0
+        assert summary["ok"] == 1
+        assert summary["coalesce_hits"] == 3
+        assert summary["batches"] == 2 and summary["max_batch"] == 4
+        assert summary["p50_ms"] == 30.0  # nearest-rank: index min(1, 1)
 
 
 class _noop:

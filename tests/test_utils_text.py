@@ -6,6 +6,7 @@ from repro.utils.text import (
     jaccard,
     levenshtein,
     normalize_identifier,
+    normalize_question,
     normalized_similarity,
     singularize,
     tokenize_words,
@@ -98,6 +99,67 @@ class TestNormalizedSimilarity:
     def test_bounded(self):
         value = normalized_similarity("airport", "airprot")
         assert 0.0 < value < 1.0
+
+
+class TestNormalizeQuestion:
+    """Shared canonicalization behind coalescing identity and cache keys."""
+
+    def test_collapses_whitespace_and_case(self):
+        assert (
+            normalize_question("  List \t ALL  Flights ")
+            == normalize_question("list all flights")
+            == "list all flights"
+        )
+
+    def test_base_form_never_rewrites_words(self):
+        assert normalize_question("Show the names") == "show the names"
+        assert normalize_question("List the names") == "list the names"
+
+    def test_semantic_strips_trailing_punctuation(self):
+        assert normalize_question("How many flights?", semantic=True) == (
+            normalize_question("How many flights", semantic=True)
+        )
+
+    def test_semantic_folds_paraphrases(self):
+        variants = [
+            "Show the names of all singers",
+            "List the names of the singers",
+            "Give me the names of all singers",
+        ]
+        keys = {normalize_question(v, semantic=True) for v in variants}
+        assert keys == {"show the names of all singers"}
+
+    @pytest.mark.parametrize("semantic", [False, True])
+    def test_idempotent(self, semantic):
+        questions = [
+            "  Show the   TOTAL price, together with the city?  ",
+            "Count how many flights are there",
+            "names sorted by year in descending order",
+        ]
+        for question in questions:
+            once = normalize_question(question, semantic=semantic)
+            assert normalize_question(once, semantic=semantic) == once
+
+    def test_every_paraphrase_rewrite_pair_converges(self):
+        # The semantic key must treat each datagen paraphrase rewrite as
+        # an equivalence: applying a rewrite never changes the key.
+        from repro.datagen.paraphrase import EASY_REWRITES, HARD_REWRITES
+
+        for original, replacement in EASY_REWRITES + HARD_REWRITES:
+            question = f"Well, {original} value"
+            rewritten = f"Well, {replacement} value"
+            assert normalize_question(question, semantic=True) == (
+                normalize_question(rewritten, semantic=True)
+            ), (original, replacement)
+
+    def test_phrase_boundaries_respected(self):
+        # "with" folds to "whose" only as a whole word; "within" and
+        # "along with" (a longer member of a different class) do not.
+        assert "whose" in normalize_question("cities with airports", semantic=True)
+        assert normalize_question("within budget", semantic=True) == "within budget"
+        assert normalize_question("along with names", semantic=True) == (
+            normalize_question("together with names", semantic=True)
+        )
 
 
 class TestJaccard:

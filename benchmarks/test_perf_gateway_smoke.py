@@ -1,0 +1,101 @@
+"""Tier-2 perf smoke: the sharded gateway must not regress.
+
+Runs ``scripts/bench_serve.py --quick --gateway`` in-process and asserts
+the deterministic gates — full-record responses bit-identical to the
+offline evaluator at every shard layout, the digest volume pass fully
+cache-served with zero digest mismatches, exact per-shard routing and
+cache counters (fill misses equal the shard's owned distinct keys,
+volume hits equal its routed requests, ``spans_dropped`` exactly the
+request-log overflow), exact ``apply_write`` invalidation accounting
+with zero stale serves, and a live HTTP ``/query`` / ``/healthz`` /
+``/metrics`` probe.  Per-shard p50/p95/p99 and scaling efficiency ride
+along for trend tracking but are never gated — tier-2 gates are
+counter-based only (a 1-CPU host cannot scale), and the quick smoke
+does not overwrite the tracked ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_serve", REPO_ROOT / "scripts" / "bench_serve.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_gateway_quick_smoke(tmp_path):
+    bench_serve = _load_bench_module()
+    out = tmp_path / "BENCH_serve.json"
+    exit_code = bench_serve.main(["--quick", "--gateway", "--out", str(out)])
+    assert exit_code == 0
+
+    gateway = json.loads(out.read_text())["gateway"]
+    assert gateway["quick"]
+    gates = gateway["gates"]
+    assert gates["identical_all_layouts"], "gateway records diverged from offline"
+    assert gates["volume_all_cached"]
+    assert gates["counters_exact"]
+    assert gates["mutation_exact"]
+    assert gates["spans_dropped_exact"]
+    assert gates["http_ok"]
+
+    for shards, layout in gateway["layouts"].items():
+        # Fill pass: every full-record response matched the offline
+        # evaluator's record, at this layout.
+        assert layout["fill"]["mismatches"] == 0
+        # Volume pass: after the fill, every digest response is a cache
+        # hit and every digest matches the offline reference.
+        assert layout["volume"]["not_cached"] == 0
+        assert layout["volume"]["digest_mismatches"] == 0
+        assert layout["volume"]["requests"] == gateway["volume_requests"]
+        # Per-shard counters are exact, never approximate: each shard
+        # misses exactly its owned distinct keys once, serves exactly
+        # its routed volume slice from cache, and drops exactly the
+        # spans that overflow its request log.
+        rows = layout["shards"]
+        assert len(rows) == int(shards)
+        assert sum(row["volume_requests"] for row in rows) == (
+            gateway["volume_requests"]
+        )
+        for row in rows:
+            assert row["fill_misses"] == row["distinct_keys"]
+            assert row["fill_computed"] == row["distinct_keys"]
+            assert row["volume_hits"] == row["volume_requests"]
+            assert row["spans_dropped"] == row["expected_spans_dropped"]
+            assert row["p99_ms"] >= row["p50_ms"] >= 0.0
+        # Mutation stage: the write reached the owner shard, purged
+        # exactly the affected entries, and nothing stale was served.
+        mutation = layout["mutation"]
+        assert mutation["applied_rows"] >= 1
+        assert mutation["invalidated_entries"] == mutation["affected_distinct"]
+        assert mutation["replay_misses"] == mutation["affected_distinct"]
+        assert mutation["stale_serves"] == 0
+        # Parent-side routing accounting covers every request exactly.
+        routing = layout["routing"]
+        assert sum(routing["routed"].values()) == routing["requests"]
+        assert routing["worker_errors"] == 0
+        assert routing["apply_writes"] == 1
+
+    # Scaling numbers ride along for trend tracking only; the smoke
+    # asserts presence and sanity, never a wall-clock floor.
+    for shards in gateway["shard_counts"]:
+        entry = gateway["scaling"][str(shards)]
+        assert entry["throughput_rps"] > 0
+        assert entry["efficiency"] > 0
+    assert gateway["scaling"]["1"]["speedup_vs_1"] == 1.0
+
+    http = gateway["http"]
+    assert http["mismatches"] == 0
+    assert http["healthz"] == "ok"
+    assert http["has_serve_requests"] and http["has_gateway_requests"]

@@ -2,7 +2,8 @@
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_serve.py [--quick] [--out BENCH_serve.json]
+    PYTHONPATH=src python scripts/bench_serve.py [--quick] [--gateway] \
+        [--shards 1 2 4] [--out BENCH_serve.json]
 
 Runs the offline reference, serial baseline, closed-/open-loop runs at
 concurrency 1/4/8, the zero-deadline degradation check, and the
@@ -10,7 +11,12 @@ response-cache comparison (cold/warm Zipf passes with hit-rate fields,
 the semantic-key risk probe, and the data_version invalidation replay);
 writes the result document and exits non-zero if any gate fails.
 Cache knobs: ``--no-response-cache``, ``--cache-size``, ``--cache-ttl-s``,
-``--semantic-keys``.
+``--semantic-keys``.  With ``--gateway``, also sweeps the sharded
+multi-process gateway at each ``--shards`` count: full-record fill pass
+(bit-identical to offline at every layout), a ``--gateway-requests``
+digest volume pass (per-shard p50/p95/p99, scaling efficiency vs one
+shard), an ``apply_write`` invalidation stage with exact per-shard
+counters, and an HTTP ``/query`` / ``/healthz`` / ``/metrics`` probe.
 """
 
 from __future__ import annotations

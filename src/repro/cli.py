@@ -293,6 +293,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         argv += ["--cache-ttl-s", str(args.cache_ttl_s)]
     if args.semantic_keys:
         argv.append("--semantic-keys")
+    if args.gateway:
+        argv.append("--gateway")
+        if args.shards:
+            argv += ["--shards", *[str(count) for count in args.shards]]
+        if args.gateway_requests is not None:
+            argv += ["--gateway-requests", str(args.gateway_requests)]
     return bench_main(argv)
 
 
@@ -468,6 +474,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--semantic-keys", action="store_true",
                              help="cache on paraphrase-normalized question keys "
                                   "(measured correctness risk)")
+    serve_bench.add_argument("--gateway", action="store_true",
+                             help="also benchmark the sharded multi-process "
+                                  "gateway (per-shard p50/p95/p99, scaling)")
+    serve_bench.add_argument("--shards", type=int, nargs="+", default=None,
+                             help="gateway shard counts to sweep "
+                                  "(default: 1 2 4; quick: 1 2)")
+    serve_bench.add_argument("--gateway-requests", type=int, default=None,
+                             help="gateway digest-pass request volume per "
+                                  "shard count (default: 120000; quick: 2000)")
     serve_bench.add_argument("--out", default="BENCH_serve.json",
                              help="result JSON path")
     serve_bench.set_defaults(func=_cmd_serve_bench)

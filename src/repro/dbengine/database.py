@@ -100,6 +100,26 @@ class Database:
         for callback in listeners:
             callback(self.db_id, version)
 
+    def apply_write(self, sql: str, params: Sequence[object] = ()) -> int:
+        """Execute one DML statement on the master connection and commit.
+
+        The canonical write path for online mutations (the serving
+        gateway routes ``/apply`` requests here): the statement runs
+        under the database lock, commits, and then :meth:`mark_mutated`
+        bumps ``data_version`` and notifies listeners so response caches
+        and pooled replicas invalidate.  Returns the affected row count.
+        """
+        with self.lock:
+            try:
+                cursor = self.connection.execute(sql, tuple(params))
+                self.connection.commit()
+            except sqlite3.Error as exc:
+                self.connection.rollback()
+                raise ExecutionError(f"write failed on {self.db_id}: {exc}") from exc
+            affected = cursor.rowcount
+        self.mark_mutated()
+        return affected
+
     def add_mutation_listener(self, callback: Callable[[str, int], None]) -> None:
         """Subscribe ``callback(db_id, new_version)`` to content mutations.
 

@@ -80,3 +80,7 @@ class ServeTimeout(ServeError):
 
 class ServeOverloaded(ServeError):
     """Raised when a request is submitted to an engine past admission capacity."""
+
+
+class GatewayError(ServeError):
+    """Raised for sharded-gateway failures (dead worker, bad op, closed gateway)."""

@@ -16,6 +16,7 @@ are thread-safe and merged across processes explicitly; report building
 is stateless and safe anywhere.
 """
 
+from repro.obs.prometheus import merge_metric_exports, render_prometheus
 from repro.obs.registry import (
     HistogramSummary,
     MetricsRegistry,
@@ -63,6 +64,8 @@ __all__ = [
     "ingest_record",
     "ingest_span",
     "ingest_lru_deltas",
+    "merge_metric_exports",
+    "render_prometheus",
     "RunReport",
     "build_run_report",
     "report_from_store",

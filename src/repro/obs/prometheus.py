@@ -1,0 +1,138 @@
+"""Prometheus text-format exposition for :class:`MetricsRegistry` exports.
+
+The serving gateway's ``/metrics`` endpoint renders the merged metric
+state of every shard worker in the Prometheus text exposition format
+(version 0.0.4): one ``# TYPE`` header per metric family, counters as
+``name{label="value"} 1``, histograms flattened into ``_count`` /
+``_sum`` / ``_min`` / ``_max`` series.  Rendering works on the
+JSON-friendly :meth:`~repro.obs.registry.MetricsRegistry.as_dict` shape
+so worker processes can ship their registries over a pipe as plain
+dicts and the parent can merge + render without reconstructing
+registry objects.
+
+Inputs/outputs: ``as_dict()``-shaped exports in (``{"counters": [...],
+"histograms": [...]}``); :func:`merge_metric_exports` returns one
+export of the same shape with counters summed and histogram summaries
+combined exactly (count/total/min/max, order-independent);
+:func:`render_prometheus` returns deterministic exposition text —
+families and series are emitted in sorted order so equal inputs always
+render byte-identical output.
+
+Thread/process safety: both functions are pure (no shared state, no
+I/O); inputs are not mutated.  Safe to call from any thread or process.
+"""
+
+from __future__ import annotations
+
+_ESCAPES = str.maketrans({"\\": r"\\", '"': r"\"", "\n": r"\n"})
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text-format rules."""
+    return str(value).translate(_ESCAPES)
+
+
+def _series_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    # Integral values print without a trailing ".0" (Prometheus accepts
+    # either; the bare form keeps counter lines stable and greppable).
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def merge_metric_exports(exports: list[dict]) -> dict:
+    """Merge ``MetricsRegistry.as_dict()``-shaped exports into one.
+
+    Counters with the same (name, labels) sum; histogram summaries
+    combine count/total exactly and take elementwise min/max.  The
+    result is deterministic regardless of input order and has the same
+    shape as a single ``as_dict()`` export.
+    """
+    counters: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    histograms: dict[tuple[str, tuple[tuple[str, str], ...]], dict[str, float]] = {}
+    for export in exports:
+        for entry in export.get("counters", []):
+            key = (entry["name"], _series_key(entry.get("labels", {})))
+            counters[key] = counters.get(key, 0.0) + float(entry["value"])
+        for entry in export.get("histograms", []):
+            key = (entry["name"], _series_key(entry.get("labels", {})))
+            count = int(entry.get("count", 0))
+            if key not in histograms:
+                histograms[key] = {
+                    "count": 0, "total": 0.0, "min": None, "max": None,
+                }
+            merged = histograms[key]
+            merged["count"] += count
+            merged["total"] += float(entry.get("total", 0.0))
+            if count > 0:
+                low, high = float(entry.get("min", 0.0)), float(entry.get("max", 0.0))
+                merged["min"] = low if merged["min"] is None else min(merged["min"], low)
+                merged["max"] = high if merged["max"] is None else max(merged["max"], high)
+    return {
+        "counters": [
+            {"name": name, "labels": dict(labels), "value": value}
+            for (name, labels), value in sorted(counters.items())
+        ],
+        "histograms": [
+            {
+                "name": name,
+                "labels": dict(labels),
+                "count": merged["count"],
+                "total": round(merged["total"], 9),
+                "mean": round(
+                    merged["total"] / merged["count"] if merged["count"] else 0.0, 9
+                ),
+                "min": merged["min"] if merged["min"] is not None else 0.0,
+                "max": merged["max"] if merged["max"] is not None else 0.0,
+            }
+            for (name, labels), merged in sorted(histograms.items())
+        ],
+    }
+
+
+def render_prometheus(export: dict) -> str:
+    """Render one ``as_dict()``-shaped export as Prometheus text format.
+
+    Counter families emit ``# TYPE <name> counter``; histogram families
+    emit ``# TYPE <name> summary`` with ``_count``/``_sum`` series plus
+    non-standard-but-conventional ``_min``/``_max`` gauge lines.  Output
+    is sorted (family name, then label set) and ends with a newline.
+    """
+    lines: list[str] = []
+    by_family: dict[str, list[tuple[tuple[tuple[str, str], ...], float]]] = {}
+    for entry in export.get("counters", []):
+        by_family.setdefault(entry["name"], []).append(
+            (_series_key(entry.get("labels", {})), float(entry["value"]))
+        )
+    for name in sorted(by_family):
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in sorted(by_family[name]):
+            lines.append(f"{name}{_format_labels(labels)} {_format_value(value)}")
+    histogram_families: dict[str, list[tuple[tuple[tuple[str, str], ...], dict]]] = {}
+    for entry in export.get("histograms", []):
+        histogram_families.setdefault(entry["name"], []).append(
+            (_series_key(entry.get("labels", {})), entry)
+        )
+    for name in sorted(histogram_families):
+        lines.append(f"# TYPE {name} summary")
+        for labels, entry in sorted(histogram_families[name]):
+            rendered = _format_labels(labels)
+            lines.append(f"{name}_count{rendered} {_format_value(entry.get('count', 0))}")
+            lines.append(f"{name}_sum{rendered} {_format_value(entry.get('total', 0.0))}")
+            lines.append(f"{name}_min{rendered} {_format_value(entry.get('min', 0.0))}")
+            lines.append(f"{name}_max{rendered} {_format_value(entry.get('max', 0.0))}")
+    return "\n".join(lines) + "\n"

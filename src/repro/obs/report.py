@@ -41,7 +41,7 @@ _SCHEDULE_SENSITIVE_CACHE_KEYS = frozenset(
     {
         "stage_memo_hits", "lru_cache_hits", "lru_cache_misses",
         "lru_cache_hit_pct", "serve_cache_hits", "serve_cache_misses",
-        "serve_cache_evictions",
+        "serve_cache_evictions", "serve_spans_dropped",
     }
 )
 
@@ -176,6 +176,11 @@ def build_run_report(
         if metrics is not None
         else 0
     )
+    serve_spans_dropped = (
+        int(metrics.counter_total("serve_spans_dropped"))
+        if metrics is not None
+        else 0
+    )
     cache = {
         "examples": n,
         "result_cache_hits": result_cache_hits,
@@ -192,6 +197,7 @@ def build_run_report(
         "serve_cache_hits": serve_cache_hits,
         "serve_cache_misses": serve_cache_misses,
         "serve_cache_evictions": serve_cache_evictions,
+        "serve_spans_dropped": serve_spans_dropped,
     }
 
     economy = {
@@ -321,6 +327,8 @@ def render_markdown(report: RunReport) -> str:
         f"- serve response cache: {cache.get('serve_cache_hits', 0)} hits / "
         f"{cache.get('serve_cache_misses', 0)} misses "
         f"({cache.get('serve_cache_evictions', 0)} evictions)",
+        f"- serve spans dropped from the request log: "
+        f"{cache.get('serve_spans_dropped', 0)}",
         "",
         "## Economy",
         "",

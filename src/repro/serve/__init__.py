@@ -6,8 +6,10 @@ in-flight coalescing, admission control, deadlines, warm start);
 (TTL+LRU, ``data_version``-invalidated); :mod:`repro.serve.workload`
 generates seeded Zipf-skewed request streams; :mod:`repro.serve.bench`
 is the load-generator benchmark behind ``python -m repro serve-bench``
-and ``BENCH_serve.json``.  See docs/SERVING.md for the architecture and
-knob reference.
+and ``BENCH_serve.json``; :mod:`repro.serve.gateway` shards databases
+across spawn-context worker processes behind an async HTTP gateway
+(``/query`` / ``/healthz`` / ``/metrics``).  See docs/SERVING.md for
+the architecture and knob reference.
 
 Served responses are bit-identical to offline
 :class:`~repro.core.evaluator.Evaluator` records under any concurrency,
@@ -28,9 +30,21 @@ from repro.serve.engine import (
     ingest_serve_span,
     question_index,
 )
+from repro.serve.gateway import (
+    GatewayHTTPClient,
+    GatewayHTTPServer,
+    GatewayStats,
+    HashRing,
+    ShardedGateway,
+)
 from repro.serve.workload import WorkloadSpec, build_workload
 
 __all__ = [
+    "HashRing",
+    "ShardedGateway",
+    "GatewayStats",
+    "GatewayHTTPServer",
+    "GatewayHTTPClient",
     "DEFAULT_RESPONSE_CACHE_SIZE",
     "ResponseCache",
     "ServeConfig",

@@ -31,8 +31,19 @@ Zipf-skewed workload (see :mod:`repro.serve.workload`):
   fresh post-mutation offline reference — that no stale entry is ever
   served.
 
+* **sharded gateway** (``--gateway``) — the same trace replayed through
+  :class:`~repro.serve.gateway.cluster.ShardedGateway` at each shard
+  count in ``--shards``: a full-record fill pass proves every shard
+  layout bit-identical to the offline reference, a high-volume digest
+  pass (``--gateway-requests``, 10⁵+ in full runs) measures per-shard
+  p50/p95/p99 and scaling efficiency vs the 1-shard throughput, a
+  mutation stage routes a write through ``apply_write`` and gates exact
+  per-shard invalidation/recompute counters, and an HTTP stage drives a
+  subset through real ``/query`` / ``/healthz`` / ``/metrics`` sockets.
+
 Emits a JSON document (``BENCH_serve.json`` at the repo root, see
-``benchmarks/test_perf_serve_smoke.py``) with throughput, latency
+``benchmarks/test_perf_serve_smoke.py`` and
+``benchmarks/test_perf_gateway_smoke.py``) with throughput, latency
 percentiles at concurrency 1/4/8, coalesce/pool/timeout/cache counters,
 and the ``speedup_at_8`` headline gated at ≥ :data:`SPEEDUP_GATE`× in
 full runs.
@@ -72,6 +83,12 @@ SPEEDUP_GATE = 3.0
 CACHE_SPEEDUP_GATE = 10.0
 
 CONCURRENCIES = (1, 4, 8)
+
+#: Shard counts the gateway stage sweeps in full runs (quick: 1 and 2).
+GATEWAY_SHARD_COUNTS = (1, 2, 4)
+
+#: High-volume digest-pass request count in full gateway runs (quick: 2000).
+GATEWAY_VOLUME_REQUESTS = 120_000
 
 
 def _percentiles(latencies_s: list[float]) -> dict[str, float]:
@@ -481,6 +498,320 @@ def run_bench(
     }
 
 
+def _shard_latency_rows(
+    gateway, digests: list[tuple], workload: list[ServeRequest]
+) -> dict[int, list[float]]:
+    """Group digest-pass latencies by the shard that served them."""
+    by_shard: dict[int, list[float]] = {shard: [] for shard in range(gateway.shards)}
+    for request, digest in zip(workload, digests):
+        by_shard[gateway.owner(request.db_id)].append(digest[5])
+    return by_shard
+
+
+def run_gateway_bench(
+    scale: float = 0.08,
+    seed: int = 42,
+    distinct_examples: int = 32,
+    zipf_s: float = 1.1,
+    method_names: tuple[str, ...] = ("SuperSQL", "DAILSQL"),
+    shard_counts: tuple[int, ...] = GATEWAY_SHARD_COUNTS,
+    volume_requests: int = GATEWAY_VOLUME_REQUESTS,
+    quick: bool = False,
+) -> dict:
+    """Replay one seeded trace through the sharded gateway at each shard count.
+
+    Every gate here is a deterministic counter or bit-identity check —
+    never wall-clock — so the same document doubles as the tier-2 smoke
+    fixture.  Scaling efficiency vs the 1-shard throughput is recorded
+    for the report but not gated (a 1-CPU host cannot scale).
+    """
+    from repro.serve.gateway.cluster import ShardedGateway
+    from repro.serve.gateway.http import GatewayHTTPClient, GatewayHTTPServer
+    from repro.serve.gateway.wire import record_digest, record_to_dict
+
+    dataset_config = spider_like_config(scale=scale, seed=seed)
+    serve_config = ServeConfig(
+        methods=method_names,
+        workers=2,
+        max_in_flight=max(volume_requests * 2, 64),
+        measure_timing=False,
+        warm_start=True,
+        seed=seed,
+        response_cache=True,
+    )
+    per_shards: dict[str, dict] = {}
+    throughputs: dict[int, float] = {}
+    gates = {
+        "identical_all_layouts": True,
+        "volume_all_cached": True,
+        "counters_exact": True,
+        "mutation_exact": True,
+        "spans_dropped_exact": True,
+        "http_ok": True,
+    }
+    http_doc: dict = {}
+
+    for shards in shard_counts:
+        # A pristine parent-side dataset per layout: the mutation stage
+        # below edits live databases, and every spawned worker rebuilds
+        # from the same (unmutated) config.
+        dataset = build_benchmark(dataset_config)
+        workload = build_workload(
+            dataset,
+            WorkloadSpec(
+                requests=volume_requests,
+                methods=method_names,
+                distinct_examples=distinct_examples,
+                zipf_s=zipf_s,
+                seed=seed,
+            ),
+        )
+        distinct_keys = sorted({request.key for request in workload})
+        fill_requests = [
+            ServeRequest(method=key[0], db_id=key[1], question=key[2])
+            for key in distinct_keys
+        ]
+        methods = {name: build_method(name, seed=seed) for name in method_names}
+        for method in methods.values():
+            method.prepare(dataset)
+        index = question_index(dataset)
+        offline = Evaluator(dataset, measure_timing=False)
+        reference = {
+            key: offline.evaluate_example(methods[key[0]], index[(key[1], key[2])])
+            for key in distinct_keys
+        }
+        reference_digests = {
+            key: record_digest(record) for key, record in reference.items()
+        }
+
+        gateway = ShardedGateway(dataset_config, serve_config, shards=shards)
+        started = time.perf_counter()
+        gateway.start()
+        startup_s = time.perf_counter() - started
+        try:
+            layout = gateway.shard_layout()
+
+            # Fill: every distinct key once, full records — the
+            # bit-identity witness for this layout.
+            fill_started = time.perf_counter()
+            fill_responses = gateway.serve(fill_requests)
+            fill_elapsed = time.perf_counter() - fill_started
+            fill_mismatches = sum(
+                1
+                for response in fill_responses
+                if not response.ok
+                or response.record != reference[response.request.key]
+            )
+            if fill_mismatches:
+                gates["identical_all_layouts"] = False
+            after_fill = {s["shard"]: s for s in gateway.shard_stats()}
+
+            # Volume: the Zipf trace in digest mode — every request must
+            # be a response-cache hit with the reference record's digest.
+            volume_started = time.perf_counter()
+            digests = gateway.serve_many(workload, mode="digest")
+            volume_elapsed = time.perf_counter() - volume_started
+            not_cached = sum(1 for d in digests if not (d[0] == "ok" and d[1]))
+            digest_mismatches = sum(
+                1
+                for request, digest in zip(workload, digests)
+                if digest[4] != reference_digests[request.key]
+            )
+            if not_cached:
+                gates["volume_all_cached"] = False
+            if digest_mismatches:
+                gates["identical_all_layouts"] = False
+            after_volume = {s["shard"]: s for s in gateway.shard_stats()}
+            latencies = _shard_latency_rows(gateway, digests, workload)
+
+            # Mutation: route one write to the owner shard; its cache
+            # entries must invalidate and affected keys must recompute
+            # bit-identically to a fresh post-mutation offline reference.
+            target_db = Counter(r.db_id for r in workload).most_common(1)[0][0]
+            affected_keys = sorted(k for k in distinct_keys if k[1] == target_db)
+            table, column = _mutable_text_column(dataset.databases[target_db].schema)
+            mutation_sql = (
+                f"UPDATE {table} SET {column} = {column} || ' (edited)' "
+                f"WHERE rowid IN (SELECT rowid FROM {table} LIMIT 1)"
+            )
+            apply_result = gateway.apply_write(target_db, mutation_sql)
+            # The parent-side reference copy takes the same write.
+            dataset.databases[target_db].apply_write(mutation_sql)
+            post_reference = {
+                key: offline.evaluate_example(methods[key[0]], index[(key[1], key[2])])
+                for key in affected_keys
+            }
+            replay = gateway.serve(
+                [
+                    ServeRequest(method=key[0], db_id=key[1], question=key[2])
+                    for key in affected_keys
+                ]
+            )
+            stale_serves = sum(
+                1
+                for response in replay
+                if not response.ok
+                or response.record != post_reference[response.request.key]
+            )
+            after_mutation = {s["shard"]: s for s in gateway.shard_stats()}
+            owner_shard = gateway.owner(target_db)
+            invalidated = (
+                after_mutation[owner_shard]["cache"]["invalidations"]
+                - after_volume[owner_shard]["cache"]["invalidations"]
+            )
+            replay_misses = (
+                after_mutation[owner_shard]["engine"]["cache_misses"]
+                - after_volume[owner_shard]["engine"]["cache_misses"]
+            )
+            mutation_doc = {
+                "mutated_db": target_db,
+                "owner_shard": owner_shard,
+                "affected_distinct": len(affected_keys),
+                "applied_rows": apply_result["affected"],
+                "invalidated_entries": invalidated,
+                "replay_misses": replay_misses,
+                "stale_serves": stale_serves,
+            }
+            if (
+                stale_serves
+                or invalidated != len(affected_keys)
+                or replay_misses != len(affected_keys)
+            ):
+                gates["mutation_exact"] = False
+
+            # Per-shard accounting: exact fill/volume counter deltas plus
+            # latency percentiles and the span-drop invariant.
+            shard_rows = []
+            for shard in range(shards):
+                owned = layout.get(shard, [])
+                owned_distinct = sum(1 for key in distinct_keys if key[1] in owned)
+                routed_volume = len(latencies[shard])
+                fill_stats = after_fill[shard]
+                volume_stats = after_volume[shard]
+                final_stats = after_mutation[shard]
+                fill_misses = fill_stats["engine"]["cache_misses"]
+                fill_computed = fill_stats["engine"]["computed"]
+                volume_hits = (
+                    volume_stats["engine"]["cache_hits"]
+                    - fill_stats["engine"]["cache_hits"]
+                )
+                submitted = final_stats["engine"]["submitted"]
+                spans_dropped = final_stats["engine"]["spans_dropped"]
+                expected_dropped = max(
+                    0, submitted - serve_config.request_log_size
+                )
+                row = {
+                    "shard": shard,
+                    "databases": len(owned),
+                    "distinct_keys": owned_distinct,
+                    "fill_misses": fill_misses,
+                    "fill_computed": fill_computed,
+                    "volume_requests": routed_volume,
+                    "volume_hits": volume_hits,
+                    "submitted": submitted,
+                    "spans_dropped": spans_dropped,
+                    "expected_spans_dropped": expected_dropped,
+                    **_percentiles(latencies[shard]),
+                }
+                shard_rows.append(row)
+                if fill_misses != owned_distinct or fill_computed != owned_distinct:
+                    gates["counters_exact"] = False
+                if volume_hits != routed_volume:
+                    gates["counters_exact"] = False
+                if spans_dropped != expected_dropped:
+                    gates["spans_dropped_exact"] = False
+
+            # HTTP: real sockets for the largest layout only (volume goes
+            # over pipes; this stage proves the endpoint contract).
+            if shards == max(shard_counts):
+                probe_keys = distinct_keys[: min(8, len(distinct_keys))]
+                server = GatewayHTTPServer(gateway).start()
+                try:
+                    client = GatewayHTTPClient(server.host, server.port)
+                    http_mismatches = 0
+                    for key in probe_keys:
+                        body = client.query(key[0], key[1], key[2])
+                        expected = (
+                            record_to_dict(post_reference[key])
+                            if key in post_reference
+                            else record_to_dict(reference[key])
+                        )
+                        if body["status"] != "ok" or body["record"] != expected:
+                            http_mismatches += 1
+                    health = client.healthz()
+                    metrics_text = client.metrics_text()
+                    http_doc = {
+                        "shards": shards,
+                        "queries": len(probe_keys),
+                        "mismatches": http_mismatches,
+                        "healthz": health.get("status"),
+                        "metrics_families": sum(
+                            1 for line in metrics_text.splitlines()
+                            if line.startswith("# TYPE")
+                        ),
+                        "has_serve_requests": "serve_requests" in metrics_text,
+                        "has_gateway_requests": "gateway_requests" in metrics_text,
+                    }
+                    client.close()
+                    if (
+                        http_mismatches
+                        or health.get("status") != "ok"
+                        or not http_doc["has_serve_requests"]
+                        or not http_doc["has_gateway_requests"]
+                    ):
+                        gates["http_ok"] = False
+                finally:
+                    server.close()
+        finally:
+            gateway.close()
+
+        throughput = (
+            len(workload) / volume_elapsed if volume_elapsed else 0.0
+        )
+        throughputs[shards] = throughput
+        per_shards[str(shards)] = {
+            "startup_s": round(startup_s, 3),
+            "fill": {
+                "requests": len(fill_requests),
+                "seconds": round(fill_elapsed, 4),
+                "mismatches": fill_mismatches,
+            },
+            "volume": {
+                "requests": len(workload),
+                "seconds": round(volume_elapsed, 4),
+                "throughput_rps": round(throughput, 2),
+                "not_cached": not_cached,
+                "digest_mismatches": digest_mismatches,
+            },
+            "shards": shard_rows,
+            "mutation": mutation_doc,
+            "routing": gateway.stats.as_dict(),
+        }
+
+    base = throughputs.get(shard_counts[0], 0.0)
+    scaling = {
+        str(shards): {
+            "throughput_rps": round(throughputs[shards], 2),
+            "speedup_vs_1": round(throughputs[shards] / base, 3) if base else 0.0,
+            "efficiency": (
+                round(throughputs[shards] / (shards * base), 3) if base else 0.0
+            ),
+        }
+        for shards in shard_counts
+    }
+    return {
+        "quick": quick,
+        "shard_counts": list(shard_counts),
+        "volume_requests": volume_requests,
+        "methods": list(method_names),
+        "request_log_size": serve_config.request_log_size,
+        "layouts": per_shards,
+        "scaling": scaling,
+        "http": http_doc,
+        "gates": gates,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="serving engine benchmark")
     parser.add_argument("--quick", action="store_true",
@@ -505,6 +836,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="use paraphrase-folding semantic cache keys for "
                              "the cold/warm passes (divergences are reported, "
                              "not gated)")
+    parser.add_argument("--gateway", action="store_true",
+                        help="also run the sharded-gateway stage (spawned "
+                             "worker processes, HTTP endpoints)")
+    parser.add_argument("--shards", type=int, nargs="+", default=None,
+                        help="shard counts the gateway stage sweeps "
+                             "(default: 1 2 4; quick: 1 2)")
+    parser.add_argument("--gateway-requests", type=int, default=None,
+                        help="digest-pass volume per shard count "
+                             f"(default: {GATEWAY_VOLUME_REQUESTS}; quick: 2000)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -572,6 +912,43 @@ def main(argv: list[str] | None = None) -> int:
                 f"the {CACHE_SPEEDUP_GATE}x gate"
             )
 
+    if args.gateway:
+        if args.quick:
+            shard_counts = tuple(args.shards or (1, 2))
+            volume = args.gateway_requests or 2000
+        else:
+            shard_counts = tuple(args.shards or GATEWAY_SHARD_COUNTS)
+            volume = args.gateway_requests or GATEWAY_VOLUME_REQUESTS
+        gateway_result = run_gateway_bench(
+            scale=args.scale if args.scale is not None else defaults["scale"],
+            seed=args.seed,
+            distinct_examples=(
+                args.distinct if args.distinct is not None else defaults["distinct"]
+            ),
+            zipf_s=args.zipf,
+            method_names=tuple(args.methods or defaults["methods"]),
+            shard_counts=shard_counts,
+            volume_requests=volume,
+            quick=args.quick,
+        )
+        result["gateway"] = gateway_result
+        gate_messages = {
+            "identical_all_layouts": "gateway responses diverge from the "
+                                     "offline reference at some shard layout",
+            "volume_all_cached": "gateway volume pass was not served "
+                                 "entirely from the response cache",
+            "counters_exact": "per-shard fill/volume counters are not exact",
+            "mutation_exact": "gateway mutation stage invalidation/recompute "
+                              "counters are not exact (or served stale)",
+            "spans_dropped_exact": "per-shard serve_spans_dropped does not "
+                                   "match the request-log overflow exactly",
+            "http_ok": "HTTP endpoint stage failed (query mismatch, "
+                       "degraded healthz, or missing metrics)",
+        }
+        for gate, passed in gateway_result["gates"].items():
+            if not passed:
+                problems.append(f"gateway: {gate_messages[gate]}")
+
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     for problem in problems:
@@ -582,6 +959,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{CONCURRENCIES[-1]} ({result['requests']} requests, "
             f"{result['distinct_keys']} distinct)"
         )
+        if args.gateway:
+            scaling = result["gateway"]["scaling"]
+            summary = ", ".join(
+                f"{shards} shard(s): {row['throughput_rps']} rps "
+                f"(eff {row['efficiency']})"
+                for shards, row in scaling.items()
+            )
+            print(f"bench_serve: gateway OK — {summary}")
     return 1 if problems else 0
 
 

@@ -156,6 +156,15 @@ class ServeConfig:
     response_cache_size: int = DEFAULT_RESPONSE_CACHE_SIZE
     response_cache_ttl_s: float | None = None
     semantic_cache_keys: bool = False
+    #: Restrict the engine to this subset of the dataset's databases
+    #: (``None`` serves all).  Gateway shard workers set it to their
+    #: ring-owned ``db_id``s so warmup, mutation listeners, and replica
+    #: pools cover only the shard's slice; requests for other databases
+    #: resolve as typed ``ERROR`` responses.
+    db_ids: tuple[str, ...] | None = None
+    #: Bound on the in-memory ``request_log`` span ring; overflow drops
+    #: the oldest span and increments the ``spans_dropped`` counter.
+    request_log_size: int = 4096
 
 
 @dataclass
@@ -178,6 +187,7 @@ class ServeStats:
     max_queue_depth: int = 0
     warmed_methods: int = 0
     warmed_gold: int = 0
+    spans_dropped: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(vars(self))
@@ -267,11 +277,17 @@ class ServeFuture:
         Deadline expiry resolves the request with a ``TIMEOUT`` response.
         An exhausted explicit ``timeout`` (with the deadline still live)
         raises :class:`~repro.errors.ServeTimeout` — the request itself
-        stays pending.
+        stays pending.  The explicit ``timeout`` is a hard overall bound
+        on this call: total elapsed time is tracked across deadline-race
+        re-waits, never re-armed per iteration.
         """
+        entered = time.perf_counter()
         while True:
+            budget = None
+            if timeout is not None:
+                budget = timeout - (time.perf_counter() - entered)
             remaining = self._deadline_remaining()
-            waits = [w for w in (timeout, remaining) if w is not None]
+            waits = [w for w in (budget, remaining) if w is not None]
             wait = min(waits) if waits else None
             if self._event.wait(None if wait is None else max(wait, 0.0)):
                 assert self._response is not None
@@ -281,11 +297,12 @@ class ServeFuture:
                 self._engine._expire(self)
                 assert self._response is not None
                 return self._response
-            if timeout is not None:
+            if timeout is not None and time.perf_counter() - entered >= timeout:
                 raise ServeTimeoutError(
                     f"no response within {timeout}s for {self.request.key}"
                 )
-            # Deadline-governed wait raced the clock by a hair; re-wait.
+            # Deadline-governed wait raced the clock by a hair (or the
+            # timeout budget is not yet spent); re-wait on what is left.
 
 
 class _Computation:
@@ -323,6 +340,17 @@ class ServingEngine:
             raise ServeError("workers must be positive")
         if self.config.max_batch_size <= 0:
             raise ServeError("max_batch_size must be positive")
+        if self.config.request_log_size <= 0:
+            raise ServeError("request_log_size must be positive")
+        if self.config.db_ids is None:
+            self._databases = dict(dataset.databases)
+        else:
+            unknown = [d for d in self.config.db_ids if d not in dataset.databases]
+            if unknown:
+                raise ServeError(f"unknown db_ids in config: {unknown}")
+            self._databases = {
+                db_id: dataset.databases[db_id] for db_id in self.config.db_ids
+            }
         # An injected cache (e.g. one with a LogicalClock for TTL tests)
         # wins over the config knobs; otherwise build from the config.
         if response_cache is not None:
@@ -337,10 +365,17 @@ class ServingEngine:
             self.response_cache = None
         self._cache_stats_at_start: dict[str, int] = {}
         self.stats = ServeStats()
-        self.request_log: deque[ServeSpan] = deque(maxlen=4096)
+        self.request_log: deque[ServeSpan] = deque(
+            maxlen=self.config.request_log_size
+        )
         self._evaluator = Evaluator(dataset, measure_timing=self.config.measure_timing)
         self._methods: dict[str, NL2SQLMethod] = dict(methods or {})
-        self._examples = question_index(dataset)
+        self._examples = {
+            key: example
+            for key, example in question_index(dataset).items()
+            if key[0] in self._databases
+        }
+        self._listening = False
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._queue: deque[_Computation] = deque()
@@ -358,14 +393,22 @@ class ServingEngine:
         """Warm up (if configured) and begin accepting traffic."""
         if self._started:
             return self
+        if self._closed:
+            # A closed engine has torn down its listeners and ingested
+            # its cache deltas; restarting one would re-register the
+            # listeners without ever balancing that teardown (the
+            # original leak: restarted gateway workers kept dead engines
+            # reachable and receiving purges).  Build a fresh engine.
+            raise ServeError("engine is closed and cannot be restarted")
         if self.config.warm_start:
             self.warmup()
         else:
             self._prepare_methods()
         if self.response_cache is not None:
             self._cache_stats_at_start = self.response_cache.stats()
-            for database in self.dataset.databases.values():
+            for database in self._databases.values():
                 database.add_mutation_listener(self._on_mutation)
+            self._listening = True
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="serve"
         )
@@ -387,8 +430,11 @@ class ServingEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        if self.response_cache is not None:
-            for database in self.dataset.databases.values():
+        if self.response_cache is not None and self._listening:
+            # Run the teardown exactly once: a second close() must not
+            # double-remove listeners or double-ingest the cache deltas.
+            self._listening = False
+            for database in self._databases.values():
                 database.remove_mutation_listener(self._on_mutation)
             tracer = get_tracer()
             if tracer.enabled:
@@ -435,7 +481,10 @@ class ServingEngine:
         so traced serving metrics cover only real traffic.
         """
         self._prepare_methods()
-        served = self.dataset.dev_examples
+        served = [
+            example for example in self.dataset.dev_examples
+            if example.db_id in self._databases
+        ]
         self.stats.warmed_gold += self._evaluator.precompute_gold(served)
         first_by_db: dict[str, Example] = {}
         for example in served:
@@ -478,6 +527,11 @@ class ServingEngine:
                 return self._finish_locked(
                     future, ServeStatus.ERROR,
                     error=f"method {request.method!r} is not served")
+            if request.db_id not in self._databases:
+                return self._finish_locked(
+                    future, ServeStatus.ERROR,
+                    error=f"database {request.db_id!r} is not served"
+                          " by this engine")
             if example is None:
                 return self._finish_locked(
                     future, ServeStatus.ERROR,
@@ -492,7 +546,7 @@ class ServingEngine:
             if self.response_cache is not None:
                 # Consulted before admission control: a hit is answered
                 # from memory and must never cost an in-flight slot.
-                version = self.dataset.databases[request.db_id].data_version
+                version = self._databases[request.db_id].data_version
                 record = self.response_cache.lookup(
                     request.method, request.db_id, request.question, version
                 )
@@ -590,16 +644,20 @@ class ServingEngine:
             cache=future.cache_state,
         )
         if locked:
-            self._account_locked(future, status)
+            dropped = self._account_locked(future, status, span)
         else:
             with self._lock:
-                self._account_locked(future, status)
-        self.request_log.append(span)
+                dropped = self._account_locked(future, status, span)
         tracer = get_tracer()
         if tracer.enabled:
             ingest_serve_span(tracer.metrics, span)
+            if dropped:
+                registry = tracer.metrics
+                registry.count("serve_spans_dropped", method=span.method)
 
-    def _account_locked(self, future: ServeFuture, status: ServeStatus) -> None:
+    def _account_locked(
+        self, future: ServeFuture, status: ServeStatus, span: ServeSpan
+    ) -> bool:
         if future.admitted:
             self._in_flight -= 1
         if status is ServeStatus.OK:
@@ -610,6 +668,17 @@ class ServingEngine:
             self.stats.rejected += 1
         else:
             self.stats.errors += 1
+        # The span ring is bounded: appending to a full deque evicts the
+        # oldest span, which must be counted, never silent (report-run
+        # serve sections would otherwise be skewed under sustained load).
+        dropped = (
+            self.request_log.maxlen is not None
+            and len(self.request_log) == self.request_log.maxlen
+        )
+        if dropped:
+            self.stats.spans_dropped += 1
+        self.request_log.append(span)
+        return dropped
 
     def _expire(self, future: ServeFuture) -> None:
         """Resolve one future as TIMEOUT (deadline passed); idempotent."""
@@ -742,7 +811,7 @@ class ServingEngine:
     def pool_stats(self) -> dict[str, int]:
         """Connection-pool counters summed over this dataset's databases."""
         totals = {"created": 0, "checkouts": 0, "refreshes": 0, "waits": 0}
-        for database in self.dataset.databases.values():
+        for database in self._databases.values():
             for key, value in database.pool_stats().items():
                 totals[key] += value
         return totals

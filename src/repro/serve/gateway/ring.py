@@ -1,0 +1,75 @@
+"""Consistent-hash ring assigning databases to gateway shards.
+
+Sharding the serving tier partitions *databases*, not requests: every
+request for one ``db_id`` must land on the shard whose worker holds
+that database's warm replicas, mutation listeners, and response-cache
+entries.  A :class:`HashRing` maps ``db_id -> shard`` with consistent
+hashing (each shard projects ``vnodes`` virtual points onto a 64-bit
+ring; a key is owned by the first point at or clockwise-after its own
+hash), so growing the shard count moves only ``~1/n`` of the databases.
+
+Hashes come from :func:`hashlib.blake2b` — never the built-in
+``hash()``, whose per-process ``PYTHONHASHSEED`` salting would give
+every gateway process a different ring.  Parent and spawned workers
+build rings from the same ``(shards, vnodes)`` parameters and agree on
+ownership by construction.
+
+Inputs/outputs: shard count + vnode count in; a stable
+``owner(db_id) -> int`` mapping and per-shard partitions out.
+
+Thread/process safety: instances are immutable after construction and
+safe to share across threads; equal parameters give identical rings in
+any process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+#: Virtual points each shard projects onto the ring.  64 keeps the
+#: worst-case database imbalance low at the shard counts the gateway
+#: targets (≤ 16) while the ring stays tiny (shards × 64 entries).
+DEFAULT_VNODES = 64
+
+
+def stable_hash(text: str) -> int:
+    """Position ``text`` on the 64-bit ring, identically in any process."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring over ``shards`` workers."""
+
+    def __init__(self, shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                points.append((stable_hash(f"shard-{shard}-vnode-{vnode}"), shard))
+        points.sort()
+        self._points = [position for position, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def owner(self, db_id: str) -> int:
+        """The shard owning ``db_id`` (first point clockwise of its hash)."""
+        position = stable_hash(db_id)
+        index = bisect_right(self._points, position) % len(self._points)
+        return self._owners[index]
+
+    def partition(self, db_ids: list[str]) -> dict[int, list[str]]:
+        """Split ``db_ids`` by owner; every shard appears, possibly empty.
+
+        Databases within a shard keep the caller's order, so a sorted
+        input yields a deterministic layout for warmup and tests.
+        """
+        assignment: dict[int, list[str]] = {shard: [] for shard in range(self.shards)}
+        for db_id in db_ids:
+            assignment[self.owner(db_id)].append(db_id)
+        return assignment

@@ -1,0 +1,145 @@
+"""Gateway shard worker: one process, one ServingEngine, owned databases.
+
+``worker_main`` is the spawn target for every gateway shard.  Workers
+are started with the **spawn** context on purpose: nothing module-level
+is inherited from the parent, so process-global switches
+(``repro.dbengine.pool`` pooling, ``repro.utils.cache`` memo caches)
+must arrive explicitly in the handshake — the single-process engine's
+habit of "whatever the module globals happen to say" does not survive
+scale-out, and making propagation explicit is the point.
+
+Each worker rebuilds the dataset deterministically from the picklable
+:class:`~repro.datagen.benchmark.BenchmarkConfig` (the same trick the
+parallel evaluator uses), derives its owned ``db_id`` slice from the
+shared :class:`~repro.serve.gateway.ring.HashRing` parameters, and runs
+a :class:`~repro.serve.engine.ServingEngine` restricted to that slice
+(``ServeConfig.db_ids``) under its own ambient tracer.  The parent
+talks to it over a duplex pipe with ``(op, batch_id, ...)`` tuples;
+every request gets a ``(batch_id, ("ok" | "error", payload))`` reply.
+
+Inputs/outputs: pipe messages in (``serve`` / ``apply`` /
+``invalidate`` / ``stats`` / ``metrics`` / ``ping`` / ``shutdown``);
+pickled :class:`~repro.serve.engine.ServeResponse` lists, digest
+tuples, counter dicts, or registry exports out.
+
+Thread/process safety: ``worker_main`` owns its process and services
+the pipe from one loop; the parent must serialize sends per worker
+(the cluster holds a per-worker send lock).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+from repro.datagen.benchmark import BenchmarkConfig, build_benchmark
+from repro.dbengine.pool import pooling_enabled, set_pooling_enabled
+from repro.obs.trace import Tracer, tracing
+from repro.serve.engine import ServeConfig, ServeRequest, ServingEngine
+from repro.serve.gateway.ring import HashRing
+from repro.serve.gateway.wire import record_digest
+from repro.utils.cache import caches_enabled, set_caches_enabled
+
+
+def owned_db_ids(dataset_db_ids: list[str], shard_id: int, ring: HashRing) -> list[str]:
+    """The sorted slice of ``dataset_db_ids`` this shard owns."""
+    return [db_id for db_id in sorted(dataset_db_ids) if ring.owner(db_id) == shard_id]
+
+
+def _digest_response(response) -> tuple:
+    """Compact deterministic projection for high-volume passes."""
+    return (
+        response.status.value,
+        response.cached,
+        response.coalesced,
+        response.error,
+        record_digest(response.record),
+        response.total_s,
+    )
+
+
+def worker_main(
+    conn,
+    shard_id: int,
+    shards: int,
+    vnodes: int,
+    dataset_config: BenchmarkConfig,
+    serve_config: ServeConfig,
+    switches: dict,
+) -> None:
+    """Run one shard worker until a ``shutdown`` message arrives."""
+    # Explicit switch propagation: under spawn these globals reset to
+    # their defaults, so the parent's choices must be re-applied here.
+    set_pooling_enabled(bool(switches.get("pooling", True)))
+    set_caches_enabled(bool(switches.get("caches", True)))
+    dataset = build_benchmark(dataset_config)
+    ring = HashRing(shards, vnodes)
+    owned = owned_db_ids(list(dataset.databases), shard_id, ring)
+    config = replace(serve_config, db_ids=tuple(owned))
+    tracer = Tracer()
+    with tracing(tracer):
+        engine = ServingEngine(dataset, config)
+        engine.start()
+        try:
+            _serve_loop(conn, engine, dataset, tracer, shard_id, owned)
+        finally:
+            engine.close()
+            conn.close()
+
+
+def _serve_loop(conn, engine, dataset, tracer, shard_id, owned) -> None:
+    while True:
+        message = conn.recv()
+        op = message[0]
+        if op == "shutdown":
+            return
+        batch_id = message[1]
+        try:
+            payload = _dispatch(message, engine, dataset, tracer, shard_id, owned)
+        except Exception as exc:  # noqa: BLE001 - worker must keep serving
+            conn.send((batch_id, ("error", f"{type(exc).__name__}: {exc}")))
+        else:
+            conn.send((batch_id, ("ok", payload)))
+
+
+def _dispatch(message, engine, dataset, tracer, shard_id, owned):
+    op = message[0]
+    if op == "serve":
+        _, _, items, mode = message
+        requests = [
+            ServeRequest(method, db_id, question, deadline_s)
+            for method, db_id, question, deadline_s in items
+        ]
+        responses = engine.serve(requests)
+        if mode == "digest":
+            return [_digest_response(response) for response in responses]
+        return responses
+    if op == "apply":
+        _, _, db_id, sql = message
+        database = dataset.databases[db_id]
+        affected = database.apply_write(sql)
+        return {"affected": affected, "data_version": database.data_version}
+    if op == "invalidate":
+        _, _, db_id = message
+        database = dataset.databases[db_id]
+        database.mark_mutated()
+        return {"data_version": database.data_version}
+    if op == "stats":
+        return {
+            "shard": shard_id,
+            "db_ids": list(owned),
+            "engine": engine.stats.as_dict(),
+            "cache": engine.cache_stats(),
+            "pool": engine.pool_stats(),
+        }
+    if op == "metrics":
+        return tracer.metrics.as_dict()
+    if op == "ping":
+        return {
+            "shard": shard_id,
+            "pid": os.getpid(),
+            "db_ids": list(owned),
+            "pooling": pooling_enabled(),
+            "caches": caches_enabled(),
+        }
+    raise ValueError(f"unknown gateway op {op!r}")

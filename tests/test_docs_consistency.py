@@ -213,3 +213,36 @@ class TestServingDocs:
             assert f"`{symbol}`" in reference, (
                 f"{symbol} missing from docs/SERVING.md"
             )
+
+
+class TestGatewayDocs:
+    def test_every_gateway_public_symbol_is_documented(self):
+        import repro.serve.gateway
+        reference = _read("docs/SERVING.md")
+        for symbol in repro.serve.gateway.__all__:
+            assert f"`{symbol}`" in reference, (
+                f"repro.serve.gateway.{symbol} missing from docs/SERVING.md"
+            )
+
+    def test_gateway_metric_names_are_documented_everywhere(self):
+        serving = _read("docs/SERVING.md")
+        observability = _read("docs/OBSERVABILITY.md")
+        for metric in (
+            "gateway_requests", "gateway_apply_writes",
+            "gateway_invalidations", "gateway_worker_errors",
+            "serve_spans_dropped",
+        ):
+            assert f"`{metric}`" in serving, f"{metric} not in SERVING.md"
+            assert f"`{metric}`" in observability, (
+                f"{metric} not in OBSERVABILITY.md"
+            )
+
+    def test_gateway_bench_flags_are_documented(self):
+        reference = _read("docs/SERVING.md")
+        for flag in ("--gateway", "--shards", "--gateway-requests"):
+            assert f"`{flag}`" in reference, flag
+
+    def test_http_endpoints_are_documented(self):
+        reference = _read("docs/SERVING.md")
+        for endpoint in ("/query", "/healthz", "/metrics"):
+            assert f"`{endpoint}`" in reference, endpoint

@@ -12,8 +12,11 @@ deadline semantics, warm start, and the ``serve_*`` metrics surface.
 
 from __future__ import annotations
 
+import gc
 import random
 import threading
+import time
+import weakref
 from types import SimpleNamespace
 
 import pytest
@@ -492,6 +495,200 @@ class TestResponseCacheInvalidation:
         assert cache.lookup(
             METHOD, database.db_id, "how many?", database.data_version
         ) is None
+
+
+class TestResponseTimeoutBound:
+    """``ServeFuture.response(timeout=…)`` is a hard overall bound.
+
+    Regression tests for the deadline-race bug: the old loop consulted
+    the full explicit ``timeout`` on every iteration instead of the
+    remaining budget, so a deadline-governed wait that raced the clock
+    either raised prematurely or re-armed the whole timeout.
+    """
+
+    def test_deadline_shorter_than_timeout_returns_typed_timeout(
+        self, small_dataset, served_method, workload
+    ):
+        # The ISSUE scenario: deadline slightly shorter than the explicit
+        # timeout.  The deadline must win with a typed TIMEOUT response —
+        # response() must neither raise ServeTimeout nor wait out the
+        # full explicit budget.
+        base = workload[0]
+        with make_engine(small_dataset, served_method) as engine:
+            engine.pause()
+            future = engine.submit(
+                ServeRequest(base.method, base.db_id, base.question,
+                             deadline_s=0.05)
+            )
+            started = time.perf_counter()
+            response = future.response(timeout=5.0)
+            elapsed = time.perf_counter() - started
+            engine.resume()
+        assert response.status is ServeStatus.TIMEOUT
+        assert elapsed < 2.0  # deadline-bounded, not timeout-bounded
+
+    def test_explicit_timeout_is_total_elapsed_not_per_iteration(
+        self, small_dataset, served_method, workload
+    ):
+        # Force the perpetual race: the deadline always reports "a hair
+        # of time left", so every wait wakes without a resolution.  The
+        # explicit timeout must still be consumed as *total* elapsed
+        # time — the old code raised after a single ~1ms slice; a
+        # re-arming variant would never raise at all.
+        base = workload[0]
+        with make_engine(small_dataset, served_method) as engine:
+            engine.pause()
+            future = engine.submit(base)
+            future._deadline_remaining = lambda: 0.001  # type: ignore[method-assign]
+            started = time.perf_counter()
+            with pytest.raises(ServeTimeout):
+                future.response(timeout=0.3)
+            elapsed = time.perf_counter() - started
+            del future.__dict__["_deadline_remaining"]
+            engine.resume()
+            assert future.response().ok  # the request itself survived
+        assert 0.25 <= elapsed < 2.0
+
+
+class TestLifecycleListeners:
+    """close() tears down mutation listeners exactly once; no restart."""
+
+    @pytest.fixture()
+    def private_dataset(self):
+        dataset = build_benchmark(small_benchmark_config())
+        yield dataset
+        dataset.close()
+
+    def _engine(self, dataset, cache=None):
+        method = build_method(METHOD, seed=42)
+        method.prepare(dataset)
+        config = ServeConfig(methods=(METHOD,), workers=2, measure_timing=False)
+        return ServingEngine(
+            dataset, config, methods={METHOD: method}, response_cache=cache
+        )
+
+    def test_close_unregisters_listeners_and_drops_references(
+        self, private_dataset
+    ):
+        cache = ResponseCache()
+        engine = self._engine(private_dataset, cache)
+        engine.start()
+        example = private_dataset.dev_examples[0]
+        database = private_dataset.databases[example.db_id]
+        engine.submit(ServeRequest(METHOD, example.db_id, example.question)).response()
+        assert len(cache) == 1
+        engine.close()
+        # A post-close mutation must not reach the closed engine's cache.
+        database.mark_mutated()
+        assert cache.stats()["invalidations"] == 0
+        assert len(cache) == 1  # nobody purged it: the listener is gone
+        # And nothing (database listener lists included) keeps the dead
+        # engine reachable.
+        ref = weakref.ref(engine)
+        del engine
+        gc.collect()
+        assert ref() is None
+
+    def test_start_after_close_raises_instead_of_leaking(self, private_dataset):
+        engine = self._engine(private_dataset, ResponseCache())
+        engine.start()
+        engine.close()
+        # The old behavior re-registered mutation listeners on a
+        # half-dead engine (closed flag still set), leaking one listener
+        # registration per restart.
+        with pytest.raises(ServeError):
+            engine.start()
+        database = private_dataset.databases[private_dataset.dev_examples[0].db_id]
+        database.mark_mutated()
+        assert engine.response_cache.stats()["invalidations"] == 0
+
+    def test_double_close_ingests_cache_deltas_once(self, private_dataset):
+        example = private_dataset.dev_examples[0]
+        with tracing() as tracer:
+            engine = self._engine(private_dataset, ResponseCache())
+            engine.start()
+            engine.submit(
+                ServeRequest(METHOD, example.db_id, example.question)
+            ).response()
+            engine.close()
+            engine.close()  # idempotent: must not double-ingest deltas
+        assert tracer.metrics.counter_total("serve_cache_stores") == 1
+
+
+class TestRequestLogDropCounter:
+    """Span-ring overflow is counted, never silent."""
+
+    def test_overflow_increments_spans_dropped_deterministically(
+        self, small_dataset, served_method, workload
+    ):
+        distinct = [
+            request for i, request in enumerate(workload)
+            if request.key not in {r.key for r in workload[:i]}
+        ]
+        assert len(distinct) >= 6
+        with tracing() as tracer:
+            with make_engine(
+                small_dataset, served_method, request_log_size=4
+            ) as engine:
+                for request in distinct[:6]:
+                    assert engine.submit(request).response().ok
+        assert engine.stats.spans_dropped == 2
+        assert len(engine.request_log) == 4
+        # The four newest spans survive; the drop shows up as a metric.
+        assert tracer.metrics.counter_total(
+            "serve_spans_dropped", method=METHOD
+        ) == 2
+
+    def test_no_drops_below_capacity(self, small_dataset, served_method, workload):
+        with make_engine(
+            small_dataset, served_method, request_log_size=64
+        ) as engine:
+            engine.serve(list(workload)[:8], submit_paused=True)
+        assert engine.stats.spans_dropped == 0
+
+    def test_request_log_size_must_be_positive(self, small_dataset, served_method):
+        with pytest.raises(ServeError):
+            make_engine(small_dataset, served_method, request_log_size=0)
+
+
+class TestDbIdRestriction:
+    """ServeConfig.db_ids scopes warmup, listeners, and admission."""
+
+    def test_unowned_database_resolves_as_typed_error(
+        self, small_dataset, served_method, workload
+    ):
+        owned = workload[0].db_id
+        foreign = next(
+            example for example in small_dataset.dev_examples
+            if example.db_id != owned
+        )
+        other = ServeRequest(METHOD, foreign.db_id, foreign.question)
+        with make_engine(
+            small_dataset, served_method, db_ids=(owned,)
+        ) as engine:
+            ok = engine.submit(workload[0]).response()
+            refused = engine.submit(other).response()
+        assert ok.ok
+        assert refused.status is ServeStatus.ERROR
+        assert "not served" in (refused.error or "")
+
+    def test_warmup_covers_only_owned_databases(
+        self, small_dataset, served_method, workload
+    ):
+        owned = workload[0].db_id
+        with make_engine(
+            small_dataset, served_method, db_ids=(owned,)
+        ) as restricted:
+            pass
+        with make_engine(small_dataset, served_method) as full:
+            pass
+        assert 0 < restricted.stats.warmed_gold < full.stats.warmed_gold
+
+    def test_unknown_db_ids_rejected_at_construction(
+        self, small_dataset, served_method
+    ):
+        with pytest.raises(ServeError):
+            make_engine(small_dataset, served_method, db_ids=("no_such_db",))
 
 
 class TestBenchHelpers:

@@ -1,0 +1,17 @@
+"""Tier-2 docs smoke: the ``repro docs-check`` gate must pass.
+
+Runs the CLI subcommand in-process (it shells out to pytest over
+``tests/test_docs_consistency.py``) and asserts a zero exit — the same
+invocation a contributor runs by hand after touching any markdown or
+any symbol the docs reference (see docs/PIPELINE.md).
+"""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+def test_docs_check_gate_passes(capsys):
+    assert main(["docs-check"]) == 0
+    out = capsys.readouterr().out
+    assert "docs-check: OK" in out

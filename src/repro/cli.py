@@ -8,6 +8,7 @@ Subcommands::
     python -m repro stats     --benchmark bird    # Table-2 style statistics
     python -m repro fuzz-sqlkit --seeds 500       # metric-fidelity fuzz
     python -m repro report-run --log-db runs.db   # observability run report
+    python -m repro docs-check                    # docs/code consistency gate
 
 All runs are offline and deterministic for a given ``--seed``.
 
@@ -29,7 +30,7 @@ import sys
 from contextlib import nullcontext
 
 from repro.core.aas import AASConfig, run_aas
-from repro.core.design_space import SearchSpace
+from repro.core.design_space import SearchSpace, layers_with_repair
 from repro.core.logs import ExperimentLogStore
 from repro.core.parallel import ParallelEvaluator
 from repro.core.qvt import qvt_score
@@ -168,10 +169,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
         mutation_probability=args.mutate,
         seed=args.seed,
     )
+    if args.repair:
+        space = SearchSpace(backbone=args.backbone, layers=layers_with_repair())
+    else:
+        space = SearchSpace(backbone=args.backbone)
     with tracing() if args.trace else nullcontext() as tracer:
-        result = run_aas(
-            SearchSpace(backbone=args.backbone), evaluator, examples, config
-        )
+        result = run_aas(space, evaluator, examples, config)
         print("best-of-generation EX:", [f"{v:.1f}" for v in result.best_per_generation])
         print("best composition:")
         for layer, module in result.best.assignment.items():
@@ -322,7 +325,8 @@ def _report_run_check() -> int:
         problems.append("report not marked as traced")
     if not report.stage_rows:
         problems.append("stage-time breakdown is empty")
-    for section in ("headline", "stages", "failures", "cache", "economy"):
+    for section in ("headline", "stages", "failures", "cache", "repair",
+                    "economy"):
         if section not in payload:
             problems.append(f"JSON report is missing section {section!r}")
     if report.cache.get("examples") != len(dataset.dev_examples):
@@ -339,6 +343,34 @@ def _report_run_check() -> int:
           f" {len(report.stage_rows)} stages,"
           f" {len(report.failures)} failure categories)")
     return 0
+
+
+def _cmd_docs_check(_args: argparse.Namespace) -> int:
+    """Run the docs/code consistency suite as a standalone gate."""
+    import os
+    import subprocess
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    test_file = root / "tests" / "test_docs_consistency.py"
+    if not test_file.exists():
+        print(f"docs-check: {test_file} not found", file=sys.stderr)
+        return 2
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", str(test_file), "-q"],
+        cwd=root,
+        env=env,
+    )
+    if completed.returncode == 0:
+        print("docs-check: OK (docs and code agree)")
+    else:
+        print("docs-check: documentation drift detected", file=sys.stderr)
+    return completed.returncode
 
 
 def _cmd_report_run(args: argparse.Namespace) -> int:
@@ -407,6 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--mutate", type=float, default=0.2)
     search.add_argument("--subset", type=int, default=50,
                         help="dev examples used as the search fitness set")
+    search.add_argument("--repair", action="store_true",
+                        help="add the self-repair gene to the search space"
+                             " (see docs/PIPELINE.md)")
     search.set_defaults(func=_cmd_search)
 
     stats = sub.add_parser("stats", help="print benchmark statistics")
@@ -500,6 +535,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="self-test: trace a tiny run end-to-end"
                                  " and validate the rendered report")
     report_run.set_defaults(func=_cmd_report_run)
+
+    docs_check = sub.add_parser(
+        "docs-check",
+        help="verify docs (PIPELINE/SERVING/OBSERVABILITY/README/DESIGN)"
+             " against the code",
+    )
+    docs_check.set_defaults(func=_cmd_docs_check)
     return parser
 
 

@@ -31,6 +31,22 @@ DEFAULT_LAYERS: dict[str, tuple] = {
     "post_processing": (None, "self_correction", "self_consistency"),
 }
 
+# Candidate modules of the opt-in self-repair gene (docs/PIPELINE.md).
+REPAIR_LAYER: tuple = (None, "rules", "pattern_lm")
+
+
+def layers_with_repair(base: dict[str, tuple] | None = None) -> dict[str, tuple]:
+    """``DEFAULT_LAYERS`` (or ``base``) plus the self-repair gene.
+
+    The repair layer is opt-in rather than part of ``DEFAULT_LAYERS``:
+    adding a layer changes how many random draws ``random_assignment``
+    consumes per individual, which would silently perturb the trajectory
+    of every seeded search run that predates the gene.
+    """
+    layers = dict(DEFAULT_LAYERS if base is None else base)
+    layers["repair"] = REPAIR_LAYER
+    return layers
+
 
 @dataclass(frozen=True)
 class SearchSpace:
@@ -58,6 +74,7 @@ class SearchSpace:
             intermediate=assignment.get("intermediate"),  # type: ignore[arg-type]
             decoding=self.decoding,
             post_processing=assignment.get("post_processing"),  # type: ignore[arg-type]
+            repair=assignment.get("repair"),  # type: ignore[arg-type]
         )
 
     def random_assignment(self, rng: random.Random) -> dict[str, object]:

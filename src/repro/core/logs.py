@@ -104,6 +104,9 @@ CREATE TABLE IF NOT EXISTS trace_spans (
     output_tokens INTEGER NOT NULL,
     cost_usd REAL NOT NULL,
     failure TEXT,
+    repair_attempts INTEGER NOT NULL DEFAULT 0,
+    repair_recovered INTEGER NOT NULL DEFAULT 0,
+    repair_pattern_hits INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (run_id, position)
 );
 CREATE TABLE IF NOT EXISTS run_metrics (
@@ -184,6 +187,14 @@ class ExperimentLogStore:
                 "ALTER TABLE trace_spans ADD COLUMN memo_hits"
                 " INTEGER NOT NULL DEFAULT 0"
             )
+        for column in (
+            "repair_attempts", "repair_recovered", "repair_pattern_hits"
+        ):
+            if column not in trace_columns:
+                self.connection.execute(
+                    f"ALTER TABLE trace_spans ADD COLUMN {column}"
+                    " INTEGER NOT NULL DEFAULT 0"
+                )
 
     def close(self) -> None:
         self.connection.close()
@@ -301,7 +312,7 @@ class ExperimentLogStore:
                 run_id, position, span.method, span.example_id, "",
                 span.seconds, int(span.cache_hit), 0, 0,
                 span.input_tokens, span.output_tokens, span.cost_usd,
-                span.failure,
+                span.failure, 0, 0, 0,
             ))
             position += 1
             for stage in span.stages:
@@ -310,14 +321,17 @@ class ExperimentLogStore:
                     stage.stage, stage.seconds, int(stage.cache_hit),
                     stage.memo_hits, stage.llm_calls, 0,
                     stage.output_tokens, 0.0, None,
+                    stage.repair_attempts, stage.repair_recovered,
+                    stage.repair_pattern_hits,
                 ))
                 position += 1
         if rows:
             self.connection.executemany(
                 "INSERT OR REPLACE INTO trace_spans (run_id, position,"
                 " method, example_id, stage, seconds, cache_hit, memo_hits,"
-                " llm_calls, input_tokens, output_tokens, cost_usd, failure)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " llm_calls, input_tokens, output_tokens, cost_usd, failure,"
+                " repair_attempts, repair_recovered, repair_pattern_hits)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 rows,
             )
             self.connection.commit()
@@ -327,7 +341,8 @@ class ExperimentLogStore:
         """Rebuild a run's :class:`ExampleSpan` stream (inverse of store)."""
         cursor = self.connection.execute(
             "SELECT method, example_id, stage, seconds, cache_hit, llm_calls,"
-            " input_tokens, output_tokens, cost_usd, failure, memo_hits"
+            " input_tokens, output_tokens, cost_usd, failure, memo_hits,"
+            " repair_attempts, repair_recovered, repair_pattern_hits"
             " FROM trace_spans WHERE run_id = ? ORDER BY position",
             (run_id,),
         )
@@ -344,7 +359,9 @@ class ExperimentLogStore:
                 spans[-1].stages.append(StageSpan(
                     stage=row[2], seconds=row[3], cache_hit=bool(row[4]),
                     llm_calls=int(row[5]), output_tokens=int(row[7]),
-                    memo_hits=int(row[10]),
+                    memo_hits=int(row[10]), repair_attempts=int(row[11]),
+                    repair_recovered=int(row[12]),
+                    repair_pattern_hits=int(row[13]),
                 ))
         return spans
 

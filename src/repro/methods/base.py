@@ -3,10 +3,15 @@
 ``PipelineMethod`` is the single execution engine for every method in the
 zoo and every AAS individual: it prepares the backbone (fine-tuning when
 configured), builds the prompt through the pre-processing modules, decodes
-candidates, applies the configured post-processing, and accounts tokens,
-dollars, and latency.  Under an enabled tracer the candidate decoding and
-the post-processing branch are timed as the ``decode`` / ``post_process``
-stages of the example span (see :mod:`repro.obs.trace`).
+candidates, applies the configured post-processing, optionally repairs a
+failing final candidate (``config.repair``, see
+:mod:`repro.modules.repair`), and accounts tokens, dollars, and latency.
+Under an enabled tracer the candidate decoding, the post-processing
+branch, and the repair attempt are timed as the ``decode`` /
+``post_process`` / ``repair`` stages of the example span (see
+:mod:`repro.obs.trace`).  With ``config.repair`` unset the repair stage
+is never entered and the pipeline is bit-identical to a build without
+it.
 
 Inputs/outputs: an :class:`Example` plus its :class:`Database` in, one
 :class:`Prediction` (SQL + resource accounting + error tags) out.
@@ -44,6 +49,7 @@ from repro.modules.post_processing import (
     self_consistency_vote,
 )
 from repro.modules.prompts import build_prompt
+from repro.modules.repair import RepairOutcome, RepairPatternStore, run_repair
 from repro.modules.retrieval import FewShotIndex, index_for
 from repro.obs.trace import get_tracer
 from repro.sqlkit.picard import PicardChecker
@@ -102,6 +108,12 @@ class PipelineMethod(NL2SQLMethod):
         self._train_pairs: list[tuple[str, str]] = []
         self._fewshot_index: FewShotIndex | None = None
         self._prepared_on: str | None = None
+        # Learned (error class, schema) -> correction pairs; per-method
+        # so parallel workers rebuilding the method start cold (hits are
+        # accounting-neutral, so cold and warm stores agree bit-exactly).
+        self._repair_store: RepairPatternStore | None = (
+            RepairPatternStore() if config.repair is not None else None
+        )
 
     # -- setup ---------------------------------------------------------------
 
@@ -198,7 +210,20 @@ class PipelineMethod(NL2SQLMethod):
                 candidates = self._decode(sampler, checker)
             final = candidates[0]
 
-        return self._account(prompt.text, final, candidates, model_calls)
+        repair = None
+        if config.repair is not None and self._repair_store is not None:
+            with trace.stage("repair"):
+                repair = run_repair(
+                    final,
+                    database,
+                    sampler=sampler,
+                    config=config,
+                    store=self._repair_store,
+                    prompt_text=prompt.text,
+                )
+            final = repair.final
+
+        return self._account(prompt.text, final, candidates, model_calls, repair)
 
     def _decode(
         self, sampler, checker: PicardChecker
@@ -216,28 +241,39 @@ class PipelineMethod(NL2SQLMethod):
         final: GenerationCandidate,
         candidates: list[GenerationCandidate],
         model_calls: int,
+        repair: RepairOutcome | None = None,
     ) -> Prediction:
         config = self.config
         profile = get_profile(config.backbone)
-        input_tokens = count_tokens(prompt_text) * model_calls
+        repair_calls = repair.llm_calls if repair is not None else 0
+        # Each repair re-draw re-sends the prompt, so it bills input
+        # tokens like any other model call.
+        input_tokens = count_tokens(prompt_text) * (model_calls + repair_calls)
         if profile.api_only:
             # Sampling via the API's n parameter bills the prompt once but
             # every sampled completion's output tokens.
             output_tokens = sum(c.output_tokens for c in candidates)
+            if repair is not None:
+                output_tokens += repair.output_tokens
         else:
             output_tokens = final.output_tokens
         cost = prompt_cost(config.backbone, input_tokens, output_tokens)
         if profile.api_only:
             # Remote API round trip, roughly independent of parameter count.
-            latency = 2.2 if profile.name == "gpt-4" else 0.9
+            per_call = 2.2 if profile.name == "gpt-4" else 0.9
         else:
-            latency = profile.latency_per_sample_s
+            per_call = profile.latency_per_sample_s
+        latency = per_call
         if config.intermediate == "natsql":
             # NatSQL outputs are shorter (no JOIN clauses): faster decoding
             # and a smaller decoder state (paper Table 6).
             latency *= 0.92
         if config.post_processing == "self_consistency":
             latency *= 1.0 + 0.12 * config.self_consistency_samples
+        if repair_calls:
+            # Repair re-draws are sequential round trips on top of the
+            # base pipeline latency.
+            latency += per_call * repair_calls
         return Prediction(
             sql=final.sql,
             input_tokens=input_tokens,

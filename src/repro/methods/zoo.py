@@ -293,6 +293,25 @@ def build_method(name: str, seed: int = 0) -> PipelineMethod:
     return PipelineMethod(method_config(name), METHOD_GROUPS[name], seed=seed)
 
 
+def with_repair(
+    method: PipelineMethod,
+    mode: str = "pattern_lm",
+    budget: int | None = None,
+) -> PipelineMethod:
+    """Clone ``method`` with the self-repair stage enabled.
+
+    Returns a fresh unprepared :class:`PipelineMethod` (same group and
+    seed) whose config sets ``repair=mode`` and, when given,
+    ``repair_budget=budget``; the original method is untouched.
+    """
+    changes: dict[str, object] = {"repair": mode}
+    if budget is not None:
+        changes["repair_budget"] = budget
+    return PipelineMethod(
+        method.config.with_(**changes), method.group, seed=method.seed
+    )
+
+
 def zoo_configs() -> dict[str, PipelineConfig]:
     """All registered method configs (copies are cheap: frozen dataclasses)."""
     return dict(_ALL_CONFIGS)

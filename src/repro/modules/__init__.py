@@ -7,6 +7,7 @@ from repro.modules.base import (
     MULTI_STEP_CHOICES,
     POST_PROCESSING_CHOICES,
     PROMPTING_CHOICES,
+    REPAIR_CHOICES,
     SCHEMA_LINKING_CHOICES,
     PipelineConfig,
 )
@@ -20,6 +21,14 @@ from repro.modules.post_processing import (
     rerank_candidates,
     self_consistency_vote,
 )
+from repro.modules.repair import (
+    RepairClass,
+    RepairOutcome,
+    RepairPatternStore,
+    classify_execution_failure,
+    run_repair,
+    schema_fingerprint,
+)
 
 __all__ = [
     "DB_CONTENT_CHOICES",
@@ -28,8 +37,15 @@ __all__ = [
     "MULTI_STEP_CHOICES",
     "POST_PROCESSING_CHOICES",
     "PROMPTING_CHOICES",
+    "REPAIR_CHOICES",
     "SCHEMA_LINKING_CHOICES",
     "PipelineConfig",
+    "RepairClass",
+    "RepairOutcome",
+    "RepairPatternStore",
+    "classify_execution_failure",
+    "run_repair",
+    "schema_fingerprint",
     "link_schema",
     "match_db_content",
     "FewShotExample",

@@ -26,6 +26,10 @@ POST_PROCESSING_CHOICES = (
     "execution_guided",
     "reranker",
 )
+# Post-execution self-repair (docs/PIPELINE.md): "rules" stops at the
+# pattern store + deterministic rewrites; "pattern_lm" adds budgeted LM
+# re-draws on top.
+REPAIR_CHOICES = (None, "rules", "pattern_lm")
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,9 @@ class PipelineConfig:
         intermediate: Intermediate representation, or None (NatSQL only).
         decoding: Decoding strategy.
         post_processing: Post-processing strategy, or None.
+        repair: Post-execution self-repair strategy, or None (disabled).
+        repair_budget: Maximum repair attempts (rule applications plus
+            LM re-draws) per failing prediction.
         self_consistency_samples: Samples for self-consistency voting.
         beam_width: Candidates for beam/PICARD decoding.
         prompt_overhead_tokens: Fixed instruction overhead included in the
@@ -62,6 +69,8 @@ class PipelineConfig:
     intermediate: str | None = None
     decoding: str = "greedy"
     post_processing: str | None = None
+    repair: str | None = None
+    repair_budget: int = 2
     self_consistency_samples: int = 5
     beam_width: int = 4
     prompt_overhead_tokens: int = 0
@@ -81,6 +90,10 @@ class PipelineConfig:
             raise DesignSpaceError(f"invalid decoding {self.decoding!r}")
         if self.post_processing not in POST_PROCESSING_CHOICES:
             raise DesignSpaceError(f"invalid post_processing {self.post_processing!r}")
+        if self.repair not in REPAIR_CHOICES:
+            raise DesignSpaceError(f"invalid repair {self.repair!r}")
+        if self.repair is not None and self.repair_budget <= 0:
+            raise DesignSpaceError("repair requires repair_budget > 0")
         if self.prompting != "zero_shot" and self.few_shot_k <= 0:
             raise DesignSpaceError("few-shot prompting requires few_shot_k > 0")
 
@@ -115,4 +128,5 @@ class PipelineConfig:
             "intermediate": self.intermediate,
             "decoding": self.decoding,
             "post_processing": self.post_processing,
+            "repair": self.repair,
         }

@@ -1,0 +1,42 @@
+"""repro.modules.repair: post-execution self-repair of failing candidates.
+
+The repair stage is the design space's recovery path (see
+docs/PIPELINE.md): a candidate whose SQL fails to execute — or executes
+but returns no rows — is classified into a typed error taxonomy
+(:mod:`repro.modules.repair.taxonomy`), checked against a learned
+pattern store of past corrections (:mod:`repro.modules.repair.patterns`),
+and, when still unresolved, repaired through deterministic rewrite rules
+and budget-bounded re-draws from the simulated LM
+(:mod:`repro.modules.repair.engine`).  The stage is wired into
+:class:`~repro.methods.base.PipelineMethod` behind the
+``PipelineConfig.repair`` knob and stays completely inert when the knob
+is ``None``.
+"""
+
+from repro.modules.repair.engine import (
+    RepairOutcome,
+    rule_fixes,
+    run_repair,
+)
+from repro.modules.repair.patterns import (
+    RepairPatternStore,
+    StoredRepair,
+    schema_fingerprint,
+)
+from repro.modules.repair.taxonomy import (
+    RepairClass,
+    classify_execution_failure,
+    missing_identifier,
+)
+
+__all__ = [
+    "RepairClass",
+    "classify_execution_failure",
+    "missing_identifier",
+    "RepairPatternStore",
+    "StoredRepair",
+    "schema_fingerprint",
+    "RepairOutcome",
+    "rule_fixes",
+    "run_repair",
+]

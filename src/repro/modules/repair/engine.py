@@ -1,0 +1,226 @@
+"""The repair engine: pattern store, rewrite rules, then bounded LM re-draws.
+
+:func:`run_repair` is the whole stage.  Given the pipeline's final
+candidate it (1) executes it and classifies the outcome through the
+repair taxonomy, (2) replays a learned correction from the
+:class:`~repro.modules.repair.patterns.RepairPatternStore` when one
+matches, (3) tries the deterministic rewrite rules in
+:func:`rule_fixes` (zero LM cost), and (4) — in ``pattern_lm`` mode —
+falls back to fresh draws from the method's sampler, each billed as a
+regular model call by the economy harness.  Every attempt, whatever its
+source, consumes one unit of the configured ``repair_budget``.
+
+A correction is accepted only if it actually executes (and, for the
+``empty_result`` class, returns at least one row) against the live
+database, via the same read-only cached executor the rest of the
+pipeline uses — repair can never smuggle in an unverified candidate.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, replace
+
+from repro.dbengine.database import Database
+from repro.dbengine.executor import ExecutionResult, execute_sql_cached
+from repro.llm.model import GenerationCandidate
+from repro.modules.repair.patterns import RepairPatternStore, StoredRepair
+from repro.modules.repair.taxonomy import (
+    RepairClass,
+    classify_execution_failure,
+    missing_identifier,
+)
+from repro.obs.trace import get_tracer
+from repro.schema.model import DatabaseSchema
+
+# Draw-index base for repair re-draws: disjoint from greedy/beam/PICARD
+# decoding (0..9), self-consistency sampling (0..n), and the
+# self-correction probe (101), so a repair draw never aliases another
+# stage's draw of the same sampler.
+_REPAIR_DRAW_BASE = 211
+# Matches the beam decoder's non-greedy temperature: enough jitter to
+# leave the failing mode, small enough to stay on-intent.
+_REPAIR_TEMPERATURE = 0.15
+
+# Dangling-keyword tail produced by truncated/over-appended completions.
+_TRAILING_JUNK = re.compile(r"\s+(?:AND|OR|WHERE|ON|,)\s*$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """What the repair stage did for one prediction.
+
+    ``final`` is the candidate the pipeline should keep: the repaired
+    one when ``recovered``, the original otherwise.  ``llm_calls`` and
+    ``output_tokens`` are the stage's own spend (re-draws only; rule and
+    pattern repairs are free), which the method driver folds into the
+    prediction's token/cost/latency accounting.
+    """
+
+    attempted: bool
+    error_class: RepairClass | None
+    recovered: bool
+    final: GenerationCandidate
+    attempts: int = 0
+    llm_calls: int = 0
+    output_tokens: int = 0
+    pattern_hit: bool = False
+    source: str = "none"  # "pattern" | "rule" | "lm" | "none"
+
+
+def _identifier_fixes(
+    sql: str, missing: str | None, names: list[str]
+) -> list[str]:
+    """Swap a missing identifier for its closest schema matches."""
+    if not missing:
+        return []
+    matches = difflib.get_close_matches(
+        missing.lower(), [name.lower() for name in names], n=2, cutoff=0.6
+    )
+    canonical = {name.lower(): name for name in names}
+    pattern = re.compile(rf"\b{re.escape(missing)}\b", re.IGNORECASE)
+    return [pattern.sub(canonical[match], sql) for match in matches]
+
+
+def rule_fixes(
+    sql: str,
+    error_class: RepairClass,
+    error: str | None,
+    schema: DatabaseSchema,
+) -> list[str]:
+    """Deterministic candidate rewrites for one failure class.
+
+    Ordered, deduplicated, and never echoing the input; classes with no
+    safe mechanical rewrite (type mismatch, timeout, empty result,
+    unknown) return an empty list and leave recovery to the LM fallback.
+    """
+    fixes: list[str] = []
+    if error_class is RepairClass.SYNTAX_ERROR:
+        fixes.append(re.sub(r"\bFORM\b", "FROM", sql, count=1, flags=re.IGNORECASE))
+        fixes.append(_TRAILING_JUNK.sub("", sql))
+    elif error_class is RepairClass.MISSING_TABLE:
+        table_names = [table.name for table in schema.tables]
+        fixes.extend(_identifier_fixes(sql, missing_identifier(error), table_names))
+    elif error_class is RepairClass.MISSING_COLUMN:
+        column_names = sorted(
+            {column.name for table in schema.tables for column in table.columns}
+        )
+        fixes.extend(_identifier_fixes(sql, missing_identifier(error), column_names))
+    seen: set[str] = {sql}
+    ordered: list[str] = []
+    for fix in fixes:
+        if fix not in seen:
+            seen.add(fix)
+            ordered.append(fix)
+    return ordered
+
+
+def _repair_success(result: ExecutionResult, error_class: RepairClass) -> bool:
+    if not result.ok:
+        return False
+    if error_class is RepairClass.EMPTY_RESULT:
+        return bool(result.rows)
+    return True
+
+
+def run_repair(
+    final: GenerationCandidate,
+    database: Database,
+    *,
+    sampler,
+    config,
+    store: RepairPatternStore,
+    prompt_text: str,
+) -> RepairOutcome:
+    """Attempt to repair ``final``; see the module docstring for the flow.
+
+    ``config`` is the method's ``PipelineConfig`` (duck-typed on its
+    ``repair`` / ``repair_budget`` fields); ``sampler`` is the method's
+    bound ``(draw, temperature) -> candidate`` closure, so LM re-draws
+    see the exact prompt the failing candidate came from.
+    """
+    result = execute_sql_cached(database, final.sql)
+    error_class = classify_execution_failure(result)
+    if error_class is None:
+        return RepairOutcome(
+            attempted=False, error_class=None, recovered=False, final=final
+        )
+    tracer = get_tracer()
+    key = store.key(error_class, database, final.sql, prompt_text)
+    stored = store.lookup(key)
+    if stored is not None:
+        # Replay the memoized outcome with its exact original accounting
+        # so warm-store and cold-store runs stay bit-identical.
+        tracer.annotate_stage(
+            llm_calls=stored.llm_calls,
+            output_tokens=stored.output_tokens,
+            repair_attempts=stored.attempts,
+            repair_recovered=int(stored.recovered),
+            repair_pattern_hits=1,
+        )
+        return RepairOutcome(
+            attempted=True,
+            error_class=error_class,
+            recovered=stored.recovered,
+            final=stored.final,
+            attempts=stored.attempts,
+            llm_calls=stored.llm_calls,
+            output_tokens=stored.output_tokens,
+            pattern_hit=True,
+            source=stored.source,
+        )
+
+    budget = max(int(config.repair_budget), 1)
+    attempts = 0
+    llm_calls = 0
+    output_tokens = 0
+    repaired: GenerationCandidate | None = None
+    source = "none"
+    for fix in rule_fixes(final.sql, error_class, result.error, database.schema):
+        if attempts >= budget:
+            break
+        attempts += 1
+        if _repair_success(execute_sql_cached(database, fix), error_class):
+            repaired = replace(final, sql=fix)
+            source = "rule"
+            break
+    if repaired is None and config.repair == "pattern_lm":
+        while attempts < budget:
+            candidate = sampler(_REPAIR_DRAW_BASE + attempts, _REPAIR_TEMPERATURE)
+            attempts += 1
+            llm_calls += 1
+            output_tokens += candidate.output_tokens
+            if _repair_success(
+                execute_sql_cached(database, candidate.sql), error_class
+            ):
+                repaired = candidate
+                source = "lm"
+                break
+    recovered = repaired is not None
+    outcome_final = repaired if repaired is not None else final
+    tracer.annotate_stage(
+        repair_attempts=attempts, repair_recovered=int(recovered)
+    )
+    store.learn(
+        key,
+        StoredRepair(
+            final=outcome_final,
+            recovered=recovered,
+            attempts=attempts,
+            llm_calls=llm_calls,
+            output_tokens=output_tokens,
+            source=source,
+        ),
+    )
+    return RepairOutcome(
+        attempted=True,
+        error_class=error_class,
+        recovered=recovered,
+        final=outcome_final,
+        attempts=attempts,
+        llm_calls=llm_calls,
+        output_tokens=output_tokens,
+        pattern_hit=False,
+        source=source,
+    )

@@ -1,0 +1,154 @@
+"""Learned pattern store of past ``(error class, schema) -> correction`` pairs.
+
+The store is the repair engine's first stop: before spending rule
+applications or LM re-draws, a failing candidate is looked up under its
+``(error class, schema fingerprint, context)`` key and, on a hit, the
+previously computed :class:`StoredRepair` is replayed verbatim —
+correction, attempt count, and token/call accounting included.
+
+The context component of the key fingerprints everything that
+determines the repair computation (the normalized failing SQL, the full
+prompt text, and the database's ``data_version``), so a hit is a *pure
+memo*: replaying it yields bit-identically what re-running the repair
+engine would.  That is the same contract every other hot-path cache in
+this codebase honours ("bit-identical on vs off"), and it is what keeps
+repair-enabled sequential, parallel, and serving runs equivalent —
+workers that never saw the pattern recompute the exact outcome the
+warm store replays.  Unrecoverable outcomes are stored too, so a repeat
+failure re-bills the same exhausted budget instead of silently becoming
+cheaper.
+
+Inputs/outputs: :meth:`RepairPatternStore.key` builds keys from live
+``Database`` objects; ``lookup``/``learn`` get and put
+:class:`StoredRepair` values; ``stats`` exports deterministic counters.
+
+Thread/process safety: all store methods take an internal lock, so one
+store (owned by one prepared method) may serve many threads.  Stores do
+not cross process boundaries — parallel workers rebuild their method and
+start cold, which is safe precisely because hits are accounting-neutral.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.dbengine.database import Database
+from repro.llm.model import GenerationCandidate
+from repro.modules.repair.taxonomy import RepairClass
+from repro.schema.model import DatabaseSchema
+from repro.utils.rng import stable_hash
+
+DEFAULT_PATTERN_STORE_SIZE = 2048
+
+# (error class value, schema fingerprint, context fingerprint).
+PatternKey = tuple[str, str, str]
+
+
+def schema_fingerprint(schema: DatabaseSchema) -> str:
+    """Stable fingerprint of a schema's table/column structure.
+
+    Deliberately ignores ``db_id`` and display names: two structurally
+    identical databases share one fingerprint, so their repair patterns
+    pool under the same store slot.
+    """
+    shape = tuple(
+        (table.name.lower(), tuple(column.name.lower() for column in table.columns))
+        for table in schema.tables
+    )
+    return f"{stable_hash(shape):016x}"
+
+
+def normalize_sql(sql: str) -> str:
+    """Whitespace-collapsed form used for pattern keys."""
+    return " ".join(sql.split())
+
+
+@dataclass(frozen=True)
+class StoredRepair:
+    """One memoized repair outcome, replayable with identical accounting.
+
+    ``final`` is the corrected candidate (or the original failing one
+    when the budget ran dry); ``attempts``/``llm_calls``/``output_tokens``
+    record exactly what the cold computation consumed, so a replay bills
+    the same and span structures stay equal between cold and warm runs.
+    """
+
+    final: GenerationCandidate
+    recovered: bool
+    attempts: int
+    llm_calls: int
+    output_tokens: int
+    source: str  # "rule" | "lm" | "none"
+
+
+class RepairPatternStore:
+    """Bounded LRU store of learned repair outcomes."""
+
+    def __init__(self, maxsize: int = DEFAULT_PATTERN_STORE_SIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[PatternKey, StoredRepair]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._learned = 0
+        self._evictions = 0
+
+    def key(
+        self,
+        error_class: RepairClass,
+        database: Database,
+        sql: str,
+        prompt_text: str,
+    ) -> PatternKey:
+        """Build the store key for one failing candidate in context.
+
+        The context fingerprint covers the normalized SQL, the prompt,
+        and the database's ``data_version`` — the full determinants of
+        the repair computation — so a hit can be replayed soundly and a
+        content mutation (version bump) naturally misses.
+        """
+        context = stable_hash(
+            normalize_sql(sql), prompt_text, database.data_version
+        )
+        return (
+            error_class.value,
+            schema_fingerprint(database.schema),
+            f"{context:016x}",
+        )
+
+    def lookup(self, key: PatternKey) -> StoredRepair | None:
+        with self._lock:
+            stored = self._entries.get(key)
+            if stored is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return stored
+
+    def learn(self, key: PatternKey, outcome: StoredRepair) -> None:
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = outcome
+            self._entries.move_to_end(key)
+            self._learned += 1
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "learned": self._learned,
+                "evictions": self._evictions,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

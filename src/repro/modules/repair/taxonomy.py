@@ -1,0 +1,88 @@
+"""Typed taxonomy of execution failures for the self-repair stage.
+
+:func:`classify_execution_failure` maps one
+:class:`~repro.dbengine.executor.ExecutionResult` to a
+:class:`RepairClass` — the small set of failure families the repair
+engine knows how to attack.  Classification works on the SQLite error
+strings the executor captures verbatim (``no such table: concerts``,
+``near "FORM": syntax error``, ...), plus the two non-error cases the
+paper's error analyses single out: timeouts (the executor prefixes those
+with ``timeout:``) and queries that execute fine but return zero rows.
+
+The mapping is a plain ordered pattern table so it is trivially
+auditable and deterministic; anything unrecognized falls back to
+:attr:`RepairClass.UNKNOWN_ERROR` rather than raising.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.dbengine.executor import ExecutionResult
+
+
+class RepairClass(str, Enum):
+    """One family of execution failures the repair engine can target."""
+
+    SYNTAX_ERROR = "syntax_error"
+    MISSING_TABLE = "missing_table"
+    MISSING_COLUMN = "missing_column"
+    TYPE_MISMATCH = "type_mismatch"
+    TIMEOUT = "timeout"
+    EMPTY_RESULT = "empty_result"
+    UNKNOWN_ERROR = "unknown_error"
+
+
+# Ordered (substring, class) table over lowercased SQLite error text.
+# First match wins; order puts the more specific messages first.
+_ERROR_PATTERNS: tuple[tuple[str, RepairClass], ...] = (
+    ("no such table", RepairClass.MISSING_TABLE),
+    ("no such column", RepairClass.MISSING_COLUMN),
+    ("ambiguous column name", RepairClass.MISSING_COLUMN),
+    ("datatype mismatch", RepairClass.TYPE_MISMATCH),
+    ("syntax error", RepairClass.SYNTAX_ERROR),
+    ("incomplete input", RepairClass.SYNTAX_ERROR),
+    ("unrecognized token", RepairClass.SYNTAX_ERROR),
+)
+
+
+def classify_execution_failure(result: ExecutionResult) -> RepairClass | None:
+    """Classify one execution outcome; ``None`` means nothing to repair.
+
+    Successful executions with at least one row need no repair.  A
+    successful execution with zero rows classifies as ``EMPTY_RESULT``
+    (the paper's analyses treat silent empty answers as failures worth
+    recovering).  Failed executions map through the error-string pattern
+    table, with ``UNKNOWN_ERROR`` as the fallback.
+    """
+    if result.ok:
+        if result.rows:
+            return None
+        return RepairClass.EMPTY_RESULT
+    error = (result.error or "").lower()
+    if error.startswith("timeout"):
+        return RepairClass.TIMEOUT
+    for needle, repair_class in _ERROR_PATTERNS:
+        if needle in error:
+            return repair_class
+    return RepairClass.UNKNOWN_ERROR
+
+
+def missing_identifier(error: str | None) -> str | None:
+    """Extract the identifier a missing-table/column error names.
+
+    SQLite reports the offender after a colon (``no such column:
+    T1.singer_name``); the last dot-separated component is the bare
+    column name.  Returns ``None`` when the message carries no
+    identifier.
+    """
+    if not error:
+        return None
+    lowered = error.lower()
+    for prefix in ("no such table:", "no such column:", "ambiguous column name:"):
+        index = lowered.find(prefix)
+        if index >= 0:
+            identifier = error[index + len(prefix):].strip()
+            if identifier:
+                return identifier.split(".")[-1].strip()
+    return None

@@ -193,6 +193,17 @@ def ingest_span(registry: MetricsRegistry, benchmark: str, span) -> None:
             registry.count("stage_memo_hits", value=memo_hits, **labels)
         if stage.llm_calls:
             registry.count("llm_calls", value=stage.llm_calls, **labels)
+        repair_attempts = getattr(stage, "repair_attempts", 0)
+        if repair_attempts:
+            registry.count("repair_attempts", value=repair_attempts, **labels)
+        repair_recovered = getattr(stage, "repair_recovered", 0)
+        if repair_recovered:
+            registry.count("repair_recovered", value=repair_recovered, **labels)
+        repair_pattern_hits = getattr(stage, "repair_pattern_hits", 0)
+        if repair_pattern_hits:
+            registry.count(
+                "repair_pattern_hits", value=repair_pattern_hits, **labels
+            )
 
 
 def ingest_lru_deltas(

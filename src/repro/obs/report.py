@@ -3,8 +3,8 @@
 :func:`build_run_report` turns one run's evaluation records plus the
 tracer's drained spans and :class:`~repro.obs.registry.MetricsRegistry`
 into a :class:`RunReport` — headline metrics, the stage-time breakdown,
-top failure categories with example ids, cache effectiveness, and
-cost-per-correct economics.  :func:`report_from_store` rebuilds the same
+top failure categories with example ids, cache effectiveness, self-repair
+outcomes, and cost-per-correct economics.  :func:`report_from_store` rebuilds the same
 report from a persisted run in an
 :class:`~repro.core.logs.ExperimentLogStore`;
 :func:`render_markdown` / :func:`render_json` serialize it.
@@ -58,6 +58,7 @@ class RunReport:
     stage_rows: list[dict] = field(default_factory=list)
     failures: list[dict] = field(default_factory=list)
     cache: dict[str, float] = field(default_factory=dict)
+    repair: dict[str, float] = field(default_factory=dict)
     economy: dict[str, float] = field(default_factory=dict)
 
     def equivalence_key(self) -> dict:
@@ -65,7 +66,10 @@ class RunReport:
 
         Memo-hit and LRU counters are reported in ``cache`` but excluded
         here — which lookup warms a shared memo first is schedule-
-        dependent even though every *result* is bit-identical.
+        dependent even though every *result* is bit-identical.  Likewise
+        ``repair_pattern_hits``: parallel workers rebuild methods with
+        cold pattern stores, so hit counts differ while repair outcomes
+        (attempts, recoveries) stay bit-identical.
         """
         return {
             "failures": self.failures,
@@ -73,6 +77,11 @@ class RunReport:
                 key: value
                 for key, value in self.cache.items()
                 if key not in _SCHEDULE_SENSITIVE_CACHE_KEYS
+            },
+            "repair": {
+                key: value
+                for key, value in self.repair.items()
+                if key != "repair_pattern_hits"
             },
             "economy": self.economy,
         }
@@ -87,6 +96,7 @@ class RunReport:
             "stages": self.stage_rows,
             "failures": self.failures,
             "cache": self.cache,
+            "repair": self.repair,
             "economy": self.economy,
         }
 
@@ -123,6 +133,9 @@ def build_run_report(
             "memo_hits": int(row.get("memo_hits", 0)),
             "llm_calls": int(row["llm_calls"]),
             "output_tokens": int(row["output_tokens"]),
+            "repair_attempts": int(row.get("repair_attempts", 0)),
+            "repair_recovered": int(row.get("repair_recovered", 0)),
+            "repair_pattern_hits": int(row.get("repair_pattern_hits", 0)),
         }
         for stage, row in stage_breakdown(spans).items()
     ]
@@ -200,6 +213,39 @@ def build_run_report(
         "serve_spans_dropped": serve_spans_dropped,
     }
 
+    repair_attempts = sum(
+        getattr(stage, "repair_attempts", 0)
+        for span in spans
+        for stage in span.stages
+    )
+    repair_recovered = sum(
+        getattr(stage, "repair_recovered", 0)
+        for span in spans
+        for stage in span.stages
+    )
+    repair_pattern_hits = sum(
+        getattr(stage, "repair_pattern_hits", 0)
+        for span in spans
+        for stage in span.stages
+    )
+    repair_examples = sum(
+        1
+        for span in spans
+        for stage in span.stages
+        if stage.stage == "repair"
+    )
+    repair = {
+        "repair_examples": repair_examples,
+        "repair_attempts": repair_attempts,
+        "repair_recovered": repair_recovered,
+        "repair_pattern_hits": repair_pattern_hits,
+        "repair_recovery_pct": (
+            round(100.0 * repair_recovered / repair_attempts, 2)
+            if repair_attempts
+            else 0.0
+        ),
+    }
+
     economy = {
         "total_cost_usd": round(total_cost, 6),
         "cost_per_query_usd": round(total_cost / n, 6) if n else 0.0,
@@ -220,6 +266,7 @@ def build_run_report(
         stage_rows=stage_rows,
         failures=failures,
         cache=cache,
+        repair=repair,
         economy=economy,
     )
 
@@ -329,6 +376,24 @@ def render_markdown(report: RunReport) -> str:
         f"({cache.get('serve_cache_evictions', 0)} evictions)",
         f"- serve spans dropped from the request log: "
         f"{cache.get('serve_spans_dropped', 0)}",
+        "",
+        "## Self-repair",
+        "",
+    ]
+    repair = report.repair
+    if repair.get("repair_examples", 0):
+        lines += [
+            f"- repair stage entered on {repair.get('repair_examples', 0)} "
+            f"examples",
+            f"- repair attempts: {repair.get('repair_attempts', 0)} "
+            f"({repair.get('repair_recovered', 0)} recovered, "
+            f"{repair.get('repair_recovery_pct', 0.0)}% of attempts)",
+            f"- pattern-store hits: {repair.get('repair_pattern_hits', 0)} "
+            f"(schedule-sensitive; excluded from equivalence checks)",
+        ]
+    else:
+        lines.append("_Repair disabled (no `repair` stage spans recorded)._")
+    lines += [
         "",
         "## Economy",
         "",

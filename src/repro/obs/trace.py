@@ -3,7 +3,7 @@
 A :class:`Tracer` collects one :class:`ExampleSpan` per (method, example)
 evaluation; each holds ordered :class:`StageSpan` children for the
 pipeline stages in :data:`STAGES` (schema linking, few-shot retrieval,
-prompt build, decode, post-process, execute, score), with wall time,
+prompt build, decode, post-process, repair, execute, score), with wall time,
 LLM-call/token counters, cache-hit flags, hot-path memo-hit counters, and a failure-taxonomy tag from
 :func:`repro.core.taxonomy.classify_failure`.  :func:`build_run_trace`
 groups the flat span stream into the canonical ``run -> method ->
@@ -38,13 +38,15 @@ from dataclasses import dataclass, field
 from repro.obs.registry import MetricsRegistry
 
 # Pipeline stages in execution order.  Unknown stage names are allowed
-# (custom methods may emit their own); these are the canonical seven.
+# (custom methods may emit their own); these are the canonical eight.
+# The repair stage appears only for methods with ``config.repair`` set.
 STAGES = (
     "schema_linking",
     "fewshot",
     "prompt_build",
     "decode",
     "post_process",
+    "repair",
     "execute",
     "score",
 )
@@ -60,6 +62,13 @@ class StageSpan:
     *excluded* from :meth:`ExampleSpan.structure`: memos are shared
     process-wide, so hit patterns legitimately differ between sequential
     and sharded parallel runs even though results are bit-identical.
+
+    The ``repair_*`` counters are populated only on ``repair`` stage
+    spans: attempts consumed and whether the prediction was recovered
+    are deterministic outcomes of the example (included in
+    ``structure()``), while ``repair_pattern_hits`` — like ``memo_hits``
+    — depends on which evaluation warmed the method's pattern store
+    first, so it is excluded.
     """
 
     stage: str
@@ -68,6 +77,9 @@ class StageSpan:
     llm_calls: int = 0
     output_tokens: int = 0
     memo_hits: int = 0
+    repair_attempts: int = 0
+    repair_recovered: int = 0
+    repair_pattern_hits: int = 0
 
 
 @dataclass
@@ -100,7 +112,8 @@ class ExampleSpan:
             round(self.cost_usd, 9),
             self.failure,
             tuple(
-                (s.stage, s.cache_hit, s.llm_calls, s.output_tokens)
+                (s.stage, s.cache_hit, s.llm_calls, s.output_tokens,
+                 s.repair_attempts, s.repair_recovered)
                 for s in self.stages
             ),
         )
@@ -180,7 +193,13 @@ class Tracer:
             example_span.stages.append(span)
 
     def annotate_stage(
-        self, llm_calls: int = 0, output_tokens: int = 0, memo_hits: int = 0
+        self,
+        llm_calls: int = 0,
+        output_tokens: int = 0,
+        memo_hits: int = 0,
+        repair_attempts: int = 0,
+        repair_recovered: int = 0,
+        repair_pattern_hits: int = 0,
     ) -> None:
         """Add counters to the innermost open stage span (if any)."""
         span = getattr(self._tls, "stage", None)
@@ -188,6 +207,9 @@ class Tracer:
             span.llm_calls += llm_calls
             span.output_tokens += output_tokens
             span.memo_hits += memo_hits
+            span.repair_attempts += repair_attempts
+            span.repair_recovered += repair_recovered
+            span.repair_pattern_hits += repair_pattern_hits
 
     # -- collection ------------------------------------------------------
 
@@ -225,7 +247,13 @@ class NullTracer(Tracer):
         return _NULL_CONTEXT
 
     def annotate_stage(
-        self, llm_calls: int = 0, output_tokens: int = 0, memo_hits: int = 0
+        self,
+        llm_calls: int = 0,
+        output_tokens: int = 0,
+        memo_hits: int = 0,
+        repair_attempts: int = 0,
+        repair_recovered: int = 0,
+        repair_pattern_hits: int = 0,
     ) -> None:
         pass
 
@@ -307,7 +335,8 @@ def stage_breakdown(spans: list[ExampleSpan]) -> dict[str, dict[str, float]]:
     """Aggregate stage spans into the per-stage timing table.
 
     Returns ``stage -> {calls, seconds, avg_ms, cache_hits, memo_hits,
-    llm_calls, output_tokens, share_pct}`` with stages in canonical order
+    llm_calls, output_tokens, repair_attempts, repair_recovered,
+    repair_pattern_hits, share_pct}`` with stages in canonical order
     (unknown stages follow alphabetically).
     """
     totals: dict[str, dict[str, float]] = {}
@@ -316,7 +345,9 @@ def stage_breakdown(spans: list[ExampleSpan]) -> dict[str, dict[str, float]]:
             row = totals.setdefault(
                 stage.stage,
                 {"calls": 0, "seconds": 0.0, "cache_hits": 0,
-                 "memo_hits": 0, "llm_calls": 0, "output_tokens": 0},
+                 "memo_hits": 0, "llm_calls": 0, "output_tokens": 0,
+                 "repair_attempts": 0, "repair_recovered": 0,
+                 "repair_pattern_hits": 0},
             )
             row["calls"] += 1
             row["seconds"] += stage.seconds
@@ -324,6 +355,9 @@ def stage_breakdown(spans: list[ExampleSpan]) -> dict[str, dict[str, float]]:
             row["memo_hits"] += stage.memo_hits
             row["llm_calls"] += stage.llm_calls
             row["output_tokens"] += stage.output_tokens
+            row["repair_attempts"] += stage.repair_attempts
+            row["repair_recovered"] += stage.repair_recovered
+            row["repair_pattern_hits"] += stage.repair_pattern_hits
     grand_total = sum(row["seconds"] for row in totals.values())
     for row in totals.values():
         row["avg_ms"] = 1000.0 * row["seconds"] / max(row["calls"], 1)

@@ -68,7 +68,7 @@ from repro.datagen.benchmark import Dataset, Example
 from repro.errors import ServeError, ServeOverloaded
 from repro.errors import ServeTimeout as ServeTimeoutError
 from repro.methods.base import NL2SQLMethod
-from repro.methods.zoo import build_method
+from repro.methods.zoo import build_method, with_repair
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import get_tracer
 from repro.serve.cache import DEFAULT_RESPONSE_CACHE_SIZE, ResponseCache
@@ -165,6 +165,9 @@ class ServeConfig:
     #: Bound on the in-memory ``request_log`` span ring; overflow drops
     #: the oldest span and increments the ``spans_dropped`` counter.
     request_log_size: int = 4096
+    #: Enable the post-execution self-repair stage on every served
+    #: method (``config.repair = "pattern_lm"``, see docs/PIPELINE.md).
+    repair: bool = False
 
 
 @dataclass
@@ -465,6 +468,8 @@ class ServingEngine:
         for name in self.config.methods:
             if name not in self._methods:
                 method = build_method(name, seed=self.config.seed)
+                if self.config.repair:
+                    method = with_repair(method)
                 method.prepare(self.dataset)
                 self._methods[name] = method
                 self.stats.warmed_methods += 1

@@ -246,3 +246,93 @@ class TestGatewayDocs:
         reference = _read("docs/SERVING.md")
         for endpoint in ("/query", "/healthz", "/metrics"):
             assert f"`{endpoint}`" in reference, endpoint
+
+
+class TestPipelineDocs:
+    def test_reference_exists_and_is_linked(self):
+        assert (ROOT / "docs" / "PIPELINE.md").exists()
+        assert "docs/PIPELINE.md" in _read("README.md")
+        assert "docs/PIPELINE.md" in _read("DESIGN.md")
+
+    def test_every_canonical_stage_is_documented(self):
+        from repro.obs import STAGES
+        reference = _read("docs/PIPELINE.md")
+        for stage in STAGES:
+            assert f"`{stage}`" in reference, stage
+
+    def test_every_pipeline_config_knob_is_documented(self):
+        import dataclasses
+        from repro.modules import PipelineConfig
+        reference = _read("docs/PIPELINE.md")
+        for config_field in dataclasses.fields(PipelineConfig):
+            assert f"`{config_field.name}`" in reference, (
+                f"PipelineConfig.{config_field.name} missing from"
+                " docs/PIPELINE.md"
+            )
+
+    def test_documented_config_defaults_match_code(self):
+        from repro.modules import PipelineConfig
+        reference = _read("docs/PIPELINE.md")
+        row = re.search(r"\| `repair_budget` \| `(\d+)` \|", reference)
+        assert row, "repair_budget default missing from the knob table"
+        import dataclasses
+        defaults = {
+            f.name: f.default for f in dataclasses.fields(PipelineConfig)
+        }
+        assert int(row.group(1)) == defaults["repair_budget"]
+
+    def test_repair_choices_match_doc(self):
+        from repro.modules import REPAIR_CHOICES
+        reference = _read("docs/PIPELINE.md")
+        for choice in REPAIR_CHOICES:
+            if choice is not None:
+                assert f"`{choice}`" in reference, choice
+
+    def test_repair_classes_match_doc(self):
+        from repro.modules.repair import RepairClass
+        reference = _read("docs/PIPELINE.md")
+        for repair_class in RepairClass:
+            assert f"`{repair_class.value}`" in reference, repair_class
+
+    def test_repair_counters_exist_in_code_and_doc(self):
+        from repro.obs import StageSpan
+        reference = _read("docs/PIPELINE.md")
+        span = StageSpan(stage="repair")
+        for counter in (
+            "repair_attempts", "repair_recovered", "repair_pattern_hits"
+        ):
+            assert hasattr(span, counter), counter
+            assert f"`{counter}`" in reference, (
+                f"{counter} missing from docs/PIPELINE.md"
+            )
+
+    def test_aas_genes_match_doc(self):
+        from repro.core.design_space import DEFAULT_LAYERS, layers_with_repair
+        reference = _read("docs/PIPELINE.md")
+        layers = layers_with_repair()
+        assert set(layers) == set(DEFAULT_LAYERS) | {"repair"}
+        for gene in layers:
+            assert f"`{gene}`" in reference, gene
+
+    def test_documented_symbols_exist(self):
+        # Every `repro.modules.repair` helper the reference names is real.
+        import repro.modules.repair as repair_module
+        reference = _read("docs/PIPELINE.md")
+        for symbol in (
+            "classify_execution_failure", "RepairPatternStore",
+            "RepairClass",
+        ):
+            assert symbol in reference, symbol
+            assert hasattr(repair_module, symbol), symbol
+
+    def test_quickstart_example_is_referenced(self):
+        reference = _read("docs/PIPELINE.md")
+        assert "examples/repair_quickstart.py" in reference
+        assert (ROOT / "examples" / "repair_quickstart.py").exists()
+
+    def test_serve_repair_knob_exists(self):
+        import dataclasses
+        from repro.serve import ServeConfig
+        assert "repair" in {
+            f.name for f in dataclasses.fields(ServeConfig)
+        }

@@ -64,7 +64,7 @@ class TestPipelineConfig:
         config = PipelineConfig(name="x", backbone="gpt-4")
         assert set(config.layer_values()) == {
             "schema_linking", "db_content", "prompting", "multi_step",
-            "intermediate", "decoding", "post_processing",
+            "intermediate", "decoding", "post_processing", "repair",
         }
 
 

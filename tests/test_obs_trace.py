@@ -246,7 +246,7 @@ class TestFailureTaxonomy:
     def test_every_canonical_stage_is_known(self):
         assert set(STAGES) == {
             "schema_linking", "fewshot", "prompt_build", "decode",
-            "post_process", "execute", "score",
+            "post_process", "repair", "execute", "score",
         }
 
     def test_category_lookup(self):

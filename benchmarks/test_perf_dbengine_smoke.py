@@ -1,0 +1,74 @@
+"""Tier-2 perf smoke: the execution-backend layer must not regress.
+
+Runs ``scripts/bench_dbengine.py --quick`` in-process and asserts the
+deterministic gates — result digests bit-identical across 1/2/4
+reader threads (and across backends when more than one is installed),
+exactly one pool checkout per query, zero execution errors, and exact
+``data_version``/pool-refresh counters around an ``apply_write``.
+Wall-clock figures (thread speedup, scan times, the DuckDB-vs-SQLite
+scan ratio) are recorded for trend tracking but never gated; the full
+``scripts/bench_dbengine.py`` run refreshes the tracked
+``BENCH_dbengine.json`` at the repo root (which this quick smoke
+therefore does *not* overwrite).  When DuckDB is absent the document
+records it as unavailable and the gates still pass — hermetic CI needs
+no optional engine.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_dbengine", REPO_ROOT / "scripts" / "bench_dbengine.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_dbengine_quick_smoke(tmp_path):
+    bench_dbengine = _load_bench_module()
+    out = tmp_path / "BENCH_dbengine.json"
+    exit_code = bench_dbengine.main(["--quick", "--out", str(out)])
+    assert exit_code == 0
+
+    result = json.loads(out.read_text())
+    assert result["quick"]
+    assert result["gates_ok"]
+    # The default engine is always measured; every one of its
+    # deterministic gates must hold.
+    sqlite_stage = result["concurrent_reads"]["sqlite"]
+    assert sqlite_stage["available"]
+    assert all(sqlite_stage["gates"].values())
+    # Exactly one pool checkout per query at every thread count — the
+    # read path never bypasses the pool and never double-executes.
+    for doc in sqlite_stage["passes"].values():
+        assert doc["checkouts"] == sqlite_stage["queries"]
+        assert doc["errors"] == 0
+    # Refresh semantics around a write are exact: one version bump, the
+    # write visible to the very next read, one replica refresh paid.
+    refresh = result["refresh"]["sqlite"]
+    assert all(refresh["gates"].values())
+    assert refresh["version_delta"] == 1
+    # The scan stage agrees across every installed backend.
+    assert all(result["scan"]["gates"].values())
+    assert result["cross_backend_digest_identical"]
+    # Optional engines degrade to an honest "not measured" record.
+    for stage_name in ("concurrent_reads", "refresh"):
+        for doc in result[stage_name].values():
+            assert doc.get("available") is not None
+
+
+def test_tracked_dbengine_document_gates_hold():
+    """The committed BENCH_dbengine.json must itself pass its gates."""
+    tracked = json.loads((REPO_ROOT / "BENCH_dbengine.json").read_text())
+    assert tracked["gates_ok"]
+    assert tracked["cross_backend_digest_identical"]

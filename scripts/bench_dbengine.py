@@ -1,0 +1,27 @@
+"""Execution-backend benchmark driver — see repro.dbengine.bench.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_dbengine.py [--quick] \
+        [--backends sqlite duckdb] [--out BENCH_dbengine.json]
+
+Runs the concurrent-read scaling passes (1/2/4 threads, digest and
+checkout-counter gated), the refresh-under-mutation stage (exact
+``data_version`` and pool-refresh counters), and the large-table scan
+comparison across every installed backend; writes the result document
+and exits non-zero if any deterministic gate fails.  Wall-clock
+figures (thread speedup, per-backend scan time, DuckDB-vs-SQLite
+ratio) are recorded for trend tracking but never gated.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dbengine.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

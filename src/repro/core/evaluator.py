@@ -50,6 +50,7 @@ from repro.methods.base import NL2SQLMethod
 from repro.obs.registry import (
     MetricsRegistry,
     ingest_lru_deltas,
+    ingest_pool_deltas,
     ingest_record,
     ingest_span,
 )
@@ -63,15 +64,18 @@ from repro.sqlkit.features import SQLFeatures, extract_features
 GoldCache = dict[str, tuple[ExecutionResult, float]]
 
 
-def gold_key(example: Example, data_version: int = 0) -> str:
-    """Cache key for one distinct (db_id, data_version, gold_sql) gold execution.
+def gold_key(example: Example, data_version: int = 0, backend: str = "sqlite") -> str:
+    """Cache key for one (db_id, backend, data_version, gold_sql) gold execution.
 
     Keying on the database's ``data_version`` means a content mutation
     (``Database.mark_mutated``) invalidates the gold result along with
     every other execution memo — a mid-run mutation can never serve a
-    stale gold row set.
+    stale gold row set.  The execution backend is part of the key so a
+    gold result computed on one engine is never served for another
+    (results must be bit-identical across backends, but errors and
+    timings need not be).
     """
-    return f"{example.db_id}::{data_version}::{example.gold_sql}"
+    return f"{example.db_id}::{backend}::{data_version}::{example.gold_sql}"
 
 
 class Evaluator:
@@ -104,7 +108,7 @@ class Evaluator:
 
     def _gold_execution(self, example: Example) -> tuple[ExecutionResult, float]:
         database = self.dataset.database(example.db_id)
-        key = gold_key(example, database.data_version)
+        key = gold_key(example, database.data_version, database.backend_name)
         if key not in self._gold_cache:
             if self.measure_timing:
                 timed = timed_execute(
@@ -125,8 +129,8 @@ class Evaluator:
         """
         fresh = 0
         for example in examples:
-            version = self.dataset.database(example.db_id).data_version
-            if gold_key(example, version) not in self._gold_cache:
+            database = self.dataset.database(example.db_id)
+            if gold_key(example, database.data_version, database.backend_name) not in self._gold_cache:
                 self._gold_execution(example)
                 fresh += 1
         return fresh
@@ -142,7 +146,10 @@ class Evaluator:
         with trace.example(method.name, example.example_id) as span:
             database = self.dataset.database(example.db_id)
             prediction = method.predict(example, database)
-            gold_cached = gold_key(example, database.data_version) in self._gold_cache
+            gold_cached = (
+                gold_key(example, database.data_version, database.backend_name)
+                in self._gold_cache
+            )
             with trace.stage("execute") as stage:
                 stage.cache_hit = gold_cached
                 gold_result, gold_seconds = self._gold_execution(example)
@@ -201,12 +208,21 @@ class Evaluator:
             predicted_truncated=predicted_result.truncated,
         )
 
+    def pool_totals(self) -> dict[str, int]:
+        """Read-path counters summed over this dataset's databases."""
+        totals = {"created": 0, "checkouts": 0, "refreshes": 0, "waits": 0}
+        for database in self.dataset.databases.values():
+            for key, value in database.pool_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
     def _collect_observability(
         self,
         method_name: str,
         records: list[EvaluationRecord],
         fresh_gold: int,
         lru_before: dict[str, dict[str, int]] | None = None,
+        pool_before: dict[str, int] | None = None,
     ) -> tuple[list[ExampleSpan], MetricsRegistry | None]:
         """Drain this method's spans and build its per-run metrics."""
         trace = get_tracer()
@@ -222,6 +238,9 @@ class Evaluator:
             benchmark=self.dataset.name,
         )
         ingest_lru_deltas(registry, self.dataset.name, method_name, lru_before)
+        ingest_pool_deltas(
+            registry, self.dataset.name, method_name, pool_before, self.pool_totals()
+        )
         for record in records:
             ingest_record(registry, self.dataset.name, record)
         for span in spans:
@@ -242,9 +261,10 @@ class Evaluator:
         if prepare:
             method.prepare(self.dataset)
         examples = examples if examples is not None else self.dataset.split(split)
-        # Snapshot the process-cumulative LRU counters so the collected
-        # metrics carry only this run's hit/miss deltas.
+        # Snapshot the process-cumulative LRU and read-path counters so
+        # the collected metrics carry only this run's deltas.
         lru_before = lru_cache_stats()
+        pool_before = self.pool_totals()
         # Precompute gold up front: each distinct gold query runs exactly
         # once, and every example span sees the gold cache warm — same
         # behaviour as the parallel engine, so span trees are comparable.
@@ -253,7 +273,7 @@ class Evaluator:
         for example in examples:
             report.records.append(self.evaluate_example(method, example))
         spans, registry = self._collect_observability(
-            method.name, report.records, fresh_gold, lru_before
+            method.name, report.records, fresh_gold, lru_before, pool_before
         )
         if self.log_store is not None:
             run_id = self.log_store.store_records(self.dataset.name, report.records)

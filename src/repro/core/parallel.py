@@ -69,6 +69,7 @@ from repro.modules.base import PipelineConfig
 from repro.obs.registry import (
     MetricsRegistry,
     ingest_lru_deltas,
+    ingest_pool_deltas,
     ingest_record,
     ingest_span,
 )
@@ -323,7 +324,8 @@ class ParallelEvaluator:
             # worker's freshly-built dataset reproduces deterministically.
             gold_updates = {}
             for e in chunk:
-                key = gold_key(e, self.dataset.database(e.db_id).data_version)
+                database = self.dataset.database(e.db_id)
+                key = gold_key(e, database.data_version, database.backend_name)
                 gold_updates[key] = self._gold_cache[key]
             ids = [e.example_id for e in chunk]
             futures.append(pool.submit(_worker_evaluate, spec, ids, gold_updates))
@@ -361,10 +363,11 @@ class ParallelEvaluator:
     ) -> MethodReport:
         """Evaluate ``method`` on ``examples`` (default: the dev split)."""
         examples = list(examples) if examples is not None else self.dataset.split(split)
-        # Snapshot the process-cumulative LRU counters so the collected
-        # metrics carry only this run's hit/miss deltas (coordinator
+        # Snapshot the process-cumulative LRU and read-path counters so
+        # the collected metrics carry only this run's deltas (coordinator
         # process only; worker-process memos stay worker-local).
         lru_before = lru_cache_stats()
+        pool_before = self._local.pool_totals()
         cached: dict[str, EvaluationRecord] = {}
         fingerprint: str | None = None
         if self.use_result_cache and MethodSpec.from_method(method) is not None:
@@ -405,7 +408,7 @@ class ParallelEvaluator:
             for e in examples
         ]
         spans, registry = self._collect_observability(
-            method.name, report.records, cached, fresh_gold, lru_before
+            method.name, report.records, cached, fresh_gold, lru_before, pool_before
         )
         if fingerprint is not None and fresh:
             self.log_store.store_cached_records(fingerprint, list(fresh.values()))
@@ -423,6 +426,7 @@ class ParallelEvaluator:
         cached: dict[str, EvaluationRecord],
         fresh_gold: int,
         lru_before: dict[str, dict[str, int]] | None = None,
+        pool_before: dict[str, int] | None = None,
     ) -> tuple[list[ExampleSpan], MetricsRegistry | None]:
         """Drain this method's spans (synthesizing cache-hit spans) and
         build its per-run metrics — mirror of the sequential evaluator's."""
@@ -460,6 +464,13 @@ class ParallelEvaluator:
             benchmark=self.dataset.name,
         )
         ingest_lru_deltas(registry, self.dataset.name, method_name, lru_before)
+        ingest_pool_deltas(
+            registry,
+            self.dataset.name,
+            method_name,
+            pool_before,
+            self._local.pool_totals(),
+        )
         for record in records:
             ingest_record(
                 registry,

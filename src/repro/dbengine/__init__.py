@@ -1,11 +1,24 @@
-"""SQLite-backed database engine: materialization, safe execution, timing.
+"""Database engine: materialization, safe execution, timing — pluggable.
 
-Reads run through a per-database pool of read-only replica connections
-(:mod:`repro.dbengine.pool`); the legacy locked shared-connection path
-remains available via :func:`pooling_disabled` for equivalence testing.
+Engines live behind the :class:`~repro.dbengine.backends.ExecutionBackend`
+adapter (``sqlite`` default, ``duckdb`` optional).  On the SQLite
+backend, reads run through a per-database pool of read-only replica
+connections (:mod:`repro.dbengine.pool`); the legacy locked
+shared-connection path remains available via :func:`pooling_disabled`
+for equivalence testing.  See docs/BACKENDS.md.
 """
 
-from repro.dbengine.database import Database
+from repro.dbengine.backends import (
+    BackendCapabilities,
+    BackendUnavailableError,
+    ExecutionBackend,
+    available_backends,
+    backend_available,
+    create_backend,
+    register_backend,
+    registered_backends,
+)
+from repro.dbengine.database import Database, clone_database
 from repro.dbengine.executor import ExecutionResult, execute_sql, results_match
 from repro.dbengine.pool import (
     DEFAULT_POOL_SIZE,
@@ -18,8 +31,17 @@ from repro.dbengine.pool import (
 from repro.dbengine.timing import TimedExecution, timed_execute, ves_ratio
 
 __all__ = [
+    "BackendCapabilities",
+    "BackendUnavailableError",
     "Database",
+    "ExecutionBackend",
     "ExecutionResult",
+    "available_backends",
+    "backend_available",
+    "clone_database",
+    "create_backend",
+    "register_backend",
+    "registered_backends",
     "execute_sql",
     "results_match",
     "TimedExecution",

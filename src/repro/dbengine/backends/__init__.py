@@ -1,0 +1,34 @@
+"""Pluggable execution backends for :class:`~repro.dbengine.Database`.
+
+Importing this package registers the built-in engines: ``sqlite``
+(always available, replica-pool reads) and ``duckdb`` (optional
+dependency, MVCC concurrent reads + columnar scans).  See
+docs/BACKENDS.md for the adapter contract and how to add an engine.
+"""
+
+from repro.dbengine.backends.base import (
+    BackendCapabilities,
+    BackendUnavailableError,
+    ExecutionBackend,
+    available_backends,
+    backend_available,
+    create_backend,
+    register_backend,
+    registered_backends,
+)
+from repro.dbengine.backends.duckdb import DuckDBBackend, duckdb_available
+from repro.dbengine.backends.sqlite import SQLiteBackend
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendUnavailableError",
+    "ExecutionBackend",
+    "SQLiteBackend",
+    "DuckDBBackend",
+    "available_backends",
+    "backend_available",
+    "create_backend",
+    "duckdb_available",
+    "register_backend",
+    "registered_backends",
+]

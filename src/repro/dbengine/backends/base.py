@@ -1,0 +1,216 @@
+"""The ``ExecutionBackend`` adapter protocol and backend registry.
+
+``Database`` is a facade: it owns the schema model, the ``lock``, the
+monotonic ``data_version`` counter, and the mutation-listener fan-out,
+while everything engine-specific — connections, DDL materialization,
+writes, and read-only query execution — lives behind a narrow
+:class:`ExecutionBackend` adapter.  Backends are registered by name in a
+process-global registry with an availability probe, so optional engines
+(DuckDB) degrade to "registered but unavailable" instead of breaking
+imports when the package is absent.
+
+Contract highlights (see docs/BACKENDS.md for the full rules):
+
+* ``execute_readonly`` must *enforce* read-only execution, not assume
+  it, and must report a rejected write with the exact SQLite error
+  string ``"attempt to write a readonly database"`` so the repair
+  taxonomy and evaluation records are backend-invariant.
+* ``apply_write`` / ``insert_many`` commit on success and roll back on
+  failure; a failed write must leave the engine with no partial state
+  and the caller must not bump ``data_version`` for it.
+* Backends never touch ``data_version`` themselves — the facade bumps
+  it after a successful write and backends observe it (the SQLite
+  replica pool refreshes stale snapshots; MVCC engines need no action).
+* ``read_stats`` returns the deterministic ``created`` / ``checkouts``
+  / ``refreshes`` / ``waits`` counters (all zero when a concept does
+  not apply) that feed the ``pool_*`` metrics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.dbengine.pool import DEFAULT_POOL_SIZE
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (type-only)
+    from repro.dbengine.database import Database
+    from repro.dbengine.executor import ExecutionResult
+    from repro.dbengine.pool import ReadConnectionPool
+
+
+class BackendUnavailableError(ExecutionError):
+    """Raised when a requested backend's engine package is not importable."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """Static capability flags advertised by an execution backend.
+
+    ``concurrent_reads``
+        True when the engine serves snapshot reads from many threads
+        natively (MVCC) without per-thread replica copies.
+    ``columnar``
+        True for column-oriented storage where analytical scans are
+        expected to beat a row store.
+    ``snapshot_isolation``
+        How a read sees a stable content version: ``"replica-pool"``
+        (copy-on-refresh replicas keyed on ``data_version``), ``"mvcc"``
+        (engine-native snapshots), or ``"locked"`` (serialized on the
+        master connection).
+    ``supports_backup``
+        True when the engine exposes the ``sqlite3`` backup API used by
+        the Spider-format export path.
+    """
+
+    name: str
+    dialect: str
+    concurrent_reads: bool
+    columnar: bool
+    snapshot_isolation: str
+    supports_backup: bool
+
+
+class ExecutionBackend(ABC):
+    """Narrow adapter every execution engine implements.
+
+    One backend instance is owned by exactly one :class:`Database`; the
+    facade calls :meth:`bind` before :meth:`connect`.  Methods that read
+    or write the master store (``run``, ``apply_write``,
+    ``insert_many``) are called with ``Database.lock`` held;
+    ``execute_readonly`` is called without it (unless ``serialized``)
+    and must be safe from many threads at once.
+    """
+
+    capabilities: ClassVar[BackendCapabilities]
+
+    def __init__(self) -> None:
+        self._database: "Database | None" = None
+
+    def bind(self, database: "Database") -> None:
+        """Attach the owning facade (lock / data_version live there)."""
+        self._database = database
+
+    @property
+    def database(self) -> "Database":
+        if self._database is None:  # pragma: no cover - misuse guard
+            raise ExecutionError("backend is not bound to a Database")
+        return self._database
+
+    # -- lifecycle ------------------------------------------------------
+
+    @abstractmethod
+    def connect(self, path: str | None) -> None:
+        """Open the master store (in-memory when ``path`` is None)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Close the master connection and any read snapshots."""
+
+    @property
+    @abstractmethod
+    def connection(self) -> object:
+        """The engine-native master connection handle."""
+
+    # -- schema / writes (caller holds Database.lock) -------------------
+
+    @abstractmethod
+    def existing_tables(self) -> set[str]:
+        """Names of tables already materialized in the store."""
+
+    @abstractmethod
+    def materialize(self, statements: Sequence[str]) -> None:
+        """Execute DDL statements and commit."""
+
+    @abstractmethod
+    def run(self, sql: str, params: Sequence[object] = ()) -> list[tuple]:
+        """Run one master-side query and fetch all rows (introspection)."""
+
+    @abstractmethod
+    def apply_write(self, sql: str, params: Sequence[object] = ()) -> int:
+        """Execute one DML statement and commit; roll back and raise
+        :class:`~repro.errors.ExecutionError` on failure.  Returns the
+        affected row count (or -1 when the engine cannot report it)."""
+
+    @abstractmethod
+    def insert_many(self, sql: str, rows: Iterable[Sequence[object]]) -> None:
+        """Bulk-execute one INSERT and commit; roll back and raise on
+        failure so a failed batch leaves no partial rows behind."""
+
+    # -- reads ----------------------------------------------------------
+
+    @abstractmethod
+    def execute_readonly(
+        self,
+        sql: str,
+        max_rows: int,
+        timeout_ms: int | None,
+        serialized: bool = False,
+    ) -> "ExecutionResult":
+        """Execute ``sql`` with writes rejected; never raises.
+
+        ``serialized=True`` selects the legacy equivalence path that
+        serializes on ``Database.lock`` (used under
+        :func:`~repro.dbengine.pool.pooling_disabled`); results must be
+        bit-identical either way.
+        """
+
+    def read_pool(self) -> "ReadConnectionPool":
+        """The replica pool, for ``snapshot_isolation == "replica-pool"``."""
+        raise ExecutionError(
+            f"{self.capabilities.name} backend has no replica pool "
+            f"(snapshot isolation: {self.capabilities.snapshot_isolation})"
+        )
+
+    def read_stats(self) -> dict[str, int]:
+        """Deterministic read-path counters (PoolStats-shaped)."""
+        return {"created": 0, "checkouts": 0, "refreshes": 0, "waits": 0}
+
+
+# -- registry ------------------------------------------------------------
+
+_FACTORIES: dict[str, Callable[[int], ExecutionBackend]] = {}
+_PROBES: dict[str, Callable[[], bool]] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[int], ExecutionBackend],
+    available: Callable[[], bool] = lambda: True,
+) -> None:
+    """Register ``factory(pool_size)`` under ``name`` with an availability probe."""
+    _FACTORIES[name] = factory
+    _PROBES[name] = available
+
+
+def registered_backends() -> list[str]:
+    """All registered backend names, available or not."""
+    return sorted(_FACTORIES)
+
+
+def backend_available(name: str) -> bool:
+    """True when ``name`` is registered and its engine package imports."""
+    probe = _PROBES.get(name)
+    return bool(probe and probe())
+
+
+def available_backends() -> list[str]:
+    """Registered backends whose engine package is importable."""
+    return [name for name in registered_backends() if backend_available(name)]
+
+
+def create_backend(name: str, pool_size: int = DEFAULT_POOL_SIZE) -> ExecutionBackend:
+    """Instantiate a registered backend; raise a typed error otherwise."""
+    if name not in _FACTORIES:
+        raise BackendUnavailableError(
+            f"unknown execution backend {name!r} (registered: {', '.join(registered_backends())})"
+        )
+    if not backend_available(name):
+        raise BackendUnavailableError(
+            f"execution backend {name!r} is registered but unavailable "
+            f"(engine package not installed; available: {', '.join(available_backends())})"
+        )
+    return _FACTORIES[name](pool_size)

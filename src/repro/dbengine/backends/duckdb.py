@@ -1,0 +1,281 @@
+"""The DuckDB execution backend — columnar storage with true MVCC reads.
+
+DuckDB is an *optional* dependency: this module imports cleanly without
+the package (the registry probe reports it unavailable and every DuckDB
+test skips), so tier-1 stays hermetic.  When present, the backend
+serves concurrent reads from per-thread cursors over one shared store —
+DuckDB cursors are full MVCC connections, so readers see a consistent
+snapshot without the per-thread replica copies SQLite needs — and runs
+analytical scans column-at-a-time.
+
+Contract notes:
+
+* DuckDB has no ``PRAGMA query_only``, so read-only execution is
+  enforced with a statement-first-keyword guard; a rejected write
+  reports SQLite's exact ``"attempt to write a readonly database"``
+  message so failure taxonomy and evaluation records stay
+  backend-invariant.
+* Timeouts use a :class:`threading.Timer` driving ``interrupt()`` on
+  the executing cursor; an interrupted query reports a ``timeout:``
+  error exactly like the SQLite progress-handler path.
+* ``read_stats`` maps the pool vocabulary onto cursors: ``created``
+  counts per-thread cursors opened, ``checkouts`` counts reads served;
+  ``refreshes``/``waits`` stay zero (MVCC needs neither).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.dbengine.backends.base import (
+    BackendCapabilities,
+    ExecutionBackend,
+    register_backend,
+)
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (type-only)
+    from repro.dbengine.executor import ExecutionResult
+
+_READONLY_ERROR = "attempt to write a readonly database"
+
+#: First keywords of statements the read-only executor will run.
+_READONLY_KEYWORDS = frozenset(
+    {"select", "with", "values", "describe", "show", "explain", "from"}
+)
+
+_available: bool | None = None
+
+
+def duckdb_available() -> bool:
+    """True when the ``duckdb`` package imports (probed once)."""
+    global _available
+    if _available is None:
+        try:
+            import duckdb  # noqa: F401
+
+            _available = True
+        except ImportError:
+            _available = False
+    return _available
+
+
+def _first_keyword(sql: str) -> str:
+    """The first bare keyword of ``sql``, skipping comments and parens."""
+    text = sql.lstrip()
+    while True:
+        if text.startswith("--"):
+            newline = text.find("\n")
+            if newline < 0:
+                return ""
+            text = text[newline + 1 :].lstrip()
+        elif text.startswith("/*"):
+            end = text.find("*/")
+            if end < 0:
+                return ""
+            text = text[end + 2 :].lstrip()
+        elif text.startswith("("):
+            text = text[1:].lstrip()
+        else:
+            break
+    word = []
+    for ch in text:
+        if ch.isalpha() or ch == "_":
+            word.append(ch)
+        else:
+            break
+    return "".join(word).lower()
+
+
+class DuckDBBackend(ExecutionBackend):
+    """Columnar MVCC engine behind the ExecutionBackend adapter."""
+
+    capabilities = BackendCapabilities(
+        name="duckdb",
+        dialect="duckdb",
+        concurrent_reads=True,
+        columnar=True,
+        snapshot_isolation="mvcc",
+        supports_backup=False,
+    )
+
+    def __init__(self, pool_size: int = 0) -> None:
+        super().__init__()
+        del pool_size  # MVCC reads need no replica pool
+        self._connection = None
+        self._local = threading.local()
+        self._cursors: list[object] = []
+        self._stats_lock = threading.Lock()
+        self._stats = {"created": 0, "checkouts": 0, "refreshes": 0, "waits": 0}
+
+    # -- lifecycle ------------------------------------------------------
+
+    def connect(self, path: str | None) -> None:
+        import duckdb
+
+        self._connection = duckdb.connect(path) if path else duckdb.connect()
+
+    def close(self) -> None:
+        for cursor in self._cursors:
+            try:
+                cursor.close()
+            except Exception:  # pragma: no cover - engine-version tolerant
+                pass
+        self._cursors.clear()
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    @property
+    def connection(self) -> object:
+        if self._connection is None:  # pragma: no cover - misuse guard
+            raise ExecutionError("duckdb backend is not connected")
+        return self._connection
+
+    # -- schema / writes ------------------------------------------------
+
+    def existing_tables(self) -> set[str]:
+        rows = self.connection.execute(
+            "SELECT table_name FROM information_schema.tables "
+            "WHERE table_schema = 'main'"
+        ).fetchall()
+        return {row[0] for row in rows}
+
+    def materialize(self, statements: Sequence[str]) -> None:
+        for statement in statements:
+            self.connection.execute(statement)
+
+    def run(self, sql: str, params: Sequence[object] = ()) -> list[tuple]:
+        cursor = self._execute(self.connection, sql, params)
+        return [tuple(row) for row in cursor.fetchall()]
+
+    @staticmethod
+    def _execute(handle: object, sql: str, params: Sequence[object] = ()) -> object:
+        if params:
+            return handle.execute(sql, list(params))
+        return handle.execute(sql)
+
+    def apply_write(self, sql: str, params: Sequence[object] = ()) -> int:
+        connection = self.connection
+        try:
+            connection.execute("BEGIN TRANSACTION")
+            cursor = self._execute(connection, sql, params)
+            affected = self._affected_rows(cursor)
+            connection.execute("COMMIT")
+        except Exception as exc:
+            self._rollback(connection)
+            raise ExecutionError(str(exc), sql) from exc
+        return affected
+
+    def insert_many(self, sql: str, rows: Iterable[Sequence[object]]) -> None:
+        connection = self.connection
+        try:
+            connection.execute("BEGIN TRANSACTION")
+            connection.executemany(sql, [list(row) for row in rows])
+            connection.execute("COMMIT")
+        except Exception as exc:
+            self._rollback(connection)
+            raise ExecutionError(str(exc), sql) from exc
+
+    @staticmethod
+    def _rollback(connection: object) -> None:
+        try:
+            connection.execute("ROLLBACK")
+        except Exception:  # pragma: no cover - already out of transaction
+            pass
+
+    @staticmethod
+    def _affected_rows(cursor: object) -> int:
+        # DuckDB reports DML row counts as a one-row result ("Count").
+        try:
+            rows = cursor.fetchall()
+        except Exception:  # pragma: no cover - engine-version tolerant
+            return -1
+        if len(rows) == 1 and len(rows[0]) == 1 and isinstance(rows[0][0], int):
+            return rows[0][0]
+        return -1
+
+    # -- reads ----------------------------------------------------------
+
+    def _thread_cursor(self) -> object:
+        cursor = getattr(self._local, "cursor", None)
+        if cursor is None:
+            # cursor() opens a sibling MVCC connection over the same
+            # store — the concurrent-read analogue of a pool replica.
+            cursor = self.connection.cursor()
+            self._local.cursor = cursor
+            with self._stats_lock:
+                self._stats["created"] += 1
+                self._cursors.append(cursor)
+        return cursor
+
+    def execute_readonly(
+        self,
+        sql: str,
+        max_rows: int,
+        timeout_ms: int | None,
+        serialized: bool = False,
+    ) -> "ExecutionResult":
+        from repro.dbengine.executor import ExecutionResult
+
+        with self._stats_lock:
+            self._stats["checkouts"] += 1
+        if _first_keyword(sql) not in _READONLY_KEYWORDS:
+            return ExecutionResult(error=_READONLY_ERROR, sql=sql)
+        if serialized:
+            # Equivalence path mirroring pooling_disabled(): serialize
+            # on the database lock, still on a private cursor.
+            with self.database.lock:
+                return self._run_readonly(self._thread_cursor(), sql, max_rows, timeout_ms)
+        return self._run_readonly(self._thread_cursor(), sql, max_rows, timeout_ms)
+
+    def _run_readonly(
+        self,
+        cursor: object,
+        sql: str,
+        max_rows: int,
+        timeout_ms: int | None,
+    ) -> "ExecutionResult":
+        from repro.dbengine.executor import ExecutionResult
+
+        timer: threading.Timer | None = None
+        interrupted = threading.Event()
+        if timeout_ms is not None:
+
+            def _interrupt() -> None:
+                interrupted.set()
+                try:
+                    cursor.interrupt()
+                except Exception:  # pragma: no cover - engine-version tolerant
+                    pass
+
+            timer = threading.Timer(max(timeout_ms, 1) / 1000.0, _interrupt)
+            timer.daemon = True
+            timer.start()
+        try:
+            result = self._execute(cursor, sql)
+            rows = result.fetchmany(max_rows + 1)
+            truncated = len(rows) > max_rows
+            if truncated:
+                rows = rows[:max_rows]
+            return ExecutionResult(
+                rows=[tuple(row) for row in rows], sql=sql, truncated=truncated
+            )
+        except Exception as exc:
+            message = str(exc)
+            if interrupted.is_set() or "interrupt" in message.lower():
+                return ExecutionResult(error=f"timeout: {message}", sql=sql)
+            return ExecutionResult(error=message, sql=sql)
+        finally:
+            if timer is not None:
+                timer.cancel()
+            self._rollback(cursor)
+
+    def read_stats(self) -> dict[str, int]:
+        with self._stats_lock:
+            return dict(self._stats)
+
+
+register_backend("duckdb", DuckDBBackend, available=duckdb_available)

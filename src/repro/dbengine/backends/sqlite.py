@@ -1,0 +1,148 @@
+"""The SQLite execution backend — the default, always-available engine.
+
+This is the pre-refactor ``Database`` behaviour moved behind the
+:class:`~repro.dbengine.backends.base.ExecutionBackend` adapter, byte
+for byte: one master connection (``check_same_thread=False``, foreign
+keys on) guarded by ``Database.lock`` for writes, and reads served from
+the per-database :class:`~repro.dbengine.pool.ReadConnectionPool` of
+``:memory:`` replicas refreshed via the backup API whenever
+``data_version`` advanced.  The ``serialized`` read path (used under
+:func:`~repro.dbengine.pool.pooling_disabled`) toggles
+``PRAGMA query_only`` on the shared master connection under the lock,
+exactly as the legacy executor did.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.dbengine.backends.base import (
+    BackendCapabilities,
+    ExecutionBackend,
+    register_backend,
+)
+from repro.dbengine.pool import DEFAULT_POOL_SIZE, ReadConnectionPool
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (type-only)
+    from repro.dbengine.executor import ExecutionResult
+
+
+class SQLiteBackend(ExecutionBackend):
+    """Row-store engine with replica-pool snapshot reads."""
+
+    capabilities = BackendCapabilities(
+        name="sqlite",
+        dialect="sqlite",
+        concurrent_reads=False,
+        columnar=False,
+        snapshot_isolation="replica-pool",
+        supports_backup=True,
+    )
+
+    def __init__(self, pool_size: int = DEFAULT_POOL_SIZE) -> None:
+        super().__init__()
+        self._pool_size = pool_size
+        self._pool: ReadConnectionPool | None = None
+        self._connection: sqlite3.Connection | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def connect(self, path: str | None) -> None:
+        # check_same_thread=False lets the parallel evaluator's thread
+        # pool share this connection; Database.lock serializes access.
+        self._connection = sqlite3.connect(path or ":memory:", check_same_thread=False)
+        self._connection.execute("PRAGMA foreign_keys = ON")
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        if self._connection is None:  # pragma: no cover - misuse guard
+            raise ExecutionError("sqlite backend is not connected")
+        return self._connection
+
+    # -- schema / writes ------------------------------------------------
+
+    def existing_tables(self) -> set[str]:
+        return {
+            row[0]
+            for row in self.connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+
+    def materialize(self, statements: Sequence[str]) -> None:
+        self.connection.executescript(";\n\n".join(statements) + ";")
+        self.connection.commit()
+
+    def run(self, sql: str, params: Sequence[object] = ()) -> list[tuple]:
+        cursor = self.connection.execute(sql, tuple(params))
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def apply_write(self, sql: str, params: Sequence[object] = ()) -> int:
+        try:
+            cursor = self.connection.execute(sql, tuple(params))
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            self.connection.rollback()
+            raise ExecutionError(str(exc), sql) from exc
+        return cursor.rowcount
+
+    def insert_many(self, sql: str, rows: Iterable[Sequence[object]]) -> None:
+        try:
+            self.connection.executemany(sql, rows)
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            # Roll back so a failed batch leaves no partial rows parked
+            # in an open transaction for a later commit to publish.
+            self.connection.rollback()
+            raise ExecutionError(str(exc), sql) from exc
+
+    # -- reads ----------------------------------------------------------
+
+    def execute_readonly(
+        self,
+        sql: str,
+        max_rows: int,
+        timeout_ms: int | None,
+        serialized: bool = False,
+    ) -> "ExecutionResult":
+        from repro.dbengine.executor import run_readonly_sqlite
+
+        if not serialized:
+            with self.read_pool().checkout() as connection:
+                return run_readonly_sqlite(connection, sql, max_rows, timeout_ms)
+        connection = self.connection
+        # Legacy path: the database lock serializes concurrent executions
+        # on the one shared connection — the PRAGMA toggle and
+        # progress-handler install/remove must not interleave.
+        with self.database.lock:
+            connection.execute("PRAGMA query_only = ON")
+            try:
+                return run_readonly_sqlite(connection, sql, max_rows, timeout_ms)
+            finally:
+                connection.execute("PRAGMA query_only = OFF")
+
+    def read_pool(self) -> ReadConnectionPool:
+        with self.database.lock:
+            if self._pool is None:
+                self._pool = ReadConnectionPool(self.database, size=self._pool_size)
+            return self._pool
+
+    def read_stats(self) -> dict[str, int]:
+        with self.database.lock:
+            if self._pool is None:
+                return super().read_stats()
+            return self._pool.stats.as_dict()
+
+
+register_backend("sqlite", SQLiteBackend)

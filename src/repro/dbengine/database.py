@@ -1,17 +1,21 @@
-"""A populated SQLite database bound to a :class:`DatabaseSchema`.
+"""A populated database bound to a :class:`DatabaseSchema`.
 
-``Database`` owns a SQLite connection (in-memory by default, or file-backed
-for persistence), materializes the schema's DDL, bulk-loads rows, and
-offers value lookups used by BRIDGE-style DB-content matching.
+``Database`` is an engine-agnostic facade: it owns the schema model,
+the ``lock``, the monotonic ``data_version`` counter, the mutation
+listeners, and the value caches used by BRIDGE-style DB-content
+matching, while connections, DDL materialization, writes, and read-only
+execution live behind a pluggable
+:class:`~repro.dbengine.backends.ExecutionBackend` (``sqlite`` by
+default; ``duckdb`` when the optional package is installed).
 """
 
 from __future__ import annotations
 
-import sqlite3
 import threading
 from collections.abc import Callable, Iterable, Sequence
 from pathlib import Path
 
+from repro.dbengine.backends.base import ExecutionBackend, create_backend
 from repro.dbengine.pool import DEFAULT_POOL_SIZE, ReadConnectionPool
 from repro.errors import ExecutionError, SchemaError
 from repro.schema.ddl import render_schema_ddl
@@ -19,22 +23,23 @@ from repro.schema.model import ColumnType, DatabaseSchema
 
 
 class Database:
-    """A live SQLite database plus its in-memory schema model."""
+    """A live database plus its in-memory schema model."""
 
     def __init__(
         self,
         schema: DatabaseSchema,
         path: str | Path | None = None,
         pool_size: int = DEFAULT_POOL_SIZE,
+        backend: str | ExecutionBackend = "sqlite",
     ) -> None:
         self.schema = schema
-        self._path = str(path) if path is not None else ":memory:"
-        # check_same_thread=False lets the parallel evaluator's thread pool
-        # share this connection; the lock serializes access because the
-        # progress-handler install/remove in execute_sql is not atomic.
-        self.connection = sqlite3.connect(self._path, check_same_thread=False)
+        self._path = str(path) if path is not None else None
+        if isinstance(backend, str):
+            backend = create_backend(backend, pool_size=pool_size)
+        self.backend = backend
+        self.backend.bind(self)
         self.lock = threading.RLock()
-        self.connection.execute("PRAGMA foreign_keys = ON")
+        self.backend.connect(self._path)
         self._create_tables()
         self._value_cache: dict[tuple[str, str, int], list[object]] = {}
         # Monotonic content-version counter; execution caches key on it so
@@ -43,54 +48,54 @@ class Database:
         # Callbacks fired (with (db_id, new_version)) after every
         # data_version bump; the serving response cache subscribes here.
         self._mutation_listeners: list[Callable[[str, int], None]] = []
-        # Read-only replica pool, created lazily on first pooled read.
-        self._pool_size = pool_size
-        self._pool: ReadConnectionPool | None = None
 
     # -- lifecycle ------------------------------------------------------
 
     def _create_tables(self) -> None:
-        existing = {
-            row[0]
-            for row in self.connection.execute(
-                "SELECT name FROM sqlite_master WHERE type = 'table'"
-            )
-        }
-        if existing:
+        if self.backend.existing_tables():
             return  # file-backed database already materialized
         ddl = render_schema_ddl(self.schema)
-        self.connection.executescript(ddl.replace(")\n\nCREATE", ");\n\nCREATE") + ";")
-        self.connection.commit()
+        statements = [part.strip() for part in ddl.split("\n\n") if part.strip()]
+        self.backend.materialize(statements)
 
     def close(self) -> None:
         with self.lock:
-            if self._pool is not None:
-                self._pool.close()
-                self._pool = None
-            self.connection.close()
+            self.backend.close()
+
+    @property
+    def connection(self):  # noqa: ANN201 - engine-native handle
+        """The backend's master connection (``sqlite3.Connection`` for
+        the default backend).  Direct writers must call
+        :meth:`mark_mutated` themselves."""
+        return self.backend.connection
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the execution backend (e.g. ``"sqlite"``)."""
+        return self.backend.capabilities.name
 
     def read_pool(self) -> ReadConnectionPool:
-        """The lazily-created read-only replica pool for this database."""
-        with self.lock:
-            if self._pool is None:
-                self._pool = ReadConnectionPool(self, size=self._pool_size)
-            return self._pool
+        """The lazily-created read-only replica pool for this database.
+
+        Only meaningful for replica-pool backends (sqlite); MVCC
+        backends raise — their reads need no replicas.
+        """
+        return self.backend.read_pool()
 
     def pool_stats(self) -> dict[str, int]:
-        """Deterministic pool counters (all zero before the first read)."""
-        with self.lock:
-            if self._pool is None:
-                return {"created": 0, "checkouts": 0, "refreshes": 0, "waits": 0}
-            return self._pool.stats.as_dict()
+        """Deterministic read-path counters (all zero before the first read)."""
+        return self.backend.read_stats()
 
     def mark_mutated(self) -> None:
         """Record an out-of-band content mutation (e.g. a bulk restore).
 
         Bumps ``data_version`` and drops value caches, so execution memos
         and pooled replicas refresh before their next use, then notifies
-        every registered mutation listener.  ``insert_rows`` calls this
-        implicitly; callers writing through ``connection`` directly
-        (restores, migrations) must call it themselves.
+        every registered mutation listener.  ``insert_rows`` and
+        ``apply_write`` call this implicitly — strictly *after* their
+        commit succeeded, so listeners never observe a version bump for
+        a write that rolled back; callers writing through ``connection``
+        directly (restores, migrations) must call it themselves.
         """
         with self.lock:
             self._value_cache.clear()
@@ -107,16 +112,16 @@ class Database:
         gateway routes ``/apply`` requests here): the statement runs
         under the database lock, commits, and then :meth:`mark_mutated`
         bumps ``data_version`` and notifies listeners so response caches
-        and pooled replicas invalidate.  Returns the affected row count.
+        and pooled replicas invalidate.  A failed write rolls back and
+        raises without bumping the version or firing listeners — a
+        rejected mutation must not invalidate response caches.  Returns
+        the affected row count.
         """
         with self.lock:
             try:
-                cursor = self.connection.execute(sql, tuple(params))
-                self.connection.commit()
-            except sqlite3.Error as exc:
-                self.connection.rollback()
+                affected = self.backend.apply_write(sql, tuple(params))
+            except ExecutionError as exc:
                 raise ExecutionError(f"write failed on {self.db_id}: {exc}") from exc
-            affected = cursor.rowcount
         self.mark_mutated()
         return affected
 
@@ -151,7 +156,12 @@ class Database:
     # -- loading --------------------------------------------------------
 
     def insert_rows(self, table_name: str, rows: Iterable[Sequence[object]]) -> int:
-        """Bulk-insert rows into ``table_name``; returns the row count."""
+        """Bulk-insert rows into ``table_name``; returns the row count.
+
+        The whole batch commits or rolls back as one unit: on failure no
+        partial rows survive, ``data_version`` does not advance, and no
+        mutation listener fires.
+        """
         if not self.schema.has_table(table_name):
             raise SchemaError(f"unknown table {table_name!r}")
         columns = self.schema.table(table_name).columns
@@ -161,17 +171,16 @@ class Database:
         rows = list(rows)
         with self.lock:
             try:
-                self.connection.executemany(sql, rows)
-            except sqlite3.Error as exc:
+                self.backend.insert_many(sql, rows)
+            except ExecutionError as exc:
                 raise ExecutionError(f"insert into {table_name} failed: {exc}", sql) from exc
-            self.connection.commit()
             self.mark_mutated()
         return len(rows)
 
     def row_count(self, table_name: str) -> int:
         with self.lock:
-            cursor = self.connection.execute(f"SELECT COUNT(*) FROM {table_name}")
-            return int(cursor.fetchone()[0])
+            rows = self.backend.run(f"SELECT COUNT(*) FROM {table_name}")
+            return int(rows[0][0])
 
     # -- content access (BRIDGE-style value matching) --------------------
 
@@ -180,10 +189,10 @@ class Database:
         key = (table_name.lower(), column_name.lower(), int(limit))
         with self.lock:
             if key not in self._value_cache:
-                cursor = self.connection.execute(
+                rows = self.backend.run(
                     f"SELECT DISTINCT {column_name} FROM {table_name} LIMIT {int(limit)}"
                 )
-                self._value_cache[key] = [row[0] for row in cursor.fetchall()]
+                self._value_cache[key] = [row[0] for row in rows]
             return self._value_cache[key]
 
     def text_columns(self) -> list[tuple[str, str]]:
@@ -199,3 +208,23 @@ class Database:
         """Return up to ``count`` example values for prompt comments."""
         values = self.column_values(table_name, column_name)
         return values[:count]
+
+
+def clone_database(
+    database: Database,
+    backend: str,
+    pool_size: int = DEFAULT_POOL_SIZE,
+) -> Database:
+    """Materialize ``database``'s schema and content on another backend.
+
+    Used by the cross-engine differential oracle: the clone starts at
+    ``data_version == 1`` per populated table (its own counter), so
+    callers compare *content*, never version counters, across engines.
+    """
+    clone = Database(database.schema, backend=backend, pool_size=pool_size)
+    for table in database.schema.tables:
+        with database.lock:
+            rows = database.backend.run(f"SELECT * FROM {table.name}")
+        if rows:
+            clone.insert_rows(table.name, rows)
+    return clone

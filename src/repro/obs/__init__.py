@@ -21,6 +21,7 @@ from repro.obs.registry import (
     HistogramSummary,
     MetricsRegistry,
     ingest_lru_deltas,
+    ingest_pool_deltas,
     ingest_record,
     ingest_span,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "ingest_record",
     "ingest_span",
     "ingest_lru_deltas",
+    "ingest_pool_deltas",
     "merge_metric_exports",
     "render_prometheus",
     "RunReport",

@@ -206,6 +206,39 @@ def ingest_span(registry: MetricsRegistry, benchmark: str, span) -> None:
             )
 
 
+#: read-path counter -> metric name (PoolStats vocabulary -> ``pool_*``).
+_POOL_METRIC_NAMES = {
+    "created": "pool_replicas",
+    "checkouts": "pool_checkouts",
+    "refreshes": "pool_refreshes",
+    "waits": "pool_waits",
+}
+
+
+def ingest_pool_deltas(
+    registry: MetricsRegistry,
+    benchmark: str,
+    method: str,
+    before: dict[str, int] | None,
+    after: dict[str, int],
+) -> None:
+    """Fold one run's read-path (replica pool / cursor) counter deltas.
+
+    ``before``/``after`` are summed ``Database.pool_stats()`` snapshots
+    bracketing the run.  Emits ``pool_replicas`` / ``pool_checkouts`` /
+    ``pool_refreshes`` / ``pool_waits`` so replica-pool contention is
+    comparable against concurrent-read backends (where refreshes and
+    waits stay zero by construction).  Zero deltas are skipped; a
+    ``None`` snapshot skips ingestion.
+    """
+    if before is None:
+        return
+    for key, metric in _POOL_METRIC_NAMES.items():
+        delta = after.get(key, 0) - before.get(key, 0)
+        if delta > 0:
+            registry.count(metric, value=delta, method=method, benchmark=benchmark)
+
+
 def ingest_lru_deltas(
     registry: MetricsRegistry,
     benchmark: str,

@@ -42,6 +42,9 @@ _SCHEDULE_SENSITIVE_CACHE_KEYS = frozenset(
         "stage_memo_hits", "lru_cache_hits", "lru_cache_misses",
         "lru_cache_hit_pct", "serve_cache_hits", "serve_cache_misses",
         "serve_cache_evictions", "serve_spans_dropped",
+        # Read-path counters: how many replicas/cursors get created and
+        # which checkout pays a refresh depends on thread interleaving.
+        "pool_replicas", "pool_checkouts", "pool_refreshes", "pool_waits",
     }
 )
 
@@ -194,6 +197,10 @@ def build_run_report(
         if metrics is not None
         else 0
     )
+    pool_counters = {
+        name: int(metrics.counter_total(name)) if metrics is not None else 0
+        for name in ("pool_replicas", "pool_checkouts", "pool_refreshes", "pool_waits")
+    }
     cache = {
         "examples": n,
         "result_cache_hits": result_cache_hits,
@@ -211,6 +218,7 @@ def build_run_report(
         "serve_cache_misses": serve_cache_misses,
         "serve_cache_evictions": serve_cache_evictions,
         "serve_spans_dropped": serve_spans_dropped,
+        **pool_counters,
     }
 
     repair_attempts = sum(
@@ -376,6 +384,11 @@ def render_markdown(report: RunReport) -> str:
         f"({cache.get('serve_cache_evictions', 0)} evictions)",
         f"- serve spans dropped from the request log: "
         f"{cache.get('serve_spans_dropped', 0)}",
+        f"- read path: {cache.get('pool_checkouts', 0)} checkouts over "
+        f"{cache.get('pool_replicas', 0)} replicas "
+        f"({cache.get('pool_refreshes', 0)} refreshes, "
+        f"{cache.get('pool_waits', 0)} waits; zero refreshes/waits on "
+        f"concurrent-read backends)",
         "",
         "## Self-repair",
         "",

@@ -69,7 +69,7 @@ from repro.errors import ServeError, ServeOverloaded
 from repro.errors import ServeTimeout as ServeTimeoutError
 from repro.methods.base import NL2SQLMethod
 from repro.methods.zoo import build_method, with_repair
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, ingest_pool_deltas
 from repro.obs.trace import get_tracer
 from repro.serve.cache import DEFAULT_RESPONSE_CACHE_SIZE, ResponseCache
 from repro.utils.text import normalize_question
@@ -168,6 +168,12 @@ class ServeConfig:
     #: Enable the post-execution self-repair stage on every served
     #: method (``config.repair = "pattern_lm"``, see docs/PIPELINE.md).
     repair: bool = False
+    #: Expected execution backend of the served dataset (``None``
+    #: accepts any).  The engine validates this at construction so a
+    #: gateway worker handed a mismatched dataset fails loudly instead
+    #: of silently serving from a different engine than the coordinator
+    #: benchmarked.
+    backend: str | None = None
 
 
 @dataclass
@@ -354,6 +360,17 @@ class ServingEngine:
             self._databases = {
                 db_id: dataset.databases[db_id] for db_id in self.config.db_ids
             }
+        if self.config.backend is not None:
+            mismatched = sorted(
+                db_id
+                for db_id, database in self._databases.items()
+                if database.backend_name != self.config.backend
+            )
+            if mismatched:
+                raise ServeError(
+                    f"config expects backend {self.config.backend!r} but "
+                    f"databases {mismatched} run on a different engine"
+                )
         # An injected cache (e.g. one with a LogicalClock for TTL tests)
         # wins over the config knobs; otherwise build from the config.
         if response_cache is not None:
@@ -367,6 +384,7 @@ class ServingEngine:
         else:
             self.response_cache = None
         self._cache_stats_at_start: dict[str, int] = {}
+        self._pool_stats_at_start: dict[str, int] = {}
         self.stats = ServeStats()
         self.request_log: deque[ServeSpan] = deque(
             maxlen=self.config.request_log_size
@@ -412,6 +430,7 @@ class ServingEngine:
             for database in self._databases.values():
                 database.add_mutation_listener(self._on_mutation)
             self._listening = True
+        self._pool_stats_at_start = self.pool_stats()
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="serve"
         )
@@ -449,6 +468,19 @@ class ServingEngine:
                                  "invalidations")
                 }
                 ingest_serve_cache(tracer.metrics, deltas)
+        if self._started:
+            # Once per engine lifetime (``_started`` drops below): fold
+            # this engine's share of the databases' cumulative read-path
+            # counters into ``pool_*`` metrics.
+            tracer = get_tracer()
+            if tracer.enabled:
+                ingest_pool_deltas(
+                    tracer.metrics,
+                    self.dataset.name,
+                    "serve",
+                    self._pool_stats_at_start,
+                    self.pool_stats(),
+                )
         self._started = False
 
     def _on_mutation(self, db_id: str, version: int) -> None:

@@ -1,0 +1,281 @@
+"""Execution-backend adapter tests: registry, transactionality, serving.
+
+Three concerns share this file:
+
+* the backend registry and capability contract (``docs/BACKENDS.md``);
+* write transactionality regressions — a failed ``insert_rows`` /
+  ``apply_write`` must roll back, leave ``data_version`` untouched, and
+  fire no mutation listener (before the adapter refactor a failed bulk
+  insert left its partial rows in an open transaction, silently
+  committed by the next unrelated write);
+* backend swap under serving — replica refresh across a
+  ``data_version`` bump while a replica is checked out, the
+  ``ServeConfig.backend`` handshake, and the gateway's pre-spawn
+  availability check.
+
+DuckDB-specific cases use ``pytest.importorskip`` so the suite stays
+hermetic when the optional engine is absent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.evaluator import gold_key
+from repro.datagen.benchmark import BenchmarkConfig
+from repro.dbengine.backends import (
+    BackendUnavailableError,
+    available_backends,
+    backend_available,
+    create_backend,
+    duckdb_available,
+    registered_backends,
+)
+from repro.dbengine.database import Database, clone_database
+from repro.dbengine.executor import execute_sql
+from repro.errors import ExecutionError, GatewayError, ServeError
+from repro.serve.engine import ServeConfig, ServingEngine
+from tests.conftest import AIRPORT_ROWS, FLIGHT_ROWS, make_toy_schema
+
+needs_duckdb = pytest.mark.skipif(
+    not duckdb_available(), reason="duckdb is not installed"
+)
+
+
+def make_toy_database(backend: str = "sqlite") -> Database:
+    database = Database(make_toy_schema(), backend=backend)
+    database.insert_rows("airports", AIRPORT_ROWS)
+    database.insert_rows("flights", FLIGHT_ROWS)
+    return database
+
+
+class TestRegistry:
+    def test_sqlite_always_registered_and_available(self):
+        assert "sqlite" in registered_backends()
+        assert backend_available("sqlite")
+        assert "sqlite" in available_backends()
+
+    def test_duckdb_registered_even_when_absent(self):
+        # Registration is unconditional; availability is the probe.
+        assert "duckdb" in registered_backends()
+        assert backend_available("duckdb") == duckdb_available()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendUnavailableError):
+            create_backend("postgres")
+
+    @pytest.mark.skipif(duckdb_available(), reason="duckdb is installed")
+    def test_unavailable_backend_raises(self):
+        with pytest.raises(BackendUnavailableError):
+            create_backend("duckdb")
+
+    def test_sqlite_capabilities(self):
+        backend = create_backend("sqlite")
+        caps = backend.capabilities
+        assert caps.name == "sqlite"
+        assert caps.snapshot_isolation == "replica-pool"
+        assert caps.supports_backup
+        assert not caps.concurrent_reads
+
+    def test_database_reports_backend_name(self, toy_db):
+        assert toy_db.backend_name == "sqlite"
+        assert toy_db.backend.capabilities.dialect == "sqlite"
+
+
+class TestWriteTransactionality:
+    """Satellite regressions: failed writes must leave no trace."""
+
+    def test_failed_insert_rolls_back_partial_rows(self, toy_db):
+        # Second row violates the primary key; the first must not stay.
+        with pytest.raises(ExecutionError):
+            toy_db.insert_rows(
+                "airports",
+                [(90, "Ridge Field", "Tulsa", 200), (1, "Dup PK", "X", 5)],
+            )
+        assert toy_db.row_count("airports") == len(AIRPORT_ROWS)
+
+    def test_failed_insert_leaves_no_open_transaction(self, toy_db):
+        with pytest.raises(ExecutionError):
+            toy_db.insert_rows(
+                "airports",
+                [(91, "Mesa Strip", "Reno", 40), (1, "Dup PK", "X", 5)],
+            )
+        # Regression: the partial batch used to sit in an open
+        # transaction, silently committed by the next unrelated commit.
+        assert not toy_db.connection.in_transaction
+        toy_db.apply_write("UPDATE flights SET price = price WHERE flight_id = 1")
+        assert toy_db.row_count("airports") == len(AIRPORT_ROWS)
+
+    def test_failed_insert_fires_no_listener_and_keeps_version(self, toy_db):
+        events = []
+        toy_db.add_mutation_listener(lambda db_id, version: events.append(version))
+        version = toy_db.data_version
+        with pytest.raises(ExecutionError):
+            toy_db.insert_rows("airports", [(1, "Dup PK", "X", 5)])
+        assert toy_db.data_version == version
+        assert events == []
+
+    def test_failed_apply_write_fires_no_listener_and_keeps_version(self, toy_db):
+        events = []
+        toy_db.add_mutation_listener(lambda db_id, version: events.append(version))
+        version = toy_db.data_version
+        with pytest.raises(ExecutionError, match="write failed on toy_flights"):
+            toy_db.apply_write("UPDATE airports SET airport_id = 1")
+        assert toy_db.data_version == version
+        assert events == []
+        assert not toy_db.connection.in_transaction
+
+    def test_successful_write_bumps_version_after_commit(self, toy_db):
+        versions_seen = []
+        toy_db.add_mutation_listener(
+            lambda db_id, version: versions_seen.append(
+                (version, toy_db.row_count("airports"))
+            )
+        )
+        toy_db.insert_rows("airports", [(95, "Dune Field", "Yuma", 60)])
+        # The listener ran after the commit: it observed the new row.
+        assert versions_seen == [(toy_db.data_version, len(AIRPORT_ROWS) + 1)]
+
+
+class TestReplicaRefreshUnderMutation:
+    def test_checked_out_replica_survives_version_bump(self, toy_db):
+        pool = toy_db.read_pool()
+        with pool.checkout() as replica:
+            # Bump data_version while this replica is in use: the held
+            # snapshot stays readable (stale by design)...
+            toy_db.insert_rows("airports", [(96, "Cliff Top", "Moab", 1200)])
+            stale = replica.execute("SELECT COUNT(*) FROM airports").fetchone()[0]
+            assert stale == len(AIRPORT_ROWS)
+        # ...and the next checkout pays a refresh and sees the write.
+        refreshes_before = toy_db.pool_stats()["refreshes"]
+        result = execute_sql(toy_db, "SELECT COUNT(*) FROM airports")
+        assert result.rows[0][0] == len(AIRPORT_ROWS) + 1
+        assert toy_db.pool_stats()["refreshes"] == refreshes_before + 1
+
+    def test_pool_stats_zero_before_first_read(self):
+        database = Database(make_toy_schema())
+        try:
+            assert database.pool_stats() == {
+                "created": 0, "checkouts": 0, "refreshes": 0, "waits": 0,
+            }
+        finally:
+            database.close()
+
+
+class TestCloneDatabase:
+    def test_clone_preserves_content(self, toy_db):
+        clone = clone_database(toy_db, "sqlite")
+        try:
+            assert clone.backend_name == "sqlite"
+            for table in ("airports", "flights"):
+                assert clone.row_count(table) == toy_db.row_count(table)
+            sql = "SELECT name, city FROM airports ORDER BY airport_id"
+            assert execute_sql(clone, sql).rows == execute_sql(toy_db, sql).rows
+        finally:
+            clone.close()
+
+
+class TestGoldKeyAndConfig:
+    def test_gold_key_separates_backends(self, small_dataset):
+        example = small_dataset.dev_examples[0]
+        assert gold_key(example, 3, "sqlite") != gold_key(example, 3, "duckdb")
+        assert gold_key(example, 3, "sqlite") != gold_key(example, 4, "sqlite")
+
+    def test_benchmark_config_backend_changes_fingerprint(self):
+        base = BenchmarkConfig(name="fp-probe", seed=1)
+        other = BenchmarkConfig(name="fp-probe", seed=1, backend="duckdb")
+        assert repr(base) != repr(other)
+
+
+class TestServingBackendHandshake:
+    def test_engine_rejects_mismatched_backend(self, small_dataset):
+        config = ServeConfig(methods=("C3SQL",), backend="duckdb", warm_start=False)
+        with pytest.raises(ServeError, match="expects backend 'duckdb'"):
+            ServingEngine(small_dataset, config)
+
+    def test_engine_accepts_matching_backend(self, small_dataset):
+        config = ServeConfig(methods=("C3SQL",), backend="sqlite", warm_start=False)
+        engine = ServingEngine(small_dataset, config)
+        engine.close()
+
+    @pytest.mark.skipif(duckdb_available(), reason="duckdb is installed")
+    def test_gateway_fails_fast_on_unavailable_backend(self):
+        from repro.serve.gateway.cluster import ShardedGateway
+        from tests.conftest import small_benchmark_config
+
+        config = dataclasses.replace(small_benchmark_config(), backend="duckdb")
+        gateway = ShardedGateway(config, shards=1)
+        # The parent validates before spawning: no worker process ever
+        # starts, so the error is typed and immediate.
+        with pytest.raises(GatewayError, match="not available"):
+            gateway.start()
+
+
+@needs_duckdb
+class TestDuckDBBackend:
+    def test_results_match_sqlite(self):
+        sqlite_db = make_toy_database("sqlite")
+        duck_db = make_toy_database("duckdb")
+        try:
+            for sql in (
+                "SELECT name, city FROM airports ORDER BY airport_id",
+                "SELECT city, COUNT(*) FROM airports GROUP BY city ORDER BY city",
+                "SELECT a.city, COUNT(*) FROM airports a JOIN flights f "
+                "ON a.airport_id = f.airport_id GROUP BY a.city ORDER BY a.city",
+            ):
+                assert execute_sql(duck_db, sql).rows == execute_sql(sqlite_db, sql).rows
+        finally:
+            sqlite_db.close()
+            duck_db.close()
+
+    def test_readonly_guard_matches_sqlite_error_string(self):
+        database = make_toy_database("duckdb")
+        try:
+            result = execute_sql(database, "DELETE FROM airports")
+            assert not result.ok
+            assert "attempt to write a readonly database" in result.error
+            assert database.row_count("airports") == len(AIRPORT_ROWS)
+        finally:
+            database.close()
+
+    def test_capabilities_advertise_concurrency(self):
+        backend = create_backend("duckdb")
+        assert backend.capabilities.concurrent_reads
+        assert backend.capabilities.snapshot_isolation == "mvcc"
+        assert not backend.capabilities.supports_backup
+
+    def test_write_visible_without_refresh(self):
+        database = make_toy_database("duckdb")
+        try:
+            database.apply_write("UPDATE airports SET city = 'Salem' WHERE airport_id = 1")
+            result = execute_sql(
+                database, "SELECT city FROM airports WHERE airport_id = 1"
+            )
+            assert result.rows == [("Salem",)]
+            assert database.pool_stats()["refreshes"] == 0
+        finally:
+            database.close()
+
+    def test_cross_engine_clone(self):
+        sqlite_db = make_toy_database("sqlite")
+        clone = clone_database(sqlite_db, "duckdb")
+        try:
+            sql = "SELECT destination, COUNT(*) FROM flights GROUP BY destination ORDER BY destination"
+            assert execute_sql(clone, sql).rows == execute_sql(sqlite_db, sql).rows
+        finally:
+            clone.close()
+            sqlite_db.close()
+
+    def test_cross_engine_fuzzer_runs_clean(self):
+        from repro.sqlkit.differential import run_fuzz
+
+        report = run_fuzz(
+            seeds=20, benchmark="spider", scale=0.05, seed=7,
+            cross_backend="duckdb",
+        )
+        assert report.checks_by_family["cross-engine"] > 0
+        assert not [
+            d for d in report.divergences if d.family == "cross-engine"
+        ]

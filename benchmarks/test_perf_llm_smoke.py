@@ -1,0 +1,69 @@
+"""Tier-2 perf smoke: the inference-engine hot paths must not regress.
+
+Runs ``scripts/bench_llm.py --quick`` in-process: times the prompt-prefix
+cache (cold/warm/uncached) and batched vs sequential decoding on a small
+dataset and enforces the deterministic gates — byte-identical prompts
+with exact summed token counts, bit-identical records across the
+batching switch, and the engagement counters (``prefix_hits`` and one
+``llm_batched_calls`` per decode, exactly).  Wall-clock numbers are
+recorded in ``BENCH_llm.json`` for trend tracking, never gated.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_llm", REPO_ROOT / "scripts" / "bench_llm.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_llm_quick_smoke(tmp_path):
+    bench_llm = _load_bench_module()
+    out = tmp_path / "BENCH_llm.json"
+    exit_code = bench_llm.main(["--quick", "--out", str(out)])
+    assert exit_code == 0
+
+    result = json.loads(out.read_text())
+    # Correctness gates: the engine layers must be invisible in results.
+    assert result["prefix_cache"]["byte_identical"]
+    assert result["prefix_cache"]["token_counts_exact"]
+    assert result["batching"]["records_identical"]
+    # Engagement gates — deterministic counters, not wall-clock ratios.
+    # Every (method, example) decode routes its draws through exactly one
+    # batched model call; repair and PICARD top-ups go through the
+    # unbatched path, so the count is exact, not a lower bound.
+    assert result["batching"]["llm_batched_calls"] == (
+        len(result["methods"]) * result["dev_examples"]
+    )
+    assert result["batching"]["llm_batch_draws"] >= (
+        result["batching"]["llm_batched_calls"]
+    )
+    assert result["batching"]["prefix_hits"] > 0
+    # Warm prefix passes must be pure hits: every segment kind registers
+    # hits and the warm passes add no misses beyond the cold pass's
+    # (one miss per distinct key, all incurred cold).
+    for kind in ("overhead", "schema", "fewshot"):
+        stats = result["prefix_cache"]["segment_stats"][kind]
+        assert stats["hits"] > 0
+        assert stats["misses"] <= stats["hits"]
+    # The serving scheduler must actually open decode windows.
+    assert result["serving"]["decode_windows"] > 0
+    assert result["serving"]["decode_draws"] >= result["serving"]["decode_windows"]
+    # Wall-clock speedups stay in the trajectory file; magnitudes are
+    # reported, not gated.
+    assert result["prefix_cache"]["warm_speedup_vs_cold"] > 0
+    assert result["batching"]["batched_speedup"] > 0
+    # Refresh the tracked trajectory file at the repo root.
+    (REPO_ROOT / "BENCH_llm.json").write_text(json.dumps(result, indent=2) + "\n")

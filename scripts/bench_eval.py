@@ -86,16 +86,19 @@ def _median_stage_rows(rows_per_pass: list[dict]) -> dict:
         for stage in rows:
             if stage not in stages:
                 stages.append(stage)
+    counters = ("memo_hits", "prefix_hits", "prefix_misses",
+                "llm_batched_calls", "llm_batch_draws")
     merged: dict[str, dict] = {}
     for stage in stages:
         merged[stage] = {
             "seconds": statistics.median(
                 rows.get(stage, {}).get("seconds", 0.0) for rows in rows_per_pass
             ),
-            "memo_hits": int(statistics.median(
-                rows.get(stage, {}).get("memo_hits", 0) for rows in rows_per_pass
-            )),
         }
+        for counter in counters:
+            merged[stage][counter] = int(statistics.median(
+                rows.get(stage, {}).get(counter, 0) for rows in rows_per_pass
+            ))
     total = sum(row["seconds"] for row in merged.values())
     for row in merged.values():
         row["share_pct"] = 100.0 * row["seconds"] / total if total else 0.0
@@ -271,6 +274,16 @@ def run_bench(args: argparse.Namespace) -> dict:
             "stage_memo_hits": {
                 stage: int(row["memo_hits"]) for stage, row in stage_rows.items()
             },
+            "prefix_hits": sum(row["prefix_hits"] for row in stage_rows.values()),
+            "prefix_misses": sum(
+                row["prefix_misses"] for row in stage_rows.values()
+            ),
+            "llm_batched_calls": sum(
+                row["llm_batched_calls"] for row in stage_rows.values()
+            ),
+            "llm_batch_draws": sum(
+                row["llm_batch_draws"] for row in stage_rows.values()
+            ),
             "stage_seconds_uncached": {
                 stage: round(row["seconds"], 4)
                 for stage, row in uncached_rows.items()
@@ -364,6 +377,17 @@ def main(argv: list[str] | None = None) -> int:
         if fewshot_share >= FEWSHOT_SHARE_BOUND_PCT:
             print(f"FAIL: fewshot stage share {fewshot_share:.1f}% >="
                   f" {FEWSHOT_SHARE_BOUND_PCT:.0f}% bound", file=sys.stderr)
+            return 1
+        # The inference-engine layers must demonstrably engage: the
+        # prompt-prefix cache registers segment hits and every decode
+        # routes its draws through one batched model call (deterministic
+        # counters, not wall-clock ratios).
+        if result["tracing"]["prefix_hits"] <= 0:
+            print("FAIL: prompt prefix cache registered no hits", file=sys.stderr)
+            return 1
+        if result["tracing"]["llm_batched_calls"] <= 0:
+            print("FAIL: batched decoding registered no batched calls",
+                  file=sys.stderr)
             return 1
         print("quick smoke OK: warm-cache run did zero predictions and was"
               f" {result['speedup']['parallel_warm']:.1f}x sequential;"

@@ -1,0 +1,344 @@
+#!/usr/bin/env python
+"""Benchmark the inference engine: prompt-prefix cache and batched decoding.
+
+Times the two new hot paths in ``repro.llm.engine`` and writes
+``BENCH_llm.json`` so the perf trajectory can be tracked across PRs:
+
+1. **prefix cache** — builds every dev prompt for three pipeline
+   configurations three ways: cold (empty cache), warm (``--repeats``
+   passes, median), and uncached (``caches_disabled()``).  Asserts the
+   three produce byte-identical prompt text and exact summed token
+   counts; records the warm speedup and the per-kind segment hit/miss
+   stats.
+2. **batched decoding** — evaluates a method zoo covering all four
+   decoders (greedy, beam, sampling, PICARD) with batching on and under
+   ``batching_disabled()``.  Asserts the two record streams are
+   bit-identical, records both wall-clocks, and derives the
+   draws-per-batched-call histogram plus the ``prefix_*`` /
+   ``llm_batch*`` counters from the traced spans.
+3. **serving decode windows** — serves a small workload through
+   :class:`~repro.serve.engine.ServingEngine` and records the decode
+   scheduler's window statistics.
+
+Wall-clock numbers are **recorded, never gated** — at this scale the
+simulated model makes prompt assembly and decoding microsecond-cheap, so
+speedups are trajectory data, not assertions.  What *is* gated (exit 1)
+is deterministic: byte-identical prompts, exact token counts,
+bit-identical records across the batching switch, and the engagement
+counters (``prefix_hits`` > 0, ``llm_batched_calls`` > 0).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_llm.py            # full run
+    PYTHONPATH=src python scripts/bench_llm.py --quick    # tier-2 smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from collections import Counter
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.evaluator import Evaluator  # noqa: E402
+from repro.datagen.benchmark import build_benchmark, spider_like_config  # noqa: E402
+from repro.llm.engine import batching_disabled, clear_prefix_cache, prefix_cache  # noqa: E402
+from repro.llm.tokens import count_tokens  # noqa: E402
+from repro.methods.zoo import build_method  # noqa: E402
+from repro.modules.base import PipelineConfig  # noqa: E402
+from repro.modules.prompts import build_prompt  # noqa: E402
+from repro.obs import tracing  # noqa: E402
+from repro.serve import ServeConfig, ServingEngine, WorkloadSpec, build_workload  # noqa: E402
+from repro.utils.cache import caches_disabled  # noqa: E402
+
+DEFAULT_METHODS = ["DAILSQL", "DAILSQL(SC)", "BRIDGE v2", "T5-3B + PICARD"]
+
+PROMPT_CONFIGS = [
+    PipelineConfig(
+        name="plain", backbone="gpt-4",
+        prompting="similarity_fewshot", few_shot_k=3,
+    ),
+    PipelineConfig(
+        name="linked", backbone="gpt-3.5-turbo", schema_linking="resdsql",
+        db_content="bridge", prompting="manual_fewshot", few_shot_k=2,
+        prompt_overhead_tokens=120,
+    ),
+    PipelineConfig(
+        name="open", backbone="llama2-7b", db_content="codes",
+        prompting="zero_shot",
+    ),
+]
+
+
+def _timed(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _build_all_prompts(dataset) -> list:
+    train_pairs = [
+        (example.question, example.gold_sql)
+        for example in dataset.train_examples[:20]
+    ]
+    prompts = []
+    for config in PROMPT_CONFIGS:
+        for example in dataset.dev_examples:
+            database = dataset.databases[example.db_id]
+            prompts.append(
+                build_prompt(config, database, example.question, train_pairs)
+            )
+    return prompts
+
+
+def bench_prefix_cache(dataset, repeats: int) -> dict:
+    clear_prefix_cache()
+    cold_seconds, cold_prompts = _timed(lambda: _build_all_prompts(dataset))
+
+    warm_times: list[float] = []
+    warm_prompts = cold_prompts
+    for _ in range(repeats):
+        seconds, warm_prompts = _timed(lambda: _build_all_prompts(dataset))
+        warm_times.append(seconds)
+    warm_seconds = statistics.median(warm_times)
+    stats = prefix_cache().stats()
+
+    def uncached():
+        with caches_disabled():
+            return _build_all_prompts(dataset)
+
+    uncached_seconds, uncached_prompts = _timed(uncached)
+
+    byte_identical = all(
+        cold.text == warm.text == fresh.text
+        for cold, warm, fresh in zip(cold_prompts, warm_prompts, uncached_prompts)
+    )
+    token_counts_exact = all(
+        prompt.token_count == count_tokens(prompt.text)
+        for prompts in (cold_prompts, warm_prompts, uncached_prompts)
+        for prompt in prompts
+    )
+    return {
+        "prompts_per_pass": len(cold_prompts),
+        "configs": [config.name for config in PROMPT_CONFIGS],
+        "seconds": {
+            "cold": round(cold_seconds, 4),
+            "warm": round(warm_seconds, 4),
+            "uncached": round(uncached_seconds, 4),
+        },
+        # Recorded for the trajectory, never gated.
+        "warm_speedup_vs_cold": round(cold_seconds / max(warm_seconds, 1e-9), 3),
+        "warm_speedup_vs_uncached": round(
+            uncached_seconds / max(warm_seconds, 1e-9), 3
+        ),
+        "segment_stats": stats,
+        "byte_identical": byte_identical,
+        "token_counts_exact": token_counts_exact,
+    }
+
+
+def _batch_histogram(spans) -> dict[str, int]:
+    """Draws-per-batched-call distribution across all traced stages."""
+    histogram: Counter[int] = Counter()
+    for span in spans:
+        for stage in span.stages:
+            if stage.llm_batched_calls > 0:
+                per_call = round(stage.llm_batch_draws / stage.llm_batched_calls)
+                histogram[per_call] += stage.llm_batched_calls
+    return {str(size): histogram[size] for size in sorted(histogram)}
+
+
+def bench_batching(dataset, methods: list[str], seed: int) -> dict:
+    def evaluate():
+        evaluator = Evaluator(dataset, measure_timing=False)
+        with tracing() as tracer:
+            reports = evaluator.evaluate_zoo(
+                [build_method(m, seed=seed) for m in methods]
+            )
+        return reports, evaluator.trace_spans, tracer
+
+    # Warm-up pass so both timed passes see the same steady-state caches.
+    evaluate()
+    batched_seconds, (batched_reports, spans, _) = _timed(evaluate)
+
+    def evaluate_unbatched():
+        with batching_disabled():
+            return evaluate()
+
+    sequential_seconds, (sequential_reports, _, _) = _timed(evaluate_unbatched)
+
+    records_identical = all(
+        batched_reports[m].records == sequential_reports[m].records
+        for m in methods
+    )
+    prefix_hits = sum(s.prefix_hits for span in spans for s in span.stages)
+    prefix_misses = sum(s.prefix_misses for span in spans for s in span.stages)
+    batched_calls = sum(
+        s.llm_batched_calls for span in spans for s in span.stages
+    )
+    batch_draws = sum(s.llm_batch_draws for span in spans for s in span.stages)
+    return {
+        "seconds": {
+            "batched": round(batched_seconds, 4),
+            "sequential": round(sequential_seconds, 4),
+        },
+        # Recorded for the trajectory, never gated.
+        "batched_speedup": round(
+            sequential_seconds / max(batched_seconds, 1e-9), 3
+        ),
+        "records_identical": records_identical,
+        "prefix_hits": prefix_hits,
+        "prefix_misses": prefix_misses,
+        "llm_batched_calls": batched_calls,
+        "llm_batch_draws": batch_draws,
+        "draws_per_call": round(batch_draws / max(batched_calls, 1), 3),
+        "batch_histogram": _batch_histogram(spans),
+    }
+
+
+def bench_serving(dataset, method: str, requests: int) -> dict:
+    workload = build_workload(
+        dataset,
+        WorkloadSpec(
+            requests=requests, methods=(method,),
+            distinct_examples=max(4, requests // 3), zipf_s=1.1, seed=7,
+        ),
+    )
+    config = ServeConfig(methods=(method,), workers=4, measure_timing=False)
+    seconds, stats = _timed(lambda: _serve(dataset, config, workload))
+    return {
+        "method": method,
+        "requests": requests,
+        "seconds": round(seconds, 4),
+        "decode_windows": stats.decode_windows,
+        "decode_submissions": stats.decode_submissions,
+        "decode_draws": stats.decode_draws,
+        "decode_max_submission": stats.decode_max_submission,
+    }
+
+
+def _serve(dataset, config, workload):
+    with ServingEngine(dataset, config) as engine:
+        for response in engine.serve(list(workload)):
+            if not response.ok:
+                raise RuntimeError(f"serve failed: {response.error}")
+        return engine.stats
+
+
+def run_bench(args: argparse.Namespace) -> dict:
+    dataset = build_benchmark(spider_like_config(scale=args.scale, seed=args.seed))
+    print(
+        f"dataset: {dataset.name} scale={args.scale}"
+        f" ({len(dataset.dev_examples)} dev examples,"
+        f" {len(args.methods)} methods, repeats={args.repeats})",
+        file=sys.stderr,
+    )
+
+    prefix = bench_prefix_cache(dataset, args.repeats)
+    print(
+        f"prefix cache      : cold {prefix['seconds']['cold']:.4f}s ·"
+        f" warm {prefix['seconds']['warm']:.4f}s ·"
+        f" uncached {prefix['seconds']['uncached']:.4f}s"
+        f" ({prefix['warm_speedup_vs_cold']:.2f}x vs cold)",
+        file=sys.stderr,
+    )
+
+    batching = bench_batching(dataset, args.methods, args.seed)
+    print(
+        f"batched decoding  : batched {batching['seconds']['batched']:.3f}s ·"
+        f" sequential {batching['seconds']['sequential']:.3f}s ·"
+        f" {batching['llm_batched_calls']} calls /"
+        f" {batching['llm_batch_draws']} draws",
+        file=sys.stderr,
+    )
+
+    serving = bench_serving(dataset, args.serve_method, args.serve_requests)
+    print(
+        f"serving windows   : {serving['decode_windows']} windows ·"
+        f" {serving['decode_draws']} draws ·"
+        f" max submission {serving['decode_max_submission']}",
+        file=sys.stderr,
+    )
+    dev_examples = len(dataset.dev_examples)
+    dataset.close()
+
+    return {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "cpu_count": os.cpu_count(),
+        "scale": args.scale,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "methods": args.methods,
+        "dev_examples": dev_examples,
+        "prefix_cache": prefix,
+        "batching": batching,
+        "serving": serving,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="warm prefix-cache passes; the median is reported")
+    parser.add_argument("--methods", nargs="+", default=DEFAULT_METHODS)
+    parser.add_argument("--serve-method", default="DAILSQL(SC)")
+    parser.add_argument("--serve-requests", type=int, default=24)
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                             / "BENCH_llm.json"))
+    parser.add_argument("--quick", action="store_true",
+                        help="tier-2 smoke: small dataset, same deterministic"
+                             " gates")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.scale = min(args.scale, 0.12)
+        args.repeats = min(args.repeats, 2)
+        args.serve_requests = min(args.serve_requests, 12)
+
+    result = run_bench(args)
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    print(json.dumps(
+        {"prefix_cache": result["prefix_cache"]["seconds"],
+         "batching": result["batching"]["seconds"]}, indent=2))
+
+    # Deterministic gates only — wall-clock numbers are never gated.
+    if not result["prefix_cache"]["byte_identical"]:
+        print("FAIL: prefix-cached prompts differ from uncached", file=sys.stderr)
+        return 1
+    if not result["prefix_cache"]["token_counts_exact"]:
+        print("FAIL: primed token counts differ from a full scan", file=sys.stderr)
+        return 1
+    if not result["batching"]["records_identical"]:
+        print("FAIL: batched records differ from sequential", file=sys.stderr)
+        return 1
+    if result["batching"]["prefix_hits"] <= 0:
+        print("FAIL: prompt prefix cache registered no hits", file=sys.stderr)
+        return 1
+    if result["batching"]["llm_batched_calls"] <= 0:
+        print("FAIL: batched decoding registered no batched calls", file=sys.stderr)
+        return 1
+    if result["serving"]["decode_windows"] <= 0:
+        print("FAIL: serving opened no decode windows", file=sys.stderr)
+        return 1
+    print(
+        "bench OK: warm prefix build"
+        f" {result['prefix_cache']['warm_speedup_vs_cold']:.2f}x vs cold;"
+        f" {result['batching']['llm_batched_calls']} batched calls covering"
+        f" {result['batching']['llm_batch_draws']} draws;"
+        f" records identical across the batching switch",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -73,7 +73,9 @@ from repro.obs.registry import (
     ingest_record,
     ingest_span,
 )
-from repro.utils.cache import lru_cache_stats
+from repro.dbengine.pool import pooling_enabled, set_pooling_enabled
+from repro.llm.engine import batching_enabled, set_batching_enabled
+from repro.utils.cache import caches_enabled, lru_cache_stats, set_caches_enabled
 from repro.obs.trace import ExampleSpan, Tracer, get_tracer, set_tracer
 from repro.sqlkit.features import SQLFeatures
 from repro.utils.rng import stable_hash
@@ -147,7 +149,16 @@ def _worker_init(
     measure_timing: bool,
     timing_repeats: int,
     trace_enabled: bool = False,
+    switches: dict | None = None,
 ) -> None:
+    if switches is not None:
+        # Explicit switch propagation: a spawn-context worker resets
+        # these process globals to their defaults, so the coordinator's
+        # choices must be re-applied (fork inherits them, harmlessly
+        # re-applied).
+        set_caches_enabled(bool(switches.get("caches", True)))
+        set_pooling_enabled(bool(switches.get("pooling", True)))
+        set_batching_enabled(bool(switches.get("batching", True)))
     dataset = build_benchmark(benchmark_config)
     _WORKER["dataset"] = dataset
     _WORKER["evaluator"] = Evaluator(
@@ -282,6 +293,11 @@ class ParallelEvaluator:
                     self.measure_timing,
                     self.timing_repeats,
                     get_tracer().enabled,
+                    {
+                        "caches": caches_enabled(),
+                        "pooling": pooling_enabled(),
+                        "batching": batching_enabled(),
+                    },
                 ),
             )
         return self._pool

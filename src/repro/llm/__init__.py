@@ -1,5 +1,14 @@
 """Simulated language models: profiles, corruption model, decoding, pricing."""
 
+from repro.llm.engine import (
+    PromptPrefixCache,
+    PromptSegment,
+    batching_disabled,
+    batching_enabled,
+    clear_prefix_cache,
+    prefix_cache,
+    set_batching_enabled,
+)
 from repro.llm.profile import FineTuneState, ModelProfile
 from repro.llm.registry import MODEL_REGISTRY, get_profile
 from repro.llm.tokens import count_tokens
@@ -9,6 +18,13 @@ from repro.llm.model import GenerationCandidate, SimulatedLanguageModel
 from repro.llm.finetune import fine_tune_boost, make_finetune_state
 
 __all__ = [
+    "PromptPrefixCache",
+    "PromptSegment",
+    "batching_disabled",
+    "batching_enabled",
+    "clear_prefix_cache",
+    "prefix_cache",
+    "set_batching_enabled",
     "FineTuneState",
     "ModelProfile",
     "MODEL_REGISTRY",

@@ -9,6 +9,18 @@
   rejected, decoding degenerates to a guaranteed-valid fallback, exactly
   like PICARD's grammar forcing.
 * :class:`SamplingDecoder` — temperature sampling for self-consistency.
+
+Decoders draw through a sampler bound by :func:`make_sampler`.  The
+bound sampler is callable as ``(draw, temperature) -> candidate`` (the
+historical closure contract, still used by the repair engine and
+self-correction) and additionally exposes :meth:`BoundSampler.many`,
+which routes a whole batch of draws through the model's batched
+``generate_many`` path — bit-identical to per-draw calls, draw-invariant
+work hoisted once.  ``many`` falls back to sequential per-draw calls
+when batching is globally disabled
+(:func:`repro.llm.engine.batching_disabled`), and reports through the
+ambient decode window when one is installed (the serving scheduler's
+continuous-batching hook).
 """
 
 from __future__ import annotations
@@ -17,12 +29,73 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.dbengine.database import Database
+from repro.llm.engine import batching_enabled, current_decode_window
 from repro.llm.model import GenerationCandidate, SimulatedLanguageModel
 from repro.llm.prompt import Prompt
+from repro.llm.tokens import count_tokens
 from repro.sqlkit.picard import PicardChecker
 
-# A sampler closure: (draw index, temperature) -> candidate.
+# A sampler: (draw index, temperature) -> candidate.
 SampleFn = Callable[[int, float], GenerationCandidate]
+
+
+class BoundSampler:
+    """A model+prompt bound into a sampler with a batched ``many`` path."""
+
+    __slots__ = ("model", "prompt", "database", "_options")
+
+    def __init__(
+        self,
+        model: SimulatedLanguageModel,
+        prompt: Prompt,
+        database: Database,
+        uses_natsql: bool = False,
+        decomposed: bool = False,
+        overdecompose: bool = False,
+        style_divergence: float = 0.0,
+    ) -> None:
+        self.model = model
+        self.prompt = prompt
+        self.database = database
+        self._options = {
+            "uses_natsql": uses_natsql,
+            "decomposed": decomposed,
+            "overdecompose": overdecompose,
+            "style_divergence": style_divergence,
+        }
+
+    def __call__(self, draw: int, temperature: float) -> GenerationCandidate:
+        return self.model.generate(
+            self.prompt,
+            self.database,
+            temperature=temperature,
+            draw=draw,
+            **self._options,
+        )
+
+    def generate_batch(
+        self, draws: list[tuple[int, float]]
+    ) -> list[GenerationCandidate]:
+        """Run ``draws`` through the batched model path (no window/switch)."""
+        return self.model.generate_many(
+            self.prompt, self.database, list(draws), **self._options
+        )
+
+    def many(self, draws: list[tuple[int, float]]) -> list[GenerationCandidate]:
+        """Candidates for ``draws``, batched when batching is enabled.
+
+        With batching disabled this is exactly the sequential per-draw
+        loop; with it enabled the batch runs through ``generate_many``
+        (and through the ambient decode window, when the serving
+        scheduler has installed one) — both paths produce bit-identical
+        candidates.
+        """
+        if not batching_enabled():
+            return [self(draw, temperature) for draw, temperature in draws]
+        window = current_decode_window()
+        if window is not None:
+            return window.submit(self, list(draws))
+        return self.generate_batch(list(draws))
 
 
 def make_sampler(
@@ -33,22 +106,31 @@ def make_sampler(
     decomposed: bool = False,
     overdecompose: bool = False,
     style_divergence: float = 0.0,
-) -> SampleFn:
-    """Bind a model+prompt into a (draw, temperature) -> candidate closure."""
+) -> BoundSampler:
+    """Bind a model+prompt into a (draw, temperature) -> candidate sampler."""
+    return BoundSampler(
+        model,
+        prompt,
+        database,
+        uses_natsql=uses_natsql,
+        decomposed=decomposed,
+        overdecompose=overdecompose,
+        style_divergence=style_divergence,
+    )
 
-    def sample(draw: int, temperature: float) -> GenerationCandidate:
-        return model.generate(
-            prompt,
-            database,
-            temperature=temperature,
-            draw=draw,
-            uses_natsql=uses_natsql,
-            decomposed=decomposed,
-            overdecompose=overdecompose,
-            style_divergence=style_divergence,
-        )
 
-    return sample
+def _draw_many(
+    sample: SampleFn, draws: list[tuple[int, float]]
+) -> list[GenerationCandidate]:
+    """Batch through ``sample.many`` when available, else draw singly.
+
+    Plain-function samplers (tests, custom harnesses) keep working: only
+    a :class:`BoundSampler` carries the batched path.
+    """
+    many = getattr(sample, "many", None)
+    if many is not None:
+        return many(draws)
+    return [sample(draw, temperature) for draw, temperature in draws]
 
 
 @dataclass(frozen=True)
@@ -56,7 +138,7 @@ class GreedyDecoder:
     """Single deterministic completion."""
 
     def decode(self, sample: SampleFn) -> list[GenerationCandidate]:
-        return [sample(0, 0.0)]
+        return _draw_many(sample, [(0, 0.0)])
 
 
 @dataclass(frozen=True)
@@ -66,7 +148,10 @@ class BeamDecoder:
     width: int = 4
 
     def decode(self, sample: SampleFn) -> list[GenerationCandidate]:
-        return [sample(draw, 0.0 if draw == 0 else 0.15) for draw in range(self.width)]
+        return _draw_many(
+            sample,
+            [(draw, 0.0 if draw == 0 else 0.15) for draw in range(self.width)],
+        )
 
 
 @dataclass(frozen=True)
@@ -86,6 +171,12 @@ class PicardDecoder:
     duplicates entirely so attempts are spent on distinct candidates —
     that changes beam composition and therefore downstream selection, so
     it is off by default and unused by the reproduced method configs.
+
+    Batching: the attempt loop always consumes at least
+    ``min(width, max_attempts)`` draws before it can stop (the beam
+    cannot fill sooner), so that window is pre-drawn through the batched
+    path and checked in order; any re-draws past it are topped up singly
+    to preserve exact attempt accounting.
     """
 
     width: int = 4
@@ -97,9 +188,19 @@ class PicardDecoder:
     ) -> list[GenerationCandidate]:
         accepted: list[GenerationCandidate] = []
         verdicts: dict[str, bool] = {}
+        prefetch = _draw_many(
+            sample,
+            [
+                (draw, 0.0 if draw == 0 else 0.15)
+                for draw in range(min(self.width, self.max_attempts))
+            ],
+        )
         draw = 0
         while len(accepted) < self.width and draw < self.max_attempts:
-            candidate = sample(draw, 0.0 if draw == 0 else 0.15)
+            if draw < len(prefetch):
+                candidate = prefetch[draw]
+            else:
+                candidate = sample(draw, 0.0 if draw == 0 else 0.15)
             draw += 1
             verdict = verdicts.get(candidate.sql)
             if verdict is None:
@@ -116,7 +217,9 @@ class PicardDecoder:
             sql = f"SELECT * FROM {fallback_table}"
             accepted.append(
                 GenerationCandidate(
-                    sql=sql, output_tokens=4, errors=("picard_fallback",)
+                    sql=sql,
+                    output_tokens=count_tokens(sql),
+                    errors=("picard_fallback",),
                 )
             )
         return accepted
@@ -130,4 +233,7 @@ class SamplingDecoder:
     temperature: float = 0.5
 
     def decode(self, sample: SampleFn) -> list[GenerationCandidate]:
-        return [sample(draw, self.temperature) for draw in range(self.num_samples)]
+        return _draw_many(
+            sample,
+            [(draw, self.temperature) for draw in range(self.num_samples)],
+        )

@@ -147,6 +147,29 @@ class SimulatedLanguageModel:
 
     # -- generation --------------------------------------------------------
 
+    def _effective_schema(self, database: Database, prompt: Prompt) -> DatabaseSchema:
+        """The (possibly pruned) schema the model reads, memoized when on."""
+        schema = database.schema
+        if prompt.features.schema_tables is None:
+            return schema
+        if caches_enabled():
+            pruned_key = (schema.db_id, prompt.features.schema_tables)
+            hit, cached_schema = self._pruned_cache.lookup(pruned_key)
+            if hit:
+                return cached_schema
+            effective_schema = _pruned_schema(schema, prompt.features.schema_tables)
+            self._pruned_cache.put(pruned_key, effective_schema)
+            return effective_schema
+        return _pruned_schema(schema, prompt.features.schema_tables)
+
+    def _question_key(self, prompt: Prompt) -> tuple:
+        fingerprint = (
+            (self.finetune.dataset_name, self.finetune.num_samples)
+            if self.finetune
+            else None
+        )
+        return (self.profile.name, fingerprint, prompt.db_id, prompt.question)
+
     def generate(
         self,
         prompt: Prompt,
@@ -165,23 +188,8 @@ class SimulatedLanguageModel:
         completion.
         """
         schema = database.schema
-        effective_schema = schema
         use_caches = caches_enabled()
-        if prompt.features.schema_tables is not None:
-            if use_caches:
-                pruned_key = (schema.db_id, prompt.features.schema_tables)
-                hit, cached_schema = self._pruned_cache.lookup(pruned_key)
-                if hit:
-                    effective_schema = cached_schema
-                else:
-                    effective_schema = _pruned_schema(
-                        schema, prompt.features.schema_tables
-                    )
-                    self._pruned_cache.put(pruned_key, effective_schema)
-            else:
-                effective_schema = _pruned_schema(
-                    schema, prompt.features.schema_tables
-                )
+        effective_schema = self._effective_schema(database, prompt)
 
         context = CorruptionContext(
             schema=effective_schema,
@@ -196,8 +204,7 @@ class SimulatedLanguageModel:
             overdecompose=overdecompose,
         )
 
-        fingerprint = (self.finetune.dataset_name, self.finetune.num_samples) if self.finetune else None
-        question_key = (self.profile.name, fingerprint, prompt.db_id, prompt.question)
+        question_key = self._question_key(prompt)
         systematic_rng = derive_rng(self.seed, "sys", *question_key)
         draw_rng = derive_rng(self.seed, "draw", *question_key, draw, round(temperature, 3))
 
@@ -264,6 +271,181 @@ class SimulatedLanguageModel:
             intent=intent,
             draw=draw,
         )
+
+    def generate_many(
+        self,
+        prompt: Prompt,
+        database: Database,
+        draws: list[tuple[int, float]],
+        uses_natsql: bool = False,
+        decomposed: bool = False,
+        overdecompose: bool = False,
+        style_divergence: float = 0.0,
+    ) -> list[GenerationCandidate]:
+        """Generate one candidate per ``(draw, temperature)`` pair, batched.
+
+        Bit-identical to calling :meth:`generate` once per pair, but the
+        draw-invariant work — lexicon, honest intent parse, pruned
+        schema, style sampling, and the *systematic* corruption component
+        (which depends only on the question and the temperature) — is
+        hoisted out of the per-draw loop.  Each draw's stochastic RNG
+        stream is derived and consumed exactly as in :meth:`generate`:
+        the systematic stream is keyed by question only, the draw stream
+        by ``(question, draw, temperature)``, and neither reads the
+        other, so hoisting cannot change any sampled value.
+        """
+        if not draws:
+            return []
+        schema = database.schema
+        use_caches = caches_enabled()
+        effective_schema = self._effective_schema(database, prompt)
+        question_key = self._question_key(prompt)
+
+        # One honest parse for the whole batch (per-draw calls repeat it
+        # verbatim; with the memo on they pay a lookup each instead).
+        if use_caches:
+            intent_key = (
+                prompt.db_id,
+                prompt.question,
+                prompt.features.schema_tables,
+            )
+            hit, intent = self._intent_cache.lookup(intent_key)
+            if hit:
+                get_tracer().annotate_stage(memo_hits=1)
+            else:
+                intent = self._parse_intent(effective_schema, prompt.question)
+                self._intent_cache.put(intent_key, intent)
+        else:
+            intent = self._parse_intent(effective_schema, prompt.question)
+
+        if intent is None:
+            # Parse failure: every draw degrades to the same deterministic
+            # fallback; accounting matches one annotate per sequential call.
+            sql = self._fallback_sql(prompt.question, effective_schema)
+            tokens = count_tokens(sql)
+            get_tracer().annotate_stage(
+                llm_calls=len(draws),
+                output_tokens=tokens * len(draws),
+                llm_batched_calls=1,
+                llm_batch_draws=len(draws),
+            )
+            return [
+                GenerationCandidate(
+                    sql=sql,
+                    output_tokens=tokens,
+                    parse_failed=True,
+                    errors=("parse_failure",),
+                    draw=draw,
+                )
+                for draw, _temperature in draws
+            ]
+
+        style = StyleChoices()
+        if style_divergence > 0:
+            # Sequential calls re-derive this stream per call and land on
+            # the same choices; one sample is exactly equivalent.
+            style_rng = derive_rng(self.seed, "style", *question_key)
+            style = sample_style(style_rng, style_divergence)
+
+        def make_context(temperature: float) -> CorruptionContext:
+            return CorruptionContext(
+                schema=effective_schema,
+                database=database,
+                profile=self.profile,
+                features=prompt.features,
+                finetune=self.finetune,
+                domain=schema.domain,
+                temperature=temperature,
+                uses_natsql=uses_natsql,
+                decomposed=decomposed,
+                overdecompose=overdecompose,
+            )
+
+        # The systematic component is f(question, temperature): its RNG
+        # stream is freshly derived per generate() call from question-only
+        # keys, so all draws sharing a temperature share one systematic
+        # intent and error list.  Cache it per distinct temperature.
+        systematic: dict[float, tuple] = {}
+
+        def systematic_state(temperature: float) -> tuple:
+            state = systematic.get(temperature)
+            if state is None:
+                context = make_context(temperature)
+                rates = error_rates(context, intent)
+                systematic_rates = {
+                    k: v * _SYSTEMATIC_FRACTION for k, v in rates.items()
+                }
+                stochastic_scale = (1.0 - _SYSTEMATIC_FRACTION) * (
+                    1.0 + 0.8 * temperature
+                )
+                stochastic_rates = {k: v * stochastic_scale for k, v in rates.items()}
+                systematic_rng = derive_rng(self.seed, "sys", *question_key)
+                sampler_sys = CorruptionSampler(context, systematic_rng)
+                sys_intent = sampler_sys.apply(intent, systematic_rates)
+                state = (
+                    sys_intent,
+                    tuple(context.errors),
+                    rates,
+                    stochastic_rates,
+                    stochastic_scale,
+                )
+                systematic[temperature] = state
+            return state
+
+        # Post-corruption rendering is deterministic, so identical
+        # corrupted intents (common at low temperature) render once.
+        render_memo: dict = {}
+        results: list[GenerationCandidate] = []
+        total_tokens = 0
+        for draw, temperature in draws:
+            (
+                sys_intent,
+                sys_errors,
+                rates,
+                stochastic_rates,
+                stochastic_scale,
+            ) = systematic_state(temperature)
+            draw_rng = derive_rng(
+                self.seed, "draw", *question_key, draw, round(temperature, 3)
+            )
+            draw_context = make_context(temperature)
+            draw_context.errors.extend(sys_errors)
+            sampler_draw = CorruptionSampler(draw_context, draw_rng)
+            draw_intent = sampler_draw.apply(sys_intent, stochastic_rates)
+
+            try:
+                render_key = (draw_intent, style)
+                sql = render_memo.get(render_key)
+            except TypeError:
+                render_key, sql = None, None
+            if sql is None:
+                sql = self._render(draw_intent, schema, style, uses_natsql)
+                if render_key is not None:
+                    render_memo[render_key] = sql
+
+            if draw_rng.random() < rates["syntax_error"] * stochastic_scale * 1.8:
+                sql = _break_syntax(sql, draw_rng)
+                draw_context.errors.append("syntax_error")
+
+            tokens = count_tokens(sql)
+            total_tokens += tokens
+            results.append(
+                GenerationCandidate(
+                    sql=sql,
+                    output_tokens=tokens,
+                    parse_failed=False,
+                    errors=tuple(draw_context.errors),
+                    intent=draw_intent,
+                    draw=draw,
+                )
+            )
+        get_tracer().annotate_stage(
+            llm_calls=len(draws),
+            output_tokens=total_tokens,
+            llm_batched_calls=1,
+            llm_batch_draws=len(draws),
+        )
+        return results
 
     def _parse_intent(
         self, effective_schema: DatabaseSchema, question: str

@@ -11,6 +11,9 @@ actually contains (pruned schema, value hints, example quality).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.llm.tokens import count_tokens
 
 
 @dataclass(frozen=True)
@@ -54,3 +57,23 @@ class Prompt:
     @property
     def uses_db_content(self) -> bool:
         return self.features.db_content is not None
+
+    @cached_property
+    def token_count(self) -> int:
+        """Token count of ``text``, computed (or primed) exactly once.
+
+        Every accounting site (decode billing, repair re-draw billing)
+        reads this instead of re-scanning the text.  The prefix-cached
+        prompt builder primes it with a sum of per-segment counts via
+        :meth:`prime_token_count`; the sum is exact because segment
+        boundaries fall on whitespace and the tokenizer never matches
+        across whitespace.
+        """
+        return count_tokens(self.text)
+
+    def prime_token_count(self, tokens: int) -> None:
+        """Seed the :attr:`token_count` cache without scanning the text."""
+        # cached_property stores through the instance __dict__, which
+        # bypasses the frozen-dataclass __setattr__ exactly like the
+        # property's own first read would.
+        self.__dict__["token_count"] = tokens

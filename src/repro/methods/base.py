@@ -39,8 +39,8 @@ from repro.llm.decoding import (
 )
 from repro.llm.model import GenerationCandidate, SimulatedLanguageModel
 from repro.llm.pricing import prompt_cost
+from repro.llm.prompt import Prompt
 from repro.llm.registry import get_profile
-from repro.llm.tokens import count_tokens
 from repro.modules.base import PipelineConfig
 from repro.modules.post_processing import (
     execution_guided_select,
@@ -223,7 +223,7 @@ class PipelineMethod(NL2SQLMethod):
                 )
             final = repair.final
 
-        return self._account(prompt.text, final, candidates, model_calls, repair)
+        return self._account(prompt, final, candidates, model_calls, repair)
 
     def _decode(
         self, sampler, checker: PicardChecker
@@ -237,7 +237,7 @@ class PipelineMethod(NL2SQLMethod):
 
     def _account(
         self,
-        prompt_text: str,
+        prompt: Prompt,
         final: GenerationCandidate,
         candidates: list[GenerationCandidate],
         model_calls: int,
@@ -247,8 +247,9 @@ class PipelineMethod(NL2SQLMethod):
         profile = get_profile(config.backbone)
         repair_calls = repair.llm_calls if repair is not None else 0
         # Each repair re-draw re-sends the prompt, so it bills input
-        # tokens like any other model call.
-        input_tokens = count_tokens(prompt_text) * (model_calls + repair_calls)
+        # tokens like any other model call.  ``token_count`` is primed by
+        # the prefix-cached prompt builder, so no text rescan happens.
+        input_tokens = prompt.token_count * (model_calls + repair_calls)
         if profile.api_only:
             # Sampling via the API's n parameter bills the prompt once but
             # every sampled completion's output tokens.

@@ -45,6 +45,12 @@ _SCHEDULE_SENSITIVE_CACHE_KEYS = frozenset(
         # Read-path counters: how many replicas/cursors get created and
         # which checkout pays a refresh depends on thread interleaving.
         "pool_replicas", "pool_checkouts", "pool_refreshes", "pool_waits",
+        # Prompt-prefix-cache and batched-decode counters: which build
+        # warms a shared segment first and how draws group into batches
+        # depend on sharding and the batching switch, while the rendered
+        # prompts and candidates stay bit-identical.
+        "prefix_hits", "prefix_misses", "prefix_hit_pct",
+        "llm_batched_calls", "llm_batch_draws",
     }
 )
 
@@ -139,6 +145,10 @@ def build_run_report(
             "repair_attempts": int(row.get("repair_attempts", 0)),
             "repair_recovered": int(row.get("repair_recovered", 0)),
             "repair_pattern_hits": int(row.get("repair_pattern_hits", 0)),
+            "prefix_hits": int(row.get("prefix_hits", 0)),
+            "prefix_misses": int(row.get("prefix_misses", 0)),
+            "llm_batched_calls": int(row.get("llm_batched_calls", 0)),
+            "llm_batch_draws": int(row.get("llm_batch_draws", 0)),
         }
         for stage, row in stage_breakdown(spans).items()
     ]
@@ -201,6 +211,23 @@ def build_run_report(
         name: int(metrics.counter_total(name)) if metrics is not None else 0
         for name in ("pool_replicas", "pool_checkouts", "pool_refreshes", "pool_waits")
     }
+    prefix_hits = sum(
+        getattr(stage, "prefix_hits", 0) for span in spans for stage in span.stages
+    )
+    prefix_misses = sum(
+        getattr(stage, "prefix_misses", 0) for span in spans for stage in span.stages
+    )
+    prefix_lookups = prefix_hits + prefix_misses
+    llm_batched_calls = sum(
+        getattr(stage, "llm_batched_calls", 0)
+        for span in spans
+        for stage in span.stages
+    )
+    llm_batch_draws = sum(
+        getattr(stage, "llm_batch_draws", 0)
+        for span in spans
+        for stage in span.stages
+    )
     cache = {
         "examples": n,
         "result_cache_hits": result_cache_hits,
@@ -219,6 +246,13 @@ def build_run_report(
         "serve_cache_evictions": serve_cache_evictions,
         "serve_spans_dropped": serve_spans_dropped,
         **pool_counters,
+        "prefix_hits": prefix_hits,
+        "prefix_misses": prefix_misses,
+        "prefix_hit_pct": (
+            round(100.0 * prefix_hits / prefix_lookups, 2) if prefix_lookups else 0.0
+        ),
+        "llm_batched_calls": llm_batched_calls,
+        "llm_batch_draws": llm_batch_draws,
     }
 
     repair_attempts = sum(
@@ -389,6 +423,11 @@ def render_markdown(report: RunReport) -> str:
         f"({cache.get('pool_refreshes', 0)} refreshes, "
         f"{cache.get('pool_waits', 0)} waits; zero refreshes/waits on "
         f"concurrent-read backends)",
+        f"- prompt prefix cache: {cache.get('prefix_hits', 0)} segment hits / "
+        f"{cache.get('prefix_misses', 0)} misses "
+        f"({cache.get('prefix_hit_pct', 0.0)}% hit rate)",
+        f"- batched decoding: {cache.get('llm_batched_calls', 0)} batched "
+        f"calls covering {cache.get('llm_batch_draws', 0)} draws",
         "",
         "## Self-repair",
         "",

@@ -69,6 +69,14 @@ class StageSpan:
     ``structure()``), while ``repair_pattern_hits`` — like ``memo_hits``
     — depends on which evaluation warmed the method's pattern store
     first, so it is excluded.
+
+    ``prefix_hits`` / ``prefix_misses`` count prompt-prefix-cache segment
+    lookups (see :class:`repro.llm.engine.PromptPrefixCache`) and
+    ``llm_batched_calls`` / ``llm_batch_draws`` count batched
+    ``generate_many`` invocations and the draws they carried.  All four
+    are schedule-sensitive (cache warm-up order, batching switch) while
+    the *results* stay bit-identical, so — like ``memo_hits`` — they are
+    excluded from ``structure()``.
     """
 
     stage: str
@@ -80,6 +88,10 @@ class StageSpan:
     repair_attempts: int = 0
     repair_recovered: int = 0
     repair_pattern_hits: int = 0
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    llm_batched_calls: int = 0
+    llm_batch_draws: int = 0
 
 
 @dataclass
@@ -200,6 +212,10 @@ class Tracer:
         repair_attempts: int = 0,
         repair_recovered: int = 0,
         repair_pattern_hits: int = 0,
+        prefix_hits: int = 0,
+        prefix_misses: int = 0,
+        llm_batched_calls: int = 0,
+        llm_batch_draws: int = 0,
     ) -> None:
         """Add counters to the innermost open stage span (if any)."""
         span = getattr(self._tls, "stage", None)
@@ -210,6 +226,10 @@ class Tracer:
             span.repair_attempts += repair_attempts
             span.repair_recovered += repair_recovered
             span.repair_pattern_hits += repair_pattern_hits
+            span.prefix_hits += prefix_hits
+            span.prefix_misses += prefix_misses
+            span.llm_batched_calls += llm_batched_calls
+            span.llm_batch_draws += llm_batch_draws
 
     # -- collection ------------------------------------------------------
 
@@ -254,6 +274,10 @@ class NullTracer(Tracer):
         repair_attempts: int = 0,
         repair_recovered: int = 0,
         repair_pattern_hits: int = 0,
+        prefix_hits: int = 0,
+        prefix_misses: int = 0,
+        llm_batched_calls: int = 0,
+        llm_batch_draws: int = 0,
     ) -> None:
         pass
 
@@ -336,7 +360,8 @@ def stage_breakdown(spans: list[ExampleSpan]) -> dict[str, dict[str, float]]:
 
     Returns ``stage -> {calls, seconds, avg_ms, cache_hits, memo_hits,
     llm_calls, output_tokens, repair_attempts, repair_recovered,
-    repair_pattern_hits, share_pct}`` with stages in canonical order
+    repair_pattern_hits, prefix_hits, prefix_misses, llm_batched_calls,
+    llm_batch_draws, share_pct}`` with stages in canonical order
     (unknown stages follow alphabetically).
     """
     totals: dict[str, dict[str, float]] = {}
@@ -347,7 +372,9 @@ def stage_breakdown(spans: list[ExampleSpan]) -> dict[str, dict[str, float]]:
                 {"calls": 0, "seconds": 0.0, "cache_hits": 0,
                  "memo_hits": 0, "llm_calls": 0, "output_tokens": 0,
                  "repair_attempts": 0, "repair_recovered": 0,
-                 "repair_pattern_hits": 0},
+                 "repair_pattern_hits": 0, "prefix_hits": 0,
+                 "prefix_misses": 0, "llm_batched_calls": 0,
+                 "llm_batch_draws": 0},
             )
             row["calls"] += 1
             row["seconds"] += stage.seconds
@@ -358,6 +385,10 @@ def stage_breakdown(spans: list[ExampleSpan]) -> dict[str, dict[str, float]]:
             row["repair_attempts"] += stage.repair_attempts
             row["repair_recovered"] += stage.repair_recovered
             row["repair_pattern_hits"] += stage.repair_pattern_hits
+            row["prefix_hits"] += stage.prefix_hits
+            row["prefix_misses"] += stage.prefix_misses
+            row["llm_batched_calls"] += stage.llm_batched_calls
+            row["llm_batch_draws"] += stage.llm_batch_draws
     grand_total = sum(row["seconds"] for row in totals.values())
     for row in totals.values():
         row["avg_ms"] = 1000.0 * row["seconds"] / max(row["calls"], 1)

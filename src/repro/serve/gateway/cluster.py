@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from repro.datagen.benchmark import BenchmarkConfig, Dataset
 from repro.dbengine.backends import available_backends, backend_available
 from repro.dbengine.pool import pooling_enabled
+from repro.llm.engine import batching_enabled
 from repro.errors import GatewayError
 from repro.obs.prometheus import merge_metric_exports, render_prometheus
 from repro.obs.registry import MetricsRegistry
@@ -192,7 +193,11 @@ class ShardedGateway:
                 f"execution backend {expected_backend!r} is not available "
                 f"(installed engines: {', '.join(available_backends())})"
             )
-        switches = {"pooling": pooling_enabled(), "caches": caches_enabled()}
+        switches = {
+            "pooling": pooling_enabled(),
+            "caches": caches_enabled(),
+            "batching": batching_enabled(),
+        }
         for shard_id in range(self.shards):
             parent_conn, child_conn = context.Pipe()
             process = context.Process(

@@ -22,6 +22,7 @@ from repro.core.evaluator import Evaluator
 from repro.datagen.benchmark import build_benchmark
 from repro.dbengine.pool import pooling_disabled
 from repro.errors import GatewayError
+from repro.llm.engine import batching_disabled
 from repro.serve import (
     GatewayHTTPClient,
     GatewayHTTPServer,
@@ -344,7 +345,7 @@ class TestSwitchPropagation:
     """Module-global switches cross the spawn boundary explicitly."""
 
     def test_disabled_switches_reach_workers(self):
-        with pooling_disabled(), caches_disabled():
+        with pooling_disabled(), caches_disabled(), batching_disabled():
             with ShardedGateway(
                 small_benchmark_config(), gateway_serve_config(), shards=1
             ) as gateway:
@@ -353,6 +354,7 @@ class TestSwitchPropagation:
         (entry,) = health["shards"]
         assert entry["pooling"] is False
         assert entry["caches"] is False
+        assert entry["batching"] is False
 
     def test_default_switches_reach_workers(self, gateway):
         health = gateway.healthz()
@@ -360,6 +362,7 @@ class TestSwitchPropagation:
         for entry in health["shards"]:
             assert entry["pooling"] is True
             assert entry["caches"] is True
+            assert entry["batching"] is True
 
 
 class TestMutationPropagation:
